@@ -1,0 +1,86 @@
+// E3 — Figures 4, 6, 8: the defragmenter written in every activity style,
+// used in push mode and in pull mode. External behaviour is identical (the
+// tests assert that); this bench measures what each style/mode combination
+// costs per item, isolating the price of the generated glue:
+//
+//   native passive (consumer-in-push, producer-in-pull)  -> direct call
+//   function style                                       -> direct call
+//   adapted passive (consumer-in-pull, producer-in-push) -> coroutine
+//   active                                               -> coroutine
+//
+// Expected shape: the four direct combinations cluster together; the
+// adapted/active ones pay one coroutine hand-off per item.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/infopipes.hpp"
+
+namespace {
+
+using namespace infopipe;
+
+Item take_first(Item a, Item) { return a; }
+
+enum StyleId { kConsumer, kProducer, kActive, kFunction };
+constexpr const char* kStyleName[] = {"consumer", "producer", "active",
+                                      "function"};
+
+std::unique_ptr<Component> make_defrag(int style) {
+  switch (style) {
+    case kConsumer:
+      return std::make_unique<DefragmenterConsumer>("defrag", take_first);
+    case kProducer:
+      return std::make_unique<DefragmenterProducer>("defrag", take_first);
+    case kActive:
+      return std::make_unique<DefragmenterActive>("defrag", take_first);
+    default:
+      // Function style cannot defragment (not one-to-one); use identity to
+      // give the direct-call baseline.
+      return std::make_unique<IdentityFunction>("identity");
+  }
+}
+
+void BM_StyleMode(benchmark::State& state) {
+  const int style = static_cast<int>(state.range(0));
+  const bool push_mode = state.range(1) == 1;
+  constexpr std::uint64_t kItems = 8000;
+  std::size_t threads = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Runtime rtm;
+    CountingSource src("src", kItems);
+    FreeRunningPump pump("pump");
+    CountingSink sink("sink");
+    std::unique_ptr<Component> mid = make_defrag(style);
+    Pipeline p;
+    if (push_mode) {
+      p.connect(src, 0, pump, 0);
+      p.connect(pump, 0, *mid, 0);
+      p.connect(*mid, 0, sink, 0);
+    } else {
+      p.connect(src, 0, *mid, 0);
+      p.connect(*mid, 0, pump, 0);
+      p.connect(pump, 0, sink, 0);
+    }
+    Realization real(rtm, p);
+    threads = real.thread_count();
+    real.start();
+    state.ResumeTiming();
+    rtm.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::string(kStyleName[style]) +
+                 (push_mode ? "/push" : "/pull"));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_StyleMode)
+    ->ArgsProduct({{kConsumer, kProducer, kActive, kFunction}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// E2 — Figure 9: the eight pipeline configurations between a passive source
+// and a passive sink, and what the automatic thread/coroutine allocation
+// costs per item in each.
+//
+// Paper's allocation (§4): configs a,b,c share the pump's single thread;
+// d,g,h get a set of two coroutines; e,f a set of three. The benchmark
+// prints the planned thread count for every configuration (checked against
+// those numbers) and measures the per-item pipeline cost — the expected
+// shape is cost growing with the number of coroutine hand-offs per item:
+// a/b/c ≈ direct-call cost, d/g/h one hand-off, e/f two.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+
+#include "core/infopipes.hpp"
+
+namespace {
+
+using namespace infopipe;
+
+Item take_first(Item a, Item) { return a; }
+
+struct Config {
+  const char* label;
+  int expected_threads;
+  // Builds the two mid components and says on which side of the pump each
+  // one goes (true = upstream / pull side).
+  std::unique_ptr<Component> x, y;
+  bool x_upstream, y_upstream;
+};
+
+std::unique_ptr<Component> make(char style) {
+  switch (style) {
+    case 'c':
+      return std::make_unique<DefragmenterConsumer>("x", take_first);
+    case 'p':
+      return std::make_unique<DefragmenterProducer>("y", take_first);
+    case 'a':
+      return std::make_unique<DefragmenterActive>("m", take_first);
+    default:
+      return std::make_unique<IdentityFunction>("f");
+  }
+}
+
+/// config index 0..7 = Figure 9 a..h.
+Config make_config(int idx) {
+  switch (idx) {
+    case 0:  // a) producer | pump | consumer -> 1 thread
+      return {"a:producer/consumer", 1, make('p'), make('c'), true, false};
+    case 1:  // b) function | pump | function -> 1 thread
+      return {"b:function/function", 1, make('f'), make('f'), true, false};
+    case 2:  // c) pump | consumer consumer -> 1 thread
+      return {"c:consumer/consumer", 1, make('c'), make('c'), false, false};
+    case 3:  // d) pump | active function -> 2 threads
+      return {"d:active/function", 2, make('a'), make('f'), false, false};
+    case 4:  // e) consumer | pump | producer -> 3 threads
+      return {"e:consumer/producer", 3, make('c'), make('p'), true, false};
+    case 5:  // f) pump | active active -> 3 threads
+      return {"f:active/active", 3, make('a'), make('a'), false, false};
+    case 6:  // g) pump | consumer active -> 2 threads
+      return {"g:consumer/active", 2, make('c'), make('a'), false, false};
+    case 7:  // h) pump | consumer producer -> 2 threads
+      return {"h:consumer/producer", 2, make('c'), make('p'), false, false};
+    default:
+      std::abort();
+  }
+}
+
+void BM_Fig9Configuration(benchmark::State& state) {
+  const int idx = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kItems = 4000;
+  int planned_threads = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Config cfg = make_config(idx);
+    rt::Runtime rtm;
+    // Defragmenters halve the flow; feed enough for kItems at the sink.
+    CountingSource src("src", kItems * 4);
+    FreeRunningPump pump("pump");
+    CountingSink sink("sink");
+    Pipeline p;
+    // Chain: src [>> X][>> Y] >> pump [>> X][>> Y] >> sink, order preserved.
+    Component* prev = &src;
+    if (cfg.x_upstream) {
+      p.connect(*prev, 0, *cfg.x, 0);
+      prev = cfg.x.get();
+    }
+    if (cfg.y_upstream) {
+      p.connect(*prev, 0, *cfg.y, 0);
+      prev = cfg.y.get();
+    }
+    p.connect(*prev, 0, pump, 0);
+    prev = &pump;
+    if (!cfg.x_upstream) {
+      p.connect(*prev, 0, *cfg.x, 0);
+      prev = cfg.x.get();
+    }
+    if (!cfg.y_upstream) {
+      p.connect(*prev, 0, *cfg.y, 0);
+      prev = cfg.y.get();
+    }
+    p.connect(*prev, 0, sink, 0);
+
+    Realization real(rtm, p);
+    planned_threads = static_cast<int>(real.thread_count());
+    if (planned_threads != cfg.expected_threads) {
+      state.SkipWithError("planner allocation deviates from Figure 9!");
+      return;
+    }
+    real.start();
+    state.ResumeTiming();
+    rtm.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems * 4));
+    state.ResumeTiming();
+  }
+  state.SetLabel(make_config(idx).label);
+  state.counters["threads"] = planned_threads;
+}
+BENCHMARK(BM_Fig9Configuration)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

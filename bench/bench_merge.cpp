@@ -1,0 +1,83 @@
+// Supplementary: shared-region machinery cost (MergeTee section lock) as a
+// function of fan-in, and multicast fan-out cost. Complements E2 for the
+// multi-port components of §2.1.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/infopipes.hpp"
+
+namespace {
+
+using namespace infopipe;
+
+void BM_MergeFanIn(benchmark::State& state) {
+  const int branches = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kPerBranch = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Runtime rtm;
+    std::vector<std::unique_ptr<CountingSource>> srcs;
+    std::vector<std::unique_ptr<FreeRunningPump>> pumps;
+    MergeTee merge("merge", branches);
+    CountingSink sink("sink");
+    Pipeline p;
+    for (int b = 0; b < branches; ++b) {
+      srcs.push_back(std::make_unique<CountingSource>(
+          "s" + std::to_string(b), kPerBranch));
+      pumps.push_back(
+          std::make_unique<FreeRunningPump>("p" + std::to_string(b)));
+      p.connect(*srcs.back(), 0, *pumps.back(), 0);
+      p.connect(*pumps.back(), 0, merge, b);
+    }
+    p.connect(merge, 0, sink, 0);
+    Realization real(rtm, p);
+    real.start();
+    state.ResumeTiming();
+    rtm.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kPerBranch) * branches);
+    state.ResumeTiming();
+  }
+  state.counters["branches"] = branches;
+}
+BENCHMARK(BM_MergeFanIn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MulticastFanOut(benchmark::State& state) {
+  const int branches = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kItems = 4000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Runtime rtm;
+    CountingSource src("src", kItems);
+    FreeRunningPump pump("pump");
+    MulticastTee tee("tee", branches);
+    std::vector<std::unique_ptr<CountingSink>> sinks;
+    Pipeline p;
+    p.connect(src, 0, pump, 0);
+    p.connect(pump, 0, tee, 0);
+    for (int b = 0; b < branches; ++b) {
+      sinks.push_back(
+          std::make_unique<CountingSink>("k" + std::to_string(b)));
+      p.connect(tee, b, *sinks.back(), 0);
+    }
+    Realization real(rtm, p);
+    real.start();
+    state.ResumeTiming();
+    rtm.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    state.ResumeTiming();
+  }
+  state.counters["branches"] = branches;
+}
+BENCHMARK(BM_MulticastFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// E7 — pump classes (§3.1): "Clock driven pumps typically operate at a
+// constant rate... The second class of pumps adjusts its speed according to
+// the state of other pipeline components."
+//
+// Measured: (1) rate accuracy of a clocked pump across target rates;
+// (2) a free-running pump self-pacing against a bounded buffer (its
+// throughput must equal the downstream rate, its thread blocking instead of
+// spinning); (3) an adaptive pump driven by the fill-level feedback loop:
+// convergence time to a producer-rate disturbance.
+#include <cstdio>
+
+#include "core/infopipes.hpp"
+#include "feedback/toolkit.hpp"
+
+using namespace infopipe;
+using namespace infopipe::fb;
+
+namespace {
+
+void clocked_accuracy() {
+  std::puts("E7.1  clocked pump rate accuracy (virtual clock)");
+  std::puts("  target Hz | achieved Hz | items");
+  for (double hz : {10.0, 30.0, 100.0, 1000.0}) {
+    rt::Runtime rt;
+    CountingSource src("src", 1000000);
+    ClockedPump pump("pump", hz);
+    CountingSink sink("sink");
+    auto ch = src >> pump >> sink;
+    Realization real(rt, ch.pipeline());
+    real.start();
+    rt.run_until(rt::seconds(10));
+    const double achieved = static_cast<double>(sink.count()) / 10.0;
+    std::printf("  %8.1f  | %10.2f  | %llu\n", hz, achieved,
+                static_cast<unsigned long long>(sink.count()));
+    real.shutdown();
+    rt.run();
+  }
+}
+
+void freerunning_pacing() {
+  std::puts("");
+  std::puts("E7.2  free-running pump paced by buffer blocking");
+  std::puts("  downstream Hz | producer throughput Hz | producer blocks");
+  for (double hz : {20.0, 50.0, 200.0}) {
+    rt::Runtime rt;
+    CountingSource src("src", 1000000);
+    FreeRunningPump fill("fill");  // no rate limit of its own
+    Buffer buf("buf", 4, FullPolicy::kBlock, EmptyPolicy::kBlock);
+    ClockedPump drain("drain", hz);
+    CountingSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    Realization real(rt, ch.pipeline());
+    real.start();
+    rt.run_until(rt::seconds(10));
+    std::printf("  %10.1f    |       %8.2f         | %llu\n", hz,
+                static_cast<double>(fill.items_pumped()) / 10.0,
+                static_cast<unsigned long long>(buf.stats().put_blocks));
+    real.shutdown();
+    rt.run();
+  }
+  std::puts("  expected: producer throughput == downstream rate (+ buffer)");
+}
+
+void adaptive_convergence() {
+  std::puts("");
+  std::puts("E7.3  adaptive pump under fill-level feedback: convergence");
+  rt::Runtime rt;
+  CountingSource src("src", 10000000);
+  AdaptivePump fill("fill", 100.0);
+  Buffer buf("buf", 100, FullPolicy::kDropNewest, EmptyPolicy::kNil);
+  AdaptivePump drain("drain", 100.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  Realization real(rt, ch.pipeline());
+  FeedbackLoop loop(rt, "ctl", rt::milliseconds(50), fill_fraction(buf), 0.5,
+                    PIController(-200.0, -400.0, 1.0, 2000.0),
+                    pump_rate_actuator(real, drain));
+  real.start();
+  loop.start();
+  rt.run_until(rt::seconds(10));
+  std::printf("  settled: drain=%.1f Hz, fill=%.0f%%\n", drain.rate_hz(),
+              100.0 * static_cast<double>(buf.fill()) /
+                  static_cast<double>(buf.capacity()));
+
+  // Disturbance: producer doubles its rate. Track time until the drain rate
+  // is within 5%% of the new producer rate.
+  real.post_event_to(fill, Event{kEventQualityHint, 200.0});
+  const rt::Time t0 = rt.now();
+  rt::Time settled_at = -1;
+  for (int step = 1; step <= 400; ++step) {
+    rt.run_until(t0 + step * rt::milliseconds(50));
+    if (settled_at < 0 && drain.rate_hz() > 190.0 && drain.rate_hz() < 210.0) {
+      settled_at = rt.now() - t0;
+    }
+  }
+  std::printf("  after producer 100->200 Hz: drain=%.1f Hz, fill=%.0f%%, "
+              "settling time=%.2f s\n",
+              drain.rate_hz(),
+              100.0 * static_cast<double>(buf.fill()) /
+                  static_cast<double>(buf.capacity()),
+              settled_at < 0 ? -1.0 : static_cast<double>(settled_at) / 1e9);
+  std::puts("  expected: settles within a few seconds, fill returns to 50%");
+  loop.stop();
+  real.shutdown();
+  rt.run();
+}
+
+}  // namespace
+
+int main() {
+  clocked_accuracy();
+  freerunning_pacing();
+  adaptive_convergence();
+  return 0;
+}

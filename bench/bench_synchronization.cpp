@@ -1,0 +1,139 @@
+// E9 — what thread transparency saves (§3.2): "inter-thread synchronization
+// is based on passing on data items and control events rather than on more
+// error-prone low-level primitives such as locks and semaphores."
+//
+// The comparison the paper implies but never measures: moving items between
+// two concurrent stages via
+//   (a) the middleware's planned pipeline (user-level threads, one OS
+//       thread, buffer hand-off),
+//   (b) hand-written OS threads + mutex + condition_variable bounded queue
+//       (what an application programmer would write by hand),
+//   (c) the degenerate best case: direct function calls in one thread
+//       (what the planner produces when no concurrency is needed).
+//
+// Expected shape: (c) fastest by a wide margin, (a) well ahead of (b) for
+// small items because user-level switches are much cheaper than
+// futex-mediated OS thread wakeups.
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/infopipes.hpp"
+
+namespace {
+
+using namespace infopipe;
+
+constexpr std::uint64_t kItems = 20000;
+
+void BM_MiddlewarePipelineTwoSections(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Runtime rt;
+    CountingSource src("src", kItems);
+    FreeRunningPump fill("fill");
+    Buffer buf("buf", 64, FullPolicy::kBlock, EmptyPolicy::kBlock);
+    FreeRunningPump drain("drain");
+    CountingSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    Realization real(rt, ch.pipeline());
+    real.start();
+    state.ResumeTiming();
+    rt.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_MiddlewarePipelineTwoSections)->Unit(benchmark::kMillisecond);
+
+/// The hand-rolled alternative: two OS threads around a bounded queue.
+class LockedQueue {
+ public:
+  explicit LockedQueue(std::size_t cap) : cap_(cap) {}
+
+  void push(Item x) {
+    std::unique_lock lk(m_);
+    not_full_.wait(lk, [&] { return q_.size() < cap_; });
+    q_.push_back(std::move(x));
+    not_empty_.notify_one();
+  }
+
+  bool pop(Item& out) {
+    std::unique_lock lk(m_);
+    not_empty_.wait(lk, [&] { return !q_.empty() || done_; });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard lk(m_);
+    done_ = true;
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<Item> q_;
+  std::size_t cap_;
+  bool done_ = false;
+};
+
+void BM_HandWrittenOsThreads(benchmark::State& state) {
+  for (auto _ : state) {
+    LockedQueue q(64);
+    std::uint64_t consumed = 0;
+    std::thread producer([&] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        Item x = Item::token();
+        x.seq = i;
+        q.push(std::move(x));
+      }
+      q.close();
+    });
+    std::thread consumer([&] {
+      Item x;
+      while (q.pop(x)) ++consumed;
+    });
+    producer.join();
+    consumer.join();
+    benchmark::DoNotOptimize(consumed);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+  }
+}
+BENCHMARK(BM_HandWrittenOsThreads)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();  // work happens on worker OS threads, not the main one
+
+void BM_SingleThreadDirectCalls(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Runtime rt;
+    CountingSource src("src", kItems);
+    FreeRunningPump pump("pump");
+    CountingSink sink("sink");
+    auto ch = src >> pump >> sink;
+    Realization real(rt, ch.pipeline());
+    real.start();
+    state.ResumeTiming();
+    rt.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SingleThreadDirectCalls)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// E4 — the headline claim: "allocating a thread for each pipeline component
+// would introduce a significant context switching overhead" for small-item
+// flows, so the middleware fuses direct-callable components into the pump's
+// thread and introduces coroutines only when necessary.
+//
+// Sweep 1 (depth): a chain of K trivial stages, written either as function
+// components (planner fuses: 1 thread) or as active objects (thread per
+// stage: K+1 threads). Expected: fused cost per item roughly flat in K;
+// thread-per-stage cost grows linearly with K.
+//
+// Sweep 2 (work): K=8 stages with W ns of real work per stage per item.
+// Expected: the relative advantage of fusing shrinks as W grows — the
+// crossover the paper implies ("for these applications, and if kernel-level
+// threads are used..."): hand-off overhead only matters when items are
+// cheap.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/infopipes.hpp"
+
+namespace {
+
+using namespace infopipe;
+
+/// Busy work standing in for per-stage computation (wall-clock, since the
+/// measurement is wall-clock overhead).
+std::uint64_t spin(std::uint64_t seed, int rounds) {
+  std::uint64_t x = seed | 1;
+  for (int i = 0; i < rounds; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+void run_chain(benchmark::State& state, int stages, bool thread_per_stage,
+               int work_rounds) {
+  constexpr std::uint64_t kItems = 4000;
+  std::size_t threads = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Runtime rtm;
+    CountingSource src("src", kItems);
+    FreeRunningPump pump("pump");
+    CountingSink sink("sink");
+    std::vector<std::unique_ptr<Component>> mids;
+    Pipeline p;
+    p.connect(src, 0, pump, 0);
+    Component* prev = &pump;
+    for (int i = 0; i < stages; ++i) {
+      if (thread_per_stage) {
+        mids.push_back(std::make_unique<LambdaActive>(
+            "s" + std::to_string(i),
+            [work_rounds](const auto& pull, const auto& push) {
+              for (;;) {
+                Item x = pull();
+                benchmark::DoNotOptimize(spin(x.seq, work_rounds));
+                push(std::move(x));
+              }
+            }));
+      } else {
+        mids.push_back(std::make_unique<LambdaFunction>(
+            "s" + std::to_string(i), [work_rounds](Item x) {
+              benchmark::DoNotOptimize(spin(x.seq, work_rounds));
+              return x;
+            }));
+      }
+      p.connect(*prev, 0, *mids.back(), 0);
+      prev = mids.back().get();
+    }
+    p.connect(*prev, 0, sink, 0);
+    Realization real(rtm, p);
+    threads = real.thread_count();
+    real.start();
+    state.ResumeTiming();
+    rtm.run();
+    state.PauseTiming();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    state.ResumeTiming();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["stages"] = stages;
+  state.counters["work"] = work_rounds;
+}
+
+void BM_DepthFused(benchmark::State& state) {
+  run_chain(state, static_cast<int>(state.range(0)),
+            /*thread_per_stage=*/false, /*work_rounds=*/0);
+}
+void BM_DepthThreadPerStage(benchmark::State& state) {
+  run_chain(state, static_cast<int>(state.range(0)),
+            /*thread_per_stage=*/true, /*work_rounds=*/0);
+}
+BENCHMARK(BM_DepthFused)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DepthThreadPerStage)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WorkFused(benchmark::State& state) {
+  run_chain(state, /*stages=*/8, /*thread_per_stage=*/false,
+            static_cast<int>(state.range(0)));
+}
+void BM_WorkThreadPerStage(benchmark::State& state) {
+  run_chain(state, /*stages=*/8, /*thread_per_stage=*/true,
+            static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_WorkFused)->Arg(0)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkThreadPerStage)->Arg(0)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// E5 — the Figure 1 pipeline, measured. Two experiments on the full
+// source → filter → netpipe → decoder → buffer → pump → display chain:
+//
+//  (1) Adaptation: sweep the congestion bandwidth; compare feedback-
+//      controlled dropping against arbitrary network dropping. Reported per
+//      row: frames delivered, I-frame survival, corrupt fraction.
+//      Expected shape: with feedback, corruption stays near zero and
+//      I survival near 100% even deep into congestion; without, both decay
+//      with the congestion severity.
+//
+//  (2) Jitter: the consumer-side buffer + clocked output pump exist to
+//      "reduce jitter" (§2.1). Compare display timing with and without
+//      them when the network adds jitter. Expected: an order of magnitude
+//      less inter-frame deviation with buffer+pump.
+//
+// Scenario experiment on the virtual clock: numbers are deterministic.
+#include <cstdio>
+
+#include "core/infopipes.hpp"
+#include "media/mpeg.hpp"
+#include "net/netpipe.hpp"
+
+using namespace infopipe;
+using namespace infopipe::media;
+
+namespace {
+
+struct AdaptResult {
+  std::uint64_t displayed = 0;
+  std::uint64_t i_shown = 0, i_total = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t net_drops = 0;
+};
+
+AdaptResult run_adaptation(double congested_bps, bool feedback) {
+  rt::Runtime rt;
+  StreamConfig cfg;
+  cfg.frames = 900;  // 30 s at 30 fps
+  MpegFileSource source("movie.mpg", cfg);
+  ClockedPump send_pump("send-pump", cfg.fps);
+  FrameDropFilter filter("filter");
+
+  net::MarshalFilter marshal("marshal", encode_frame, "video");
+  net::LinkConfig lc;
+  lc.bandwidth_bps = 6e6;
+  lc.base_latency = rt::milliseconds(30);
+  lc.queue_capacity_bytes = 48 * 1024;
+  net::SimLink link(lc);
+  net::NetSender tx("tx", link, "server");
+  net::NetReceiver rx("rx", link, "client");
+  net::UnmarshalFilter unmarshal("unmarshal", decode_frame, "video");
+  MpegDecoder decoder("decoder");
+  Buffer buf("buf", 8, FullPolicy::kDropOldest, EmptyPolicy::kNil);
+  ClockedPump play_pump("play", cfg.fps);
+  VideoDisplay display("display", cfg.fps);
+
+  Pipeline p;
+  p.connect(source, 0, send_pump, 0);
+  p.connect(send_pump, 0, filter, 0);
+  p.connect(filter, 0, marshal, 0);
+  p.connect(marshal, 0, tx, 0);
+  p.connect(rx, 0, unmarshal, 0);
+  p.connect(unmarshal, 0, decoder, 0);
+  p.connect(decoder, 0, buf, 0);
+  p.connect(buf, 0, play_pump, 0);
+  p.connect(play_pump, 0, display, 0);
+  Realization real(rt, p);
+  real.start();
+
+  rt.run_until(rt::seconds(5));
+  link.set_bandwidth(congested_bps);
+  if (feedback) {
+    // Idealized controller reaction (the closed-loop version lives in
+    // examples/adaptive_streaming.cpp): pick the drop level that fits.
+    // GOP IBBPBBPBBPBB at 30 fps: full ~0.72 Mbps, I+P ~0.48, I ~0.24.
+    int level = 0;
+    if (congested_bps < 0.24e6) level = 3;
+    else if (congested_bps < 0.48e6) level = 2;
+    else if (congested_bps < 0.72e6) level = 1;
+    real.post_event_to(filter, Event{kEventDropLevel, level});
+  }
+  rt.run_until(rt::seconds(25));
+  link.set_bandwidth(6e6);
+  if (feedback) real.post_event_to(filter, Event{kEventDropLevel, 0});
+  rt.run_until(rt::seconds(40));
+  real.shutdown();
+  rt.run();
+
+  AdaptResult r;
+  const auto s = display.stats();
+  r.displayed = s.displayed;
+  r.i_shown = s.per_type[kKindI];
+  r.i_total = cfg.frames / cfg.gop.size();  // one I per GOP
+  r.corrupt = s.corrupt;
+  r.net_drops = link.stats().dropped_congestion;
+  return r;
+}
+
+struct JitterResult {
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t displayed = 0;
+};
+
+JitterResult run_jitter(bool with_buffer_and_pump) {
+  rt::Runtime rt;
+  StreamConfig cfg;
+  cfg.frames = 600;
+  MpegFileSource source("movie.mpg", cfg);
+  ClockedPump send_pump("send-pump", cfg.fps);
+  net::MarshalFilter marshal("marshal", encode_frame, "video");
+  net::LinkConfig lc;
+  lc.bandwidth_bps = 8e6;
+  lc.base_latency = rt::milliseconds(20);
+  lc.jitter = rt::milliseconds(25);  // heavy network jitter
+  net::SimLink link(lc);
+  net::NetSender tx("tx", link, "server");
+  net::NetReceiver rx("rx", link, "client");
+  net::UnmarshalFilter unmarshal("unmarshal", decode_frame, "video");
+  MpegDecoder decoder("decoder");
+  Buffer buf("buf", 16, FullPolicy::kBlock, EmptyPolicy::kNil);
+  ClockedPump play_pump("play", cfg.fps);
+  VideoDisplay display("display", cfg.fps);
+
+  Pipeline p;
+  p.connect(source, 0, send_pump, 0);
+  p.connect(send_pump, 0, marshal, 0);
+  p.connect(marshal, 0, tx, 0);
+  p.connect(rx, 0, unmarshal, 0);
+  p.connect(unmarshal, 0, decoder, 0);
+  if (with_buffer_and_pump) {
+    p.connect(decoder, 0, buf, 0);
+    p.connect(buf, 0, play_pump, 0);
+    p.connect(play_pump, 0, display, 0);
+  } else {
+    p.connect(decoder, 0, display, 0);  // frames hit the display as they
+                                        // fall out of the network
+  }
+  Realization real(rt, p);
+  real.start();
+  rt.run();
+
+  const auto s = display.stats();
+  return JitterResult{s.mean_abs_jitter_ms, s.max_abs_jitter_ms, s.displayed};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E5.1  Adaptation under congestion (Figure 1 pipeline)");
+  std::puts("  congestion | feedback | delivered | I survival | corrupt | net drops");
+  std::puts("  -----------+----------+-----------+------------+---------+----------");
+  for (double bw : {2.0e6, 0.6e6, 0.4e6, 0.26e6}) {
+    for (bool fb : {true, false}) {
+      const AdaptResult r = run_adaptation(bw, fb);
+      std::printf("  %7.1f Mb |   %s    |   %4llu    |   %5.1f%%   | %5.1f%%  |  %llu\n",
+                  bw / 1e6, fb ? "on " : "off",
+                  static_cast<unsigned long long>(r.displayed),
+                  100.0 * static_cast<double>(r.i_shown) /
+                      static_cast<double>(r.i_total),
+                  100.0 * static_cast<double>(r.corrupt) /
+                      static_cast<double>(r.displayed ? r.displayed : 1),
+                  static_cast<unsigned long long>(r.net_drops));
+    }
+  }
+
+  std::puts("");
+  std::puts("E5.2  Display jitter with / without consumer-side buffer+pump");
+  std::puts("  configuration      | mean |jitter| | max |jitter| | frames");
+  for (bool smooth : {true, false}) {
+    const JitterResult r = run_jitter(smooth);
+    std::printf("  %s |   %7.2f ms  |  %7.2f ms  | %llu\n",
+                smooth ? "buffer + pump     " : "straight to screen",
+                r.mean_ms, r.max_ms,
+                static_cast<unsigned long long>(r.displayed));
+  }
+  std::puts("");
+  std::puts("  expected shape: feedback keeps I survival ~100% and corruption");
+  std::puts("  near zero at every congestion level; buffer+pump cut jitter by");
+  std::puts("  roughly an order of magnitude.");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// A/V player: audio-master synchronization across two pipelines.
+//
+// The paper's lineage applications (the OGI distributed MPEG player, refs
+// [5, 32]) pace video against the audio device's hardware clock: "Another
+// kind of pump is used on the producer node... Its speed is adjusted by a
+// feedback mechanism to compensate for clock drift" (§3.1).
+//
+// Here the audio device's crystal runs 0.3% fast relative to nominal —
+// exactly the kind of drift that desynchronizes a naive player by ~1 video
+// frame every 11 seconds. The audio branch is driven by the clock-driven
+// active sink; the video branch's AdaptivePump is steered by a feedback
+// controller comparing video position against the audio device's broadcast
+// media position. Run with --no-sync to watch the drift win.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/infopipes.hpp"
+#include "feedback/toolkit.hpp"
+#include "media/audio.hpp"
+#include "media/mpeg.hpp"
+
+using namespace infopipe;
+using namespace infopipe::media;
+
+namespace {
+
+struct Result {
+  std::uint64_t audio_chunks = 0;
+  std::uint64_t underruns = 0;
+  std::uint64_t video_frames = 0;
+  double final_skew_ms = 0.0;  ///< |video position - audio position|
+  double max_skew_ms = 0.0;
+};
+
+Result run(bool with_sync) {
+  rt::Runtime rt;
+  constexpr double kFps = 25.0;
+  // Nominal device rate is 100 chunks/s; the crystal runs 0.3% fast.
+  constexpr double kDriftedRate = 100.3;
+  constexpr rt::Time kRun = rt::seconds(60);
+
+  // --- audio branch: tone -> buffer -> audio device (the driver) -----------
+  ToneSource tone("tone", 440.0, 1u << 20);
+  FreeRunningPump afill("afill");
+  Buffer abuf("abuf", 16, FullPolicy::kBlock, EmptyPolicy::kNil);
+  AudioDevice device("device", kDriftedRate, /*position_report_every=*/10);
+
+  // --- video branch: file -> decoder -> buffer -> adaptive pump -> display --
+  StreamConfig cfg;
+  cfg.frames = 1u << 20;
+  cfg.fps = kFps;
+  MpegFileSource movie("movie.mpg", cfg);
+  MpegDecoder decoder("decoder");
+  FreeRunningPump vfill("vfill");
+  Buffer vbuf("vbuf", 8, FullPolicy::kBlock, EmptyPolicy::kNil);
+  AdaptivePump vpump("vpump", kFps);
+  VideoDisplay display("display", kFps);
+
+  Pipeline p;
+  p.connect(tone, 0, afill, 0);
+  p.connect(afill, 0, abuf, 0);
+  p.connect(abuf, 0, device, 0);
+  p.connect(movie, 0, decoder, 0);
+  p.connect(decoder, 0, vfill, 0);
+  p.connect(vfill, 0, vbuf, 0);
+  p.connect(vbuf, 0, vpump, 0);
+  p.connect(vpump, 0, display, 0);
+  Realization real(rt, p);
+
+  // --- A/V sync: audio is the master clock ----------------------------------
+  double max_skew_ms = 0.0;
+  rt::Time audio_pos = 0;
+  real.set_event_listener([&](const Event& e) {
+    if (e.type == kEventAudioPosition) {
+      if (const auto* t = e.get<rt::Time>()) audio_pos = *t;
+    }
+  });
+
+  fb::PeriodicTask sync(rt, "av-sync", rt::milliseconds(200), [&](rt::Time) {
+    const double video_pos_ms =
+        1e3 * static_cast<double>(display.stats().displayed) / kFps;
+    const double audio_pos_ms = static_cast<double>(audio_pos) / 1e6;
+    const double skew = video_pos_ms - audio_pos_ms;
+    max_skew_ms = std::max(max_skew_ms, std::abs(skew));
+    if (with_sync) {
+      // Rate correction proportional to the skew: the §3.1 feedback pump.
+      const double correction = -skew / 1000.0;  // s of skew -> fraction
+      const double rate =
+          std::clamp(kFps * (1.0 + correction), kFps * 0.9, kFps * 1.1);
+      real.post_event_to(vpump, Event{kEventQualityHint, rate});
+    }
+  });
+
+  real.start();
+  sync.start();
+  rt.run_until(kRun);
+  sync.stop();
+
+  Result r;
+  r.audio_chunks = device.stats().played;
+  r.underruns = device.stats().underruns;
+  r.video_frames = display.stats().displayed;
+  const double video_pos_ms =
+      1e3 * static_cast<double>(r.video_frames) / kFps;
+  r.final_skew_ms =
+      std::abs(video_pos_ms - static_cast<double>(audio_pos) / 1e6);
+  r.max_skew_ms = max_skew_ms;
+
+  real.shutdown();
+  rt.run();
+  return r;
+}
+
+void report(const char* label, const Result& r) {
+  std::printf("%s\n", label);
+  std::printf("  audio: %llu chunks played, %llu underruns\n",
+              static_cast<unsigned long long>(r.audio_chunks),
+              static_cast<unsigned long long>(r.underruns));
+  std::printf("  video: %llu frames shown\n",
+              static_cast<unsigned long long>(r.video_frames));
+  std::printf("  A/V skew: final %.1f ms, max %.1f ms\n\n", r.final_skew_ms,
+              r.max_skew_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool only_nosync = argc > 1 && std::strcmp(argv[1], "--no-sync") == 0;
+  if (!only_nosync) {
+    report("WITH audio-master sync (feedback-adjusted video pump):",
+           run(/*with_sync=*/true));
+  }
+  report("WITHOUT sync (fixed 25 fps video pump, drifting audio clock):",
+         run(/*with_sync=*/false));
+  std::puts("expected shape: without sync the skew grows unbounded (~3 ms/s");
+  std::puts("of drift); with sync it stays within a frame period.");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Distributed player: the full §2.4 story on two simulated nodes.
+//
+//   1. A server node registers factories; the client CREATES the remote
+//      source through the middleware protocol (remote_create).
+//   2. The binding protocol NEGOTIATES the flow: the camera's offered
+//      Typespec and the display's requirement cross the network in
+//      marshalled form, intersect, and the link's bandwidth bounds the QoS.
+//   3. The pipeline is assembled with a netpipe in the middle; location is
+//      a Typespec property that changes only at the netpipe.
+//   4. START is broadcast and the stream plays across the "network".
+#include <cstdio>
+
+#include "core/infopipes.hpp"
+#include "media/mpeg.hpp"
+#include "net/binder.hpp"
+#include "net/netpipe.hpp"
+#include "net/node.hpp"
+
+using namespace infopipe;
+using namespace infopipe::media;
+using namespace infopipe::net;
+
+namespace {
+
+/// Server-side source type, offering a typed flow.
+class Camera : public MpegFileSource {
+ public:
+  Camera(const std::string& name, std::uint64_t frames)
+      : MpegFileSource(name, [frames] {
+          StreamConfig c;
+          c.frames = frames;
+          return c;
+        }()) {}
+};
+
+/// Client-side display with explicit requirements.
+class Screen : public VideoDisplay {
+ public:
+  explicit Screen(const std::string& name) : VideoDisplay(name, 30.0) {}
+  Typespec input_requirement(int) const override {
+    return Typespec{{props::kItemType, std::string("video")},
+                    {props::kFormats, StringSet{"raw"}},
+                    {props::kFrameRate, Range{10, 60}}};
+  }
+};
+
+}  // namespace
+
+int main() {
+  rt::Runtime rt;
+
+  // --- nodes and factories ---------------------------------------------------
+  Node server(rt, "video-server");
+  Node client(rt, "living-room");
+  server.register_factory(
+      "camera", [](const std::string& name, const std::string& args) {
+        return std::make_unique<Camera>(
+            name, args.empty() ? 300 : std::stoul(args));
+      });
+
+  // --- remote creation ----------------------------------------------------------
+  const std::string cam_name =
+      remote_create(rt, server, "camera", "cam0", "300");
+  std::printf("created '%s' on node %s\n", cam_name.c_str(),
+              server.name().c_str());
+  auto* cam = dynamic_cast<Camera*>(server.lookup(cam_name));
+
+  client.adopt(std::make_unique<Screen>("screen"));
+  auto* screen = dynamic_cast<Screen*>(client.lookup("screen"));
+
+  // --- negotiation -----------------------------------------------------------------
+  LinkConfig lc;
+  lc.bandwidth_bps = 4e6;
+  lc.base_latency = rt::milliseconds(25);
+  lc.jitter = rt::milliseconds(2);
+  SimLink link(lc);
+
+  // The camera offers mpeg; the screen demands raw — a decoder on the
+  // client side bridges them, so negotiate against the decoder's input.
+  MpegDecoder decoder("decoder");
+  BindingRequest breq;
+  breq.producer_node = &server;
+  breq.producer = cam_name;
+  breq.consumer_node = &client;
+  breq.consumer = "screen";
+  breq.link = &link;
+  // Negotiating camera->screen directly fails (mpeg vs raw): show it.
+  const BindingResult direct = negotiate(rt, breq);
+  std::printf("direct binding: %s\n",
+              direct.ok ? "accepted (unexpected!)" : "rejected as expected");
+  if (!direct.ok) std::printf("  reason: %s\n", direct.failure.c_str());
+
+  // With the decoder in the path the agreement is the camera's mpeg flow.
+  Typespec cam_offer = remote_typespec_query(rt, server, cam_name, 0);
+  auto agreed = cam_offer.intersect(decoder.input_requirement(0));
+  std::printf("negotiated flow into the decoder: %s\n",
+              agreed ? agreed->to_string().c_str() : "(failed)");
+
+  // --- assemble the distributed pipeline --------------------------------------------
+  ClockedPump send_pump("send-pump", 30.0);
+  MarshalFilter marshal("marshal", encode_frame, "video");
+  NetSender tx("tx", link, server.name());
+  NetReceiver rx("rx", link, client.name());
+  UnmarshalFilter unmarshal("unmarshal", decode_frame, "video");
+
+  Pipeline p;
+  p.connect(*cam, 0, send_pump, 0);
+  p.connect(send_pump, 0, marshal, 0);
+  p.connect(marshal, 0, tx, 0);
+  p.connect(rx, 0, unmarshal, 0);
+  p.connect(unmarshal, 0, decoder, 0);
+  p.connect(decoder, 0, *screen, 0);
+  Realization real(rt, p);
+
+  std::printf("\n%s\n", real.describe().c_str());
+
+  // Location typing: the flow is at the client only after the netpipe.
+  Plan pl = plan(p);
+  const Edge* last = p.edge_into(*screen, 0);
+  std::printf("flow location at the screen: %s\n\n",
+              pl.edge_spec.at(last)
+                  .get<std::string>(props::kLocation)
+                  .value_or("(unset)")
+                  .c_str());
+
+  real.start();
+  rt.run();
+
+  const auto s = screen->stats();
+  std::printf("played %llu frames across the link (%llu I / %llu P / %llu B), "
+              "%llu corrupt\n",
+              static_cast<unsigned long long>(s.displayed),
+              static_cast<unsigned long long>(s.per_type[kKindI]),
+              static_cast<unsigned long long>(s.per_type[kKindP]),
+              static_cast<unsigned long long>(s.per_type[kKindB]),
+              static_cast<unsigned long long>(s.corrupt));
+  std::printf("link: %llu packets, %llu dropped\n",
+              static_cast<unsigned long long>(link.stats().sent),
+              static_cast<unsigned long long>(link.stats().dropped_congestion));
+  return s.displayed == 300 ? 0 : 1;
+}

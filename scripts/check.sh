@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Full verification: configure, build, tests, benches. What CI would run.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done

@@ -1,0 +1,11 @@
+#include "core/basic.hpp"
+
+#include "core/realization.hpp"
+
+namespace infopipe {
+
+void SimulatedWork::pipeline_sleep(rt::Time d) {
+  realization()->runtime().sleep_for(d);
+}
+
+}  // namespace infopipe

@@ -1,0 +1,116 @@
+#include "core/buffer.hpp"
+
+#include <algorithm>
+
+#include "core/realization.hpp"
+
+namespace infopipe {
+
+namespace {
+void erase_tid(std::vector<rt::ThreadId>& v, rt::ThreadId tid) {
+  v.erase(std::remove(v.begin(), v.end(), tid), v.end());
+}
+}  // namespace
+
+Buffer::Buffer(std::string name, std::size_t capacity, FullPolicy full,
+               EmptyPolicy empty)
+    : Component(std::move(name)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      full_(full),
+      empty_(empty) {}
+
+void Buffer::notify_one(std::vector<rt::ThreadId>& waiters,
+                        HostContext& host) {
+  if (waiters.empty()) return;
+  const rt::ThreadId tid = waiters.front();
+  waiters.erase(waiters.begin());
+  rt::Message m{detail::kMsgBufNotify, rt::MsgClass::kData};
+  m.payload = static_cast<Buffer*>(this);
+  host.runtime().send(tid, std::move(m));
+}
+
+void Buffer::put(Item x, HostContext& host) {
+  if (x.is_eos()) {
+    // EOS is a sticky flag, not a queue entry: queued items drain first and
+    // every subsequent take observes end-of-stream.
+    eos_ = true;
+    notify_one(waiting_readers_, host);
+    return;
+  }
+  while (q_.size() >= capacity_) {
+    if (full_ == FullPolicy::kDropNewest) {
+      ++stats_.drops;
+      return;
+    }
+    if (full_ == FullPolicy::kDropOldest) {
+      q_.pop_front();
+      ++stats_.drops;
+      continue;
+    }
+    // FullPolicy::kBlock
+    if (host.flow_stopped()) {
+      // The section was stopped while this thread was blocked in the push.
+      // The item is already in flight — dropping it would lose data across
+      // a stop/restart — so accept it with a transient one-slot overflow;
+      // the drain recovers on restart.
+      break;
+    }
+    ++stats_.put_blocks;
+    waiting_writers_.push_back(host.tid());
+    Buffer* self = this;
+    (void)host.wait_interruptible([self](const rt::Message& m) {
+      const auto* b = m.get<Buffer*>();
+      return m.type == detail::kMsgBufNotify && b != nullptr && *b == self;
+    });
+    // A control event may have woken us instead of a notification (e.g.
+    // STOP or FLUSH); deregister and re-evaluate the condition.
+    erase_tid(waiting_writers_, host.tid());
+  }
+  q_.push_back(std::move(x));
+  ++stats_.puts;
+  stats_.max_fill = std::max(stats_.max_fill, q_.size());
+  notify_one(waiting_readers_, host);
+}
+
+Item Buffer::take(HostContext& host) {
+  for (;;) {
+    if (!q_.empty()) {
+      Item x = std::move(q_.front());
+      q_.pop_front();
+      ++stats_.takes;
+      notify_one(waiting_writers_, host);
+      return x;
+    }
+    if (eos_) return Item::eos();
+    if (empty_ == EmptyPolicy::kNil) {
+      ++stats_.nil_returns;
+      return Item::nil();
+    }
+    if (host.flow_stopped()) throw detail::StopFlow{};
+    ++stats_.take_blocks;
+    waiting_readers_.push_back(host.tid());
+    Buffer* self = this;
+    (void)host.wait_interruptible([self](const rt::Message& m) {
+      const auto* b = m.get<Buffer*>();
+      return m.type == detail::kMsgBufNotify && b != nullptr && *b == self;
+    });
+    erase_tid(waiting_readers_, host.tid());
+  }
+}
+
+void Buffer::handle_event(const Event& e) {
+  if (e.type == kEventFlush) {
+    stats_.drops += q_.size();
+    q_.clear();
+    // Space became available: wake one blocked writer, if any.
+    if (!waiting_writers_.empty() && realization() != nullptr) {
+      const rt::ThreadId tid = waiting_writers_.front();
+      waiting_writers_.erase(waiting_writers_.begin());
+      rt::Message m{detail::kMsgBufNotify, rt::MsgClass::kData};
+      m.payload = static_cast<Buffer*>(this);
+      realization()->runtime().send(tid, std::move(m));
+    }
+  }
+}
+
+}  // namespace infopipe

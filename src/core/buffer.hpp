@@ -1,0 +1,87 @@
+// Buffers: temporary storage that removes rate fluctuations (§2.1).
+//
+// A buffer has two passive ends and is therefore a *section boundary*: the
+// upstream section's driver pushes into it and the downstream section's
+// driver pulls out of it, each on its own thread. §2.3: "if a buffer is
+// full, the push operation can either be blocked or can drop the pushed
+// item. Likewise, if a buffer is empty, a pull operation can either be
+// blocked or return a nil item." Blocking is implemented with the
+// middleware's high-level communication: the blocked thread stays responsive
+// to control events (§3.2) — no locks or condition variables appear here or
+// anywhere in component code.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/component.hpp"
+#include "rt/types.hpp"
+
+namespace infopipe {
+
+class HostContext;
+
+enum class FullPolicy {
+  kBlock,       ///< block the pushing thread until space is available
+  kDropNewest,  ///< drop the pushed item
+  kDropOldest,  ///< drop the oldest queued item to make room
+};
+
+enum class EmptyPolicy {
+  kBlock,  ///< block the pulling thread until an item arrives
+  kNil,    ///< return Item::nil()
+};
+
+class Buffer : public Component {
+ public:
+  Buffer(std::string name, std::size_t capacity,
+         FullPolicy full = FullPolicy::kBlock,
+         EmptyPolicy empty = EmptyPolicy::kBlock);
+
+  [[nodiscard]] Style style() const override { return Style::kBuffer; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t fill() const noexcept { return q_.size(); }
+  [[nodiscard]] FullPolicy full_policy() const noexcept { return full_; }
+  [[nodiscard]] EmptyPolicy empty_policy() const noexcept { return empty_; }
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t takes = 0;
+    std::uint64_t drops = 0;       ///< items lost to the full policy
+    std::uint64_t nil_returns = 0; ///< empty pulls under the nil policy
+    std::uint64_t put_blocks = 0;  ///< times a pusher had to wait
+    std::uint64_t take_blocks = 0; ///< times a puller had to wait
+    std::size_t max_fill = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // -- middleware interface (called by the glue, not by applications) --------
+
+  /// Insert an item, honouring the full policy. An EOS item sets the sticky
+  /// end-of-stream flag instead of occupying space.
+  void put(Item x, HostContext& host);
+
+  /// Remove an item, honouring the empty policy. Returns Item::eos() once
+  /// drained past end-of-stream, Item::nil() on empty under the nil policy.
+  [[nodiscard]] Item take(HostContext& host);
+
+  /// Discard queued items (kEventFlush does this).
+  void handle_event(const Event& e) override;
+
+ private:
+  void notify_one(std::vector<rt::ThreadId>& waiters, HostContext& host);
+
+  std::size_t capacity_;
+  FullPolicy full_;
+  EmptyPolicy empty_;
+  std::deque<Item> q_;
+  bool eos_ = false;
+  std::vector<rt::ThreadId> waiting_readers_;
+  std::vector<rt::ThreadId> waiting_writers_;
+  Stats stats_;
+};
+
+}  // namespace infopipe

@@ -1,0 +1,101 @@
+// Composite Infopipes (§2.1: "When stages of a pipeline are connected flow
+// properties for the composite can be derived, facilitating the composition
+// of larger building blocks and the construction of incremental pipelines").
+//
+// A CompositePipe owns a bundle of components and their internal wiring and
+// splices them into a host pipeline as one reusable unit. The bundle's
+// boundary is whatever its entry/exit components expose — including bundles
+// whose interior crosses a network (a netpipe bundle's entry is the
+// marshalling filter on one node, its exit the unmarshalling filter on the
+// other). Composites nest.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/pipeline.hpp"
+
+namespace infopipe {
+
+class CompositePipe {
+ public:
+  explicit CompositePipe(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Constructs a component owned by the composite.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    components_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Adopts an already-created component.
+  template <typename T>
+  T& adopt(std::unique_ptr<T> c) {
+    T& ref = *c;
+    components_.push_back(std::move(c));
+    return ref;
+  }
+
+  /// Internal wiring (applied when the composite is spliced).
+  void connect(Component& from, int out_port, Component& to, int in_port) {
+    internal_edges_.push_back(Edge{&from, out_port, &to, in_port});
+  }
+  void connect(Component& from, Component& to) { connect(from, 0, to, 0); }
+
+  /// Declares the component the host pipeline connects INTO.
+  void set_entry(Component& c) { entry_ = &c; }
+  /// Declares the component the host pipeline continues FROM.
+  void set_exit(Component& c) { exit_ = &c; }
+
+  [[nodiscard]] Component& entry() const {
+    if (entry_ == nullptr) throw CompositionError(name_ + ": no entry set");
+    return *entry_;
+  }
+  [[nodiscard]] Component& exit() const {
+    if (exit_ == nullptr) throw CompositionError(name_ + ": no exit set");
+    return *exit_;
+  }
+
+  /// Embeds a nested composite: splices its interior here and returns it so
+  /// its entry/exit can be wired.
+  void embed(CompositePipe& inner) {
+    for (const Edge& e : inner.internal_edges_) {
+      internal_edges_.push_back(e);
+    }
+    inner.internal_edges_.clear();  // ownership of wiring moves up
+    embedded_.push_back(&inner);
+  }
+
+  /// Splices the interior wiring into the host pipeline. Call once per
+  /// realization; the host then connects entry()/exit() like any component.
+  void splice_into(Pipeline& p) const {
+    for (const Edge& e : internal_edges_) {
+      p.connect(*e.from, e.out_port, *e.to, e.in_port);
+    }
+  }
+
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    std::size_t n = components_.size();
+    for (const CompositePipe* inner : embedded_) {
+      n += inner->component_count();
+    }
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<Edge> internal_edges_;
+  std::vector<CompositePipe*> embedded_;
+  Component* entry_ = nullptr;
+  Component* exit_ = nullptr;
+};
+
+}  // namespace infopipe

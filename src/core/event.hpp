@@ -1,0 +1,50 @@
+// Control events (§2.2, §3.2).
+//
+// Besides data items, Infopipe components exchange control messages: local
+// interaction between adjacent components (e.g. a display telling a resizer
+// about a new window size, or a downstream component releasing a decoder's
+// shared reference frame) and global broadcast events (user commands such as
+// START/STOP). Control handlers run with higher priority than data
+// processing; events arriving while a component processes data are queued
+// and delivered as soon as the data function finishes — but they ARE
+// delivered while a component is blocked in a push or pull.
+#pragma once
+
+#include <any>
+#include <string>
+#include <utility>
+
+namespace infopipe {
+
+/// Well-known event types. Application events start at kEventUser.
+enum EventType : int {
+  kEventStart = 1,       ///< start pumping (broadcast)
+  kEventStop = 2,        ///< stop pumping (broadcast)
+  kEventShutdown = 3,    ///< tear the realization down (broadcast)
+  kEventEndOfStream = 4, ///< a pump saw EOS from its source section
+  kEventFlush = 5,       ///< drop buffered data (broadcast)
+  kEventQualityHint = 6, ///< feedback: adjust quality (payload-defined)
+  kEventWindowResize = 7,///< display geometry changed (local upstream)
+  kEventFrameRelease = 8,///< shared reference frame no longer needed
+  kEventSensorReport = 9,///< feedback sensor reading (payload: double)
+  kEventReservationDenied = 10, ///< a pump's CPU reservation was rejected
+  kEventUser = 1000,
+};
+
+struct Event {
+  int type = 0;
+  std::any payload;
+
+  Event() = default;
+  explicit Event(int t) : type(t) {}
+  Event(int t, std::any p) : type(t), payload(std::move(p)) {}
+
+  template <typename T>
+  [[nodiscard]] const T* get() const noexcept {
+    return std::any_cast<T>(&payload);
+  }
+};
+
+[[nodiscard]] std::string to_string(const Event& e);
+
+}  // namespace infopipe

@@ -1,0 +1,28 @@
+// Umbrella header for the Infopipe middleware core.
+//
+//   #include "core/infopipes.hpp"
+//
+//   infopipe::rt::Runtime rt;                  // user-level thread package
+//   MySource source; MyDecoder decode;         // components, any style
+//   infopipe::ClockedPump pump("pump", 30);    // 30 Hz
+//   MyDisplay sink;
+//   auto chain = source >> decode >> pump >> sink;
+//   infopipe::Realization real(rt, chain.pipeline());
+//   real.start();                              // send_event(START)
+//   rt.run();
+#pragma once
+
+#include "core/basic.hpp"
+#include "core/buffer.hpp"
+#include "core/component.hpp"
+#include "core/composite.hpp"
+#include "core/event.hpp"
+#include "core/item.hpp"
+#include "core/pipeline.hpp"
+#include "core/planner.hpp"
+#include "core/polarity.hpp"
+#include "core/pump.hpp"
+#include "core/realization.hpp"
+#include "core/tee.hpp"
+#include "core/typespec.hpp"
+#include "rt/runtime.hpp"

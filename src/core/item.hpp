@@ -1,0 +1,106 @@
+// Information items: the unit of data flowing through an Infopipe.
+//
+// Items are cheap to copy: the payload is shared and immutable once inside
+// the pipeline. Sharing matters for components like the paper's MPEG decoder
+// (§2.2), which passes decoded frames downstream while still holding them as
+// reference frames; the control protocol decides when a shared frame dies,
+// and shared ownership here makes that safe by construction.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "rt/types.hpp"
+
+namespace infopipe {
+
+/// Marker for items with no payload semantics of their own.
+enum class ItemSpecial : std::uint8_t {
+  kNone,  ///< ordinary data item
+  kNil,   ///< "no item available" (empty buffer with the nil policy, §2.3)
+  kEos,   ///< end of stream; propagates downstream and stops pumps
+};
+
+class Item {
+ public:
+  /// An invalid/nil item (what a non-blocking pull on an empty buffer
+  /// returns).
+  static Item nil() noexcept { return Item(ItemSpecial::kNil); }
+
+  /// End-of-stream marker, forwarded through the pipeline when a source is
+  /// exhausted.
+  static Item eos() noexcept { return Item(ItemSpecial::kEos); }
+
+  /// Default-constructed items are nil.
+  Item() noexcept : special_(ItemSpecial::kNil) {}
+
+  /// A data item with a shared, immutable payload.
+  template <typename T>
+  static Item of(T payload) {
+    Item it(ItemSpecial::kNone);
+    it.data_ = std::make_shared<const std::any>(std::in_place_type<T>,
+                                                std::move(payload));
+    return it;
+  }
+
+  /// A data item with no payload (pure token; useful in tests and MIDI-like
+  /// tiny-message flows where only the metadata matters).
+  static Item token(int kind = 0) {
+    Item it(ItemSpecial::kNone);
+    it.kind = kind;
+    return it;
+  }
+
+  [[nodiscard]] bool is_nil() const noexcept {
+    return special_ == ItemSpecial::kNil;
+  }
+  [[nodiscard]] bool is_eos() const noexcept {
+    return special_ == ItemSpecial::kEos;
+  }
+  [[nodiscard]] bool is_data() const noexcept {
+    return special_ == ItemSpecial::kNone;
+  }
+  [[nodiscard]] explicit operator bool() const noexcept { return is_data(); }
+
+  /// Typed payload access; nullptr on type mismatch, payload-less or
+  /// non-data items.
+  template <typename T>
+  [[nodiscard]] const T* payload() const noexcept {
+    return data_ ? std::any_cast<T>(data_.get()) : nullptr;
+  }
+
+  /// Typed payload access; throws std::bad_any_cast on mismatch.
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    const T* p = payload<T>();
+    if (p == nullptr) throw std::bad_any_cast{};
+    return *p;
+  }
+
+  /// How many Items currently share this payload (0 for payload-less items).
+  /// Used by reference-frame lifetime tests.
+  [[nodiscard]] long use_count() const noexcept { return data_.use_count(); }
+
+  // Flow metadata. Each Item copy carries its own metadata; the payload
+  // stays shared.
+  std::uint64_t seq = 0;       ///< sequence number within the flow
+  rt::Time timestamp = 0;      ///< creation/presentation time
+  int kind = 0;                ///< application discriminator (frame type…)
+  std::size_t size_bytes = 0;  ///< logical wire size; drives netpipe cost
+
+ private:
+  explicit Item(ItemSpecial s) noexcept : special_(s) {}
+
+  ItemSpecial special_;
+  std::shared_ptr<const std::any> data_;
+};
+
+/// Thrown by pull links when the upstream flow has ended; caught by the
+/// middleware glue, never by component code. This is what lets component
+/// implementations look exactly like the paper's figures (plain
+/// `while (running)` loops) without an explicit end-of-stream branch.
+struct EndOfStream {};
+
+}  // namespace infopipe

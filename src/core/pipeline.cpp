@@ -1,0 +1,149 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace infopipe {
+
+void Pipeline::add(Component& c) {
+  if (std::find(components_.begin(), components_.end(), &c) ==
+      components_.end()) {
+    components_.push_back(&c);
+  }
+}
+
+const Edge* Pipeline::edge_from(const Component& c, int out_port) const {
+  for (const Edge& e : edges_) {
+    if (e.from == &c && e.out_port == out_port) return &e;
+  }
+  return nullptr;
+}
+
+const Edge* Pipeline::edge_into(const Component& c, int in_port) const {
+  for (const Edge& e : edges_) {
+    if (e.to == &c && e.in_port == in_port) return &e;
+  }
+  return nullptr;
+}
+
+void Pipeline::connect(Component& from, int out_port, Component& to,
+                       int in_port) {
+  if (&from == &to) {
+    throw CompositionError(from.name() + ": cannot connect to itself");
+  }
+  if (out_port < 0 || out_port >= from.out_port_count()) {
+    throw CompositionError(from.name() + " has no out-port " +
+                           std::to_string(out_port));
+  }
+  if (in_port < 0 || in_port >= to.in_port_count()) {
+    throw CompositionError(to.name() + " has no in-port " +
+                           std::to_string(in_port));
+  }
+  if (edge_from(from, out_port) != nullptr) {
+    throw CompositionError(from.name() + " out-port " +
+                           std::to_string(out_port) + " is already connected");
+  }
+  if (edge_into(to, in_port) != nullptr) {
+    throw CompositionError(to.name() + " in-port " + std::to_string(in_port) +
+                           " is already connected");
+  }
+
+  // Polarity check (§2.3): same fixed polarity is an error; anything with a
+  // polymorphic side resolves at realization.
+  const Polarity po = from.out_polarity(out_port);
+  const Polarity pi = to.in_polarity(in_port);
+  if (!connectable(po, pi)) {
+    throw CompositionError("polarity mismatch: " + from.name() + " out(" +
+                           to_string(po) + ") -> " + to.name() + " in(" +
+                           to_string(pi) + ")");
+  }
+
+  // Shallow Typespec check; the full propagation happens at realization.
+  const Typespec offer = from.output_offer(out_port);
+  const Typespec need = to.input_requirement(in_port);
+  if (!offer.compatible_with(need)) {
+    throw CompositionError("incompatible flows: " + from.name() + " offers " +
+                           offer.to_string() + " but " + to.name() +
+                           " requires " + need.to_string());
+  }
+
+  add(from);
+  add(to);
+  edges_.push_back(Edge{&from, out_port, &to, in_port});
+}
+
+void Pipeline::restrict(Component& c, int in_port, Typespec preference) {
+  add(c);
+  auto key = std::make_pair(static_cast<const Component*>(&c), in_port);
+  auto it = restrictions_.find(key);
+  if (it == restrictions_.end()) {
+    restrictions_.emplace(key, std::move(preference));
+    return;
+  }
+  auto merged = it->second.intersect(preference);
+  if (!merged) {
+    throw CompositionError("preferences on " + c.name() +
+                           " contradict each other");
+  }
+  it->second = std::move(*merged);
+}
+
+const Typespec* Pipeline::restriction(const Component& c, int in_port) const {
+  auto it = restrictions_.find(std::make_pair(&c, in_port));
+  return it == restrictions_.end() ? nullptr : &it->second;
+}
+
+bool Pipeline::disconnect(Component& from, int out_port) {
+  for (auto it = edges_.begin(); it != edges_.end(); ++it) {
+    if (it->from == &from && it->out_port == out_port) {
+      edges_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pipeline::remove(Component& c) {
+  std::erase_if(edges_,
+                [&c](const Edge& e) { return e.from == &c || e.to == &c; });
+  std::erase(components_, &c);
+}
+
+void Pipeline::replace(Component& old, Component& replacement) {
+  if (old.in_port_count() != replacement.in_port_count() ||
+      old.out_port_count() != replacement.out_port_count()) {
+    throw CompositionError("cannot replace " + old.name() + " with " +
+                           replacement.name() + ": port counts differ");
+  }
+  if (std::find(components_.begin(), components_.end(), &old) ==
+      components_.end()) {
+    throw CompositionError(old.name() + " is not part of this pipeline");
+  }
+  // Collect the old edges, drop them, then re-connect through the public
+  // path so polarity and Typespec checks run against the replacement.
+  std::vector<Edge> carried;
+  for (const Edge& e : edges_) {
+    if (e.from == &old || e.to == &old) carried.push_back(e);
+  }
+  remove(old);
+  add(replacement);
+  for (Edge e : carried) {
+    if (e.from == &old) e.from = &replacement;
+    if (e.to == &old) e.to = &replacement;
+    connect(*e.from, e.out_port, *e.to, e.in_port);
+  }
+}
+
+Chain::Chain(Component& a, Component& b)
+    : pipe_(std::make_shared<Pipeline>()), last_(&b) {
+  pipe_->connect(a, 0, b, 0);
+}
+
+Chain& Chain::operator>>(Component& next) {
+  pipe_->connect(*last_, 0, next, 0);
+  last_ = &next;
+  return *this;
+}
+
+Chain operator>>(Component& a, Component& b) { return Chain(a, b); }
+
+}  // namespace infopipe

@@ -1,0 +1,304 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "core/buffer.hpp"
+#include "core/tee.hpp"
+
+namespace infopipe {
+
+namespace {
+
+bool is_driver(const Component& c) {
+  switch (c.style()) {
+    case Style::kPump:
+    case Style::kActiveSource:
+    case Style::kActiveSink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_boundary(const Component& c) {
+  switch (c.style()) {
+    case Style::kBuffer:
+    case Style::kPassiveSource:
+    case Style::kPassiveSink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Does this mid-pipeline component need a coroutine in the given mode?
+/// (The Figure 9 rule.)
+bool needs_coroutine(const Component& c, FlowMode m) {
+  switch (c.style()) {
+    case Style::kActive:
+      return true;  // a main function always needs its own control flow
+    case Style::kConsumer:
+      return m == FlowMode::kPull;  // push-mode consumers are called directly
+    case Style::kProducer:
+      return m == FlowMode::kPush;  // pull-mode producers are called directly
+    case Style::kFunction:
+    case Style::kTee:
+      return false;  // trivially adapted glue in either mode
+    default:
+      return false;  // drivers/boundaries never appear as section members
+  }
+}
+
+class PlannerImpl {
+ public:
+  explicit PlannerImpl(const Pipeline& p) : pipe_(p) {}
+
+  Plan run() {
+    validate_ports_connected();
+    collect_drivers();
+    for (Driver* d : drivers_) walk_section(*d);
+    validate_everything_driven();
+    validate_control_capabilities();
+    propagate_typespecs();
+    return std::move(plan_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw CompositionError(msg);
+  }
+
+  void validate_ports_connected() {
+    for (Component* c : pipe_.components()) {
+      for (int i = 0; i < c->in_port_count(); ++i) {
+        if (pipe_.edge_into(*c, i) == nullptr) {
+          fail(c->name() + ": in-port " + std::to_string(i) +
+               " is unconnected");
+        }
+      }
+      for (int i = 0; i < c->out_port_count(); ++i) {
+        if (pipe_.edge_from(*c, i) == nullptr) {
+          fail(c->name() + ": out-port " + std::to_string(i) +
+               " is unconnected");
+        }
+      }
+    }
+  }
+
+  void collect_drivers() {
+    for (Component* c : pipe_.components()) {
+      if (is_driver(*c)) drivers_.push_back(static_cast<Driver*>(c));
+    }
+    if (drivers_.empty() && !pipe_.components().empty()) {
+      fail("pipeline has no pump, active source or active sink: nothing can "
+           "drive the flow");
+    }
+  }
+
+  void set_edge_mode(const Edge* e, FlowMode m) {
+    auto [it, inserted] = plan_.edge_mode.emplace(e, m);
+    if (!inserted && it->second != m) {
+      fail("conflicting flow modes on the connection " + e->from->name() +
+           " -> " + e->to->name() +
+           ": two drivers operate it; insert a buffer between them");
+    }
+  }
+
+  void note_visit(Component& c, Driver& d, FlowMode m, bool shared) {
+    auto it = visited_by_.find(&c);
+    if (it != visited_by_.end()) {
+      if (it->second == &d) {
+        fail("cycle detected at component " + c.name());
+      }
+      if (!shared) {
+        fail("component " + c.name() + " is driven by both " +
+             it->second->name() + " and " + d.name() +
+             ": insert a buffer between the two sections");
+      }
+      return;  // shared region, already a member of the first section
+    }
+    visited_by_.emplace(&c, &d);
+    current_section_->members.push_back(
+        Plan::Hosted{&c, m, needs_coroutine(c, m), shared});
+  }
+
+  void walk_section(Driver& d) {
+    plan_.sections.push_back(Plan::Section{&d, {}});
+    current_section_ = &plan_.sections.back();
+    visited_by_.emplace(&d, &d);
+    for (int port = 0; port < d.out_port_count(); ++port) {
+      walk_push(pipe_.edge_from(d, port), d, /*shared=*/false);
+    }
+    for (int port = 0; port < d.in_port_count(); ++port) {
+      walk_pull(pipe_.edge_into(d, port), d, /*shared=*/false);
+    }
+  }
+
+  /// Walk downstream in push mode, starting from edge `e`.
+  void walk_push(const Edge* e, Driver& d, bool shared) {
+    set_edge_mode(e, FlowMode::kPush);
+    Component& c = *e->to;
+    if (is_boundary(c)) return;  // buffer or passive sink: section ends
+    if (is_driver(c)) {
+      fail("driver " + c.name() + " is pushed into by driver " + d.name() +
+           ": two active ends collide; insert a buffer between them");
+    }
+    if (auto* merge = dynamic_cast<MergeTee*>(&c)) {
+      // Several drivers push into a merge; the tail beyond it is shared.
+      const bool first = merged_continued_.insert(merge).second;
+      note_visit(c, d, FlowMode::kPush, /*shared=*/true);
+      if (first) {
+        walk_push(pipe_.edge_from(c, 0), d, /*shared=*/true);
+      }
+      return;
+    }
+    if (dynamic_cast<CombineTee*>(&c) != nullptr ||
+        dynamic_cast<BalancingSwitch*>(&c) != nullptr) {
+      fail(c.name() + " (" + to_string(c.style()) +
+           ") cannot operate in push mode (its in-ports are active)");
+    }
+    note_visit(c, d, FlowMode::kPush, shared);
+    for (int port = 0; port < c.out_port_count(); ++port) {
+      walk_push(pipe_.edge_from(c, port), d, shared);
+    }
+  }
+
+  /// Walk upstream in pull mode, starting from edge `e`.
+  void walk_pull(const Edge* e, Driver& d, bool shared) {
+    set_edge_mode(e, FlowMode::kPull);
+    Component& c = *e->from;
+    if (is_boundary(c)) return;  // buffer or passive source: section ends
+    if (is_driver(c)) {
+      fail("driver " + c.name() + " is pulled from by driver " + d.name() +
+           ": two active ends collide; insert a buffer between them");
+    }
+    if (auto* bal = dynamic_cast<BalancingSwitch*>(&c)) {
+      // Several drivers pull through the switch; upstream of it is shared.
+      const bool first = merged_continued_.insert(bal).second;
+      note_visit(c, d, FlowMode::kPull, /*shared=*/true);
+      if (first) {
+        walk_pull(pipe_.edge_into(c, 0), d, /*shared=*/true);
+      }
+      return;
+    }
+    if (dynamic_cast<MergeTee*>(&c) != nullptr ||
+        dynamic_cast<MulticastTee*>(&c) != nullptr ||
+        dynamic_cast<RoutingSwitch*>(&c) != nullptr) {
+      fail(c.name() + " (" + to_string(c.style()) +
+           ") cannot operate in pull mode: suspending pulls on its passive "
+           "ports would require unbounded implicit buffering");
+    }
+    note_visit(c, d, FlowMode::kPull, shared);
+    for (int port = 0; port < c.in_port_count(); ++port) {
+      walk_pull(pipe_.edge_into(c, port), d, shared);
+    }
+  }
+
+  void validate_everything_driven() {
+    for (Component* c : pipe_.components()) {
+      if (is_boundary(*c)) continue;
+      if (visited_by_.find(c) == visited_by_.end()) {
+        fail("component " + c->name() +
+             " is not operated by any pump: no driver reaches it");
+      }
+    }
+    // Boundaries need their edges operated too (a buffer nobody drains is a
+    // dead end; so is a source nobody pulls).
+    for (const Edge& e : pipe_.edges()) {
+      if (plan_.edge_mode.find(&e) == plan_.edge_mode.end()) {
+        fail("the connection " + e.from->name() + " -> " + e.to->name() +
+             " is not operated by any pump (a section without a driver)");
+      }
+    }
+  }
+
+  /// §2.3: every control capability a component REQUIRES must be emitted
+  /// by some component of the pipeline, or the pipeline is inoperable
+  /// (e.g. a resizer that never learns the window size).
+  void validate_control_capabilities() {
+    StringSet emitted;
+    for (Component* c : pipe_.components()) {
+      for (const std::string& e : c->control_emits()) emitted.insert(e);
+    }
+    for (Component* c : pipe_.components()) {
+      for (const std::string& need : c->control_requires()) {
+        if (emitted.count(need) == 0) {
+          fail("component " + c->name() + " requires control events '" +
+               need + "' but nothing in the pipeline emits them");
+        }
+      }
+    }
+  }
+
+  void propagate_typespecs() {
+    // Topological order over the (acyclic) component graph.
+    std::map<const Component*, int> indegree;
+    for (Component* c : pipe_.components()) indegree[c] = c->in_port_count();
+    std::deque<Component*> q;
+    for (Component* c : pipe_.components()) {
+      if (indegree[c] == 0) q.push_back(c);
+    }
+    std::map<const Component*, Typespec> in_merged;
+    std::size_t processed = 0;
+    while (!q.empty()) {
+      Component* c = q.front();
+      q.pop_front();
+      ++processed;
+      const Typespec in = in_merged.count(c) ? in_merged[c] : Typespec{};
+      for (int port = 0; port < c->out_port_count(); ++port) {
+        const Edge* e = pipe_.edge_from(*c, port);
+        Typespec out = c->transform_downstream(in, 0, port);
+        // Check against the consumer's stated requirement.
+        const Typespec need = e->to->input_requirement(e->in_port);
+        auto merged = out.intersect(need);
+        if (!merged) {
+          fail("flow type error on " + c->name() + " -> " + e->to->name() +
+               ": offered " + out.to_string() + " but required " +
+               need.to_string());
+        }
+        // User preferences (§2.3) further restrict the flow at this port.
+        if (const Typespec* pref = pipe_.restriction(*e->to, e->in_port)) {
+          auto preferred = merged->intersect(*pref);
+          if (!preferred) {
+            fail("user preference on " + e->to->name() + " (" +
+                 pref->to_string() + ") cannot be satisfied by the flow " +
+                 merged->to_string());
+          }
+          merged = preferred;
+        }
+        plan_.edge_spec[e] = *merged;
+        // Merge into the consumer's input view (multi-input components see
+        // the intersection of their input flows).
+        auto it = in_merged.find(e->to);
+        if (it == in_merged.end()) {
+          in_merged[e->to] = *merged;
+        } else {
+          auto both = it->second.intersect(*merged);
+          if (!both) {
+            fail("incompatible flows meet at " + e->to->name());
+          }
+          it->second = *both;
+        }
+        if (--indegree[e->to] == 0) q.push_back(e->to);
+      }
+    }
+    if (processed != pipe_.components().size()) {
+      fail("pipeline graph contains a cycle");
+    }
+  }
+
+  const Pipeline& pipe_;
+  Plan plan_;
+  std::vector<Driver*> drivers_;
+  std::map<const Component*, Driver*> visited_by_;
+  std::set<const Component*> merged_continued_;
+  Plan::Section* current_section_ = nullptr;
+};
+
+}  // namespace
+
+Plan plan(const Pipeline& p) { return PlannerImpl(p).run(); }
+
+}  // namespace infopipe

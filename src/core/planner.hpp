@@ -1,0 +1,99 @@
+// The composition planner: automatic thread and coroutine allocation (§3.3,
+// §4, Figure 9).
+//
+// From the static pipeline graph the planner determines
+//   * the flow mode (push/pull) of every edge, by induction from the fixed
+//     polarities of pumps, buffers and endpoints through the polymorphic
+//     (α→α) filters,
+//   * the pipeline *sections*: maximal regions between passive components,
+//     each driven by exactly one pump / active source / active sink,
+//   * which components of a section can share the driver's thread via
+//     direct function calls, and which need a coroutine: "Active object
+//     implementations provide a thread-like main function. Passive objects
+//     are consumers implementing push, producers implementing pull, or are
+//     based on a conversion function. In push mode, consumers and functions
+//     are called directly, and in pull mode producers and functions are
+//     called directly. Otherwise, a coroutine is required."
+//
+// The planner is pure: it inspects the graph and produces a Plan without
+// creating any threads, so allocation decisions are unit-testable (the
+// Figure 9 configurations a-h are checked in tests/core_planner_test.cpp).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/polarity.hpp"
+#include "core/pump.hpp"
+#include "core/typespec.hpp"
+
+namespace infopipe {
+
+struct Plan {
+  struct Hosted {
+    Component* comp = nullptr;
+    FlowMode mode = FlowMode::kPush;
+    bool needs_coroutine = false;
+    /// Part of a region reachable from several drivers (downstream of a
+    /// MergeTee / upstream of a BalancingSwitch); the realization serializes
+    /// access to it.
+    bool shared = false;
+  };
+
+  /// One driver's domain: the components it operates between the adjacent
+  /// passive boundaries.
+  struct Section {
+    Driver* driver = nullptr;
+    std::vector<Hosted> members;  ///< excludes the driver and the boundaries
+
+    [[nodiscard]] int coroutine_count() const {
+      int n = 0;
+      for (const Hosted& h : members) n += h.needs_coroutine ? 1 : 0;
+      return n;
+    }
+    /// Threads used by this section, counting the driver's own (§4 counts
+    /// the driver's thread as part of the coroutine set).
+    [[nodiscard]] int thread_count() const { return 1 + coroutine_count(); }
+  };
+
+  std::vector<Section> sections;
+  /// Resolved mode per edge (keyed by pointer into Pipeline::edges()).
+  std::map<const Edge*, FlowMode> edge_mode;
+  /// Flow description propagated onto each edge.
+  std::map<const Edge*, Typespec> edge_spec;
+
+  [[nodiscard]] int total_threads() const {
+    int n = 0;
+    for (const Section& s : sections) n += s.thread_count();
+    return n;
+  }
+  [[nodiscard]] int total_coroutines() const {
+    int n = 0;
+    for (const Section& s : sections) n += s.coroutine_count();
+    return n;
+  }
+
+  [[nodiscard]] const Section* section_of(const Driver& d) const {
+    for (const Section& s : sections) {
+      if (s.driver == &d) return &s;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Hosted* hosted_info(const Component& c) const {
+    for (const Section& s : sections) {
+      for (const Hosted& h : s.members) {
+        if (h.comp == &c) return &h;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Analyze the pipeline. Throws CompositionError with a diagnostic naming
+/// the offending components when the pipeline is ill-formed (no driver in a
+/// section, two drivers without an intervening buffer, dangling ports,
+/// push-driven pull-only tees, incompatible Typespecs, cycles).
+[[nodiscard]] Plan plan(const Pipeline& p);
+
+}  // namespace infopipe

@@ -1,0 +1,21 @@
+#include "core/polarity.hpp"
+
+namespace infopipe {
+
+std::string to_string(Polarity p) {
+  switch (p) {
+    case Polarity::kPositive:
+      return "+";
+    case Polarity::kNegative:
+      return "-";
+    case Polarity::kPolymorphic:
+      return "a";
+  }
+  return "?";
+}
+
+std::string to_string(FlowMode m) {
+  return m == FlowMode::kPush ? "push" : "pull";
+}
+
+}  // namespace infopipe

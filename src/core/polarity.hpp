@@ -1,0 +1,61 @@
+// Port polarity algebra (§2.3 of the paper).
+//
+// "A positive out-port will make calls to push, while a negative out-port
+//  has the ability to receive a pull. Correspondingly, a positive in-port
+//  will make calls to pull, while a negative in-port represents the
+//  willingness to receive a push. Ports with opposite polarity may be
+//  connected, but an attempt to connect two ports with the same polarity is
+//  an error."
+//
+// Filters and filter chains carry the polymorphic polarity α→α: once one end
+// is connected to a fixed port, the other end acquires an *induced*
+// polarity. The composition engine (planner.cpp) performs that propagation;
+// this header defines the algebra it uses.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace infopipe {
+
+enum class Polarity {
+  kPositive,     ///< the port initiates calls (push for out, pull for in)
+  kNegative,     ///< the port receives calls
+  kPolymorphic,  ///< α: fixed by induction when the pipeline is composed
+};
+
+/// The direction a connected edge operates in once polarities are resolved.
+/// Push: the upstream side drives (its out-port is positive).
+/// Pull: the downstream side drives (its in-port is positive).
+enum class FlowMode { kPush, kPull };
+
+/// Can an out-port of polarity `out` legally connect to an in-port of
+/// polarity `in`? Same fixed polarity is the composition error from §2.3;
+/// anything involving a polymorphic port is legal (resolved later).
+[[nodiscard]] constexpr bool connectable(Polarity out, Polarity in) {
+  if (out == Polarity::kPolymorphic || in == Polarity::kPolymorphic) {
+    return true;
+  }
+  return out != in;
+}
+
+/// Resolved mode of an edge given fixed polarities of its two ports.
+/// Precondition: connectable(out, in) and neither is polymorphic.
+[[nodiscard]] constexpr FlowMode edge_mode(Polarity out) {
+  return out == Polarity::kPositive ? FlowMode::kPush : FlowMode::kPull;
+}
+
+/// The polarity an out-port must have to operate in `m`.
+[[nodiscard]] constexpr Polarity out_polarity_for(FlowMode m) {
+  return m == FlowMode::kPush ? Polarity::kPositive : Polarity::kNegative;
+}
+
+/// The polarity an in-port must have to operate in `m`.
+[[nodiscard]] constexpr Polarity in_polarity_for(FlowMode m) {
+  return m == FlowMode::kPush ? Polarity::kNegative : Polarity::kPositive;
+}
+
+[[nodiscard]] std::string to_string(Polarity p);
+[[nodiscard]] std::string to_string(FlowMode m);
+
+}  // namespace infopipe

@@ -1,0 +1,138 @@
+#include "core/pump.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace infopipe {
+
+namespace {
+rt::Time period_from_rate(double rate_hz) {
+  if (!(rate_hz > 0.0)) {
+    throw std::invalid_argument("pump rate must be positive");
+  }
+  return static_cast<rt::Time>(std::llround(1e9 / rate_hz));
+}
+}  // namespace
+
+Item Driver::pull_prev() {
+  if (!pull_link_) throw NotWired(name() + ": pull side not wired");
+  return pull_link_();
+}
+
+void Driver::push_next(Item x) {
+  if (!push_link_) throw NotWired(name() + ": push side not wired");
+  push_link_(std::move(x));
+}
+
+void Pump::cycle() {
+  Item x = pull_prev();
+  if (x.is_nil() && nil_policy() == NilPolicy::kSkipCycle) return;
+  observe(x);
+  ++items_pumped_;
+  push_next(std::move(x));
+}
+
+ClockedPump::ClockedPump(std::string name, double rate_hz,
+                         rt::Priority priority)
+    : Pump(std::move(name), priority),
+      rate_hz_(rate_hz),
+      period_(period_from_rate(rate_hz)) {}
+
+void ClockedPump::prepare(rt::Time now) { next_ = now; }
+
+rt::Time ClockedPump::next_fire(rt::Time now) {
+  const rt::Time fire = next_;
+  next_ += period_;
+  // If we have fallen behind (long stall), re-anchor instead of firing a
+  // burst of catch-up cycles.
+  if (next_ < now) next_ = now + period_;
+  return fire;
+}
+
+FreeRunningPump::FreeRunningPump(std::string name, rt::Priority priority)
+    : Pump(std::move(name), priority) {}
+
+AdaptivePump::AdaptivePump(std::string name, double initial_rate_hz,
+                           rt::Priority priority)
+    : Pump(std::move(name), priority), rate_hz_(initial_rate_hz) {
+  (void)period_from_rate(initial_rate_hz);  // validate
+}
+
+void AdaptivePump::set_rate(double rate_hz) {
+  (void)period_from_rate(rate_hz);  // validate
+  rate_hz_ = rate_hz;
+}
+
+void AdaptivePump::handle_event(const Event& e) {
+  if (e.type == kEventQualityHint) {
+    if (const double* r = e.get<double>()) set_rate(*r);
+  }
+}
+
+void AdaptivePump::prepare(rt::Time now) {
+  last_fire_ = now;
+  first_ = true;
+}
+
+rt::Time AdaptivePump::next_fire(rt::Time now) {
+  if (first_) {
+    first_ = false;
+    last_fire_ = now;
+    return now;
+  }
+  // Rate may change between cycles; pace relative to the last fire so a new
+  // rate takes effect immediately.
+  const rt::Time fire = last_fire_ + period_from_rate(rate_hz_);
+  last_fire_ = std::max(fire, now);
+  return fire;
+}
+
+void ActiveSource::cycle() {
+  Item x = generate();
+  if (x.is_eos()) throw EndOfStream{};
+  if (x.is_nil() && nil_policy() == NilPolicy::kSkipCycle) return;
+  observe(x);
+  ++items_pumped_;
+  push_next(std::move(x));
+}
+
+ClockedSourceBase::ClockedSourceBase(std::string name, double rate_hz,
+                                     rt::Priority priority)
+    : ActiveSource(std::move(name), priority),
+      rate_hz_(rate_hz),
+      period_(period_from_rate(rate_hz)) {}
+
+void ClockedSourceBase::prepare(rt::Time now) { next_ = now; }
+
+rt::Time ClockedSourceBase::next_fire(rt::Time now) {
+  const rt::Time fire = next_;
+  next_ += period_;
+  if (next_ < now) next_ = now + period_;
+  return fire;
+}
+
+void ActiveSink::cycle() {
+  Item x = pull_prev();
+  if (x.is_nil() && nil_policy() == NilPolicy::kSkipCycle) return;
+  observe(x);
+  ++items_pumped_;
+  consume(std::move(x));
+}
+
+ClockedSinkBase::ClockedSinkBase(std::string name, double rate_hz,
+                                 rt::Priority priority)
+    : ActiveSink(std::move(name), priority),
+      rate_hz_(rate_hz),
+      period_(period_from_rate(rate_hz)) {}
+
+void ClockedSinkBase::prepare(rt::Time now) { next_ = now; }
+
+rt::Time ClockedSinkBase::next_fire(rt::Time now) {
+  const rt::Time fire = next_;
+  next_ += period_;
+  if (next_ < now) next_ = now + period_;
+  return fire;
+}
+
+}  // namespace infopipe

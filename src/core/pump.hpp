@@ -1,0 +1,248 @@
+// Pumps and other drivers (§2.2, §3.1).
+//
+// "There are pumps to keep the information flowing, pulling items from
+// upstream and pushing them downstream." Every activity in a pipeline
+// originates from a driver: a pump, an active source, or an active sink.
+// Each driver gets one thread that operates the pipeline as far as the next
+// passive component up- and downstream; the driver encapsulates all
+// interaction with the underlying scheduler (priorities, deadlines,
+// reservations) so that the application programmer chooses timing and
+// scheduling policies simply by choosing pumps and parameters.
+//
+// The paper identifies at least two classes: clock-driven pumps operating at
+// a constant rate, and pumps that adjust their speed to the state of other
+// pipeline components (relying on buffer blocking, or driven by feedback).
+// All of those are provided here; new policies are added by deriving a new
+// pump — the pump developer deals with scheduling so application programmers
+// never do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/component.hpp"
+#include "rt/types.hpp"
+
+namespace infopipe {
+
+/// Base for all components that own a thread and drive a pipeline section.
+class Driver : public Component {
+ public:
+  /// Scheduling priority for this driver's thread; messages it sends carry a
+  /// constraint with this priority, so the whole coroutine set follows (§4).
+  [[nodiscard]] rt::Priority priority() const noexcept { return priority_; }
+  void set_priority(rt::Priority p) noexcept { priority_ = p; }
+
+  /// Items moved through this driver so far.
+  [[nodiscard]] std::uint64_t items_pumped() const noexcept {
+    return items_pumped_;
+  }
+
+  /// Estimated (or worst-case) execution time of one cycle, used to make a
+  /// CPU reservation at start (§3.1). Zero = no reservation requested.
+  void set_cost_estimate(rt::Time per_cycle) noexcept {
+    cost_estimate_ = per_cycle;
+  }
+  [[nodiscard]] rt::Time cost_estimate() const noexcept {
+    return cost_estimate_;
+  }
+
+  /// Nominal cycle period for reservation purposes; nullopt for drivers
+  /// without an intrinsic rate (free-running pumps pace off buffers).
+  [[nodiscard]] virtual std::optional<rt::Time> nominal_period() const {
+    return std::nullopt;
+  }
+
+  /// Cycles that started after their scheduled fire time (the pipeline was
+  /// busier than the rate allows). The observability behind §3.1's
+  /// "readjust thread scheduling parameters as the pipeline runs".
+  [[nodiscard]] std::uint64_t deadline_misses() const noexcept {
+    return deadline_misses_;
+  }
+
+  /// What to do when a pull yields a nil item (empty buffer, nil policy).
+  enum class NilPolicy { kSkipCycle, kForward };
+  void set_nil_policy(NilPolicy p) noexcept { nil_policy_ = p; }
+  [[nodiscard]] NilPolicy nil_policy() const noexcept { return nil_policy_; }
+
+ protected:
+  Driver(std::string name, rt::Priority priority)
+      : Component(std::move(name)), priority_(priority) {}
+
+  // -- the driver protocol, executed on the driver's thread -------------------
+
+  /// Called when pumping starts; reset rate state.
+  virtual void prepare(rt::Time now) { (void)now; }
+
+  /// Absolute time of the next cycle; return `now` (or anything <= now) to
+  /// fire immediately. While waiting, the thread stays responsive to control
+  /// events.
+  [[nodiscard]] virtual rt::Time next_fire(rt::Time now) = 0;
+
+  /// Move one item. Implemented by the driver kind (pump / source / sink);
+  /// throws EndOfStream to end the flow.
+  virtual void cycle() = 0;
+
+  /// Observation hook: every item that passes through. Feedback pumps use
+  /// this to measure.
+  virtual void observe(const Item& x) { (void)x; }
+
+  [[nodiscard]] Item pull_prev();
+  void push_next(Item x);
+  [[nodiscard]] bool has_push_link() const noexcept {
+    return static_cast<bool>(push_link_);
+  }
+
+  std::uint64_t items_pumped_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+
+ private:
+  friend class Wiring;
+  friend class Realization;
+
+  rt::Priority priority_;
+  NilPolicy nil_policy_ = NilPolicy::kSkipCycle;
+  rt::Time cost_estimate_ = 0;
+  PullFn pull_link_;
+  PushFn push_link_;
+};
+
+// ---- Pumps (two active ends) ----------------------------------------------------
+
+/// A pump pulls from upstream and pushes downstream, once per cycle.
+class Pump : public Driver {
+ public:
+  [[nodiscard]] Style style() const final { return Style::kPump; }
+
+ protected:
+  using Driver::Driver;
+  void cycle() override;
+};
+
+/// Clock-driven pump: fires at a constant rate, drift-free (the k-th cycle
+/// is scheduled at start + k/rate, not at last + 1/rate).
+class ClockedPump : public Pump {
+ public:
+  ClockedPump(std::string name, double rate_hz,
+              rt::Priority priority = rt::kPriorityTimer);
+
+  [[nodiscard]] double rate_hz() const noexcept { return rate_hz_; }
+  [[nodiscard]] std::optional<rt::Time> nominal_period() const override {
+    return period_;
+  }
+
+ protected:
+  void prepare(rt::Time now) override;
+  [[nodiscard]] rt::Time next_fire(rt::Time now) override;
+
+ private:
+  double rate_hz_;
+  rt::Time period_;
+  rt::Time next_ = 0;
+};
+
+/// Free-running pump: "does not limit its rate at all and relies on buffers
+/// to block the thread when a buffer is full or empty" (§3.1).
+class FreeRunningPump : public Pump {
+ public:
+  explicit FreeRunningPump(std::string name,
+                           rt::Priority priority = rt::kPriorityData);
+
+ protected:
+  [[nodiscard]] rt::Time next_fire(rt::Time now) override { return now; }
+};
+
+/// Pump whose rate is adjusted while the pipeline runs — the building block
+/// for feedback control (buffer fill levels, producer/consumer clock drift,
+/// §3.1). set_rate() may be called from control-event handlers or from a
+/// feedback controller.
+class AdaptivePump : public Pump {
+ public:
+  AdaptivePump(std::string name, double initial_rate_hz,
+               rt::Priority priority = rt::kPriorityTimer);
+
+  void set_rate(double rate_hz);
+  [[nodiscard]] double rate_hz() const noexcept { return rate_hz_; }
+
+  /// Adaptive pumps also react to kEventQualityHint events whose payload is
+  /// a double rate in Hz.
+  void handle_event(const Event& e) override;
+
+ protected:
+  void prepare(rt::Time now) override;
+  [[nodiscard]] rt::Time next_fire(rt::Time now) override;
+
+ private:
+  double rate_hz_;
+  rt::Time last_fire_ = 0;
+  bool first_ = true;
+};
+
+// ---- Active endpoints (one active end) ---------------------------------------------
+
+/// A source with its own activity: generates items and pushes them
+/// downstream (e.g. a network receiver or a camera).
+class ActiveSource : public Driver {
+ public:
+  [[nodiscard]] Style style() const final { return Style::kActiveSource; }
+
+ protected:
+  using Driver::Driver;
+  /// Produce the next item; return Item::eos() to end the stream.
+  [[nodiscard]] virtual Item generate() = 0;
+  void cycle() override;
+};
+
+/// A clock-driven active source.
+class ClockedSourceBase : public ActiveSource {
+ public:
+  ClockedSourceBase(std::string name, double rate_hz,
+                    rt::Priority priority = rt::kPriorityTimer);
+  [[nodiscard]] double rate_hz() const noexcept { return rate_hz_; }
+
+ protected:
+  void prepare(rt::Time now) override;
+  [[nodiscard]] rt::Time next_fire(rt::Time now) override;
+
+ private:
+  double rate_hz_;
+  rt::Time period_;
+  rt::Time next_ = 0;
+};
+
+/// A sink with its own timing control, e.g. "audio devices that have their
+/// own timing control can be implemented as a clock-driven active sink".
+class ActiveSink : public Driver {
+ public:
+  [[nodiscard]] Style style() const final { return Style::kActiveSink; }
+
+ protected:
+  using Driver::Driver;
+  virtual void consume(Item x) = 0;
+  /// Notified when end-of-stream reaches this sink.
+  virtual void on_eos() {}
+  void cycle() override;
+
+ private:
+  friend class Realization;
+};
+
+/// A clock-driven active sink (the audio-device case from §3.1).
+class ClockedSinkBase : public ActiveSink {
+ public:
+  ClockedSinkBase(std::string name, double rate_hz,
+                  rt::Priority priority = rt::kPriorityTimer);
+  [[nodiscard]] double rate_hz() const noexcept { return rate_hz_; }
+
+ protected:
+  void prepare(rt::Time now) override;
+  [[nodiscard]] rt::Time next_fire(rt::Time now) override;
+
+ private:
+  double rate_hz_;
+  rt::Time period_;
+  rt::Time next_ = 0;
+};
+
+}  // namespace infopipe

@@ -1,0 +1,960 @@
+#include "core/realization.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "core/tee.hpp"
+
+namespace infopipe {
+
+using detail::ControlDispatch;
+using detail::CoroutineRec;
+using detail::ShutdownSignal;
+using detail::StopFlow;
+
+// ============================ HostContext ===================================
+
+rt::Runtime& HostContext::runtime() noexcept { return real_->runtime(); }
+
+rt::Message HostContext::wait(const MsgPred& pred) {
+  rt::Runtime& rt = runtime();
+  for (;;) {
+    rt::Message m = rt.receive_matching([&](const rt::Message& x) {
+      return x.cls == rt::MsgClass::kControl || pred(x);
+    });
+    if (m.cls == rt::MsgClass::kControl) {
+      dispatch(std::move(m));
+      if (terminate_) throw ShutdownSignal{};
+      continue;
+    }
+    return m;
+  }
+}
+
+std::optional<rt::Message> HostContext::wait_interruptible(
+    const MsgPred& pred) {
+  rt::Runtime& rt = runtime();
+  rt::Message m = rt.receive_matching([&](const rt::Message& x) {
+    return x.cls == rt::MsgClass::kControl || pred(x);
+  });
+  if (m.cls == rt::MsgClass::kControl) {
+    dispatch(std::move(m));
+    if (terminate_) throw ShutdownSignal{};
+    return std::nullopt;
+  }
+  return m;
+}
+
+void HostContext::poll_control() {
+  rt::Runtime& rt = runtime();
+  while (auto m = rt.try_receive([](const rt::Message& x) {
+           return x.cls == rt::MsgClass::kControl;
+         })) {
+    dispatch(std::move(*m));
+    if (terminate_) throw ShutdownSignal{};
+  }
+}
+
+void HostContext::dispatch(rt::Message&& m) {
+  ControlDispatch* cd = m.get<ControlDispatch>();
+  if (cd == nullptr) return;
+  const Event e = std::move(cd->event);
+  std::vector<Component*> targets;
+  if (cd->target != nullptr) {
+    targets.push_back(cd->target);
+  } else {
+    targets = hosted_;
+  }
+  for (Component* c : targets) {
+    // Middleware lifecycle side effects first.
+    switch (e.type) {
+      case kEventStart:
+        c->running_ = true;
+        break;
+      case kEventStop:
+        c->running_ = false;
+        break;
+      case kEventShutdown:
+        c->running_ = false;
+        terminate_ = true;
+        break;
+      default:
+        break;
+    }
+    // §3.2: a control handler never runs while the component is processing
+    // data. Within this thread that holds structurally (we only dispatch at
+    // wait points); for components in shared regions the section lock keeps
+    // other threads' data processing out. The lock is re-entrant for the
+    // owner — that is precisely the "blocked in a push or pull" case in
+    // which the paper allows control delivery.
+    if (c->shared_lock_ != nullptr) {
+      c->shared_lock_->acquire(*this);
+      try {
+        c->handle_event(e);
+      } catch (...) {
+        c->shared_lock_->release(*this);
+        throw;
+      }
+      c->shared_lock_->release(*this);
+    } else {
+      c->handle_event(e);
+    }
+  }
+}
+
+// ============================ SectionLock ====================================
+
+void SectionLock::acquire(HostContext& h) {
+  const rt::ThreadId me = h.tid();
+  if (owner_ == me) {
+    ++depth_;
+    return;
+  }
+  if (owner_ == rt::kNoThread) {
+    owner_ = me;
+    depth_ = 1;
+    return;
+  }
+  waiters_.push_back(me);
+  SectionLock* self = this;
+  (void)h.wait([self](const rt::Message& x) {
+    const auto* l = x.get<SectionLock*>();
+    return x.type == detail::kMsgLockGrant && l != nullptr && *l == self;
+  });
+  // release() already transferred ownership to us.
+  assert(owner_ == me);
+  depth_ = 1;
+}
+
+void SectionLock::release(HostContext& h) {
+  assert(owner_ == h.tid());
+  if (--depth_ > 0) return;
+  owner_ = rt::kNoThread;
+  if (!waiters_.empty()) {
+    const rt::ThreadId w = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    owner_ = w;  // depth is set by the waiter when it resumes
+    rt::Message g{detail::kMsgLockGrant, rt::MsgClass::kData};
+    g.payload = this;
+    h.runtime().send(w, std::move(g));
+  }
+}
+
+// ===================== coroutine channel protocol ============================
+//
+// Requester side: a thread that treats the coroutine like a passive
+// component. push() hands an item over and returns when the coroutine next
+// asks for input ("the activity travels with the data"); pull() asks for one
+// item and blocks until it is delivered. Both stay responsive to control
+// events via HostContext::wait.
+
+namespace {
+
+void channel_push(Realization& R, rt::ThreadId co, Item x) {
+  HostContext& h = R.current_host();
+  rt::Message m{detail::kMsgCoItem, rt::MsgClass::kData};
+  m.payload = std::move(x);
+  h.runtime().send(co, std::move(m));
+  (void)h.wait([co](const rt::Message& mm) {
+    return mm.type == detail::kMsgCoDone && mm.sender == co;
+  });
+}
+
+Item channel_pull(Realization& R, rt::ThreadId co) {
+  HostContext& h = R.current_host();
+  h.runtime().send(co, rt::Message{detail::kMsgCoPull, rt::MsgClass::kData});
+  rt::Message m = h.wait([co](const rt::Message& mm) {
+    return mm.type == detail::kMsgCoItem && mm.sender == co;
+  });
+  return m.take<Item>();
+}
+
+// Coroutine side, push direction: fetch the next input item. Sends kMsgCoDone
+// to the previous requester first — that is the moment its push() returns.
+Item co_get_input(Realization& R, CoroutineRec& rec) {
+  HostContext& h = R.current_host();
+  rt::Message m;
+  if (rec.initial) {
+    m = std::move(*rec.initial);
+    rec.initial.reset();
+  } else {
+    if (rec.owes_done && rec.last_requester != rt::kNoThread) {
+      h.runtime().send(rec.last_requester,
+                       rt::Message{detail::kMsgCoDone, rt::MsgClass::kData});
+      rec.owes_done = false;
+    }
+    m = h.wait(
+        [](const rt::Message& x) { return x.type == detail::kMsgCoItem; });
+  }
+  rec.last_requester = m.sender;
+  rec.owes_done = true;
+  Item x = m.take<Item>();
+  if (x.is_eos()) {
+    rec.finished = true;
+    throw EndOfStream{};
+  }
+  return x;
+}
+
+// Coroutine side: release the requester blocked in push() (loop end / EOS).
+// Also covers a main function that returned without ever consuming its
+// initial input — the requester must not be left waiting.
+void co_final_done(Realization& R, CoroutineRec& rec) {
+  if (rec.initial) {
+    rec.last_requester = rec.initial->sender;
+    rec.owes_done = true;
+    rec.initial.reset();
+  }
+  if (rec.owes_done && rec.last_requester != rt::kNoThread) {
+    R.current_host().runtime().send(
+        rec.last_requester,
+        rt::Message{detail::kMsgCoDone, rt::MsgClass::kData});
+    rec.owes_done = false;
+  }
+}
+
+// Coroutine side, pull direction: block until somebody wants an item.
+void co_need_pull(Realization& R, CoroutineRec& rec) {
+  if (rec.pending_pulls > 0) return;
+  HostContext& h = R.current_host();
+  rt::Message m;
+  if (rec.initial) {
+    m = std::move(*rec.initial);
+    rec.initial.reset();
+  } else {
+    m = h.wait(
+        [](const rt::Message& x) { return x.type == detail::kMsgCoPull; });
+  }
+  rec.last_requester = m.sender;
+  rec.pending_pulls = 1;
+}
+
+// Coroutine side, pull direction: deliver one output item. If nobody asked
+// yet, wait for the next pull — activity travels with the data, no implicit
+// buffering (§3.3).
+void co_deliver(Realization& R, CoroutineRec& rec, Item y) {
+  co_need_pull(R, rec);
+  rt::Message m{detail::kMsgCoItem, rt::MsgClass::kData};
+  m.payload = std::move(y);
+  R.current_host().runtime().send(rec.last_requester, std::move(m));
+  --rec.pending_pulls;
+}
+
+}  // namespace
+
+// ============================== Wiring ======================================
+//
+// Translates the Plan into executable glue: direct function calls where the
+// Figure 9 rule allows them, coroutines elsewhere. The builders recurse over
+// the pipeline graph exactly like the planner's walks did.
+
+class Wiring {
+ public:
+  explicit Wiring(Realization& r) : R(r), pipe(*r.pipe_) {}
+
+  void build() {
+    for (auto& sec : R.plan_.sections) {
+      Driver* d = sec.driver;
+      current_driver_ = d;
+      Realization* Rp = &R;
+      const rt::ThreadId tid = R.rt_->spawn(
+          d->name(), d->priority(), [Rp, d](rt::Runtime&, rt::Message m) {
+            return Rp->driver_code(Rp->current_host(), *d, std::move(m));
+          });
+      HostContext& h = R.new_host(tid);
+      h.driver_ = d;
+      reg(*d, h, nullptr);
+      if (d->out_port_count() > 0) {
+        d->push_link_ = build_push(pipe.edge_from(*d, 0), h, nullptr);
+      }
+      if (d->in_port_count() > 0) {
+        d->pull_link_ = build_pull(pipe.edge_into(*d, 0), h, nullptr);
+      }
+    }
+  }
+
+ private:
+  /// Register a component for control dispatch on `h` (idempotent; a buffer
+  /// is reached from both of its sections and keeps its first host).
+  void reg(Component& c, HostContext& h, SectionLock* lock) {
+    if (R.host_of_comp_.count(&c) != 0) return;
+    R.host_of_comp_[&c] = h.tid();
+    h.hosted_.push_back(&c);
+    c.shared_lock_ = lock;
+  }
+
+  // ---- push side ------------------------------------------------------------
+
+  PushFn build_push(const Edge* e, HostContext& h, SectionLock* lock) {
+    Component& c = *e->to;
+    Realization* Rp = &R;
+    switch (c.style()) {
+      case Style::kPassiveSink: {
+        auto* s = static_cast<PassiveSink*>(&c);
+        reg(c, h, lock);
+        return [s](Item x) {
+          if (x.is_eos()) {
+            s->on_eos();
+            return;
+          }
+          if (x.is_nil()) return;
+          s->consume(std::move(x));
+        };
+      }
+      case Style::kBuffer: {
+        auto* b = static_cast<Buffer*>(&c);
+        reg(c, h, lock);
+        return [b, Rp](Item x) { b->put(std::move(x), Rp->current_host()); };
+      }
+      case Style::kFunction: {
+        auto* f = static_cast<FunctionComponent*>(&c);
+        reg(c, h, lock);
+        PushFn inner = build_push(pipe.edge_from(c, 0), h, lock);
+        // The paper's trivial glue: void push(item x){next->push(fct(x));}
+        return [f, inner](Item x) {
+          if (!x.is_data()) {
+            inner(std::move(x));
+            return;
+          }
+          inner(f->convert(std::move(x)));
+        };
+      }
+      case Style::kConsumer: {
+        // Push-mode consumer: called directly (Figure 9 a, c, g, h).
+        auto* k = static_cast<Consumer*>(&c);
+        reg(c, h, lock);
+        k->push_link_ = build_push(pipe.edge_from(c, 0), h, lock);
+        return [k](Item x) {
+          if (x.is_eos()) {
+            k->flush();  // may emit leftovers through push_link_
+            k->push_link_(std::move(x));
+            return;
+          }
+          if (x.is_nil()) return;
+          k->push(std::move(x));
+        };
+      }
+      case Style::kProducer:
+      case Style::kActive:
+        // Producer used in push mode, or an active object: coroutine.
+        return make_push_coroutine(c, lock);
+      case Style::kTee:
+        return build_push_tee(e, h, lock);
+      default:
+        assert(false && "planner admitted an illegal push target");
+        return {};
+    }
+  }
+
+  PushFn build_push_tee(const Edge* e, HostContext& h, SectionLock* lock) {
+    Component& c = *e->to;
+    Realization* Rp = &R;
+    if (auto* mc = dynamic_cast<MulticastTee*>(&c)) {
+      reg(c, h, lock);
+      std::vector<PushFn> outs;
+      outs.reserve(static_cast<std::size_t>(mc->out_port_count()));
+      for (int port = 0; port < mc->out_port_count(); ++port) {
+        outs.push_back(build_push(pipe.edge_from(c, port), h, lock));
+      }
+      return [outs](Item x) {
+        for (const PushFn& out : outs) out(x);  // copies share the payload
+      };
+    }
+    if (auto* sw = dynamic_cast<RoutingSwitch*>(&c)) {
+      reg(c, h, lock);
+      std::vector<PushFn> outs;
+      outs.reserve(static_cast<std::size_t>(sw->out_port_count()));
+      for (int port = 0; port < sw->out_port_count(); ++port) {
+        outs.push_back(build_push(pipe.edge_from(c, port), h, lock));
+      }
+      return [sw, outs](Item x) {
+        if (!x.is_data()) {
+          for (const PushFn& out : outs) out(x);  // EOS/nil fan out
+          return;
+        }
+        const int i = sw->select(x);
+        if (i < 0 || i >= static_cast<int>(outs.size())) {
+          ++sw->dropped_;
+          return;
+        }
+        outs[static_cast<std::size_t>(i)](std::move(x));
+      };
+    }
+    if (auto* mt = dynamic_cast<MergeTee*>(&c)) {
+      // The tail beyond the merge is shared between all pushing sections;
+      // build it once and serialize entry.
+      Realization::SharedTail* tail;
+      auto it = tails_by_tee_.find(&c);
+      if (it == tails_by_tee_.end()) {
+        auto owned = std::make_unique<Realization::SharedTail>();
+        tail = owned.get();
+        R.tails_.push_back(std::move(owned));
+        tails_by_tee_[&c] = tail;
+        reg(c, h, &tail->lock);
+        tail->push = build_push(pipe.edge_from(c, 0), h, &tail->lock);
+      } else {
+        tail = it->second;
+      }
+      const int ins = mt->in_port_count();
+      return [mt, tail, Rp, ins](Item x) {
+        HostContext& host = Rp->current_host();
+        tail->lock.acquire(host);
+        try {
+          if (x.is_eos()) {
+            // Forward EOS only once every input branch has ended.
+            if (++mt->eos_seen_ >= ins) tail->push(std::move(x));
+          } else {
+            tail->push(std::move(x));
+          }
+        } catch (...) {
+          tail->lock.release(host);
+          throw;
+        }
+        tail->lock.release(host);
+      };
+    }
+    assert(false && "planner admitted an illegal tee in push mode");
+    return {};
+  }
+
+  // ---- pull side -------------------------------------------------------------
+
+  PullFn build_pull(const Edge* e, HostContext& h, SectionLock* lock) {
+    Component& c = *e->from;
+    Realization* Rp = &R;
+    switch (c.style()) {
+      case Style::kPassiveSource: {
+        auto* s = static_cast<PassiveSource*>(&c);
+        reg(c, h, lock);
+        auto done = std::make_shared<bool>(false);
+        return [s, done]() -> Item {
+          if (*done) throw EndOfStream{};
+          Item x = s->generate();
+          if (x.is_eos()) {
+            *done = true;
+            throw EndOfStream{};
+          }
+          return x;
+        };
+      }
+      case Style::kBuffer: {
+        auto* b = static_cast<Buffer*>(&c);
+        reg(c, h, lock);
+        return [b, Rp]() -> Item {
+          Item x = b->take(Rp->current_host());
+          if (x.is_eos()) throw EndOfStream{};
+          return x;  // data or nil (empty buffer, nil policy)
+        };
+      }
+      case Style::kFunction: {
+        auto* f = static_cast<FunctionComponent*>(&c);
+        reg(c, h, lock);
+        PullFn inner = build_pull(pipe.edge_into(c, 0), h, lock);
+        // item pull() { return fct(prev->pull()); }
+        return [f, inner]() -> Item {
+          Item x = inner();
+          if (!x.is_data()) return x;  // nil passes through untouched
+          return f->convert(std::move(x));
+        };
+      }
+      case Style::kProducer: {
+        // Pull-mode producer: called directly (Figure 9 a, e, h).
+        auto* p = static_cast<Producer*>(&c);
+        reg(c, h, lock);
+        p->pull_link_ = build_pull(pipe.edge_into(c, 0), h, lock);
+        return [p]() -> Item { return p->pull(); };
+      }
+      case Style::kConsumer:
+      case Style::kActive:
+        // Consumer used in pull mode, or an active object: coroutine.
+        return make_pull_coroutine(c, lock);
+      case Style::kTee:
+        return build_pull_tee(e, h, lock);
+      default:
+        assert(false && "planner admitted an illegal pull source");
+        return {};
+    }
+  }
+
+  PullFn build_pull_tee(const Edge* e, HostContext& h, SectionLock* lock) {
+    Component& c = *e->from;
+    Realization* Rp = &R;
+    if (auto* ct = dynamic_cast<CombineTee*>(&c)) {
+      reg(c, h, lock);
+      std::vector<PullFn> ins;
+      ins.reserve(static_cast<std::size_t>(ct->in_port_count()));
+      for (int port = 0; port < ct->in_port_count(); ++port) {
+        ins.push_back(build_pull(pipe.edge_into(c, port), h, lock));
+      }
+      return [ct, ins]() -> Item {
+        std::vector<Item> xs;
+        xs.reserve(ins.size());
+        for (const PullFn& in : ins) {
+          Item x = in();  // EndOfStream from any input ends the combine
+          if (x.is_nil()) return Item::nil();
+          xs.push_back(std::move(x));
+        }
+        return ct->combine(std::move(xs));
+      };
+    }
+    if (dynamic_cast<BalancingSwitch*>(&c) != nullptr) {
+      // The head upstream of the switch is shared between all pulling
+      // sections; build it once and serialize entry.
+      Realization::SharedTail* tail;
+      auto it = tails_by_tee_.find(&c);
+      if (it == tails_by_tee_.end()) {
+        auto owned = std::make_unique<Realization::SharedTail>();
+        tail = owned.get();
+        R.tails_.push_back(std::move(owned));
+        tails_by_tee_[&c] = tail;
+        reg(c, h, &tail->lock);
+        tail->pull = build_pull(pipe.edge_into(c, 0), h, &tail->lock);
+      } else {
+        tail = it->second;
+      }
+      return [tail, Rp]() -> Item {
+        HostContext& host = Rp->current_host();
+        tail->lock.acquire(host);
+        try {
+          Item x = tail->pull();
+          tail->lock.release(host);
+          return x;
+        } catch (...) {
+          tail->lock.release(host);
+          throw;
+        }
+      };
+    }
+    assert(false && "planner admitted an illegal tee in pull mode");
+    return {};
+  }
+
+  // ---- coroutine creation (the Figure 7 wrappers) ------------------------------
+
+  struct SpawnedCoroutine {
+    CoroutineRec* rec;
+    HostContext* host;
+  };
+
+  SpawnedCoroutine spawn_coroutine(Component& c, SectionLock* lock) {
+    auto owned = std::make_unique<CoroutineRec>();
+    CoroutineRec* rec = owned.get();
+    rec->comp = &c;
+    R.coroutines_.push_back(std::move(owned));
+    Realization* Rp = &R;
+    const rt::ThreadId tid = R.rt_->spawn(
+        c.name() + ".co", rt::kPriorityData,
+        [Rp, rec](rt::Runtime&, rt::Message m) {
+          return Rp->coroutine_code(Rp->current_host(), *rec, std::move(m));
+        });
+    rec->tid = tid;
+    HostContext& ch = R.new_host(tid);
+    ch.driver_ = current_driver_;
+    // The coroutine component's control events are dispatched on its own
+    // thread, serialized with its data processing by construction — no lock
+    // needed even inside a shared region.
+    reg(c, ch, nullptr);
+    (void)lock;
+    return SpawnedCoroutine{rec, &ch};
+  }
+
+  /// Producer or active object used in push mode: inputs arrive over the
+  /// channel, outputs continue down the chain on the coroutine's thread.
+  PushFn make_push_coroutine(Component& c, SectionLock* lock) {
+    SpawnedCoroutine sc = spawn_coroutine(c, lock);
+    CoroutineRec* rec = sc.rec;
+    Realization* Rp = &R;
+    PushFn inner = build_push(pipe.edge_from(c, 0), *sc.host, nullptr);
+
+    if (auto* a = dynamic_cast<ActiveComponent*>(&c)) {
+      a->pull_link_ = [Rp, rec]() { return co_get_input(*Rp, *rec); };
+      a->push_link_ = inner;
+      rec->main = [Rp, rec, a, inner]() {
+        try {
+          a->run();
+        } catch (EndOfStream&) {
+          a->flush();
+          inner(Item::eos());
+        } catch (StopFlow&) {
+          // section stopped while blocked in a buffer: pause cleanly
+        }
+        co_final_done(*Rp, *rec);
+      };
+    } else {
+      auto* p = static_cast<Producer*>(&c);
+      p->pull_link_ = [Rp, rec]() { return co_get_input(*Rp, *rec); };
+      // Figure 7a: while (running) { x = this->pull(); next->push(x); }
+      rec->main = [Rp, rec, p, inner]() {
+        try {
+          for (;;) {
+            Item y = p->pull();
+            inner(std::move(y));
+          }
+        } catch (EndOfStream&) {
+          p->flush();
+          inner(Item::eos());
+        } catch (StopFlow&) {
+        }
+        co_final_done(*Rp, *rec);
+      };
+    }
+
+    const rt::ThreadId tid = rec->tid;
+    auto done = std::make_shared<bool>(false);
+    return [Rp, tid, done](Item x) {
+      if (*done) return;
+      const bool eos = x.is_eos();
+      channel_push(*Rp, tid, std::move(x));
+      if (eos) *done = true;
+    };
+  }
+
+  /// Consumer or active object used in pull mode: pulls propagate upstream
+  /// on the coroutine's thread, outputs are delivered over the channel.
+  PullFn make_pull_coroutine(Component& c, SectionLock* lock) {
+    SpawnedCoroutine sc = spawn_coroutine(c, lock);
+    CoroutineRec* rec = sc.rec;
+    Realization* Rp = &R;
+    PullFn upstream = build_pull(pipe.edge_into(c, 0), *sc.host, nullptr);
+
+    if (auto* a = dynamic_cast<ActiveComponent*>(&c)) {
+      a->pull_link_ = upstream;
+      a->push_link_ = [Rp, rec](Item y) { co_deliver(*Rp, *rec, std::move(y)); };
+      rec->main = [Rp, rec, a]() {
+        try {
+          a->run();
+          // run() returned (STOP): release a requester stuck in pull. An
+          // unconsumed initial kMsgCoPull counts as a pending request.
+          if (rec->initial) co_need_pull(*Rp, *rec);
+          if (rec->pending_pulls > 0) co_deliver(*Rp, *rec, Item::nil());
+        } catch (EndOfStream&) {
+          a->flush();
+          co_deliver(*Rp, *rec, Item::eos());
+          rec->finished = true;
+        } catch (StopFlow&) {
+          if (rec->initial) co_need_pull(*Rp, *rec);
+          if (rec->pending_pulls > 0) co_deliver(*Rp, *rec, Item::nil());
+        }
+      };
+    } else {
+      auto* k = static_cast<Consumer*>(&c);
+      k->push_link_ = [Rp, rec](Item y) { co_deliver(*Rp, *rec, std::move(y)); };
+      // Figure 7b: while (running) { x = prev->pull(); this->push(x); }
+      rec->main = [Rp, rec, k, upstream]() {
+        try {
+          for (;;) {
+            co_need_pull(*Rp, *rec);  // no upstream pull before demand
+            Item x = upstream();
+            if (x.is_nil()) {
+              co_deliver(*Rp, *rec, std::move(x));
+              continue;
+            }
+            k->push(std::move(x));
+          }
+        } catch (EndOfStream&) {
+          k->flush();  // may deliver leftovers first
+          co_deliver(*Rp, *rec, Item::eos());
+          rec->finished = true;
+        } catch (StopFlow&) {
+          if (rec->pending_pulls > 0) co_deliver(*Rp, *rec, Item::nil());
+        }
+      };
+    }
+
+    const rt::ThreadId tid = rec->tid;
+    auto done = std::make_shared<bool>(false);
+    return [Rp, tid, done]() -> Item {
+      if (*done) throw EndOfStream{};
+      Item x = channel_pull(*Rp, tid);
+      if (x.is_eos()) {
+        *done = true;
+        throw EndOfStream{};
+      }
+      return x;
+    };
+  }
+
+  Realization& R;
+  const Pipeline& pipe;
+  Driver* current_driver_ = nullptr;
+  std::map<const Component*, Realization::SharedTail*> tails_by_tee_;
+};
+
+// ============================ Realization ===================================
+
+Realization::Realization(rt::Runtime& rt, const Pipeline& p)
+    : rt_(&rt), pipe_(&p), plan_(::infopipe::plan(p)) {
+  for (Component* c : p.components()) {
+    if (c->realization_ != nullptr) {
+      throw CompositionError(c->name() +
+                             " is already part of a realized pipeline");
+    }
+  }
+  for (Component* c : p.components()) {
+    c->realization_ = this;
+    c->running_ = false;
+    c->shared_lock_ = nullptr;
+    c->upstream_neighbor_.assign(
+        static_cast<std::size_t>(c->in_port_count()), nullptr);
+    c->downstream_neighbor_.assign(
+        static_cast<std::size_t>(c->out_port_count()), nullptr);
+    if (auto* mt = dynamic_cast<MergeTee*>(c)) mt->eos_seen_ = 0;
+  }
+  for (const Edge& e : p.edges()) {
+    e.from->downstream_neighbor_[static_cast<std::size_t>(e.out_port)] = e.to;
+    e.to->upstream_neighbor_[static_cast<std::size_t>(e.in_port)] = e.from;
+  }
+  Wiring(*this).build();
+  for (Component* c : p.components()) c->on_realized();
+}
+
+Realization::~Realization() {
+  for (rt::ThreadId t : all_threads_) {
+    if (rt_->alive(t)) rt_->kill(t);
+  }
+  unbind_components();
+}
+
+void Realization::unbind_components() {
+  for (Component* c : pipe_->components()) {
+    c->realization_ = nullptr;
+    c->running_ = false;
+    c->shared_lock_ = nullptr;
+    c->upstream_neighbor_.clear();
+    c->downstream_neighbor_.clear();
+    if (auto* a = dynamic_cast<ActiveComponent*>(c)) {
+      a->pull_link_ = {};
+      a->push_link_ = {};
+    } else if (auto* k = dynamic_cast<Consumer*>(c)) {
+      k->push_link_ = {};
+    } else if (auto* pr = dynamic_cast<Producer*>(c)) {
+      pr->pull_link_ = {};
+    } else if (auto* d = dynamic_cast<Driver*>(c)) {
+      d->pull_link_ = {};
+      d->push_link_ = {};
+    }
+  }
+}
+
+HostContext& Realization::new_host(rt::ThreadId tid) {
+  hosts_.push_back(std::unique_ptr<HostContext>(new HostContext(*this, tid)));
+  HostContext* h = hosts_.back().get();
+  host_by_tid_[tid] = h;
+  all_threads_.push_back(tid);
+  return *h;
+}
+
+HostContext& Realization::current_host() {
+  auto it = host_by_tid_.find(rt_->current());
+  if (it == host_by_tid_.end()) {
+    throw rt::RuntimeError(
+        "middleware operation outside a pipeline thread (current thread is "
+        "not hosted by this realization)");
+  }
+  return *it->second;
+}
+
+rt::ThreadId Realization::host_thread(const Component& c) const {
+  auto it = host_of_comp_.find(&c);
+  return it == host_of_comp_.end() ? rt::kNoThread : it->second;
+}
+
+std::string Realization::describe() const {
+  std::string out;
+  out += "pipeline: " + std::to_string(pipe_->components().size()) +
+         " components, " + std::to_string(plan_.sections.size()) +
+         " sections, " + std::to_string(all_threads_.size()) + " threads\n";
+  for (const auto& sec : plan_.sections) {
+    out += "  section driven by '" + sec.driver->name() + "' (" +
+           to_string(sec.driver->style()) + ", " +
+           std::to_string(sec.thread_count()) + " thread" +
+           (sec.thread_count() == 1 ? "" : "s") + ")\n";
+    for (const auto& h : sec.members) {
+      out += "    " + h.comp->name() + ": " + to_string(h.comp->style()) +
+             " in " + to_string(h.mode) + " mode, " +
+             (h.needs_coroutine ? "coroutine" : "direct call");
+      if (h.shared) out += ", shared region";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string Realization::stats_report() const {
+  std::string out;
+  for (Component* c : pipe_->components()) {
+    if (auto* d = dynamic_cast<Driver*>(c)) {
+      out += "  " + d->name() + ": " + std::to_string(d->items_pumped()) +
+             " items pumped" + (d->running() ? " (running)" : "") + "\n";
+    } else if (auto* b = dynamic_cast<Buffer*>(c)) {
+      const auto& s = b->stats();
+      out += "  " + b->name() + ": fill " + std::to_string(b->fill()) + "/" +
+             std::to_string(b->capacity()) + ", " + std::to_string(s.puts) +
+             " in / " + std::to_string(s.takes) + " out, " +
+             std::to_string(s.drops) + " dropped, " +
+             std::to_string(s.put_blocks + s.take_blocks) + " blocks\n";
+    }
+  }
+  return out;
+}
+
+int Realization::running_drivers() const {
+  int n = 0;
+  for (const auto& sec : plan_.sections) {
+    if (sec.driver->running_) ++n;
+  }
+  return n;
+}
+
+void Realization::post_event(const Event& e) {
+  if (listener_) listener_(e);
+  for (const auto& host : hosts_) {
+    rt::Message m{detail::kMsgControl, rt::MsgClass::kControl};
+    m.constraint = rt::Constraint{rt::kPriorityControl, rt::kTimeNever};
+    m.payload = ControlDispatch{nullptr, e};
+    rt_->send(host->tid(), std::move(m));
+  }
+}
+
+void Realization::post_event_to(Component& c, const Event& e) {
+  post_event_to_after(c, e, 0);
+}
+
+void Realization::post_event_to_after(Component& c, const Event& e,
+                                      rt::Time delay) {
+  auto it = host_of_comp_.find(&c);
+  if (it == host_of_comp_.end()) {
+    throw CompositionError(c.name() + " is not hosted by this realization");
+  }
+  rt::Message m{detail::kMsgControl, rt::MsgClass::kControl};
+  m.constraint = rt::Constraint{rt::kPriorityControl, rt::kTimeNever};
+  m.payload = ControlDispatch{&c, e};
+  if (delay > 0) {
+    rt_->send_at(rt_->now() + delay, it->second, std::move(m));
+  } else {
+    rt_->send(it->second, std::move(m));
+  }
+}
+
+// ---- thread code functions ----------------------------------------------------
+
+rt::CodeResult Realization::driver_code(HostContext& h, Driver& d,
+                                        rt::Message m) {
+  if (m.cls == rt::MsgClass::kControl) {
+    try {
+      h.dispatch(std::move(m));
+      if (h.terminate_requested()) return rt::CodeResult::kTerminate;
+      if (d.running_) run_driver(h, d);
+      if (h.terminate_requested()) return rt::CodeResult::kTerminate;
+    } catch (ShutdownSignal&) {
+      return rt::CodeResult::kTerminate;
+    }
+  }
+  // Stale data/timer messages (late ticks, channel leftovers) are dropped.
+  return rt::CodeResult::kContinue;
+}
+
+void Realization::run_driver(HostContext& h, Driver& d) {
+  // §3.1: pumps with a declared cost estimate reserve CPU at setup; an
+  // over-committed schedule is refused before any data moves.
+  bool reserved = false;
+  if (d.cost_estimate() > 0) {
+    if (const auto period = d.nominal_period()) {
+      if (!rt_->reservations().admit(
+              h.tid(), rt::Reservation{*period, d.cost_estimate()})) {
+        d.running_ = false;
+        post_event(Event{kEventReservationDenied, d.name()});
+        return;
+      }
+      reserved = true;
+    }
+  }
+  struct ReleaseGuard {
+    rt::Runtime* rt;
+    rt::ThreadId tid;
+    bool active;
+    ~ReleaseGuard() {
+      if (active) rt->reservations().release(tid);
+    }
+  } guard{rt_, h.tid(), reserved};
+
+  d.prepare(rt_->now());
+  while (d.running_) {
+    const rt::Time now = rt_->now();
+    const rt::Time fire = d.next_fire(now);
+    if (fire < now) ++d.deadline_misses_;  // running behind schedule
+    // The pump assigns the scheduling constraint; every message sent while
+    // processing this cycle inherits it, governing the whole coroutine set.
+    rt_->set_active_constraint(rt::Constraint{d.priority(), fire});
+    if (fire > now) {
+      const std::uint64_t gen = ++h.tick_gen_;
+      rt::Message tick{detail::kMsgTick, rt::MsgClass::kTimer};
+      tick.payload = gen;
+      rt_->send_at(fire, h.tid(), std::move(tick));
+      for (;;) {
+        rt::Message tm = h.wait([](const rt::Message& x) {
+          return x.type == detail::kMsgTick;
+        });
+        const auto* g = tm.get<std::uint64_t>();
+        if (g != nullptr && *g == gen) break;  // stale ticks are discarded
+      }
+      if (!d.running_) break;  // STOP arrived during the wait
+    }
+    try {
+      d.cycle();
+    } catch (EndOfStream&) {
+      try {
+        if (d.has_push_link()) d.push_link_(Item::eos());
+      } catch (StopFlow&) {
+      }
+      if (auto* s = dynamic_cast<ActiveSink*>(&d)) s->on_eos();
+      d.running_ = false;
+      rt_->set_active_constraint(std::nullopt);
+      post_event(Event{kEventEndOfStream, d.name()});
+      return;
+    } catch (StopFlow&) {
+      break;
+    }
+    // Control events that arrived during the cycle are delivered now, before
+    // the next data processing step (§3.2).
+    h.poll_control();
+  }
+  rt_->set_active_constraint(std::nullopt);
+}
+
+rt::CodeResult Realization::coroutine_code(HostContext& h, CoroutineRec& rec,
+                                           rt::Message m) {
+  if (m.cls == rt::MsgClass::kControl) {
+    try {
+      h.dispatch(std::move(m));
+    } catch (ShutdownSignal&) {
+      return rt::CodeResult::kTerminate;
+    }
+    return h.terminate_requested() ? rt::CodeResult::kTerminate
+                                   : rt::CodeResult::kContinue;
+  }
+  if (m.type == detail::kMsgCoItem || m.type == detail::kMsgCoPull) {
+    if (rec.finished) {
+      // Post-EOS service: answer instead of re-running the main function.
+      if (m.type == detail::kMsgCoPull) {
+        rt::Message r{detail::kMsgCoItem, rt::MsgClass::kData};
+        r.payload = Item::eos();
+        rt_->send(m.sender, std::move(r));
+      } else {
+        rt_->send(m.sender,
+                  rt::Message{detail::kMsgCoDone, rt::MsgClass::kData});
+      }
+      return rt::CodeResult::kContinue;
+    }
+    rec.initial = std::move(m);
+    try {
+      rec.main();
+    } catch (ShutdownSignal&) {
+      return rt::CodeResult::kTerminate;
+    }
+    return rt::CodeResult::kContinue;
+  }
+  return rt::CodeResult::kContinue;  // stale notifications
+}
+
+}  // namespace infopipe

@@ -1,0 +1,249 @@
+// Realization: turning a planned pipeline into running threads (§4).
+//
+// The Infopipe platform creates one thread per pump (driver). If a section
+// needs no coroutines, the pump's thread calls the pull functions of all
+// components upstream, then push with the returned item downstream, and
+// returns to the pump. Where the plan requires coroutines, each one is
+// implemented by an additional thread of the underlying package, and their
+// synchronous interaction ("the activity travels with the data") is built on
+// asynchronous messages: a thread blocked in a push or pull is actually
+// blocked waiting for either the data reply message OR a control message —
+// control events are dispatched even while a component is logically blocked
+// (§3.2/§4). Threads that host several directly-called components dispatch
+// data and control internally to the respective components.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/component.hpp"
+#include "core/event.hpp"
+#include "core/pipeline.hpp"
+#include "core/planner.hpp"
+#include "core/pump.hpp"
+#include "rt/runtime.hpp"
+
+namespace infopipe {
+
+namespace detail {
+
+/// rt message types used by the middleware glue.
+enum CoreMsgType : int {
+  kMsgControl = 1,    ///< control event dispatch (class kControl)
+  kMsgCoPull = 2,     ///< request one item from a coroutine
+  kMsgCoItem = 3,     ///< item hand-off (either direction)
+  kMsgCoDone = 4,     ///< coroutine is ready for the next input
+  kMsgBufNotify = 5,  ///< buffer space/data became available
+  kMsgTick = 6,       ///< pump timer tick
+  kMsgLockGrant = 7,  ///< section lock ownership transferred
+};
+
+struct ControlDispatch {
+  Component* target = nullptr;  ///< nullptr: every component on the thread
+  Event event;
+};
+
+/// Thrown out of waits when the realization is shutting down; unwinds the
+/// component frames on the thread's stack, then the thread terminates.
+struct ShutdownSignal {};
+
+/// Thrown out of buffer waits when the section's driver stopped while the
+/// thread was blocked; the driver loop treats it as a clean stop.
+struct StopFlow {};
+
+/// Per-coroutine state: the component's main function and the bookkeeping of
+/// its synchronous hand-off channel (§4: "Infopipe push and pull calls
+/// between coroutines ... are mapped to asynchronous inter-thread
+/// messages").
+struct CoroutineRec {
+  Component* comp = nullptr;
+  rt::ThreadId tid = rt::kNoThread;
+  std::function<void()> main;
+  std::optional<rt::Message> initial;  ///< the message that started main
+  rt::ThreadId last_requester = rt::kNoThread;
+  int pending_pulls = 0;   ///< outstanding kMsgCoPull (pull direction)
+  bool owes_done = false;  ///< must send kMsgCoDone (push direction)
+  bool finished = false;   ///< saw end-of-stream
+};
+
+}  // namespace detail
+
+class Realization;
+
+/// Per-thread execution context created by the realization: knows which
+/// components the thread hosts (for control dispatch) and provides the
+/// control-responsive wait primitive that all blocking operations
+/// (coroutine hand-offs, buffer waits, pump timing) are built on.
+class HostContext {
+ public:
+  using MsgPred = std::function<bool(const rt::Message&)>;
+
+  [[nodiscard]] rt::Runtime& runtime() noexcept;
+  [[nodiscard]] rt::ThreadId tid() const noexcept { return tid_; }
+  [[nodiscard]] Realization& realization() noexcept { return *real_; }
+
+  /// Blocks until a message matching `pred` arrives. Control events arriving
+  /// meanwhile are dispatched to the hosted components (this is how a
+  /// component "blocked in a push or pull" still handles control, §3.2).
+  /// Throws detail::ShutdownSignal when a shutdown event is dispatched.
+  rt::Message wait(const MsgPred& pred);
+
+  /// Like wait(), but also returns (with nullopt) after dispatching any
+  /// control event, so the caller can re-check state that the event may have
+  /// changed (buffers use this to notice STOP/FLUSH).
+  std::optional<rt::Message> wait_interruptible(const MsgPred& pred);
+
+  /// Dispatches all queued control events without blocking.
+  void poll_control();
+
+  /// True once kEventShutdown has been dispatched on this thread.
+  [[nodiscard]] bool terminate_requested() const noexcept {
+    return terminate_;
+  }
+
+  /// The driver whose section this thread belongs to (the driver itself for
+  /// driver threads, the section's driver for coroutine threads).
+  [[nodiscard]] Driver* section_driver() const noexcept { return driver_; }
+
+  /// True when this thread's flow has been stopped (driver not running).
+  [[nodiscard]] bool flow_stopped() const noexcept {
+    return driver_ != nullptr && !driver_->running_;
+  }
+
+  [[nodiscard]] const std::vector<Component*>& hosted() const noexcept {
+    return hosted_;
+  }
+
+ private:
+  friend class Realization;
+  friend class Wiring;
+
+  HostContext(Realization& r, rt::ThreadId tid) : real_(&r), tid_(tid) {}
+
+  /// Handles one control message: runs middleware lifecycle side effects
+  /// (START/STOP/SHUTDOWN flags) and the targeted components' handlers.
+  void dispatch(rt::Message&& m);
+
+  Realization* real_;
+  rt::ThreadId tid_;
+  std::vector<Component*> hosted_;
+  Driver* driver_ = nullptr;
+  bool terminate_ = false;
+  std::uint64_t tick_gen_ = 0;
+};
+
+/// Serializes a shared region (downstream of a MergeTee / upstream of a
+/// BalancingSwitch) so only one thread is active in it at a time, while the
+/// owner may re-enter (a control handler may run in a component whose data
+/// processing is blocked in a push/pull on this very thread — §3.2 allows
+/// exactly that).
+class SectionLock {
+ public:
+  void acquire(HostContext& h);
+  void release(HostContext& h);
+  [[nodiscard]] rt::ThreadId owner() const noexcept { return owner_; }
+
+ private:
+  rt::ThreadId owner_ = rt::kNoThread;
+  int depth_ = 0;
+  std::vector<rt::ThreadId> waiters_;
+};
+
+/// A realized pipeline: plans, spawns the threads, generates the glue, and
+/// routes control events. Owns nothing of the components themselves — they
+/// stay owned by the application and can be realized again after this
+/// Realization is destroyed.
+class Realization {
+ public:
+  Realization(rt::Runtime& rt, const Pipeline& p);
+  ~Realization();
+
+  Realization(const Realization&) = delete;
+  Realization& operator=(const Realization&) = delete;
+
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] rt::Runtime& runtime() noexcept { return *rt_; }
+
+  // -- lifecycle (all of these just post events; drive with rt.run()) --------
+
+  /// Broadcasts kEventStart: pumps begin moving data.
+  void start() { post_event(Event{kEventStart}); }
+  /// Broadcasts kEventStop: pumps finish the current item and pause.
+  void stop() { post_event(Event{kEventStop}); }
+  /// Broadcasts kEventShutdown: all middleware threads terminate.
+  void shutdown() { post_event(Event{kEventShutdown}); }
+
+  // -- control events (§2.2) ---------------------------------------------------
+
+  /// Broadcast to every component, in pipeline order per thread.
+  void post_event(const Event& e);
+  /// Local delivery to one component.
+  void post_event_to(Component& c, const Event& e);
+  /// Delayed delivery (used by netpipes to impose network latency on
+  /// control events crossing to a remote component, §2.4).
+  void post_event_to_after(Component& c, const Event& e, rt::Time delay);
+  /// Observer for broadcast events (runs on the caller of post_event).
+  void set_event_listener(std::function<void(const Event&)> fn) {
+    listener_ = std::move(fn);
+  }
+
+  // -- introspection -------------------------------------------------------------
+
+  [[nodiscard]] rt::ThreadId host_thread(const Component& c) const;
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return all_threads_.size();
+  }
+  /// Drivers currently pumping (running flag set).
+  [[nodiscard]] int running_drivers() const;
+  /// True once every driver has stopped (STOP or end-of-stream).
+  [[nodiscard]] bool finished() const { return running_drivers() == 0; }
+
+  /// Human-readable summary of the realized plan: sections, drivers, the
+  /// mode and activity style of every hosted component, and where
+  /// coroutines were allocated. What a developer reads to understand what
+  /// the planner decided.
+  [[nodiscard]] std::string describe() const;
+
+  /// Runtime statistics snapshot: items pumped per driver, buffer
+  /// fill/drops/blocks. Companion to describe() for a running pipeline.
+  [[nodiscard]] std::string stats_report() const;
+
+  /// HostContext of the calling user-level thread. Middleware-internal.
+  [[nodiscard]] HostContext& current_host();
+
+ private:
+  friend class HostContext;
+  friend class Wiring;
+
+  /// Shared downstream/upstream region behind a merge/balancing tee.
+  struct SharedTail {
+    SectionLock lock;
+    PushFn push;  ///< set for merge tails
+    PullFn pull;  ///< set for balancing heads
+  };
+
+  HostContext& new_host(rt::ThreadId tid);
+  void run_driver(HostContext& h, Driver& d);
+  rt::CodeResult driver_code(HostContext& h, Driver& d, rt::Message m);
+  rt::CodeResult coroutine_code(HostContext& h, detail::CoroutineRec& rec,
+                                rt::Message m);
+  void unbind_components();
+
+  rt::Runtime* rt_;
+  const Pipeline* pipe_;
+  Plan plan_;
+  std::vector<std::unique_ptr<HostContext>> hosts_;
+  std::map<rt::ThreadId, HostContext*> host_by_tid_;
+  std::map<const Component*, rt::ThreadId> host_of_comp_;
+  std::vector<rt::ThreadId> all_threads_;
+  std::vector<std::unique_ptr<detail::CoroutineRec>> coroutines_;
+  std::vector<std::unique_ptr<SharedTail>> tails_;
+  std::function<void(const Event&)> listener_;
+};
+
+}  // namespace infopipe

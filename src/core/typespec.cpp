@@ -1,0 +1,146 @@
+#include "core/typespec.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <sstream>
+
+namespace infopipe {
+
+std::optional<Range> Range::intersect(const Range& o) const {
+  Range r{std::max(lo, o.lo), std::min(hi, o.hi)};
+  if (!r.valid()) return std::nullopt;
+  return r;
+}
+
+namespace {
+
+/// Per-key reconciliation. Returns nullopt on conflict.
+std::optional<PropValue> intersect_values(const PropValue& a,
+                                          const PropValue& b) {
+  // Mixed alternative types never reconcile — a component asking for a Range
+  // where another states a scalar is a spec-authoring error surfaced as an
+  // incompatibility. One deliberate exception: a Range and a double
+  // reconcile when the range contains the scalar (common for QoS: source
+  // states 30 fps, sink supports [10,60] fps).
+  if (a.index() == b.index()) {
+    if (const Range* ra = std::get_if<Range>(&a)) {
+      auto r = ra->intersect(std::get<Range>(b));
+      if (!r) return std::nullopt;
+      return PropValue{*r};
+    }
+    if (const StringSet* sa = std::get_if<StringSet>(&a)) {
+      const StringSet& sb = std::get<StringSet>(b);
+      StringSet common;
+      std::set_intersection(sa->begin(), sa->end(), sb.begin(), sb.end(),
+                            std::inserter(common, common.begin()));
+      if (common.empty()) return std::nullopt;
+      return PropValue{common};
+    }
+    if (a == b) return a;
+    return std::nullopt;
+  }
+  const Range* r = std::get_if<Range>(&a);
+  const double* d = std::get_if<double>(&b);
+  if (r == nullptr) {
+    r = std::get_if<Range>(&b);
+    d = std::get_if<double>(&a);
+  }
+  if (r != nullptr && d != nullptr && r->contains(*d)) {
+    return PropValue{*d};
+  }
+  return std::nullopt;
+}
+
+/// Is `a` at least as constrained as `b` for one key?
+bool value_subset(const PropValue& a, const PropValue& b) {
+  if (a.index() == b.index()) {
+    if (const Range* ra = std::get_if<Range>(&a)) {
+      const Range& rb = std::get<Range>(b);
+      return rb.lo <= ra->lo && ra->hi <= rb.hi;
+    }
+    if (const StringSet* sa = std::get_if<StringSet>(&a)) {
+      const StringSet& sb = std::get<StringSet>(b);
+      return std::includes(sb.begin(), sb.end(), sa->begin(), sa->end());
+    }
+    return a == b;
+  }
+  const double* d = std::get_if<double>(&a);
+  const Range* rb = std::get_if<Range>(&b);
+  return d != nullptr && rb != nullptr && rb->contains(*d);
+}
+
+}  // namespace
+
+std::optional<Typespec> Typespec::intersect(const Typespec& other) const {
+  Typespec out = *this;
+  for (const auto& [key, bval] : other.props_) {
+    auto it = out.props_.find(key);
+    if (it == out.props_.end()) {
+      out.props_.emplace(key, bval);  // unconstrained here: adopt theirs
+      continue;
+    }
+    auto merged = intersect_values(it->second, bval);
+    if (!merged) return std::nullopt;
+    it->second = std::move(*merged);
+  }
+  return out;
+}
+
+bool Typespec::subset_of(const Typespec& other) const {
+  // Every constraint in `other` must be satisfied by this spec. A key absent
+  // from `other` is "don't care"; a key absent *here* but present in `other`
+  // means we are less constrained than required, so not a subset.
+  for (const auto& [key, bval] : other.props_) {
+    auto it = props_.find(key);
+    if (it == props_.end()) return false;
+    if (!value_subset(it->second, bval)) return false;
+  }
+  return true;
+}
+
+Typespec Typespec::overlay(const Typespec& other) const {
+  Typespec out = *this;
+  for (const auto& [key, val] : other.props_) out.props_[key] = val;
+  return out;
+}
+
+std::string to_string(const PropValue& v) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          os << (x ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, Range>) {
+          os << '[' << x.lo << ", " << x.hi << ']';
+        } else if constexpr (std::is_same_v<T, StringSet>) {
+          os << '{';
+          bool first = true;
+          for (const auto& s : x) {
+            if (!first) os << ", ";
+            os << s;
+            first = false;
+          }
+          os << '}';
+        } else {
+          os << x;
+        }
+      },
+      v);
+  return os.str();
+}
+
+std::string Typespec::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [key, val] : props_) {
+    if (!first) os << "; ";
+    os << key << '=' << infopipe::to_string(val);
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace infopipe

@@ -1,0 +1,141 @@
+// Typespecs: extensible descriptions of the information flows an Infopipe
+// port can support (§2.3 of the paper).
+//
+// A Typespec is a property map. Properties include the item type, QoS
+// parameter ranges, blocking behaviour and control-event capabilities. A
+// property that is absent means "don't know" on an offer and "don't care" on
+// a requirement — both make the property unconstrained, so absence always
+// composes. Components do not carry one fixed Typespec; they *transform*
+// Typespecs port-to-port (Component::transform_downstream/upstream), and the
+// composition engine propagates and intersects them along the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+
+namespace infopipe {
+
+/// A closed numeric interval [lo, hi]. Used for QoS parameters such as frame
+/// rate or latency, where a component supports a range of values.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Range() = default;
+  Range(double l, double h) : lo(l), hi(h) {}
+  static Range exactly(double v) { return Range{v, v}; }
+
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  [[nodiscard]] bool contains(double v) const { return lo <= v && v <= hi; }
+
+  /// Intersection; nullopt when disjoint.
+  [[nodiscard]] std::optional<Range> intersect(const Range& o) const;
+
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// A finite set of symbolic alternatives (e.g. supported item formats).
+using StringSet = std::set<std::string>;
+
+/// A Typespec property value.
+using PropValue = std::variant<bool, std::int64_t, double, std::string, Range,
+                               StringSet>;
+
+/// Well-known property keys. The set is open: components may define and
+/// transform their own keys; unknown keys still participate in intersection.
+namespace props {
+inline constexpr const char* kItemType = "item.type";        // string
+inline constexpr const char* kFormats = "item.formats";      // StringSet
+inline constexpr const char* kFrameRate = "qos.frame_rate";  // Range (Hz)
+inline constexpr const char* kLatencyMs = "qos.latency_ms";  // Range
+inline constexpr const char* kJitterMs = "qos.jitter_ms";    // Range
+inline constexpr const char* kBandwidthKbps = "qos.bandwidth_kbps";  // Range
+inline constexpr const char* kWidth = "video.width";         // Range (pixels)
+inline constexpr const char* kHeight = "video.height";       // Range
+inline constexpr const char* kPushBlocking = "interact.push_blocking";  // bool
+inline constexpr const char* kPullBlocking = "interact.pull_blocking";  // bool
+inline constexpr const char* kControlIn = "control.accepts";   // StringSet
+inline constexpr const char* kControlOut = "control.emits";    // StringSet
+/// Changed only by netpipes (§2.4): lets type checking see where a flow is.
+inline constexpr const char* kLocation = "flow.location";      // string
+}  // namespace props
+
+class Typespec {
+ public:
+  Typespec() = default;
+  Typespec(std::initializer_list<std::pair<const std::string, PropValue>> kv)
+      : props_(kv) {}
+
+  // -- property access -------------------------------------------------------
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return props_.count(key) != 0;
+  }
+
+  /// Typed read; nullopt when absent ("don't know / don't care") or when the
+  /// stored value has a different alternative type.
+  template <typename T>
+  [[nodiscard]] std::optional<T> get(const std::string& key) const {
+    auto it = props_.find(key);
+    if (it == props_.end()) return std::nullopt;
+    if (const T* v = std::get_if<T>(&it->second)) return *v;
+    return std::nullopt;
+  }
+
+  Typespec& set(const std::string& key, PropValue v) {
+    props_[key] = std::move(v);
+    return *this;
+  }
+
+  Typespec& erase(const std::string& key) {
+    props_.erase(key);
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return props_.size(); }
+  [[nodiscard]] bool empty() const { return props_.empty(); }
+  [[nodiscard]] const std::map<std::string, PropValue>& properties() const {
+    return props_;
+  }
+
+  // -- composition algebra -----------------------------------------------------
+
+  /// Intersection of two Typespecs: the flows both sides can support.
+  /// Scalars must be equal; Ranges must overlap (result is the overlap);
+  /// StringSets must share members (result is the common subset). A key
+  /// present on only one side carries over unchanged (absence composes).
+  /// Returns nullopt when any shared key is irreconcilable.
+  [[nodiscard]] std::optional<Typespec> intersect(const Typespec& other) const;
+
+  /// True when `this` describes a subset of the flows `other` describes:
+  /// every constraint in `other` is at least as loose as the corresponding
+  /// one here (§2.3: a stage's Typespec "can be a subset of a given"
+  /// Typespec).
+  [[nodiscard]] bool subset_of(const Typespec& other) const;
+
+  /// True when the two specs have a non-empty intersection.
+  [[nodiscard]] bool compatible_with(const Typespec& other) const {
+    return intersect(other).has_value();
+  }
+
+  /// Copy of this spec with `other`'s keys overlaid (later wins). Used by
+  /// components that add or update properties while transforming a spec.
+  [[nodiscard]] Typespec overlay(const Typespec& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Typespec&, const Typespec&) = default;
+
+ private:
+  std::map<std::string, PropValue> props_;
+};
+
+/// Human-readable rendering of one property value (diagnostics, tests).
+std::string to_string(const PropValue& v);
+
+}  // namespace infopipe

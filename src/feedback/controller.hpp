@@ -1,0 +1,88 @@
+// Feedback controllers (§2.1's "feedback toolkit for adaptation control",
+// after Goel et al., "Adaptive resource management via modular feedback
+// control" — the paper's reference [7]).
+//
+// Pure arithmetic, no middleware dependencies: a controller maps an error
+// signal to an actuation value at discrete sample times. Composition with
+// sensors and actuators happens in toolkit.hpp.
+#pragma once
+
+#include <algorithm>
+
+namespace infopipe::fb {
+
+/// First-order low-pass filter (EWMA) for smoothing noisy sensor readings.
+class LowPassFilter {
+ public:
+  /// alpha in (0,1]: weight of the newest sample; 1 = no smoothing.
+  explicit LowPassFilter(double alpha) : alpha_(alpha) {}
+
+  double update(double sample) {
+    if (!primed_) {
+      value_ = sample;
+      primed_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  void reset() noexcept { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Proportional controller with output clamping.
+class PController {
+ public:
+  PController(double kp, double out_min, double out_max)
+      : kp_(kp), out_min_(out_min), out_max_(out_max) {}
+
+  /// error = setpoint - measurement; returns the clamped actuation delta.
+  [[nodiscard]] double update(double error) const {
+    return std::clamp(kp_ * error, out_min_, out_max_);
+  }
+
+ private:
+  double kp_;
+  double out_min_;
+  double out_max_;
+};
+
+/// Proportional-integral controller with anti-windup (the integrator is
+/// clamped to the output range).
+class PIController {
+ public:
+  PIController(double kp, double ki, double out_min, double out_max)
+      : kp_(kp), ki_(ki), out_min_(out_min), out_max_(out_max) {}
+
+  double update(double error, double dt_seconds) {
+    integral_ += error * dt_seconds;
+    // Anti-windup: keep the integral term within the achievable output.
+    // Gains may be negative (e.g. a drain pump: more rate -> less fill), so
+    // order the bounds explicitly.
+    if (ki_ != 0.0) {
+      const double b1 = out_min_ / ki_;
+      const double b2 = out_max_ / ki_;
+      integral_ = std::clamp(integral_, std::min(b1, b2), std::max(b1, b2));
+    }
+    return std::clamp(kp_ * error + ki_ * integral_, out_min_, out_max_);
+  }
+
+  void reset() noexcept { integral_ = 0.0; }
+  [[nodiscard]] double integral() const noexcept { return integral_; }
+
+ private:
+  double kp_;
+  double ki_;
+  double out_min_;
+  double out_max_;
+  double integral_ = 0.0;
+};
+
+}  // namespace infopipe::fb

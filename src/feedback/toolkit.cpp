@@ -1,0 +1,48 @@
+#include "feedback/toolkit.hpp"
+
+namespace infopipe::fb {
+
+namespace {
+constexpr int kMsgLoopTick = 200;
+}
+
+PeriodicTask::PeriodicTask(rt::Runtime& rt, std::string name, rt::Time period,
+                           std::function<void(rt::Time)> body,
+                           rt::Priority priority)
+    : rt_(&rt), period_(period), body_(std::move(body)) {
+  tid_ = rt_->spawn(std::move(name), priority,
+                    [this](rt::Runtime& r, rt::Message m) -> rt::CodeResult {
+                      if (m.type != kMsgLoopTick) return rt::CodeResult::kContinue;
+                      while (!stop_requested_) {
+                        r.sleep_for(period_);
+                        if (stop_requested_) break;
+                        body_(r.now());
+                      }
+                      active_ = false;
+                      return rt::CodeResult::kContinue;
+                    });
+}
+
+PeriodicTask::~PeriodicTask() {
+  if (rt_->alive(tid_)) rt_->kill(tid_);
+}
+
+void PeriodicTask::start() {
+  if (active_) return;
+  stop_requested_ = false;
+  active_ = true;
+  rt_->send(tid_, rt::Message{kMsgLoopTick, rt::MsgClass::kData});
+}
+
+void PeriodicTask::stop() { stop_requested_ = true; }
+
+FeedbackLoop::Actuate pump_rate_actuator(Realization& real,
+                                         AdaptivePump& pump) {
+  Realization* r = &real;
+  AdaptivePump* p = &pump;
+  return [r, p](double rate_hz) {
+    if (rate_hz > 0.0) r->post_event_to(*p, Event{kEventQualityHint, rate_hz});
+  };
+}
+
+}  // namespace infopipe::fb

@@ -1,0 +1,195 @@
+// The feedback toolkit: sensors, actuators and periodic control loops wired
+// through the platform (§2.1, §3.1).
+//
+// Sensors are ordinary pipeline components (or probes of buffers); control
+// values travel as control events through the event service, so a feedback
+// loop can span "remote" ends of a pipeline exactly like the Figure 1
+// configuration: a sensor on the consumer side steers a drop filter on the
+// producer side.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "core/buffer.hpp"
+#include "core/component.hpp"
+#include "core/pump.hpp"
+#include "core/realization.hpp"
+#include "feedback/controller.hpp"
+#include "rt/runtime.hpp"
+
+namespace infopipe::fb {
+
+/// Payload of kEventSensorReport events.
+struct SensorReport {
+  std::string sensor;
+  double value = 0.0;
+};
+
+/// A recurring task on its own middleware thread: the scaffold for
+/// controllers that sample sensors and drive actuators. The callback runs at
+/// the given period until stop() (or destruction).
+class PeriodicTask {
+ public:
+  PeriodicTask(rt::Runtime& rt, std::string name, rt::Time period,
+               std::function<void(rt::Time now)> body,
+               rt::Priority priority = rt::kPriorityControl);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  rt::Runtime* rt_;
+  rt::ThreadId tid_ = rt::kNoThread;
+  rt::Time period_;
+  std::function<void(rt::Time)> body_;
+  bool active_ = false;
+  bool stop_requested_ = false;
+};
+
+/// Pass-through pipeline component measuring the flow rate. Arrivals are
+/// counted over fixed windows (count/elapsed — unbiased even for bursty
+/// flows) and the per-window rates are low-pass filtered. At every window
+/// boundary the sensor broadcasts a kEventSensorReport with the smoothed
+/// rate, so controllers anywhere in the pipeline can react (Figure 1's
+/// consumer-side sensor).
+class RateSensor : public FunctionComponent {
+ public:
+  RateSensor(std::string name, double alpha = 0.2,
+             rt::Time window = rt::milliseconds(500), bool report = true)
+      : FunctionComponent(std::move(name)),
+        filter_(alpha),
+        window_(window),
+        report_(report) {}
+
+  [[nodiscard]] double rate_hz() const noexcept { return filter_.value(); }
+  [[nodiscard]] std::uint64_t observed() const noexcept { return seen_; }
+  [[nodiscard]] int reports_sent() const noexcept { return reports_; }
+
+ protected:
+  Item convert(Item x) override {
+    const rt::Time now = pipeline_now();
+    if (seen_ == 0) window_start_ = now;
+    ++seen_;
+    ++in_window_;
+    if (now - window_start_ >= window_ && now > window_start_) {
+      const double rate = static_cast<double>(in_window_) * 1e9 /
+                          static_cast<double>(now - window_start_);
+      filter_.update(rate);
+      window_start_ = now;
+      in_window_ = 0;
+      if (report_) {
+        ++reports_;
+        broadcast(Event{kEventSensorReport,
+                        SensorReport{name(), filter_.value()}});
+      }
+    }
+    return x;
+  }
+
+ private:
+  LowPassFilter filter_;
+  rt::Time window_;
+  bool report_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t in_window_ = 0;
+  rt::Time window_start_ = 0;
+  int reports_ = 0;
+};
+
+/// Measures per-item latency (now - item.timestamp) instead of rate;
+/// otherwise like RateSensor. Reports smoothed latency in milliseconds.
+class LatencySensor : public FunctionComponent {
+ public:
+  LatencySensor(std::string name, double alpha = 0.2,
+                std::uint64_t report_every = 10)
+      : FunctionComponent(std::move(name)),
+        filter_(alpha),
+        report_every_(report_every) {}
+
+  [[nodiscard]] double latency_ms() const noexcept { return filter_.value(); }
+
+ protected:
+  Item convert(Item x) override {
+    const double lat_ms =
+        static_cast<double>(pipeline_now() - x.timestamp) / 1e6;
+    filter_.update(lat_ms);
+    ++seen_;
+    if (report_every_ > 0 && seen_ % report_every_ == 0) {
+      broadcast(Event{kEventSensorReport,
+                      SensorReport{name(), filter_.value()}});
+    }
+    return x;
+  }
+
+ private:
+  LowPassFilter filter_;
+  std::uint64_t report_every_;
+  std::uint64_t seen_ = 0;
+};
+
+/// A feedback loop: samples a reading, runs a controller, drives an
+/// actuator — on its own thread at a fixed period. This is the generic
+/// shape of §3.1's "more elaborate approaches [that] adjust CPU allocations
+/// among pipeline stages according to feedback from buffer fill levels".
+class FeedbackLoop {
+ public:
+  using Reading = std::function<double()>;
+  using Actuate = std::function<void(double)>;
+
+  /// The controller maps (setpoint - reading) to an absolute actuation
+  /// value via a PI controller bounded to [out_min, out_max].
+  FeedbackLoop(rt::Runtime& rt, std::string name, rt::Time period,
+               Reading read, double setpoint, PIController controller,
+               Actuate actuate)
+      : controller_(std::move(controller)),
+        read_(std::move(read)),
+        actuate_(std::move(actuate)),
+        setpoint_(setpoint),
+        period_(period),
+        task_(rt, std::move(name), period, [this](rt::Time) { step(); }) {}
+
+  void start() { task_.start(); }
+  void stop() { task_.stop(); }
+  void set_setpoint(double s) noexcept { setpoint_ = s; }
+  [[nodiscard]] double last_output() const noexcept { return last_out_; }
+  [[nodiscard]] int steps() const noexcept { return steps_; }
+
+ private:
+  void step() {
+    const double error = setpoint_ - read_();
+    last_out_ =
+        controller_.update(error, static_cast<double>(period_) / 1e9);
+    actuate_(last_out_);
+    ++steps_;
+  }
+
+  PIController controller_;
+  Reading read_;
+  Actuate actuate_;
+  double setpoint_;
+  rt::Time period_;
+  double last_out_ = 0.0;
+  int steps_ = 0;
+  PeriodicTask task_;
+};
+
+/// Reading helper: a buffer's fill level as a fraction of capacity.
+[[nodiscard]] inline FeedbackLoop::Reading fill_fraction(const Buffer& b) {
+  return [&b]() {
+    return static_cast<double>(b.fill()) / static_cast<double>(b.capacity());
+  };
+}
+
+/// Actuation helper: set an adaptive pump's rate through the event service
+/// (kEventQualityHint), i.e. via the platform rather than a direct call.
+[[nodiscard]] FeedbackLoop::Actuate pump_rate_actuator(Realization& real,
+                                                       AdaptivePump& pump);
+
+}  // namespace infopipe::fb

@@ -1,0 +1,350 @@
+#include "lang/microlang.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/basic.hpp"
+#include "core/buffer.hpp"
+#include "core/pump.hpp"
+#include "core/tee.hpp"
+#include "media/audio.hpp"
+#include "media/mpeg.hpp"
+#include "net/netpipe.hpp"
+
+namespace infopipe::lang {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(trim(cur));
+  return out;
+}
+
+double arg_num(const std::vector<std::string>& args, std::size_t i,
+               double fallback, int line) {
+  if (i >= args.size() || args[i].empty()) return fallback;
+  try {
+    return std::stod(args[i]);
+  } catch (...) {
+    throw ParseError(line, "expected a number, got '" + args[i] + "'");
+  }
+}
+
+/// Identifier: [A-Za-z_][A-Za-z0-9_-]*
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(s[0])) == 0 && s[0] != '_') {
+    return false;
+  }
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '-';
+  });
+}
+
+struct PortRef {
+  std::string name;
+  int port = 0;
+};
+
+PortRef parse_port_ref(const std::string& token, int line) {
+  const auto dot = token.rfind('.');
+  if (dot == std::string::npos) return PortRef{token, 0};
+  const std::string name = token.substr(0, dot);
+  const std::string port = token.substr(dot + 1);
+  if (port.empty() ||
+      !std::all_of(port.begin(), port.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      })) {
+    throw ParseError(line, "bad port reference '" + token + "'");
+  }
+  return PortRef{name, std::stoi(port)};
+}
+
+FullPolicy parse_full_policy(const std::string& s, int line) {
+  if (s.empty() || s == "block") return FullPolicy::kBlock;
+  if (s == "drop-newest") return FullPolicy::kDropNewest;
+  if (s == "drop-oldest") return FullPolicy::kDropOldest;
+  throw ParseError(line, "unknown full-policy '" + s + "'");
+}
+
+EmptyPolicy parse_empty_policy(const std::string& s, int line) {
+  if (s.empty() || s == "block") return EmptyPolicy::kBlock;
+  if (s == "nil") return EmptyPolicy::kNil;
+  throw ParseError(line, "unknown empty-policy '" + s + "'");
+}
+
+}  // namespace
+
+MicroLang::MicroLang() {
+  using Args = std::vector<std::string>;
+  // NOTE on the `line` used in factories: factories receive trimmed args and
+  // may throw ParseError(0, ...); parse() rewrites the line number.
+  auto num = [](const Args& a, std::size_t i, double fb) {
+    return arg_num(a, i, fb, 0);
+  };
+
+  register_type("counting_source", [num](const std::string& n, const Args& a) {
+    return std::make_unique<CountingSource>(
+        n, static_cast<std::uint64_t>(num(a, 0, 100)));
+  });
+  register_type("identity", [](const std::string& n, const Args&) {
+    return std::make_unique<IdentityFunction>(n);
+  });
+  register_type("pump", [num](const std::string& n, const Args& a) {
+    return std::make_unique<ClockedPump>(n, num(a, 0, 30.0));
+  });
+  register_type("freerunning_pump", [](const std::string& n, const Args&) {
+    return std::make_unique<FreeRunningPump>(n);
+  });
+  register_type("adaptive_pump", [num](const std::string& n, const Args& a) {
+    return std::make_unique<AdaptivePump>(n, num(a, 0, 30.0));
+  });
+  register_type("buffer", [num](const std::string& n, const Args& a) {
+    const auto cap = static_cast<std::size_t>(num(a, 0, 8));
+    const FullPolicy fp =
+        parse_full_policy(a.size() > 1 ? a[1] : std::string{}, 0);
+    const EmptyPolicy ep =
+        parse_empty_policy(a.size() > 2 ? a[2] : std::string{}, 0);
+    return std::make_unique<Buffer>(n, cap, fp, ep);
+  });
+  register_type("multicast", [num](const std::string& n, const Args& a) {
+    return std::make_unique<MulticastTee>(n, static_cast<int>(num(a, 0, 2)));
+  });
+  register_type("merge", [num](const std::string& n, const Args& a) {
+    return std::make_unique<MergeTee>(n, static_cast<int>(num(a, 0, 2)));
+  });
+  register_type("balance", [num](const std::string& n, const Args& a) {
+    return std::make_unique<BalancingSwitch>(n,
+                                             static_cast<int>(num(a, 0, 2)));
+  });
+  register_type("sink", [](const std::string& n, const Args&) {
+    return std::make_unique<CountingSink>(n);
+  });
+  register_type("collector", [](const std::string& n, const Args&) {
+    return std::make_unique<CollectorSink>(n);
+  });
+
+  // media
+  register_type("mpeg_file", [num](const std::string& n, const Args& a) {
+    media::StreamConfig cfg;
+    const std::string file = a.empty() ? n : a[0];
+    cfg.frames = static_cast<std::uint64_t>(num(a, 1, 300));
+    cfg.fps = num(a, 2, 30.0);
+    return std::make_unique<media::MpegFileSource>(file, cfg);
+  });
+  register_type("decoder", [](const std::string& n, const Args&) {
+    return std::make_unique<media::MpegDecoder>(n);
+  });
+  register_type("drop_filter", [](const std::string& n, const Args&) {
+    return std::make_unique<media::FrameDropFilter>(n);
+  });
+  register_type("resizer", [num](const std::string& n, const Args& a) {
+    return std::make_unique<media::Resizer>(n, static_cast<int>(num(a, 0, 320)),
+                                            static_cast<int>(num(a, 1, 240)));
+  });
+  register_type("display", [num](const std::string& n, const Args& a) {
+    return std::make_unique<media::VideoDisplay>(n, num(a, 0, 30.0));
+  });
+  register_type("tone", [num](const std::string& n, const Args& a) {
+    return std::make_unique<media::ToneSource>(
+        n, num(a, 0, 440.0), static_cast<std::uint64_t>(num(a, 1, 100)));
+  });
+  register_type("audio_mixer", [num](const std::string& n, const Args& a) {
+    return std::make_unique<media::AudioMixer>(n,
+                                               static_cast<int>(num(a, 0, 2)));
+  });
+  register_type("audio_device", [num](const std::string& n, const Args& a) {
+    return std::make_unique<media::AudioDevice>(n, num(a, 0, 100.0));
+  });
+}
+
+void MicroLang::register_type(std::string type, Factory factory) {
+  factories_[std::move(type)] = std::move(factory);
+}
+
+std::vector<std::string> MicroLang::types() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, v] : factories_) out.push_back(k);
+  return out;
+}
+
+Assembly MicroLang::parse(const std::string& program) const {
+  Assembly asmb;
+  std::istringstream in(program);
+  std::string raw;
+  int line_no = 0;
+
+  auto lookup = [&](const std::string& name, int line) -> Component& {
+    auto it = asmb.by_name.find(name);
+    if (it == asmb.by_name.end()) {
+      throw ParseError(line, "unknown component '" + name + "'");
+    }
+    return *it->second;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string stmt = raw;
+    if (const auto hash = stmt.find('#'); hash != std::string::npos) {
+      stmt = stmt.substr(0, hash);
+    }
+    stmt = trim(stmt);
+    if (stmt.empty()) continue;
+
+    std::istringstream ls(stmt);
+    std::string keyword;
+    ls >> keyword;
+
+    if (keyword == "let") {
+      // let <name> = <type>(<args>)
+      std::string rest;
+      std::getline(ls, rest);
+      const auto eq = rest.find('=');
+      if (eq == std::string::npos) {
+        throw ParseError(line_no, "expected 'let <name> = <type>(...)'");
+      }
+      const std::string name = trim(rest.substr(0, eq));
+      std::string ctor = trim(rest.substr(eq + 1));
+      if (!valid_name(name)) {
+        throw ParseError(line_no, "bad component name '" + name + "'");
+      }
+      if (asmb.by_name.count(name) != 0) {
+        throw ParseError(line_no, "duplicate component '" + name + "'");
+      }
+      std::string type = ctor;
+      std::vector<std::string> args;
+      if (const auto open = ctor.find('('); open != std::string::npos) {
+        if (ctor.back() != ')') {
+          throw ParseError(line_no, "missing ')' in '" + ctor + "'");
+        }
+        type = trim(ctor.substr(0, open));
+        const std::string arg_str =
+            ctor.substr(open + 1, ctor.size() - open - 2);
+        if (!trim(arg_str).empty()) args = split(arg_str, ',');
+      }
+      // Transport declarations and the netpipe endpoint types need access
+      // to the assembly being built, so they are handled here rather than
+      // through the plain factory registry.
+      if (type == "link") {
+        net::LinkConfig lc;
+        lc.bandwidth_bps = arg_num(args, 0, 10e6, line_no);
+        lc.base_latency = static_cast<rt::Time>(
+            arg_num(args, 1, 20.0, line_no) * 1e6);  // ms
+        lc.random_loss = arg_num(args, 2, 0.0, line_no);
+        lc.jitter = static_cast<rt::Time>(
+            arg_num(args, 3, 0.0, line_no) * 1e6);  // ms
+        if (asmb.links.count(name) != 0) {
+          throw ParseError(line_no, "duplicate link '" + name + "'");
+        }
+        asmb.links.emplace(name, std::make_unique<net::SimLink>(lc));
+        continue;
+      }
+      if (type == "net_sender" || type == "net_receiver") {
+        if (args.empty() || asmb.links.count(args[0]) == 0) {
+          throw ParseError(line_no, type + " needs a declared link name");
+        }
+        net::SimLink& l = *asmb.links.at(args[0]);
+        const std::string where = args.size() > 1 ? args[1] : "remote";
+        std::unique_ptr<Component> c;
+        if (type == "net_sender") {
+          c = std::make_unique<net::NetSender>(name, l, where);
+        } else {
+          c = std::make_unique<net::NetReceiver>(name, l, where);
+        }
+        asmb.by_name[name] = c.get();
+        asmb.components.push_back(std::move(c));
+        continue;
+      }
+      if (type == "marshal" || type == "unmarshal") {
+        const std::string codec = args.empty() ? "video" : args[0];
+        if (codec != "video") {
+          throw ParseError(line_no, "unknown codec '" + codec + "'");
+        }
+        std::unique_ptr<Component> c;
+        if (type == "marshal") {
+          c = std::make_unique<net::MarshalFilter>(
+              name, media::encode_frame, codec);
+        } else {
+          c = std::make_unique<net::UnmarshalFilter>(
+              name, media::decode_frame, codec);
+        }
+        asmb.by_name[name] = c.get();
+        asmb.components.push_back(std::move(c));
+        continue;
+      }
+
+      auto fit = factories_.find(type);
+      if (fit == factories_.end()) {
+        throw ParseError(line_no, "unknown component type '" + type + "'");
+      }
+      std::unique_ptr<Component> c;
+      try {
+        c = fit->second(name, args);
+      } catch (const ParseError& e) {
+        throw ParseError(line_no, e.what());
+      } catch (const std::exception& e) {
+        throw ParseError(line_no, std::string("cannot construct: ") +
+                                      e.what());
+      }
+      asmb.by_name[name] = c.get();
+      asmb.components.push_back(std::move(c));
+      continue;
+    }
+
+    if (keyword == "connect" || keyword == "chain") {
+      // connect a.P -> b.Q      /     chain a -> b -> c -> ...
+      std::string rest;
+      std::getline(ls, rest);
+      std::vector<std::string> hops;
+      for (std::string& part : split(rest, '>')) {
+        if (!part.empty() && part.back() == '-') {
+          part = trim(part.substr(0, part.size() - 1));
+        }
+        if (!part.empty()) hops.push_back(part);
+      }
+      if (hops.size() < 2) {
+        throw ParseError(line_no, "expected at least two endpoints");
+      }
+      if (keyword == "connect" && hops.size() != 2) {
+        throw ParseError(line_no, "'connect' takes exactly two endpoints");
+      }
+      for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+        const PortRef from = parse_port_ref(hops[i], line_no);
+        const PortRef to = parse_port_ref(hops[i + 1], line_no);
+        try {
+          asmb.pipeline.connect(lookup(from.name, line_no), from.port,
+                                lookup(to.name, line_no), to.port);
+        } catch (const CompositionError& e) {
+          throw ParseError(line_no, e.what());
+        }
+      }
+      continue;
+    }
+
+    throw ParseError(line_no, "unknown statement '" + keyword + "'");
+  }
+  return asmb;
+}
+
+}  // namespace infopipe::lang

@@ -1,0 +1,105 @@
+// The Infopipe Composition Microlanguage.
+//
+// The paper (§5, citing the Infosphere project plans) announces "an Infopipe
+// Composition and Restructuring Microlanguage" as the successor to C++
+// pipeline setup. This is that language, scoped to composition: a
+// line-oriented configuration DSL that instantiates components from a
+// factory registry and wires them into a Pipeline, with the same
+// type-checking as the C++ API (bad polarity or Typespec mismatches are
+// reported with line numbers).
+//
+//   # a local video player (the paper's §4 example)
+//   let src     = mpeg_file(test.mpg, 300, 30)
+//   let decode  = decoder()
+//   let pump    = pump(30)
+//   let display = display(30)
+//   chain src -> decode -> pump -> display
+//
+// Multi-port components connect explicitly:
+//
+//   let tee = multicast(2)
+//   connect pump.0 -> tee.0
+//   connect tee.0 -> display.0
+//   connect tee.1 -> recorder.0
+//
+// The standard library of types covers the toolkit components; applications
+// register their own factories with register_type().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/pipeline.hpp"
+#include "net/transport.hpp"
+
+namespace infopipe::lang {
+
+/// Parse or build failure; what() carries "line N: ..." context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Creates a component. `name` is the instance name from the program;
+/// `args` the comma-separated argument list (already trimmed).
+using Factory = std::function<std::unique_ptr<Component>(
+    const std::string& name, const std::vector<std::string>& args)>;
+
+/// The built program: owns the components, any transports declared with
+/// `let l = link(...)`, and the wired pipeline.
+struct Assembly {
+  std::vector<std::unique_ptr<Component>> components;
+  std::map<std::string, Component*> by_name;
+  std::map<std::string, std::unique_ptr<net::SimLink>> links;
+  Pipeline pipeline;
+
+  [[nodiscard]] net::SimLink& link(const std::string& name) const {
+    return *links.at(name);
+  }
+
+  /// Typed access to an instance; throws std::out_of_range if absent.
+  [[nodiscard]] Component& at(const std::string& name) const {
+    return *by_name.at(name);
+  }
+  template <typename T>
+  [[nodiscard]] T& as(const std::string& name) const {
+    return dynamic_cast<T&>(at(name));
+  }
+};
+
+class MicroLang {
+ public:
+  /// Registers the standard component library (see microlang.cpp for the
+  /// full list: counting_source, mpeg_file, decoder, pump, buffer, tees,
+  /// sinks, ...).
+  MicroLang();
+
+  /// Adds or replaces a component type.
+  void register_type(std::string type, Factory factory);
+
+  [[nodiscard]] bool has_type(const std::string& type) const {
+    return factories_.count(type) != 0;
+  }
+  [[nodiscard]] std::vector<std::string> types() const;
+
+  /// Parses and builds a program. Throws ParseError on syntax errors,
+  /// unknown types/names, or connection errors (which carry the
+  /// CompositionError text plus the line number).
+  [[nodiscard]] Assembly parse(const std::string& program) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace infopipe::lang

@@ -1,0 +1,53 @@
+// Paper-style component aliases (§4):
+//
+//     mpeg_file source("test.mpg");
+//     mpeg_decoder decode;
+//     clocked_pump pump(30); // 30 Hz
+//     video_display sink;
+//     source >> decode >> pump >> sink;
+//     send_event(real, START);
+//
+// Thin adapters over the full-featured classes, so the paper's setup code
+// compiles as written (modulo the explicit Realization, which the paper left
+// implicit in its platform global).
+#pragma once
+
+#include <string>
+
+#include "core/pump.hpp"
+#include "core/realization.hpp"
+#include "media/mpeg.hpp"
+
+namespace infopipe::media {
+
+class mpeg_file : public MpegFileSource {
+ public:
+  explicit mpeg_file(const std::string& filename, StreamConfig cfg = {})
+      : MpegFileSource(filename, cfg) {}
+};
+
+class mpeg_decoder : public MpegDecoder {
+ public:
+  mpeg_decoder() : MpegDecoder("decode") {}
+};
+
+class clocked_pump : public ClockedPump {
+ public:
+  explicit clocked_pump(double rate_hz) : ClockedPump("pump", rate_hz) {}
+};
+
+class video_display : public VideoDisplay {
+ public:
+  explicit video_display(double nominal_fps = 30.0)
+      : VideoDisplay("display", nominal_fps) {}
+};
+
+inline constexpr int START = kEventStart;
+inline constexpr int STOP = kEventStop;
+
+/// Broadcast a control event to every component of the realized pipeline.
+inline void send_event(Realization& real, int type) {
+  real.post_event(Event{type});
+}
+
+}  // namespace infopipe::media

@@ -1,0 +1,78 @@
+// Synthetic video substrate (DESIGN.md §3 substitution for real MPEG).
+//
+// The middleware claims under test concern control flow, threading and
+// timing, not pixel math. VideoFrame therefore models exactly the properties
+// those claims depend on: GOP structure (I/P/B dependency), per-frame
+// compressed size (drives netpipe cost and decode cost), and presentation
+// timestamps (drives jitter measurements).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/types.hpp"
+
+namespace infopipe::media {
+
+enum class FrameType : char { kI = 'I', kP = 'P', kB = 'B' };
+
+[[nodiscard]] constexpr char to_char(FrameType t) {
+  return static_cast<char>(t);
+}
+
+struct VideoFrame {
+  static constexpr std::uint64_t kNoRef = ~std::uint64_t{0};
+
+  std::uint64_t frame_no = 0;
+  FrameType type = FrameType::kI;
+  int width = 0;
+  int height = 0;
+  rt::Time pts = 0;                  ///< nominal presentation time
+  std::size_t compressed_bytes = 0;  ///< synthetic coded size
+  std::uint32_t content_id = 0;      ///< stands in for the pixel data
+  /// frame_no of the reference frame this frame predicts from (kNoRef for
+  /// I frames). Real bitstreams carry this implicitly; making it explicit
+  /// lets the decoder detect missing references exactly.
+  std::uint64_t ref = kNoRef;
+  bool decoded = false;
+  /// Set by the decoder when the reference frame this frame depends on was
+  /// missing or itself corrupt (dropped upstream or in the network).
+  bool corrupt = false;
+};
+
+/// Item::kind values for video items so type-unaware components (drop
+/// filters, switches) can see the frame class without the payload.
+enum VideoKind : int {
+  kKindI = 1,
+  kKindP = 2,
+  kKindB = 3,
+};
+
+[[nodiscard]] constexpr int kind_of(FrameType t) {
+  switch (t) {
+    case FrameType::kI:
+      return kKindI;
+    case FrameType::kP:
+      return kKindP;
+    case FrameType::kB:
+      return kKindB;
+  }
+  return 0;
+}
+
+/// Configuration of the synthetic coded stream.
+struct StreamConfig {
+  std::uint64_t frames = 300;
+  double fps = 30.0;
+  std::string gop = "IBBPBBPBBPBB";  ///< repeating frame-type pattern
+  int width = 320;
+  int height = 240;
+  std::size_t i_bytes = 12000;
+  std::size_t p_bytes = 4000;
+  std::size_t b_bytes = 1500;
+  /// Deterministic +-variation applied to sizes (fraction of nominal).
+  double size_jitter = 0.2;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace infopipe::media

@@ -1,0 +1,48 @@
+#include "net/binder.hpp"
+
+namespace infopipe::net {
+
+BindingResult negotiate(rt::Runtime& rt, const BindingRequest& req) {
+  BindingResult out;
+  if (req.producer_node == nullptr || req.consumer_node == nullptr) {
+    out.failure = "binding request missing a node";
+    return out;
+  }
+
+  const Typespec offer =
+      remote_typespec_query(rt, *req.producer_node, req.producer,
+                            req.out_port);
+  const Typespec need =
+      remote_input_requirement(rt, *req.consumer_node, req.consumer,
+                               req.in_port);
+
+  auto agreed = offer.intersect(need);
+  if (!agreed) {
+    out.failure = req.producer_node->name() + "/" + req.producer +
+                  " offers " + offer.to_string() + " but " +
+                  req.consumer_node->name() + "/" + req.consumer +
+                  " requires " + need.to_string();
+    return out;
+  }
+
+  // Fold in what the link can carry: its bandwidth bounds the flow's
+  // bandwidth property (the netpipe's QoS mapping, §2.4).
+  if (req.link != nullptr) {
+    Typespec link_spec{{props::kBandwidthKbps,
+                        Range{0.0, req.link->bandwidth() / 1e3}}};
+    auto with_link = agreed->intersect(link_spec);
+    if (!with_link) {
+      out.failure =
+          "the link cannot carry the agreed flow: link offers " +
+          link_spec.to_string() + " but the flow needs " + agreed->to_string();
+      return out;
+    }
+    agreed = with_link;
+  }
+
+  out.ok = true;
+  out.agreed = std::move(*agreed);
+  return out;
+}
+
+}  // namespace infopipe::net

@@ -1,0 +1,44 @@
+// Distributed binding (§2.4 + §6 "the supported functionality is being
+// extended by distributed setup"): negotiating a flow between components on
+// different nodes before any netpipe is built.
+//
+// The binder asks the producer's node for the offered Typespec and the
+// consumer's node for the required one — both cross the simulated network
+// in marshalled form through the node agents — intersects them, folds in
+// what the link can carry (bandwidth as a QoS property), and either returns
+// the agreed flow description or explains the mismatch.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/typespec.hpp"
+#include "net/node.hpp"
+#include "net/transport.hpp"
+
+namespace infopipe::net {
+
+struct BindingRequest {
+  const Node* producer_node = nullptr;
+  std::string producer;  ///< component name on the producer node
+  int out_port = 0;
+  const Node* consumer_node = nullptr;
+  std::string consumer;
+  int in_port = 0;
+  /// The link the flow would cross; its bandwidth becomes a QoS bound.
+  const SimLink* link = nullptr;
+};
+
+struct BindingResult {
+  bool ok = false;
+  Typespec agreed;      ///< meaningful when ok
+  std::string failure;  ///< human-readable reason when !ok
+};
+
+/// Runs the negotiation protocol. Never throws for a plain mismatch (that
+/// is a negotiation outcome, not an error); throws RemoteError when a node
+/// or component cannot be reached at all.
+[[nodiscard]] BindingResult negotiate(rt::Runtime& rt,
+                                      const BindingRequest& req);
+
+}  // namespace infopipe::net

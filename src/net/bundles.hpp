@@ -1,0 +1,59 @@
+// Canned composite bundles for distribution: a whole netpipe (marshalling,
+// transport endpoints, unmarshalling) packaged as one splice-in unit, and a
+// jitter-absorbing playout stage. The §2.1 "larger building blocks" in
+// practice: an application adds one bundle instead of wiring four
+// components and a transport by hand.
+#pragma once
+
+#include <string>
+
+#include "core/buffer.hpp"
+#include "core/composite.hpp"
+#include "core/pump.hpp"
+#include "net/netpipe.hpp"
+#include "net/transport.hpp"
+
+namespace infopipe::net {
+
+/// marshal -> sender | transport | receiver -> unmarshal, as one bundle.
+/// entry() is the marshalling filter (connect the producer side into it);
+/// exit() is the unmarshalling filter (continue the consumer side from it).
+class NetpipeBundle : public CompositePipe {
+ public:
+  NetpipeBundle(const std::string& name, Transport& transport,
+                MarshalFilter::Encode encode, UnmarshalFilter::Decode decode,
+                std::string item_type, std::string producer_location,
+                std::string consumer_location)
+      : CompositePipe(name) {
+    auto& marshal =
+        add<MarshalFilter>(name + ".marshal", std::move(encode), item_type);
+    auto& tx = add<NetSender>(name + ".tx", transport,
+                              std::move(producer_location));
+    auto& rx = add<NetReceiver>(name + ".rx", transport,
+                                std::move(consumer_location));
+    auto& unmarshal = add<UnmarshalFilter>(name + ".unmarshal",
+                                           std::move(decode), item_type);
+    connect(marshal, tx);
+    connect(rx, unmarshal);
+    set_entry(marshal);
+    set_exit(unmarshal);
+  }
+};
+
+/// buffer -> clocked pump: the consumer-side playout stage of Figure 1,
+/// bundled. entry() is the buffer; exit() is the pump.
+class PlayoutBundle : public CompositePipe {
+ public:
+  PlayoutBundle(const std::string& name, std::size_t depth, double rate_hz,
+                FullPolicy full = FullPolicy::kDropOldest,
+                EmptyPolicy empty = EmptyPolicy::kNil)
+      : CompositePipe(name) {
+    auto& buf = add<Buffer>(name + ".buf", depth, full, empty);
+    auto& pump = add<ClockedPump>(name + ".pump", rate_hz);
+    connect(buf, pump);
+    set_entry(buf);
+    set_exit(pump);
+  }
+};
+
+}  // namespace infopipe::net

@@ -1,0 +1,36 @@
+// Remote control events (§2.4): "control events are delivered to remote
+// components through the platform."
+//
+// Within one Realization that spans several simulated nodes, a plain
+// post_event_to() is instantaneous — physically wrong when sender and
+// target sit on different nodes. RemoteControlLink imposes the network's
+// propagation delay on control traffic (control events are tiny, so
+// serialization time is ignored; only the base latency applies). The
+// Figure 1 feedback loop uses this for sensor → filter commands, which is
+// why adaptation has an inherent one-way-delay reaction time.
+#pragma once
+
+#include "core/component.hpp"
+#include "core/realization.hpp"
+#include "net/transport.hpp"
+
+namespace infopipe::net {
+
+class RemoteControlLink {
+ public:
+  explicit RemoteControlLink(const SimLink& link) : link_(&link) {}
+
+  /// Delivers `e` to `target` after the link's base latency.
+  void post(Realization& real, Component& target, const Event& e) const {
+    real.post_event_to_after(target, e, link_->config().base_latency);
+    ++posted_;
+  }
+
+  [[nodiscard]] std::uint64_t posted() const noexcept { return posted_; }
+
+ private:
+  const SimLink* link_;
+  mutable std::uint64_t posted_ = 0;
+};
+
+}  // namespace infopipe::net

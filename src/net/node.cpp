@@ -1,0 +1,164 @@
+#include "net/node.hpp"
+
+#include <utility>
+
+namespace infopipe::net {
+
+namespace {
+
+constexpr char kUnit = '\x1F';
+
+std::pair<std::string, std::string> split2(const std::string& s) {
+  const auto pos = s.find(kUnit);
+  if (pos == std::string::npos) return {s, ""};
+  return {s.substr(0, pos), s.substr(pos + 1)};
+}
+
+/// Runs `body` (which must perform exactly one rt::call) either directly
+/// when already on a user-level thread, or on a temporary thread driven to
+/// completion when invoked from setup code.
+template <typename Body>
+auto run_on_runtime(rt::Runtime& rt, Body body) -> decltype(body()) {
+  if (rt.current() != rt::kNoThread) return body();
+  using Result = decltype(body());
+  std::optional<Result> out;
+  std::exception_ptr error;
+  const rt::ThreadId tmp = rt.spawn(
+      "net.client", rt::kPriorityControl,
+      [&](rt::Runtime&, rt::Message) -> rt::CodeResult {
+        try {
+          out = body();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        return rt::CodeResult::kTerminate;
+      });
+  rt.send(tmp, rt::Message{0, rt::MsgClass::kData});
+  rt.run();
+  if (error) std::rethrow_exception(error);
+  if (!out) throw RemoteError("remote operation did not complete");
+  return std::move(*out);
+}
+
+}  // namespace
+
+Node::Node(rt::Runtime& rt, std::string name)
+    : rt_(&rt), name_(std::move(name)) {
+  agent_ = rt_->spawn("node." + name_ + ".agent", rt::kPriorityControl,
+                      [this](rt::Runtime& r, rt::Message m) {
+                        return agent_code(r, std::move(m));
+                      });
+}
+
+Node::~Node() {
+  if (rt_->alive(agent_)) rt_->kill(agent_);
+}
+
+void Node::register_factory(std::string type, Maker maker) {
+  factories_[std::move(type)] = std::move(maker);
+}
+
+Component& Node::create(const std::string& type, const std::string& name,
+                        const std::string& args) {
+  auto it = factories_.find(type);
+  if (it == factories_.end()) {
+    throw RemoteError("node " + name_ + " has no factory for type " + type);
+  }
+  std::unique_ptr<Component> c = it->second(name, args);
+  Component& ref = *c;
+  by_name_[ref.name()] = c.get();
+  owned_.push_back(std::move(c));
+  return ref;
+}
+
+void Node::adopt(std::unique_ptr<Component> c) {
+  by_name_[c->name()] = c.get();
+  owned_.push_back(std::move(c));
+}
+
+Component* Node::lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+rt::CodeResult Node::agent_code(rt::Runtime& rt, rt::Message m) {
+  switch (m.type) {
+    case kMsgTypespecQuery: {
+      // payload: component \x1F port [\x1F "in"|"out"]
+      const auto [comp_name, rest] = split2(m.take<std::string>());
+      const auto [port_str, dir] = split2(rest);
+      rt::Message reply{kMsgTypespecQuery, rt::MsgClass::kReply};
+      Component* c = lookup(comp_name);
+      if (c == nullptr) {
+        reply.payload = std::string("!no such component: ") + comp_name;
+      } else {
+        const int port = port_str.empty() ? 0 : std::stoi(port_str);
+        const Typespec spec = dir == "in" ? c->input_requirement(port)
+                                          : c->output_offer(port);
+        reply.payload = std::string(":") + marshal_typespec(spec);
+      }
+      rt.reply(m, std::move(reply));
+      return rt::CodeResult::kContinue;
+    }
+    case kMsgCreateComponent: {
+      const auto [type, rest] = split2(m.take<std::string>());
+      const auto [comp_name, args] = split2(rest);
+      rt::Message reply{kMsgCreateComponent, rt::MsgClass::kReply};
+      try {
+        Component& c = create(type, comp_name, args);
+        reply.payload = std::string(":") + c.name();
+      } catch (const std::exception& e) {
+        reply.payload = std::string("!") + e.what();
+      }
+      rt.reply(m, std::move(reply));
+      return rt::CodeResult::kContinue;
+    }
+    default:
+      return rt::CodeResult::kContinue;
+  }
+}
+
+namespace {
+Typespec typespec_query_impl(rt::Runtime& rt, const Node& node,
+                             const std::string& component, int port,
+                             const char* dir) {
+  return run_on_runtime(rt, [&]() -> Typespec {
+    rt::Message req{kMsgTypespecQuery, rt::MsgClass::kData};
+    req.payload = component + std::string(1, kUnit) + std::to_string(port) +
+                  std::string(1, kUnit) + dir;
+    rt::Message rep = rt.call(node.agent(), std::move(req));
+    const auto body = rep.take<std::string>();
+    if (body.empty() || body[0] == '!') {
+      throw RemoteError(body.empty() ? "empty reply" : body.substr(1));
+    }
+    return unmarshal_typespec(body.substr(1));
+  });
+}
+}  // namespace
+
+Typespec remote_typespec_query(rt::Runtime& rt, const Node& node,
+                               const std::string& component, int port) {
+  return typespec_query_impl(rt, node, component, port, "out");
+}
+
+Typespec remote_input_requirement(rt::Runtime& rt, const Node& node,
+                                  const std::string& component, int port) {
+  return typespec_query_impl(rt, node, component, port, "in");
+}
+
+std::string remote_create(rt::Runtime& rt, Node& node, const std::string& type,
+                          const std::string& name, const std::string& args) {
+  return run_on_runtime(rt, [&]() -> std::string {
+    rt::Message req{kMsgCreateComponent, rt::MsgClass::kData};
+    req.payload = type + std::string(1, kUnit) + name + std::string(1, kUnit) +
+                  args;
+    rt::Message rep = rt.call(node.agent(), std::move(req));
+    const auto body = rep.take<std::string>();
+    if (body.empty() || body[0] == '!') {
+      throw RemoteError(body.empty() ? "empty reply" : body.substr(1));
+    }
+    return body.substr(1);
+  });
+}
+
+}  // namespace infopipe::net

@@ -1,0 +1,96 @@
+// Simulated nodes, remote component factories, and the remote Typespec
+// query protocol (§2.4: "the Infopipe platform provides protocols and
+// factories for the creation of remote Infopipe components. Remote Typespec
+// queries also require a middleware protocol...").
+//
+// Nodes share one process here (DESIGN.md §3 substitution); what is real is
+// the protocol: requests and replies travel as platform messages through a
+// per-node agent thread, and Typespecs cross the "network" only in
+// marshalled form.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "net/typespec_wire.hpp"
+#include "rt/runtime.hpp"
+
+namespace infopipe::net {
+
+inline constexpr int kMsgTypespecQuery = 101;
+inline constexpr int kMsgCreateComponent = 102;
+
+/// Thrown when a remote operation fails (unknown component, unknown type).
+class RemoteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Node {
+ public:
+  using Maker =
+      std::function<std::unique_ptr<Component>(const std::string& name,
+                                               const std::string& args)>;
+
+  Node(rt::Runtime& rt, std::string name);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] rt::ThreadId agent() const noexcept { return agent_; }
+
+  /// Register a component type that remote_create() can instantiate here.
+  void register_factory(std::string type, Maker maker);
+
+  /// Create and own a component on this node (local fast path; the remote
+  /// protocol ends up here too).
+  Component& create(const std::string& type, const std::string& name,
+                    const std::string& args);
+
+  /// Adopt an externally created component as located on this node.
+  void adopt(std::unique_ptr<Component> c);
+
+  [[nodiscard]] Component* lookup(const std::string& name) const;
+
+ private:
+  friend Typespec remote_typespec_query(rt::Runtime& rt, const Node& node,
+                                        const std::string& component,
+                                        int port);
+
+  rt::CodeResult agent_code(rt::Runtime& rt, rt::Message m);
+
+  rt::Runtime* rt_;
+  std::string name_;
+  rt::ThreadId agent_;
+  std::map<std::string, Maker> factories_;
+  std::vector<std::unique_ptr<Component>> owned_;
+  std::map<std::string, Component*> by_name_;
+};
+
+/// Ask `node`'s agent for the output-offer Typespec of a component located
+/// there. The reply crosses the protocol in marshalled form. Works from
+/// inside a user-level thread (synchronous call) or from setup code outside
+/// the runtime (drives the runtime until the reply arrives).
+[[nodiscard]] Typespec remote_typespec_query(rt::Runtime& rt, const Node& node,
+                                             const std::string& component,
+                                             int port);
+
+/// The dual query: a component's input requirement (what flows it accepts),
+/// used by the binding protocol to negotiate across nodes.
+[[nodiscard]] Typespec remote_input_requirement(rt::Runtime& rt,
+                                                const Node& node,
+                                                const std::string& component,
+                                                int port);
+
+/// Ask `node` to create a component through its registered factory; returns
+/// the name under which it can be looked up.
+std::string remote_create(rt::Runtime& rt, Node& node, const std::string& type,
+                          const std::string& name, const std::string& args);
+
+}  // namespace infopipe::net

@@ -1,0 +1,125 @@
+#include "net/reliable.hpp"
+
+namespace infopipe::net {
+
+namespace {
+/// Internal message types (sender/receiver agents only).
+constexpr int kMsgArqSubmit = 110;  ///< pipeline thread -> sender agent
+constexpr int kMsgArqTimer = 111;   ///< retransmission check (payload: seq)
+constexpr std::size_t kAckBytes = 12;
+constexpr std::size_t kArqHeaderBytes = 12;
+}  // namespace
+
+ReliableTransport::ReliableTransport(rt::Runtime& rt, SimLink& forward,
+                                     SimLink& reverse, rt::Time rto)
+    : rt_(&rt), fwd_(&forward), rev_(&reverse), rto_(rto) {
+  sender_agent_ = rt_->spawn("arq.sender", rt::kPriorityData,
+                             [this](rt::Runtime& r, rt::Message m) {
+                               return sender_code(r, std::move(m));
+                             });
+  receiver_agent_ = rt_->spawn("arq.receiver", rt::kPriorityData,
+                               [this](rt::Runtime& r, rt::Message m) {
+                                 return receiver_code(r, std::move(m));
+                               });
+  fwd_->attach_receiver(receiver_agent_);
+  rev_->attach_receiver(sender_agent_);
+}
+
+ReliableTransport::~ReliableTransport() {
+  if (rt_->alive(sender_agent_)) rt_->kill(sender_agent_);
+  if (rt_->alive(receiver_agent_)) rt_->kill(receiver_agent_);
+}
+
+double ReliableTransport::bandwidth() const { return fwd_->bandwidth(); }
+
+void ReliableTransport::send(rt::Runtime& rt, Item packet) {
+  rt::Message m{kMsgArqSubmit, rt::MsgClass::kData};
+  m.payload = std::move(packet);
+  rt.send(sender_agent_, std::move(m));
+}
+
+void ReliableTransport::transmit(rt::Runtime& rt, const ArqPacket& pkt) {
+  Item wire = Item::of<ArqPacket>(pkt);
+  wire.seq = pkt.seq;
+  wire.size_bytes =
+      (pkt.eos ? 0 : std::max<std::size_t>(pkt.item.size_bytes, 1)) +
+      kArqHeaderBytes;
+  ++stats_.transmissions;
+  fwd_->send(rt, std::move(wire));
+  rt::Message timer{kMsgArqTimer, rt::MsgClass::kTimer};
+  timer.payload = pkt.seq;
+  rt.send_at(rt.now() + rto_, sender_agent_, std::move(timer));
+}
+
+rt::CodeResult ReliableTransport::sender_code(rt::Runtime& rt,
+                                              rt::Message m) {
+  switch (m.type) {
+    case kMsgArqSubmit: {
+      Item x = m.take<Item>();
+      ArqPacket pkt;
+      pkt.seq = next_seq_++;
+      pkt.eos = x.is_eos();
+      if (!pkt.eos) pkt.item = std::move(x);
+      in_flight_.emplace(pkt.seq, pkt);
+      ++stats_.submitted;
+      transmit(rt, pkt);
+      return rt::CodeResult::kContinue;
+    }
+    case kMsgArqTimer: {
+      const auto* seq = m.get<std::uint64_t>();
+      if (seq == nullptr) return rt::CodeResult::kContinue;
+      auto it = in_flight_.find(*seq);
+      if (it != in_flight_.end()) {
+        ++stats_.retransmissions;
+        transmit(rt, it->second);
+      }
+      return rt::CodeResult::kContinue;
+    }
+    case kMsgNetDeliver: {  // an ACK from the reverse link
+      const Item ack_item = m.take<Item>();
+      const ArqAck* ack = ack_item.payload<ArqAck>();
+      if (ack != nullptr && in_flight_.erase(ack->seq) > 0) {
+        ++stats_.acked;
+      }
+      return rt::CodeResult::kContinue;
+    }
+    default:
+      return rt::CodeResult::kContinue;
+  }
+}
+
+rt::CodeResult ReliableTransport::receiver_code(rt::Runtime& rt,
+                                                rt::Message m) {
+  if (m.type != kMsgNetDeliver) return rt::CodeResult::kContinue;
+  Item wire = m.take<Item>();
+  const ArqPacket* pkt = wire.payload<ArqPacket>();
+  if (pkt == nullptr) return rt::CodeResult::kContinue;
+
+  // Acknowledge everything we see, including duplicates (the original ACK
+  // may have been what got lost).
+  Item ack = Item::of<ArqAck>(ArqAck{pkt->seq});
+  ack.size_bytes = kAckBytes;
+  rev_->send(rt, std::move(ack));
+
+  if (pkt->seq < next_deliver_ || reorder_.count(pkt->seq) != 0) {
+    ++stats_.duplicates;
+    return rt::CodeResult::kContinue;
+  }
+  reorder_.emplace(pkt->seq, *pkt);
+
+  // Release the in-order prefix to the consumer.
+  while (!reorder_.empty() && reorder_.begin()->first == next_deliver_) {
+    ArqPacket ready = std::move(reorder_.begin()->second);
+    reorder_.erase(reorder_.begin());
+    ++next_deliver_;
+    if (consumer_ != rt::kNoThread) {
+      rt::Message out{kMsgNetDeliver, rt::MsgClass::kData};
+      out.payload = ready.eos ? Item::eos() : std::move(ready.item);
+      rt.send(consumer_, std::move(out));
+      ++stats_.delivered;
+    }
+  }
+  return rt::CodeResult::kContinue;
+}
+
+}  // namespace infopipe::net

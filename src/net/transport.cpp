@@ -1,0 +1,60 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace infopipe::net {
+
+std::size_t SimLink::queue_depth_bytes(rt::Time now) const {
+  if (wire_free_at_ <= now) return 0;
+  const double backlog_ns = static_cast<double>(wire_free_at_ - now);
+  return static_cast<std::size_t>(backlog_ns * cfg_.bandwidth_bps / 8e9);
+}
+
+void SimLink::send(rt::Runtime& rt, Item packet) {
+  const rt::Time now = rt.now();
+  if (packet.is_eos()) {
+    // End-of-stream travels reliably, after all queued data, without jitter
+    // reordering past the last packet.
+    const rt::Time at =
+        std::max(wire_free_at_, now) + cfg_.base_latency + cfg_.jitter;
+    rt::Message m{kMsgNetDeliver, rt::MsgClass::kData};
+    m.payload = std::move(packet);
+    rt.send_at(at, rx_, std::move(m));
+    return;
+  }
+
+  ++stats_.sent;
+  const std::size_t size = std::max<std::size_t>(packet.size_bytes, 1);
+
+  if (queue_depth_bytes(now) + size > cfg_.queue_capacity_bytes) {
+    ++stats_.dropped_congestion;  // drop-tail: arbitrary from the app's view
+    return;
+  }
+  if (cfg_.random_loss > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(rng_) < cfg_.random_loss) {
+      ++stats_.dropped_random;
+      return;
+    }
+  }
+
+  const double tx_ns = static_cast<double>(size) * 8e9 / cfg_.bandwidth_bps;
+  const rt::Time start = std::max(now, wire_free_at_);
+  wire_free_at_ = start + static_cast<rt::Time>(std::llround(tx_ns));
+
+  rt::Time jitter = 0;
+  if (cfg_.jitter > 0) {
+    std::uniform_int_distribution<rt::Time> j(0, cfg_.jitter);
+    jitter = j(rng_);
+  }
+  const rt::Time deliver_at = wire_free_at_ + cfg_.base_latency + jitter;
+
+  stats_.bytes_sent += size;
+  ++stats_.delivered_scheduled;
+  rt::Message m{kMsgNetDeliver, rt::MsgClass::kData};
+  m.payload = std::move(packet);
+  rt.send_at(deliver_at, rx_, std::move(m));
+}
+
+}  // namespace infopipe::net

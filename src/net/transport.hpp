@@ -1,0 +1,96 @@
+// Simulated best-effort transport (DESIGN.md §3, substitution for a real
+// network).
+//
+// The paper's netpipes encapsulate "a best-effort transport protocol" whose
+// observable properties are bandwidth, latency, jitter and congestion loss
+// (§2.1/§2.4). SimLink models exactly those: packets are serialized at the
+// link bandwidth behind a drop-tail queue, then propagated with a base delay
+// plus deterministic pseudo-random jitter. When the queue is full the link
+// drops — "rather than incurring arbitrary dropping in the network", the
+// Figure 1 pipeline puts a feedback-controlled filter in front of it.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "core/item.hpp"
+#include "rt/runtime.hpp"
+
+namespace infopipe::net {
+
+/// rt message type for packet delivery to a NetReceiver thread (out of the
+/// range used by core's glue).
+inline constexpr int kMsgNetDeliver = 100;
+
+/// A transport protocol a netpipe can encapsulate (§2.4: "different
+/// transport protocols can be easily integrated into the Infopipe framework
+/// as netpipes"). Implementations: SimLink (best-effort) and
+/// ReliableTransport (ARQ over a lossy link).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Packets arrive as kMsgNetDeliver messages at this thread.
+  virtual void attach_receiver(rt::ThreadId tid) = 0;
+
+  /// Transmit one packet item. May drop, delay or reorder according to the
+  /// protocol's semantics. EOS items mark the end of the flow.
+  virtual void send(rt::Runtime& rt, Item packet) = 0;
+
+  /// Nominal capacity, for the netpipe's QoS mapping.
+  [[nodiscard]] virtual double bandwidth() const = 0;
+};
+
+struct LinkConfig {
+  double bandwidth_bps = 10e6;        ///< serialization rate
+  rt::Time base_latency = rt::milliseconds(20);
+  rt::Time jitter = 0;                ///< uniform in [0, jitter]
+  std::size_t queue_capacity_bytes = 64 * 1024;  ///< drop-tail beyond this
+  double random_loss = 0.0;           ///< independent loss probability
+  std::uint64_t seed = 42;            ///< jitter/loss determinism
+};
+
+class SimLink : public Transport {
+ public:
+  explicit SimLink(LinkConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Attach the receiving end: packets are delivered as kMsgNetDeliver
+  /// messages to this thread.
+  void attach_receiver(rt::ThreadId tid) override { rx_ = tid; }
+  [[nodiscard]] rt::ThreadId receiver() const noexcept { return rx_; }
+
+  /// Transmit one packet item (its size_bytes drives the cost). Called from
+  /// the sending section's thread. May drop (congestion / random loss).
+  /// EOS items are never dropped and are scheduled after everything queued.
+  void send(rt::Runtime& rt, Item packet) override;
+
+  /// Change the available bandwidth while running (congestion episodes for
+  /// the adaptation experiments).
+  void set_bandwidth(double bps) { cfg_.bandwidth_bps = bps; }
+  [[nodiscard]] double bandwidth() const noexcept override {
+    return cfg_.bandwidth_bps;
+  }
+  [[nodiscard]] const LinkConfig& config() const noexcept { return cfg_; }
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered_scheduled = 0;
+    std::uint64_t dropped_congestion = 0;
+    std::uint64_t dropped_random = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Bytes currently "in the queue" (scheduled but not yet on the wire).
+  [[nodiscard]] std::size_t queue_depth_bytes(rt::Time now) const;
+
+ private:
+  LinkConfig cfg_;
+  std::mt19937_64 rng_;
+  rt::ThreadId rx_ = rt::kNoThread;
+  rt::Time wire_free_at_ = 0;  ///< when the serializer finishes current work
+  Stats stats_;
+};
+
+}  // namespace infopipe::net

@@ -1,0 +1,151 @@
+#include "net/typespec_wire.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+#include <stdexcept>
+
+namespace infopipe::net {
+
+namespace {
+
+constexpr char kUnit = '\x1F';    // key/value separator
+constexpr char kRecord = '\x1E';  // record separator
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == kUnit || c == kRecord || c == '\\' || c == '|') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+/// Format a double without locale surprises and round-trip-exactly.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::vector<std::string> split_unescaped(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  bool esc = false;
+  for (char c : s) {
+    if (esc) {
+      cur.push_back('\\');
+      cur.push_back(c);
+      esc = false;
+      continue;
+    }
+    if (c == '\\') {
+      esc = true;
+      continue;
+    }
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+std::string marshal_typespec(const Typespec& t) {
+  std::ostringstream os;
+  for (const auto& [key, val] : t.properties()) {
+    os << escape(key) << kUnit;
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, bool>) {
+            os << "b:" << (v ? '1' : '0');
+          } else if constexpr (std::is_same_v<T, std::int64_t>) {
+            os << "i:" << v;
+          } else if constexpr (std::is_same_v<T, double>) {
+            os << "d:" << fmt_double(v);
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            os << "s:" << escape(v);
+          } else if constexpr (std::is_same_v<T, Range>) {
+            os << "r:" << fmt_double(v.lo) << ',' << fmt_double(v.hi);
+          } else if constexpr (std::is_same_v<T, StringSet>) {
+            os << "S:";
+            bool first = true;
+            for (const std::string& m : v) {
+              if (!first) os << '|';
+              os << escape(m);
+              first = false;
+            }
+          }
+        },
+        val);
+    os << kRecord;
+  }
+  return os.str();
+}
+
+Typespec unmarshal_typespec(const std::string& wire) {
+  Typespec t;
+  for (const std::string& record : split_unescaped(wire, kRecord)) {
+    if (record.empty()) continue;
+    const auto kv = split_unescaped(record, kUnit);
+    if (kv.size() != 2 || kv[1].size() < 2 || kv[1][1] != ':') {
+      throw std::invalid_argument("malformed typespec record");
+    }
+    const std::string key = unescape(kv[0]);
+    const char code = kv[1][0];
+    const std::string val = kv[1].substr(2);
+    switch (code) {
+      case 'b':
+        t.set(key, val == "1");
+        break;
+      case 'i':
+        t.set(key, static_cast<std::int64_t>(std::stoll(val)));
+        break;
+      case 'd':
+        t.set(key, std::stod(val));
+        break;
+      case 's':
+        t.set(key, unescape(val));
+        break;
+      case 'r': {
+        const auto comma = val.find(',');
+        if (comma == std::string::npos) {
+          throw std::invalid_argument("malformed range");
+        }
+        t.set(key, Range{std::stod(val.substr(0, comma)),
+                         std::stod(val.substr(comma + 1))});
+        break;
+      }
+      case 'S': {
+        StringSet set;
+        for (const std::string& m : split_unescaped(val, '|')) {
+          set.insert(unescape(m));
+        }
+        t.set(key, std::move(set));
+        break;
+      }
+      default:
+        throw std::invalid_argument(std::string("unknown typecode ") + code);
+    }
+  }
+  return t;
+}
+
+}  // namespace infopipe::net

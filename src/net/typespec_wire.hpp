@@ -1,0 +1,22 @@
+// Property marshalling for the middleware protocol (§2.4: "Remote Typespec
+// queries also require a middleware protocol as well as a mechanism for
+// property marshalling").
+//
+// Wire format, one property per record:
+//   key '\x1F' typecode ':' value '\x1E'
+// with typecodes b(bool) i(int64) d(double) s(string) r(range "lo,hi")
+// S(string set "a|b|c"). Strings are escaped for the separator characters.
+#pragma once
+
+#include <string>
+
+#include "core/typespec.hpp"
+
+namespace infopipe::net {
+
+[[nodiscard]] std::string marshal_typespec(const Typespec& t);
+
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Typespec unmarshal_typespec(const std::string& wire);
+
+}  // namespace infopipe::net

@@ -1,0 +1,118 @@
+#include "rt/context.hpp"
+
+#include <cstdint>
+
+namespace infopipe::rt {
+
+#if IP_RT_UCONTEXT
+
+namespace {
+// makecontext() only forwards int arguments portably, so split the pointers.
+void trampoline(unsigned hi_entry, unsigned lo_entry, unsigned hi_arg,
+                unsigned lo_arg) {
+  auto entry = reinterpret_cast<ContextEntry>(
+      (static_cast<std::uintptr_t>(hi_entry) << 32) | lo_entry);
+  auto* arg = reinterpret_cast<void*>(
+      (static_cast<std::uintptr_t>(hi_arg) << 32) | lo_arg);
+  entry(arg);
+}
+}  // namespace
+
+void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
+                   void* arg) {
+  getcontext(&uctx_);
+  uctx_.uc_stack.ss_sp = static_cast<char*>(stack_top) - stack_size;
+  uctx_.uc_stack.ss_size = stack_size;
+  uctx_.uc_link = nullptr;  // threads must switch away, never fall off
+  const auto e = reinterpret_cast<std::uintptr_t>(entry);
+  const auto a = reinterpret_cast<std::uintptr_t>(arg);
+  makecontext(&uctx_, reinterpret_cast<void (*)()>(trampoline), 4,
+              static_cast<unsigned>(e >> 32), static_cast<unsigned>(e),
+              static_cast<unsigned>(a >> 32), static_cast<unsigned>(a));
+}
+
+void Context::switch_to(Context& from, Context& to) {
+  swapcontext(&from.uctx_, &to.uctx_);
+}
+
+#else  // hand-rolled x86-64 System V implementation
+
+// Layout of a suspended frame, from the saved stack pointer upwards:
+//   [r15][r14][r13][r12][rbx][rbp][return address]
+// ip_rt_ctx_switch pushes the six callee-saved registers of the *from*
+// context, stores rsp, loads the *to* stack pointer, pops its six registers
+// and returns into it. Floating-point state: the SysV ABI makes all xmm/ymm
+// registers caller-saved across a call, and mxcsr/x87-control are
+// callee-saved but the scheduler never changes them, so nothing FP needs to
+// be saved here.
+extern "C" void ip_rt_ctx_switch(void** save_sp, void* load_sp);
+
+asm(R"(
+    .text
+    .globl ip_rt_ctx_switch
+    .type ip_rt_ctx_switch, @function
+    .align 16
+ip_rt_ctx_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq  %rsp, (%rdi)
+    movq  %rsi, %rsp
+    popq  %r15
+    popq  %r14
+    popq  %r13
+    popq  %r12
+    popq  %rbx
+    popq  %rbp
+    retq
+    .size ip_rt_ctx_switch, .-ip_rt_ctx_switch
+)");
+
+namespace {
+
+// First code executed on a fresh context. The entry function pointer and its
+// argument are parked in r12/r13 by the initial frame built in init().
+extern "C" void ip_rt_ctx_entry_thunk();
+asm(R"(
+    .text
+    .globl ip_rt_ctx_entry_thunk
+    .type ip_rt_ctx_entry_thunk, @function
+    .align 16
+ip_rt_ctx_entry_thunk:
+    movq %r13, %rdi      # arg
+    callq *%r12          # entry(arg); must never return
+    ud2                  # trap if it does
+    .size ip_rt_ctx_entry_thunk, .-ip_rt_ctx_entry_thunk
+)");
+
+}  // namespace
+
+void Context::init(void* stack_top, std::size_t /*stack_size*/,
+                   ContextEntry entry, void* arg) {
+  // Build the frame that ip_rt_ctx_switch expects to pop. stack_top is
+  // 16-byte aligned; after the six pops and the retq, rsp == top-16, which is
+  // 16-byte aligned. The thunk's `callq` then pushes the return address, so
+  // the entry function starts with rsp ≡ 8 (mod 16), exactly as the SysV ABI
+  // requires at function entry.
+  auto** frame = static_cast<void**>(stack_top);
+  frame -= 2;  // keep top 16 bytes as scratch / alignment padding
+  *--frame = reinterpret_cast<void*>(&ip_rt_ctx_entry_thunk);  // return addr
+  *--frame = nullptr;                        // rbp
+  *--frame = nullptr;                        // rbx
+  *--frame = reinterpret_cast<void*>(entry); // r12
+  *--frame = arg;                            // r13
+  *--frame = nullptr;                        // r14
+  *--frame = nullptr;                        // r15
+  sp_ = frame;
+}
+
+void Context::switch_to(Context& from, Context& to) {
+  ip_rt_ctx_switch(&from.sp_, to.sp_);
+}
+
+#endif  // IP_RT_UCONTEXT
+
+}  // namespace infopipe::rt

@@ -1,0 +1,160 @@
+#include "rt/io_bridge.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace infopipe::rt {
+
+namespace {
+
+/// Write end of the signal self-pipe; written from the signal handler, so
+/// it must be a plain static (async-signal-safe access only).
+volatile int g_signal_pipe_wr = -1;
+
+extern "C" void io_bridge_signal_handler(int signo) {
+  const int fd = g_signal_pipe_wr;
+  if (fd >= 0) {
+    const auto byte = static_cast<std::uint8_t>(signo);
+    // write(2) is async-signal-safe; a full pipe just drops the event.
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+IoBridge::IoBridge(Runtime& rt) : rt_(&rt) {
+  if (::pipe(control_pipe_) != 0) {
+    throw std::runtime_error("IoBridge: cannot create control pipe");
+  }
+  set_nonblocking(control_pipe_[0]);
+  set_nonblocking(control_pipe_[1]);
+  g_signal_pipe_wr = control_pipe_[1];
+  poller_ = std::thread([this] { poll_loop(); });
+}
+
+IoBridge::~IoBridge() {
+  {
+    std::lock_guard lk(mutex_);
+    stop_ = true;
+  }
+  const std::uint8_t kWake = 0;
+  [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
+  poller_.join();
+  g_signal_pipe_wr = -1;
+  for (const auto& [signo, action] : saved_actions_) {
+    ::sigaction(signo, &action, nullptr);
+  }
+  ::close(control_pipe_[0]);
+  ::close(control_pipe_[1]);
+}
+
+void IoBridge::watch_fd(int fd, ThreadId to) {
+  {
+    std::lock_guard lk(mutex_);
+    fd_targets_[fd] = to;
+  }
+  const std::uint8_t kWake = 0;
+  [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
+}
+
+void IoBridge::unwatch_fd(int fd) {
+  {
+    std::lock_guard lk(mutex_);
+    fd_targets_.erase(fd);
+  }
+  const std::uint8_t kWake = 0;
+  [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
+}
+
+void IoBridge::watch_signal(int signo, ThreadId to) {
+  {
+    std::lock_guard lk(mutex_);
+    signal_targets_[signo] = to;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &io_bridge_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  struct sigaction old;
+  if (::sigaction(signo, &sa, &old) == 0) {
+    saved_actions_.emplace(signo, old);
+  }
+}
+
+void IoBridge::handle_signal_byte(std::uint8_t signo) {
+  if (signo == 0) return;  // plain wake-up byte
+  ThreadId to = kNoThread;
+  {
+    std::lock_guard lk(mutex_);
+    auto it = signal_targets_.find(signo);
+    if (it != signal_targets_.end()) to = it->second;
+  }
+  if (to != kNoThread) {
+    Message m{kMsgIoSignal, MsgClass::kControl};
+    m.payload = static_cast<int>(signo);
+    rt_->post_external(to, std::move(m));
+  }
+}
+
+void IoBridge::poll_loop() {
+  std::vector<pollfd> fds;
+  for (;;) {
+    fds.clear();
+    fds.push_back(pollfd{control_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard lk(mutex_);
+      if (stop_) return;
+      for (const auto& [fd, target] : fd_targets_) {
+        fds.push_back(pollfd{fd, POLLIN, 0});
+      }
+    }
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
+    if (rc < 0) continue;  // EINTR etc.
+
+    // Control pipe: wake-ups and signal bytes.
+    if ((fds[0].revents & POLLIN) != 0) {
+      std::uint8_t buf[64];
+      ssize_t n;
+      while ((n = ::read(control_pipe_[0], buf, sizeof buf)) > 0) {
+        for (ssize_t i = 0; i < n; ++i) handle_signal_byte(buf[i]);
+      }
+    }
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP)) == 0) continue;
+      ThreadId to = kNoThread;
+      {
+        std::lock_guard lk(mutex_);
+        auto it = fd_targets_.find(fds[i].fd);
+        if (it != fd_targets_.end()) to = it->second;
+      }
+      if (to == kNoThread) continue;
+      std::vector<std::uint8_t> data(64 * 1024);
+      const ssize_t n = ::read(fds[i].fd, data.data(), data.size());
+      if (n > 0) {
+        data.resize(static_cast<std::size_t>(n));
+        Message m{kMsgIoData, MsgClass::kData};
+        m.payload = std::move(data);
+        rt_->post_external(to, std::move(m));
+      } else if (n == 0) {
+        Message m{kMsgIoEof, MsgClass::kData};
+        m.payload = fds[i].fd;
+        rt_->post_external(to, std::move(m));
+        std::lock_guard lk(mutex_);
+        fd_targets_.erase(fds[i].fd);
+      }
+    }
+  }
+}
+
+}  // namespace infopipe::rt

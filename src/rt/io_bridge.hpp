@@ -1,0 +1,65 @@
+// OS event mapping (§4): "Network packets and signals from the operating
+// system are mapped to messages by the platform allowing all types of
+// events to be handled by a uniform message interface."
+//
+// The IoBridge runs one background poller OS thread. File descriptors
+// registered with watch_fd() deliver their readable data as kMsgIoData
+// messages; POSIX signals registered with watch_signal() arrive as
+// kMsgIoSignal messages. Everything funnels through Runtime::post_external,
+// the package's one thread-safe entry point, so user-level threads handle
+// network input, timers and signals through the same mailbox.
+//
+// Only meaningful with a RealClock runtime (a virtual-clock run has no OS
+// time to align with); the signal path uses the classic self-pipe trick, so
+// handlers stay async-signal-safe.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace infopipe::rt {
+
+/// Message types delivered by the bridge.
+inline constexpr int kMsgIoData = 300;    ///< payload: std::vector<uint8_t>
+inline constexpr int kMsgIoSignal = 301;  ///< payload: int (signal number)
+inline constexpr int kMsgIoEof = 302;     ///< payload: int (the fd)
+
+class IoBridge {
+ public:
+  explicit IoBridge(Runtime& rt);
+  ~IoBridge();
+
+  IoBridge(const IoBridge&) = delete;
+  IoBridge& operator=(const IoBridge&) = delete;
+
+  /// Delivers each readable chunk of `fd` (up to 64 KiB) to `to` as a
+  /// kMsgIoData message; a kMsgIoEof message when the peer closes.
+  void watch_fd(int fd, ThreadId to);
+  void unwatch_fd(int fd);
+
+  /// Delivers each occurrence of `signo` to `to` as kMsgIoSignal. Installs
+  /// a process-wide handler for that signal (restored on destruction).
+  /// One bridge per process may watch signals.
+  void watch_signal(int signo, ThreadId to);
+
+ private:
+  void poll_loop();
+  void handle_signal_byte(std::uint8_t signo);
+
+  Runtime* rt_;
+  int control_pipe_[2] = {-1, -1};  ///< wakes/stops the poller
+  std::thread poller_;
+  std::mutex mutex_;
+  std::map<int, ThreadId> fd_targets_;
+  std::map<int, ThreadId> signal_targets_;
+  std::map<int, struct sigaction> saved_actions_;
+  bool stop_ = false;
+};
+
+}  // namespace infopipe::rt

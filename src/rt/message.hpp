@@ -1,0 +1,79 @@
+// Inter-thread messages.
+//
+// All interaction between user-level threads is message passing (§4 of the
+// paper): network packets, timer expirations and control events are all
+// mapped onto this one interface. Messages may carry a scheduling
+// Constraint; while a thread processes a constrained message, the
+// constraint's priority — not the thread's static priority — determines the
+// thread's effective priority, and the constraint is inherited by messages
+// the handler sends (the paper: "messages between coroutines inherit the
+// constraint from the message received by the sending component, applying
+// the constraint to the entire coroutine set").
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "rt/types.hpp"
+
+namespace infopipe::rt {
+
+/// Broad delivery class of a message; receive() filters use it to implement
+/// "block in a pull but stay responsive to control events" (§3.2/§4).
+enum class MsgClass : std::uint8_t {
+  kData,     ///< data items travelling through the pipeline
+  kControl,  ///< control events; dispatched ahead of queued data
+  kReply,    ///< reply to a synchronous call()
+  kTimer,    ///< timer expiry injected by the runtime
+  kSystem,   ///< runtime-internal (thread start/stop bookkeeping)
+};
+
+/// Scheduling constraint attached to a message (deadline-style).
+/// `priority` overrides the processing thread's static priority while the
+/// message is being handled; `deadline` breaks ties between equal-priority
+/// ready threads (earliest first).
+struct Constraint {
+  Priority priority = kPriorityData;
+  Time deadline = kTimeNever;
+
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+};
+
+/// A message. Cheap to move; payload is type-erased.
+struct Message {
+  /// Application-defined discriminator (e.g. event kind, port index).
+  int type = 0;
+  MsgClass cls = MsgClass::kData;
+  ThreadId sender = kNoThread;
+  /// Correlates call() requests with their replies; 0 for one-way sends.
+  std::uint64_t request_id = 0;
+  std::optional<Constraint> constraint;
+  std::any payload;
+
+  Message() = default;
+  Message(int t, MsgClass c) : type(t), cls(c) {}
+  Message(int t, MsgClass c, std::any p)
+      : type(t), cls(c), payload(std::move(p)) {}
+
+  /// Convenience typed access; returns nullptr if the payload holds a
+  /// different type (or nothing).
+  template <typename T>
+  [[nodiscard]] const T* get() const noexcept {
+    return std::any_cast<T>(&payload);
+  }
+  template <typename T>
+  [[nodiscard]] T* get() noexcept {
+    return std::any_cast<T>(&payload);
+  }
+
+  /// Move the payload out, asserting its type. Throws std::bad_any_cast on
+  /// mismatch.
+  template <typename T>
+  [[nodiscard]] T take() {
+    return std::any_cast<T>(std::move(payload));
+  }
+};
+
+}  // namespace infopipe::rt

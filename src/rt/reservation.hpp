@@ -1,0 +1,69 @@
+// CPU reservations (§3.1): "At setup, [pumps] can make reservations, if
+// supported, according to estimated or worst case execution times of the
+// pipeline stages they run."
+//
+// Classic rate-monotonic style admission control over (period, budget)
+// pairs: a reservation claims budget/period of the CPU; the manager admits
+// a new claim only while the total utilization stays within capacity.
+// Enforcement is by admission — the cooperative scheduler cannot revoke a
+// running slice — which matches the paper's "if supported" framing: the
+// pump's contract with the scheduler is declared and checked at setup time.
+#pragma once
+
+#include <map>
+
+#include "rt/types.hpp"
+
+namespace infopipe::rt {
+
+struct Reservation {
+  Time period = 0;  ///< cycle period, ns
+  Time budget = 0;  ///< worst-case execution time per cycle, ns
+
+  [[nodiscard]] double utilization() const {
+    return period > 0 ? static_cast<double>(budget) /
+                            static_cast<double>(period)
+                      : 0.0;
+  }
+};
+
+class ReservationManager {
+ public:
+  /// `capacity` in CPU fractions; 1.0 = one processor's worth.
+  explicit ReservationManager(double capacity = 1.0) : capacity_(capacity) {}
+
+  /// Attempts to reserve for `owner`. Replaces any existing reservation of
+  /// the same owner. Returns false (leaving prior state intact) when the
+  /// total utilization would exceed the capacity.
+  bool admit(ThreadId owner, Reservation r) {
+    if (r.period <= 0 || r.budget < 0 || r.budget > r.period) return false;
+    double others = 0.0;
+    for (const auto& [id, res] : table_) {
+      if (id != owner) others += res.utilization();
+    }
+    if (others + r.utilization() > capacity_ + 1e-12) return false;
+    table_[owner] = r;
+    return true;
+  }
+
+  void release(ThreadId owner) { table_.erase(owner); }
+
+  [[nodiscard]] bool holds(ThreadId owner) const {
+    return table_.count(owner) != 0;
+  }
+
+  [[nodiscard]] double utilization() const {
+    double u = 0.0;
+    for (const auto& [id, res] : table_) u += res.utilization();
+    return u;
+  }
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t count() const noexcept { return table_.size(); }
+
+ private:
+  double capacity_;
+  std::map<ThreadId, Reservation> table_;
+};
+
+}  // namespace infopipe::rt

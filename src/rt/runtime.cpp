@@ -1,0 +1,441 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace infopipe::rt {
+
+namespace {
+/// The runtime whose run() is active on this OS thread. Set for the duration
+/// of run()/run_until() so thread entry functions can find their scheduler.
+thread_local Runtime* g_active_runtime = nullptr;
+
+struct ActiveRuntimeScope {
+  explicit ActiveRuntimeScope(Runtime* rt) : prev(g_active_runtime) {
+    g_active_runtime = rt;
+  }
+  ~ActiveRuntimeScope() { g_active_runtime = prev; }
+  Runtime* prev;
+};
+}  // namespace
+
+Runtime::Runtime(std::unique_ptr<Clock> clock, Options options)
+    : clock_(clock ? std::move(clock) : std::make_unique<VirtualClock>()),
+      options_(options) {}
+
+Runtime::~Runtime() = default;
+
+// ---- Thread management -----------------------------------------------------
+
+ThreadId Runtime::spawn(std::string name, Priority priority, CodeFunction code,
+                        std::size_t stack_size) {
+  const ThreadId id = next_id_++;
+  auto t = std::make_unique<UThread>(id, std::move(name), priority,
+                                     std::move(code), stack_size);
+  threads_.emplace(id, std::move(t));
+  ++stats_.threads_spawned;
+  return id;
+}
+
+bool Runtime::alive(ThreadId id) const noexcept {
+  auto it = threads_.find(id);
+  return it != threads_.end() && it->second->state_ != ThreadState::kDone;
+}
+
+ThreadId Runtime::current() const noexcept { return current_; }
+
+UThread* Runtime::thread(ThreadId id) noexcept {
+  auto it = threads_.find(id);
+  return it == threads_.end() ? nullptr : it->second.get();
+}
+
+UThread* Runtime::current_thread() noexcept {
+  return current_ == kNoThread ? nullptr : thread(current_);
+}
+
+UThread& Runtime::require_current(const char* op) {
+  UThread* t = current_thread();
+  if (t == nullptr) {
+    throw RuntimeError(std::string(op) +
+                       " may only be called from inside a user-level thread");
+  }
+  return *t;
+}
+
+void Runtime::kill(ThreadId id) {
+  UThread* t = thread(id);
+  if (t == nullptr || t->state_ == ThreadState::kDone) return;
+  t->state_ = ThreadState::kDone;
+  t->mailbox_.clear();
+  t->queued_control_ = 0;
+  if (id == current_) suspend_current();  // never returns to the killed thread
+}
+
+std::size_t Runtime::live_threads() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, t] : threads_) {
+    if (t->state_ != ThreadState::kDone) ++n;
+  }
+  return n;
+}
+
+// ---- Messaging ---------------------------------------------------------------
+
+void Runtime::send(ThreadId to, Message m) {
+  UThread* target = thread(to);
+  if (target == nullptr || target->state_ == ThreadState::kDone) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (UThread* me = current_thread()) {
+    if (m.sender == kNoThread) m.sender = me->id();
+    // Constraint inheritance (§4): a message sent while processing a
+    // constrained message carries that constraint onwards, so a pump's
+    // constraint governs its whole coroutine set.
+    if (!m.constraint && me->active_constraint_) {
+      m.constraint = me->active_constraint_;
+    }
+  }
+  if (m.cls == MsgClass::kControl) ++target->queued_control_;
+  target->mailbox_.push_back(std::move(m));
+  ++stats_.messages_sent;
+  make_ready(*target);
+  maybe_preempt(*target);
+}
+
+void Runtime::post_external(ThreadId to, Message m) {
+  {
+    std::lock_guard lk(external_mutex_);
+    external_.emplace_back(to, std::move(m));
+    external_pending_.store(true, std::memory_order_release);
+  }
+  clock_->interrupt_wait();
+}
+
+void Runtime::send_at(Time t, ThreadId to, Message m) {
+  timers_.push_back(TimerEntry{t, next_seq_++, to, std::move(m)});
+  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+}
+
+Message Runtime::call(ThreadId to, Message m) {
+  UThread& me = require_current("call");
+  UThread* target = thread(to);
+  if (target == nullptr || target->state_ == ThreadState::kDone) {
+    throw RuntimeError("call() to dead thread");
+  }
+  m.sender = me.id();
+  m.request_id = next_request_id_++;
+  const std::uint64_t rid = m.request_id;
+
+  // One-level priority inheritance: boost the callee to our effective
+  // priority until the reply arrives.
+  const Priority donated = me.effective_priority();
+  if (options_.priority_inheritance) target->inherited_.push_back(donated);
+
+  send(to, std::move(m));
+  Message rep = receive_matching([rid](const Message& x) {
+    return x.cls == MsgClass::kReply && x.request_id == rid;
+  });
+
+  if (options_.priority_inheritance) {
+    if (UThread* t2 = thread(to)) {
+      auto it =
+          std::find(t2->inherited_.begin(), t2->inherited_.end(), donated);
+      if (it != t2->inherited_.end()) t2->inherited_.erase(it);
+    }
+  }
+  return rep;
+}
+
+void Runtime::reply(const Message& request, Message response) {
+  response.cls = MsgClass::kReply;
+  response.request_id = request.request_id;
+  send(request.sender, std::move(response));
+}
+
+// ---- Blocking primitives ------------------------------------------------------
+
+Message Runtime::pop_next_message(UThread& t) {
+  // Control events overtake queued data (§2.2: handlers for control events
+  // "are executed with higher priority than potentially long-running data
+  // processing"). The queued_control_ counter keeps the common no-control
+  // case O(1) even with huge backlogs.
+  if (options_.control_overtakes_data && t.queued_control_ > 0) {
+    for (auto it = t.mailbox_.begin(); it != t.mailbox_.end(); ++it) {
+      if (it->cls == MsgClass::kControl) {
+        Message m = std::move(*it);
+        t.mailbox_.erase(it);
+        --t.queued_control_;
+        return m;
+      }
+    }
+  }
+  Message m = std::move(t.mailbox_.front());
+  t.mailbox_.pop_front();
+  if (m.cls == MsgClass::kControl) --t.queued_control_;
+  return m;
+}
+
+Message Runtime::receive() {
+  UThread& me = require_current("receive");
+  for (;;) {
+    if (!me.mailbox_.empty()) return pop_next_message(me);
+    me.state_ = ThreadState::kWaitingMsg;
+    suspend_current();
+  }
+}
+
+Message Runtime::receive_matching(const MsgPredicate& pred) {
+  UThread& me = require_current("receive_matching");
+  for (;;) {
+    for (auto it = me.mailbox_.begin(); it != me.mailbox_.end(); ++it) {
+      if (pred(*it)) {
+        Message m = std::move(*it);
+        if (m.cls == MsgClass::kControl) --me.queued_control_;
+        me.mailbox_.erase(it);
+        return m;
+      }
+    }
+    me.state_ = ThreadState::kWaitingMsg;
+    suspend_current();
+  }
+}
+
+std::optional<Message> Runtime::try_receive(const MsgPredicate& pred) {
+  UThread& me = require_current("try_receive");
+  for (auto it = me.mailbox_.begin(); it != me.mailbox_.end(); ++it) {
+    if (pred(*it)) {
+      Message m = std::move(*it);
+      if (m.cls == MsgClass::kControl) --me.queued_control_;
+      me.mailbox_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Runtime::has_message(const MsgPredicate& pred) {
+  UThread& me = require_current("has_message");
+  return std::any_of(me.mailbox_.begin(), me.mailbox_.end(), pred);
+}
+
+void Runtime::sleep_until(Time t) {
+  UThread& me = require_current("sleep_until");
+  if (t <= now()) {
+    yield();
+    return;
+  }
+  me.wake_time_ = t;
+  me.state_ = ThreadState::kSleeping;
+  timers_.push_back(TimerEntry{t, next_seq_++, me.id(), std::nullopt});
+  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+  suspend_current();
+}
+
+void Runtime::set_active_constraint(std::optional<Constraint> c) {
+  UThread& me = require_current("set_active_constraint");
+  me.active_constraint_ = std::move(c);
+}
+
+void Runtime::yield() {
+  UThread& me = require_current("yield");
+  me.state_ = ThreadState::kReady;
+  me.ready_seq_ = next_seq_++;
+  suspend_current();
+}
+
+// ---- Scheduling internals ------------------------------------------------------
+
+void Runtime::thread_entry(void* arg) {
+  auto* t = static_cast<UThread*>(arg);
+  Runtime* rt = g_active_runtime;
+  assert(rt != nullptr && "thread resumed outside an active Runtime::run()");
+  rt->thread_main(*t);
+  // thread_main never returns (it ends with a suspend in state kDone), but
+  // keep the compiler honest:
+  std::terminate();
+}
+
+void Runtime::thread_main(UThread& t) {
+  for (;;) {
+    if (t.mailbox_.empty()) {
+      t.state_ = ThreadState::kWaitingMsg;
+      suspend_current();
+      continue;
+    }
+    Message m = pop_next_message(t);
+    t.active_constraint_ = m.constraint;
+    CodeResult r = CodeResult::kTerminate;
+    try {
+      r = t.code_(*this, std::move(m));
+    } catch (...) {
+      errors_.emplace_back(t.name(), std::current_exception());
+    }
+    t.active_constraint_.reset();
+    if (r == CodeResult::kTerminate) break;
+    if (t.state_ == ThreadState::kDone) break;  // killed from within
+  }
+  t.state_ = ThreadState::kDone;
+  suspend_current();
+  std::terminate();  // unreachable: the scheduler never resumes a dead thread
+}
+
+void Runtime::suspend_current() {
+  UThread* me = current_thread();
+  assert(me != nullptr);
+  current_ = kNoThread;
+  ++stats_.context_switches;
+  Context::switch_to(me->context_, sched_ctx_);
+}
+
+void Runtime::make_ready(UThread& t) {
+  if (t.state_ == ThreadState::kWaitingMsg) {
+    t.state_ = ThreadState::kReady;
+    t.ready_seq_ = next_seq_++;
+  }
+  // Sleeping threads are not interruptible by messages; they pick the
+  // message up when their timer fires. Running/ready threads need nothing.
+}
+
+void Runtime::maybe_preempt(const UThread& t) {
+  if (!options_.preemption) return;
+  UThread* me = current_thread();
+  if (me == nullptr || me->id() == t.id()) return;
+  if (t.state_ != ThreadState::kReady) return;
+  if (t.effective_priority() > me->effective_priority()) {
+    me->state_ = ThreadState::kReady;
+    me->ready_seq_ = next_seq_++;
+    ++stats_.preemptions;
+    suspend_current();
+  }
+}
+
+void Runtime::fire_due_timers() {
+  const Time t_now = now();
+  while (!timers_.empty() && timers_.front().when <= t_now) {
+    std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+    TimerEntry e = std::move(timers_.back());
+    timers_.pop_back();
+    ++stats_.timer_wakeups;
+    if (e.message) {
+      send(e.target, std::move(*e.message));
+    } else if (UThread* t = thread(e.target);
+               t != nullptr && t->state_ == ThreadState::kSleeping &&
+               t->wake_time_ == e.when) {
+      t->wake_time_ = kTimeNever;
+      t->state_ = ThreadState::kReady;
+      t->ready_seq_ = next_seq_++;
+    }
+  }
+}
+
+UThread* Runtime::pick_next() {
+  UThread* best = nullptr;
+  for (auto& [id, t] : threads_) {
+    if (t->state_ != ThreadState::kReady) continue;
+    if (best == nullptr) {
+      best = t.get();
+      continue;
+    }
+    const Priority pb = best->effective_priority();
+    const Priority pt = t->effective_priority();
+    if (pt != pb) {
+      if (pt > pb) best = t.get();
+      continue;
+    }
+    const Time db = best->effective_deadline();
+    const Time dt = t->effective_deadline();
+    if (dt != db) {
+      if (dt < db) best = t.get();
+      continue;
+    }
+    if (t->ready_seq_ < best->ready_seq_) best = t.get();
+  }
+  return best;
+}
+
+bool Runtime::step(Time horizon) {
+  // Externally injected messages (thread-safe path) enter the normal
+  // delivery machinery here, on the scheduler's own OS thread.
+  if (external_pending_.load(std::memory_order_acquire)) {
+    std::vector<std::pair<ThreadId, Message>> batch;
+    {
+      std::lock_guard lk(external_mutex_);
+      batch.swap(external_);
+      external_pending_.store(false, std::memory_order_release);
+    }
+    for (auto& [to, msg] : batch) send(to, std::move(msg));
+  }
+
+  // Reap terminated threads.
+  for (auto it = threads_.begin(); it != threads_.end();) {
+    if (it->second->state_ == ThreadState::kDone && it->second->started_) {
+      it = threads_.erase(it);
+    } else if (it->second->state_ == ThreadState::kDone) {
+      it = threads_.erase(it);  // never started; nothing on its stack
+    } else {
+      ++it;
+    }
+  }
+
+  fire_due_timers();
+
+  if (UThread* t = pick_next()) {
+    if (!t->started_) {
+      t->context_.init(t->stack_.top(), t->stack_.usable_size(),
+                       &Runtime::thread_entry, t);
+      t->started_ = true;
+    }
+    t->state_ = ThreadState::kRunning;
+    current_ = t->id();
+    ++stats_.context_switches;
+    Context::switch_to(sched_ctx_, t->context_);
+    current_ = kNoThread;
+    return true;
+  }
+
+  // Idle: advance to the earliest timer within the horizon.
+  if (!timers_.empty() && timers_.front().when <= horizon) {
+    clock_->wait_until(timers_.front().when);
+    fire_due_timers();
+    return true;
+  }
+  return false;
+}
+
+void Runtime::run() { run_until(kTimeNever); }
+
+void Runtime::run_until(Time t) {
+  if (in_run_) throw RuntimeError("Runtime::run() is not reentrant");
+  in_run_ = true;
+  stop_requested_ = false;
+  ActiveRuntimeScope scope(this);
+  for (;;) {
+    while (!stop_requested_ && step(t)) {
+    }
+    if (stop_requested_ || t == kTimeNever || clock_->is_virtual() ||
+        now() >= t) {
+      break;
+    }
+    // Real clock with a finite horizon: quiescent but early. Block until
+    // the horizon — interruptibly, so post_external() resumes stepping.
+    clock_->wait_until(t);
+  }
+  in_run_ = false;
+  if (t != kTimeNever && clock_->is_virtual() && now() < t) {
+    static_cast<VirtualClock&>(*clock_).advance_to(t);
+  }
+  if (!errors_.empty()) {
+    auto [name, ep] = errors_.front();
+    errors_.clear();
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      throw RuntimeError("uncaught exception in thread '" + name +
+                         "': " + e.what());
+    }
+  }
+}
+
+}  // namespace infopipe::rt

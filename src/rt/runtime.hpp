@@ -1,0 +1,256 @@
+// The Runtime: scheduler and message switch for user-level threads.
+//
+// All pipeline activity in the Infopipe middleware runs on user-level
+// threads hosted by one OS thread and scheduled here. Scheduling is
+// cooperative with preemption at dispatch points (send, receive, yield,
+// sleep, timer expiry): when an operation makes a strictly
+// higher-effective-priority thread runnable, the running thread is preempted
+// immediately. This mirrors the paper's substrate, where "threads can be
+// preempted in favor of threads driven by other pumps" while a component
+// still never has two threads active inside it at once (§3.2).
+//
+// Priorities: each thread has a static priority; messages may carry
+// Constraints whose priority overrides it while the message is processed
+// ("the effective priority of a thread is derived by the scheduler from the
+// constraint of the message that the thread is currently processing or, if
+// the thread is waiting for the CPU, on the constraint of the first message
+// in its incoming queue" — §4). A one-level priority-inheritance scheme
+// boosts the callee of a synchronous call() to the caller's effective
+// priority, avoiding priority inversion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/clock.hpp"
+#include "rt/reservation.hpp"
+#include "rt/message.hpp"
+#include "rt/uthread.hpp"
+
+namespace infopipe::rt {
+
+/// Thrown for API misuse (e.g. blocking operations outside a thread) and for
+/// calls to dead threads.
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Scheduler policy switches. Defaults reproduce the paper's design; each
+/// can be disabled for the ablation experiments (bench_ablation.cpp) that
+/// show why the design needs it.
+struct RuntimeOptions {
+  /// §2.2: control-class messages overtake queued data.
+  bool control_overtakes_data = true;
+  /// §4: synchronous callees inherit the caller's effective priority.
+  bool priority_inheritance = true;
+  /// Preempt at dispatch points when a higher-priority thread wakes.
+  bool preemption = true;
+};
+
+class Runtime {
+ public:
+  using Options = RuntimeOptions;
+
+  /// Constructs a runtime over the given clock (defaults to a deterministic
+  /// VirtualClock starting at t=0).
+  explicit Runtime(std::unique_ptr<Clock> clock = nullptr,
+                   Options options = Options());
+  ~Runtime();
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- Thread management -------------------------------------------------
+
+  /// Creates a thread. Its code function runs once per received message; the
+  /// thread is destroyed when the code function returns kTerminate.
+  ThreadId spawn(std::string name, Priority priority, CodeFunction code,
+                 std::size_t stack_size = Stack::kDefaultSize);
+
+  /// True while the thread exists and has not terminated.
+  [[nodiscard]] bool alive(ThreadId id) const noexcept;
+
+  /// Id of the currently executing thread, or kNoThread when called from the
+  /// scheduler / outside run().
+  [[nodiscard]] ThreadId current() const noexcept;
+
+  /// Direct access for tests and diagnostics; nullptr if dead.
+  [[nodiscard]] UThread* thread(ThreadId id) noexcept;
+
+  /// Forcibly terminates a thread. The thread's stack is NOT unwound (no
+  /// destructors on its stack run); intended for failure-injection tests and
+  /// last-resort teardown only. Prefer sending a message that makes the code
+  /// function return kTerminate.
+  void kill(ThreadId id);
+
+  // ---- Messaging ---------------------------------------------------------
+
+  /// Asynchronous send. May be called from inside any thread or from outside
+  /// the runtime (to stimulate it between run() calls). Sends to dead
+  /// threads are counted in stats().messages_dropped and otherwise ignored.
+  void send(ThreadId to, Message m);
+
+  /// Deliver `m` to `to` when the clock reaches `t`.
+  void send_at(Time t, ThreadId to, Message m);
+
+  /// Thread-safe injection from OUTSIDE the scheduler's OS thread (â the
+  /// only Runtime entry point with that property). Used by rt::IoBridge to
+  /// map OS events onto platform messages (§4); wakes an idle RealClock
+  /// wait. The message is delivered at the next scheduling step.
+  void post_external(ThreadId to, Message m);
+
+  /// Synchronous call: sends `m` with a fresh request_id and blocks until
+  /// the matching kReply arrives. While blocked, the callee inherits the
+  /// caller's effective priority. Control-class messages addressed to the
+  /// caller are NOT consumed (they stay queued; use ipcore's blocking
+  /// hand-off for control-responsive waits). Only callable from a thread.
+  Message call(ThreadId to, Message m);
+
+  /// Sends a kReply correlated with `request` back to its sender.
+  void reply(const Message& request, Message response);
+
+  // ---- Blocking primitives (only from inside a thread) --------------------
+
+  using MsgPredicate = std::function<bool(const Message&)>;
+
+  /// Blocks until any message is available and returns it. Control-class
+  /// messages are delivered ahead of older data-class ones.
+  Message receive();
+
+  /// Blocks until a message matching `pred` is available; non-matching
+  /// messages remain queued in order.
+  Message receive_matching(const MsgPredicate& pred);
+
+  /// Non-blocking: extracts the first queued message matching `pred`.
+  std::optional<Message> try_receive(const MsgPredicate& pred);
+
+  /// True if any queued message matches `pred`.
+  [[nodiscard]] bool has_message(const MsgPredicate& pred);
+
+  void sleep_until(Time t);
+  void sleep_for(Time d) { sleep_until(now() + d); }
+
+  /// Replaces the constraint governing the current thread's effective
+  /// priority (normally the constraint of the message being processed).
+  /// Pumps use this to refresh their deadline each cycle; because sends
+  /// inherit the active constraint, the whole coroutine set follows (§4).
+  void set_active_constraint(std::optional<Constraint> c);
+
+  /// Preemption point: lets any thread of >= effective priority run.
+  void yield();
+
+  // ---- Clock ---------------------------------------------------------------
+
+  [[nodiscard]] Time now() const { return clock_->now(); }
+  [[nodiscard]] Clock& clock() noexcept { return *clock_; }
+
+  // ---- Scheduling loop (from the hosting OS thread) ------------------------
+
+  /// Runs until quiescent: no runnable thread and no pending timer. Threads
+  /// blocked in receive() stay alive; a later send()+run() resumes them.
+  /// Rethrows the first exception that escaped a code function, if any.
+  void run();
+
+  /// Runs until the clock reaches `t` (inclusive of timers at `t`) or until
+  /// quiescence, whichever is later in processing terms; under a virtual
+  /// clock the clock is advanced to exactly `t` before returning.
+  void run_until(Time t);
+
+  /// Makes run() return at the next dispatch point.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  // ---- Introspection -------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t context_switches = 0;  ///< Context::switch_to invocations
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_dropped = 0;  ///< sends to dead threads
+    std::uint64_t timer_wakeups = 0;
+    std::uint64_t threads_spawned = 0;
+    std::uint64_t preemptions = 0;  ///< involuntary suspensions
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// CPU reservation table (admission control for pumps, §3.1).
+  [[nodiscard]] ReservationManager& reservations() noexcept {
+    return reservations_;
+  }
+
+  /// Number of live (not yet terminated) threads.
+  [[nodiscard]] std::size_t live_threads() const noexcept;
+
+ private:
+  struct TimerEntry {
+    Time when;
+    std::uint64_t seq;  // FIFO among equal times
+    ThreadId target;
+    std::optional<Message> message;  // nullopt => wake sleeping thread
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  static void thread_entry(void* arg);
+  void thread_main(UThread& t);
+
+  /// Extracts the next message honouring control-before-data ordering.
+  Message pop_next_message(UThread& t);
+
+  /// Switches from the current thread back to the scheduler with the given
+  /// state already set on the thread.
+  void suspend_current();
+
+  /// Marks a thread runnable (idempotent).
+  void make_ready(UThread& t);
+
+  /// If `t` now outranks the running thread, preempt at this dispatch point.
+  void maybe_preempt(const UThread& t);
+
+  /// Fires all timers that are due at `now()`.
+  void fire_due_timers();
+
+  /// Picks the runnable thread with the highest (effective priority,
+  /// earliest deadline, FIFO) rank; nullptr if none.
+  UThread* pick_next();
+
+  /// Runs one scheduling step; returns false when quiescent.
+  bool step(Time horizon);
+
+  UThread* current_thread() noexcept;
+  UThread& require_current(const char* op);
+
+  std::unique_ptr<Clock> clock_;
+  Options options_;
+  ReservationManager reservations_;
+  std::mutex external_mutex_;
+  std::vector<std::pair<ThreadId, Message>> external_;
+  std::atomic<bool> external_pending_{false};
+  std::unordered_map<ThreadId, std::unique_ptr<UThread>> threads_;
+  std::vector<TimerEntry> timers_;  // min-heap via TimerLater
+  Context sched_ctx_;
+  ThreadId current_ = kNoThread;
+  ThreadId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_request_id_ = 1;
+  bool in_run_ = false;
+  bool stop_requested_ = false;
+  Stats stats_;
+  std::vector<std::pair<std::string, std::exception_ptr>> errors_;
+};
+
+}  // namespace infopipe::rt

@@ -1,0 +1,49 @@
+// Execution stacks for user-level threads.
+//
+// Stacks are mmap-allocated with an inaccessible guard page below the usable
+// region, so a stack overflow in component code faults immediately instead of
+// silently corrupting a neighbouring thread's stack — the classic failure
+// mode of user-level thread packages.
+#pragma once
+
+#include <cstddef>
+
+namespace infopipe::rt {
+
+/// RAII mmap'd stack with a PROT_NONE guard page at the low end.
+/// Move-only; the mapping is released on destruction.
+class Stack {
+ public:
+  static constexpr std::size_t kDefaultSize = 128 * 1024;
+
+  /// Allocates `usable_size` bytes of stack (rounded up to the page size)
+  /// plus one guard page. Throws std::bad_alloc on mmap failure.
+  explicit Stack(std::size_t usable_size = kDefaultSize);
+  ~Stack();
+
+  Stack(Stack&& other) noexcept;
+  Stack& operator=(Stack&& other) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Highest usable address (stacks grow down on all supported targets).
+  /// 16-byte aligned.
+  [[nodiscard]] void* top() const noexcept;
+
+  /// Lowest usable address (just above the guard page).
+  [[nodiscard]] void* base() const noexcept { return usable_base_; }
+
+  [[nodiscard]] std::size_t usable_size() const noexcept {
+    return usable_size_;
+  }
+
+ private:
+  void release() noexcept;
+
+  void* map_base_ = nullptr;    // start of the whole mapping (guard page)
+  void* usable_base_ = nullptr; // first usable byte
+  std::size_t map_size_ = 0;
+  std::size_t usable_size_ = 0;
+};
+
+}  // namespace infopipe::rt

@@ -1,0 +1,50 @@
+// Basic vocabulary types for the message-based user-level thread package.
+//
+// The package follows the substrate described in Koster & Kramp
+// ("A multithreading platform for multimedia applications", MMCN 2001;
+// "Flexible event-based threading for QoS-supporting middleware", DAIS 1999):
+// each thread consists of a code function and a queue of incoming messages.
+// The code function is invoked once per received message, may suspend while
+// waiting for further messages, and may be preempted at dispatch points in
+// favour of higher-priority threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace infopipe::rt {
+
+/// Monotonic time in nanoseconds since an arbitrary epoch.
+/// Under a VirtualClock the epoch is 0 and time advances only when the
+/// scheduler is otherwise idle (discrete-event style); under a RealClock it
+/// tracks std::chrono::steady_clock.
+using Time = std::int64_t;
+
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+constexpr Time microseconds(std::int64_t us) { return us * 1000; }
+constexpr Time milliseconds(std::int64_t ms) { return ms * 1000 * 1000; }
+constexpr Time seconds(std::int64_t s) { return s * 1000 * 1000 * 1000; }
+
+/// Identifies a user-level thread within one Runtime. Never reused.
+using ThreadId = std::uint64_t;
+
+inline constexpr ThreadId kNoThread = 0;
+
+/// Static scheduling priority. Larger values are more urgent.
+/// Messages may carry a Constraint that raises the *effective* priority of
+/// the thread processing them (see Message::constraint).
+using Priority = int;
+
+inline constexpr Priority kPriorityIdle = 0;
+inline constexpr Priority kPriorityData = 10;     ///< bulk data processing
+inline constexpr Priority kPriorityControl = 20;  ///< control-event handling
+inline constexpr Priority kPriorityTimer = 30;    ///< clock-driven pumps
+
+/// Result of one invocation of a thread's code function.
+enum class CodeResult {
+  kContinue,   ///< keep the thread alive, wait for the next message
+  kTerminate,  ///< destroy the thread
+};
+
+}  // namespace infopipe::rt

@@ -1,0 +1,35 @@
+#include "rt/uthread.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace infopipe::rt {
+
+UThread::UThread(ThreadId id, std::string name, Priority priority,
+                 CodeFunction code, std::size_t stack_size)
+    : id_(id),
+      name_(std::move(name)),
+      static_priority_(priority),
+      code_(std::move(code)),
+      stack_(stack_size) {}
+
+Priority UThread::effective_priority() const noexcept {
+  Priority p = static_priority_;
+  if (active_constraint_) {
+    p = std::max(p, active_constraint_->priority);
+  } else if (!mailbox_.empty() && mailbox_.front().constraint) {
+    p = std::max(p, mailbox_.front().constraint->priority);
+  }
+  for (Priority donated : inherited_) p = std::max(p, donated);
+  return p;
+}
+
+Time UThread::effective_deadline() const noexcept {
+  if (active_constraint_) return active_constraint_->deadline;
+  if (!mailbox_.empty() && mailbox_.front().constraint) {
+    return mailbox_.front().constraint->deadline;
+  }
+  return kTimeNever;
+}
+
+}  // namespace infopipe::rt

@@ -1,0 +1,92 @@
+// User-level threads: a code function plus a queue of incoming messages.
+//
+// Unlike conventional threads, the code function is not called at thread
+// creation time but each time a message is received; after processing a
+// message the code function returns, and the thread is terminated only when
+// the return code says so. Code functions thus resemble event handlers, but
+// may also suspend mid-message (receive(), sleep) or be preempted — the
+// "extended finite state machine" model of §4.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "rt/message.hpp"
+#include "rt/stack.hpp"
+#include "rt/types.hpp"
+
+namespace infopipe::rt {
+
+class Runtime;
+
+/// The per-message body of a thread. Invoked by the runtime once per
+/// dequeued message; may call back into the Runtime to send, call, receive
+/// or sleep (all of which are suspension points).
+using CodeFunction = std::function<CodeResult(Runtime&, Message)>;
+
+/// Thread states, visible for tests and diagnostics.
+enum class ThreadState : std::uint8_t {
+  kReady,       ///< runnable, waiting for the CPU
+  kRunning,     ///< currently executing
+  kWaitingMsg,  ///< suspended in receive() / between messages
+  kSleeping,    ///< suspended in sleep_until()
+  kDone,        ///< code function returned kTerminate
+};
+
+/// One user-level thread. Owned by the Runtime; applications refer to
+/// threads only by ThreadId.
+class UThread {
+ public:
+  UThread(ThreadId id, std::string name, Priority priority, CodeFunction code,
+          std::size_t stack_size);
+
+  UThread(const UThread&) = delete;
+  UThread& operator=(const UThread&) = delete;
+
+  [[nodiscard]] ThreadId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ThreadState state() const noexcept { return state_; }
+  [[nodiscard]] Priority static_priority() const noexcept {
+    return static_priority_;
+  }
+
+  /// Effective priority: the maximum of the static priority, the constraint
+  /// of the message currently being processed (or, when waiting for the CPU
+  /// with a non-empty queue, of the first queued message), and any priority
+  /// inherited from callers blocked on a synchronous call to this thread.
+  [[nodiscard]] Priority effective_priority() const noexcept;
+
+  /// Deadline used to break priority ties (earlier wins); from the same
+  /// source as effective_priority().
+  [[nodiscard]] Time effective_deadline() const noexcept;
+
+ private:
+  friend class Runtime;
+
+  ThreadId id_;
+  std::string name_;
+  Priority static_priority_;
+  CodeFunction code_;
+  Stack stack_;
+  Context context_;
+  ThreadState state_ = ThreadState::kWaitingMsg;
+  bool started_ = false;  ///< context initialized and entered at least once
+
+  std::deque<Message> mailbox_;
+  /// Number of control-class messages currently queued; lets the dispatcher
+  /// skip the control-first scan in the (dominant) no-control case.
+  std::size_t queued_control_ = 0;
+  /// Constraint of the message currently being processed, if any.
+  std::optional<Constraint> active_constraint_;
+  /// Priorities donated by callers blocked in call() on this thread.
+  std::vector<Priority> inherited_;
+  /// Wake-up time when kSleeping.
+  Time wake_time_ = kTimeNever;
+  /// Monotone sequence for FIFO order among equal-priority ready threads.
+  std::uint64_t ready_seq_ = 0;
+};
+
+}  // namespace infopipe::rt

@@ -1,0 +1,129 @@
+// Binding-protocol tests (§2.4/§6 distributed setup): cross-node Typespec
+// negotiation including the link's QoS bound.
+#include <gtest/gtest.h>
+
+#include "core/infopipes.hpp"
+#include "net/binder.hpp"
+
+namespace infopipe::net {
+namespace {
+
+class Cam : public CountingSource {
+ public:
+  Cam() : CountingSource("cam", 10) {}
+  Typespec output_offer(int) const override {
+    return Typespec{{props::kItemType, std::string("video")},
+                    {props::kFormats, StringSet{"mpeg1", "mpeg4"}},
+                    {props::kFrameRate, Range{5, 30}},
+                    {props::kBandwidthKbps, Range{200, 4000}}};
+  }
+};
+
+class Screen : public CollectorSink {
+ public:
+  Screen() : CollectorSink("screen") {}
+  Typespec input_requirement(int) const override {
+    return Typespec{{props::kItemType, std::string("video")},
+                    {props::kFormats, StringSet{"mpeg4", "raw"}},
+                    {props::kFrameRate, Range{24, 60}}};
+  }
+};
+
+class PickyScreen : public CollectorSink {
+ public:
+  PickyScreen() : CollectorSink("picky") {}
+  Typespec input_requirement(int) const override {
+    return Typespec{{props::kFormats, StringSet{"theora"}}};
+  }
+};
+
+struct TwoNodes {
+  rt::Runtime rt;
+  Node server{rt, "server"};
+  Node client{rt, "client"};
+  TwoNodes() {
+    server.adopt(std::make_unique<Cam>());
+    client.adopt(std::make_unique<Screen>());
+    client.adopt(std::make_unique<PickyScreen>());
+  }
+};
+
+TEST(Binder, NegotiatesTheCommonFlow) {
+  TwoNodes n;
+  BindingRequest req;
+  req.producer_node = &n.server;
+  req.producer = "cam";
+  req.consumer_node = &n.client;
+  req.consumer = "screen";
+  const BindingResult r = negotiate(n.rt, req);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.agreed.get<StringSet>(props::kFormats), (StringSet{"mpeg4"}));
+  EXPECT_EQ(r.agreed.get<Range>(props::kFrameRate), (Range{24, 30}));
+}
+
+TEST(Binder, ReportsFormatMismatchReadably) {
+  TwoNodes n;
+  BindingRequest req;
+  req.producer_node = &n.server;
+  req.producer = "cam";
+  req.consumer_node = &n.client;
+  req.consumer = "picky";
+  const BindingResult r = negotiate(n.rt, req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("offers"), std::string::npos);
+  EXPECT_NE(r.failure.find("requires"), std::string::npos);
+  EXPECT_NE(r.failure.find("theora"), std::string::npos);
+}
+
+TEST(Binder, LinkBandwidthBoundsTheFlow) {
+  TwoNodes n;
+  LinkConfig slow;
+  slow.bandwidth_bps = 1e6;  // 1000 kbps
+  SimLink link(slow);
+  BindingRequest req;
+  req.producer_node = &n.server;
+  req.producer = "cam";
+  req.consumer_node = &n.client;
+  req.consumer = "screen";
+  req.link = &link;
+  const BindingResult r = negotiate(n.rt, req);
+  ASSERT_TRUE(r.ok) << r.failure;
+  // Camera wants [200,4000] kbps; the link caps it at 1000.
+  EXPECT_EQ(r.agreed.get<Range>(props::kBandwidthKbps), (Range{200, 1000}));
+}
+
+TEST(Binder, LinkTooSlowFailsNegotiation) {
+  TwoNodes n;
+  LinkConfig tiny;
+  tiny.bandwidth_bps = 64e3;  // 64 kbps < the camera's 200 kbps floor
+  SimLink link(tiny);
+  BindingRequest req;
+  req.producer_node = &n.server;
+  req.producer = "cam";
+  req.consumer_node = &n.client;
+  req.consumer = "screen";
+  req.link = &link;
+  const BindingResult r = negotiate(n.rt, req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("link"), std::string::npos);
+}
+
+TEST(Binder, UnknownComponentThrowsRemoteError) {
+  TwoNodes n;
+  BindingRequest req;
+  req.producer_node = &n.server;
+  req.producer = "ghost-cam";
+  req.consumer_node = &n.client;
+  req.consumer = "screen";
+  EXPECT_THROW((void)negotiate(n.rt, req), RemoteError);
+}
+
+TEST(Binder, InputRequirementQueryStandsAlone) {
+  TwoNodes n;
+  const Typespec need =
+      remote_input_requirement(n.rt, n.client, "screen", 0);
+  EXPECT_EQ(need.get<StringSet>(props::kFormats), (StringSet{"mpeg4", "raw"}));
+}
+
+}  // namespace
+}  // namespace infopipe::net

@@ -1,0 +1,164 @@
+// Composite Infopipe tests: bundles splice into pipelines as single units,
+// nest, and the canned net bundles reproduce the hand-wired equivalents.
+#include <gtest/gtest.h>
+
+#include "core/composite.hpp"
+#include "core/infopipes.hpp"
+#include "media/mpeg.hpp"
+#include "net/bundles.hpp"
+
+namespace infopipe {
+namespace {
+
+TEST(Composite, BasicBundleSplicesAndRuns) {
+  CompositePipe doubler_then_inc("xform");
+  auto& dbl = doubler_then_inc.add<LambdaFunction>("dbl", [](Item x) {
+    x.kind *= 2;
+    return x;
+  });
+  auto& inc = doubler_then_inc.add<LambdaFunction>("inc", [](Item x) {
+    ++x.kind;
+    return x;
+  });
+  doubler_then_inc.connect(dbl, inc);
+  doubler_then_inc.set_entry(dbl);
+  doubler_then_inc.set_exit(inc);
+  EXPECT_EQ(doubler_then_inc.component_count(), 2u);
+
+  rt::Runtime rtm;
+  std::vector<Item> in;
+  for (int v : {1, 2, 3}) in.push_back(Item::token(v));
+  VectorSource src("src", std::move(in));
+  FreeRunningPump pump("pump");
+  CollectorSink sink("sink");
+
+  Pipeline p;
+  doubler_then_inc.splice_into(p);
+  p.connect(src, 0, pump, 0);
+  p.connect(pump, 0, doubler_then_inc.entry(), 0);
+  p.connect(doubler_then_inc.exit(), 0, sink, 0);
+
+  Realization real(rtm, p);
+  real.start();
+  rtm.run();
+  ASSERT_EQ(sink.count(), 3u);
+  std::vector<int> kinds;
+  for (const auto& a : sink.arrivals()) kinds.push_back(a.item.kind);
+  EXPECT_EQ(kinds, (std::vector<int>{3, 5, 7}));
+}
+
+TEST(Composite, MissingEntryIsAnError) {
+  CompositePipe c("incomplete");
+  EXPECT_THROW((void)c.entry(), CompositionError);
+  EXPECT_THROW((void)c.exit(), CompositionError);
+}
+
+TEST(Composite, NestedComposites) {
+  // outer = [ inner(+1, +1) -> *2 ]
+  CompositePipe inner("inner");
+  auto& a = inner.add<LambdaFunction>("a", [](Item x) {
+    ++x.kind;
+    return x;
+  });
+  auto& b = inner.add<LambdaFunction>("b", [](Item x) {
+    ++x.kind;
+    return x;
+  });
+  inner.connect(a, b);
+  inner.set_entry(a);
+  inner.set_exit(b);
+
+  CompositePipe outer("outer");
+  outer.embed(inner);
+  auto& dbl = outer.add<LambdaFunction>("dbl", [](Item x) {
+    x.kind *= 2;
+    return x;
+  });
+  outer.connect(inner.exit(), 0, dbl, 0);
+  outer.set_entry(inner.entry());
+  outer.set_exit(dbl);
+  EXPECT_EQ(outer.component_count(), 3u);
+
+  rt::Runtime rtm;
+  std::vector<Item> in;
+  in.push_back(Item::token(5));
+  VectorSource src("src", std::move(in));
+  FreeRunningPump pump("pump");
+  CollectorSink sink("sink");
+  Pipeline p;
+  outer.splice_into(p);
+  p.connect(src, 0, pump, 0);
+  p.connect(pump, 0, outer.entry(), 0);
+  p.connect(outer.exit(), 0, sink, 0);
+  Realization real(rtm, p);
+  real.start();
+  rtm.run();
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_EQ(sink.arrivals()[0].item.kind, 14);  // (5+1+1)*2
+}
+
+TEST(Composite, NetpipeBundleEqualsHandWiredPipeline) {
+  rt::Runtime rtm;
+  media::StreamConfig cfg;
+  cfg.frames = 50;
+  media::MpegFileSource src("m.mpg", cfg);
+  ClockedPump pump("pump", 100.0);
+  net::LinkConfig lc;
+  lc.base_latency = rt::milliseconds(5);
+  net::SimLink link(lc);
+  net::NetpipeBundle netpipe("net", link, media::encode_frame,
+                             media::decode_frame, "video", "server",
+                             "client");
+  media::MpegDecoder dec("dec");
+  media::VideoDisplay display("display", 100.0);
+
+  Pipeline p;
+  netpipe.splice_into(p);
+  p.connect(src, 0, pump, 0);
+  p.connect(pump, 0, netpipe.entry(), 0);
+  p.connect(netpipe.exit(), 0, dec, 0);
+  p.connect(dec, 0, display, 0);
+
+  Realization real(rtm, p);
+  EXPECT_EQ(real.thread_count(), 2u);  // sender pump + receiver driver
+  real.start();
+  rtm.run();
+  EXPECT_EQ(display.stats().displayed, 50u);
+  EXPECT_EQ(display.stats().corrupt, 0u);
+}
+
+TEST(Composite, PlayoutBundleSmoothsJitter) {
+  rt::Runtime rtm;
+  media::StreamConfig cfg;
+  cfg.frames = 200;
+  media::MpegFileSource src("m.mpg", cfg);
+  ClockedPump pump("pump", 30.0);
+  net::LinkConfig lc;
+  lc.base_latency = rt::milliseconds(10);
+  lc.jitter = rt::milliseconds(20);
+  net::SimLink link(lc);
+  net::NetpipeBundle netpipe("net", link, media::encode_frame,
+                             media::decode_frame, "video", "a", "b");
+  media::MpegDecoder dec("dec");
+  net::PlayoutBundle playout("playout", 16, 30.0);
+  media::VideoDisplay display("display", 30.0);
+
+  Pipeline p;
+  netpipe.splice_into(p);
+  playout.splice_into(p);
+  p.connect(src, 0, pump, 0);
+  p.connect(pump, 0, netpipe.entry(), 0);
+  p.connect(netpipe.exit(), 0, dec, 0);
+  p.connect(dec, 0, playout.entry(), 0);
+  p.connect(playout.exit(), 0, display, 0);
+
+  Realization real(rtm, p);
+  real.start();
+  rtm.run();
+  EXPECT_GE(display.stats().displayed, 195u);
+  EXPECT_LT(display.stats().mean_abs_jitter_ms, 1.0)
+      << "playout bundle must absorb the 20 ms network jitter";
+}
+
+}  // namespace
+}  // namespace infopipe

@@ -1,0 +1,321 @@
+// Planner tests: thread/coroutine allocation for the paper's Figure 9
+// configurations and composition-error diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/infopipes.hpp"
+
+namespace infopipe {
+namespace {
+
+Item combine2(Item a, Item) { return a; }
+
+struct Fixture {
+  CountingSource src{"src", 100};
+  CollectorSink sink{"sink"};
+  FreeRunningPump pump{"pump"};
+  DefragmenterConsumer consumer{"consumer", combine2};
+  DefragmenterConsumer consumer2{"consumer2", combine2};
+  DefragmenterProducer producer{"producer", combine2};
+  DefragmenterProducer producer2{"producer2", combine2};
+  DefragmenterActive active{"active", combine2};
+  DefragmenterActive active2{"active2", combine2};
+  IdentityFunction fn{"fn"};
+  IdentityFunction fn2{"fn2"};
+};
+
+// --- Figure 9: pipelines between a passive source and a passive sink --------
+// §4: "If there is no need for coroutines ... the thread calls the pull
+// functions of all components upstream of the pump, then calls push ...
+// This case applies to the configurations a), b), and c). For configurations
+// d), g), and h) there is a set of two coroutines and for configurations e)
+// and f) there is a set of three coroutines associated with the pump."
+
+TEST(Fig9, A_ProducerPullSide_ConsumerPushSide_OneThread) {
+  Fixture f;
+  auto ch = f.src >> f.producer >> f.pump >> f.consumer >> f.sink;
+  Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 1u);
+  EXPECT_EQ(p.sections[0].coroutine_count(), 0);
+  EXPECT_EQ(p.sections[0].thread_count(), 1);
+  EXPECT_EQ(p.hosted_info(f.producer)->mode, FlowMode::kPull);
+  EXPECT_EQ(p.hosted_info(f.consumer)->mode, FlowMode::kPush);
+}
+
+TEST(Fig9, B_FunctionFunction_OneThread) {
+  Fixture f;
+  auto ch = f.src >> f.fn >> f.pump >> f.fn2 >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 1);
+  EXPECT_EQ(p.total_coroutines(), 0);
+}
+
+TEST(Fig9, C_ConsumerConsumer_PushSide_OneThread) {
+  Fixture f;
+  auto ch = f.src >> f.pump >> f.consumer >> f.consumer2 >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 1);
+  EXPECT_EQ(p.total_coroutines(), 0);
+}
+
+TEST(Fig9, D_ActiveThenFunction_TwoThreads) {
+  Fixture f;
+  auto ch = f.src >> f.pump >> f.active >> f.fn >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 2);
+  EXPECT_TRUE(p.hosted_info(f.active)->needs_coroutine);
+  EXPECT_FALSE(p.hosted_info(f.fn)->needs_coroutine);
+}
+
+TEST(Fig9, E_ConsumerPullSide_ProducerPushSide_ThreeThreads) {
+  Fixture f;
+  // source -> consumer -> PUMP -> producer -> sink: both adapted styles.
+  auto ch = f.src >> f.consumer >> f.pump >> f.producer >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 3);
+  EXPECT_TRUE(p.hosted_info(f.consumer)->needs_coroutine);
+  EXPECT_EQ(p.hosted_info(f.consumer)->mode, FlowMode::kPull);
+  EXPECT_TRUE(p.hosted_info(f.producer)->needs_coroutine);
+  EXPECT_EQ(p.hosted_info(f.producer)->mode, FlowMode::kPush);
+}
+
+TEST(Fig9, F_TwoActives_ThreeThreads) {
+  Fixture f;
+  auto ch = f.src >> f.pump >> f.active >> f.active2 >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 3);
+}
+
+TEST(Fig9, G_ConsumerThenActive_TwoThreads) {
+  Fixture f;
+  // consumer on the push side is direct; the active object needs one.
+  auto ch = f.src >> f.pump >> f.consumer >> f.active >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 2);
+  EXPECT_FALSE(p.hosted_info(f.consumer)->needs_coroutine);
+  EXPECT_TRUE(p.hosted_info(f.active)->needs_coroutine);
+}
+
+TEST(Fig9, H_ConsumerProducer_BothPushSide_TwoThreads) {
+  Fixture f;
+  // Same component sequence as e) but the pump sits upstream of both:
+  // the consumer becomes direct and only the producer needs a coroutine.
+  auto ch = f.src >> f.pump >> f.consumer >> f.producer >> f.sink;
+  Plan p = plan(ch.pipeline());
+  EXPECT_EQ(p.total_threads(), 2);
+  EXPECT_FALSE(p.hosted_info(f.consumer)->needs_coroutine);
+  EXPECT_TRUE(p.hosted_info(f.producer)->needs_coroutine);
+}
+
+// --- sections and buffers ---------------------------------------------------
+
+TEST(Planner, BufferSplitsPipelineIntoTwoSections) {
+  Fixture f;
+  Buffer buf("buf", 8);
+  FreeRunningPump pump2("pump2");
+  auto ch = f.src >> f.pump >> f.fn >> buf >> f.fn2 >> pump2 >> f.sink;
+  Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 2u);
+  EXPECT_EQ(p.total_threads(), 2);
+  EXPECT_EQ(p.hosted_info(f.fn)->mode, FlowMode::kPush);
+  EXPECT_EQ(p.hosted_info(f.fn2)->mode, FlowMode::kPull);
+}
+
+TEST(Planner, ActiveSourceAndActiveSinkAreDrivers) {
+  class Gen : public ClockedSourceBase {
+   public:
+    Gen() : ClockedSourceBase("gen", 100.0) {}
+
+   protected:
+    Item generate() override { return Item::token(); }
+  };
+  class Dev : public ClockedSinkBase {
+   public:
+    Dev() : ClockedSinkBase("dev", 100.0) {}
+
+   protected:
+    void consume(Item) override {}
+  };
+  Gen gen;
+  Dev dev;
+  Buffer buf("buf", 4);
+  IdentityFunction fn("fn");
+  auto ch = gen >> fn >> buf >> dev;
+  Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 2u);
+  EXPECT_EQ(p.total_threads(), 2);
+  EXPECT_EQ(p.hosted_info(fn)->mode, FlowMode::kPush);
+}
+
+// --- composition errors -----------------------------------------------------
+
+TEST(PlannerErrors, NoDriverAnywhere) {
+  Fixture f;
+  auto ch = f.src >> f.fn >> f.sink;
+  EXPECT_THROW((void)plan(ch.pipeline()), CompositionError);
+}
+
+TEST(PlannerErrors, TwoPumpsWithoutBuffer) {
+  Fixture f;
+  FreeRunningPump pump2("pump2");
+  auto ch = f.src >> f.pump >> f.fn >> pump2 >> f.sink;
+  EXPECT_THROW((void)plan(ch.pipeline()), CompositionError);
+}
+
+TEST(PlannerErrors, SectionWithoutDriverBehindBuffer) {
+  Fixture f;
+  Buffer buf("buf", 4);
+  auto ch = f.src >> f.pump >> buf >> f.fn >> f.sink;
+  EXPECT_THROW((void)plan(ch.pipeline()), CompositionError);
+}
+
+TEST(PlannerErrors, DanglingPort) {
+  Fixture f;
+  Pipeline p;
+  p.connect(f.src, 0, f.pump, 0);  // pump output dangles
+  EXPECT_THROW((void)plan(p), CompositionError);
+}
+
+TEST(PlannerErrors, SameFixedPolarityConnectionThrowsAtConnect) {
+  // pump out-port (+) into pump in-port (+): §2.3's composition error.
+  FreeRunningPump a("a");
+  FreeRunningPump b("b");
+  Pipeline p;
+  EXPECT_THROW(p.connect(a, 0, b, 0), CompositionError);
+}
+
+TEST(PlannerErrors, BufferIntoBufferIsLegalButUndriven) {
+  // buffer(-) -> buffer(-)? Out-port of buffer is negative, in-port of
+  // buffer is negative: same polarity, rejected at connect time.
+  Buffer b1("b1", 2);
+  Buffer b2("b2", 2);
+  Pipeline p;
+  EXPECT_THROW(p.connect(b1, 0, b2, 0), CompositionError);
+}
+
+TEST(PlannerErrors, MulticastCannotBePulled) {
+  Fixture f;
+  MulticastTee tee("tee", 2);
+  Pipeline p;
+  // tee -> pump would mean the pump pulls from the tee, which is illegal:
+  // the tee's out-ports are positive (push-only), the pump's in-port is
+  // positive too — same-polarity error at connect time.
+  EXPECT_THROW(p.connect(tee, 0, f.pump, 0), CompositionError);
+  // And a passive source cannot push into the tee's passive in-port either.
+  EXPECT_THROW(p.connect(f.src, 0, tee, 0), CompositionError);
+}
+
+TEST(PlannerErrors, CombineTeeCannotBePushed) {
+  // pump -> combine-tee: combine's in-ports are positive, pump out positive.
+  class Mix : public CombineTee {
+   public:
+    Mix() : CombineTee("mix", 2) {}
+    Item combine(std::vector<Item> xs) override { return xs[0]; }
+  };
+  Mix mix;
+  FreeRunningPump pump("pump");
+  Pipeline p;
+  EXPECT_THROW(p.connect(pump, 0, mix, 0), CompositionError);
+}
+
+TEST(PlannerErrors, ComponentInTwoPipelinesRejectedAtRealize) {
+  Fixture f;
+  auto ch = f.src >> f.pump >> f.sink;
+  rt::Runtime rt;
+  Realization real(rt, ch.pipeline());
+  EXPECT_THROW(Realization dup(rt, ch.pipeline()), CompositionError);
+}
+
+// --- tees in legal positions --------------------------------------------------
+
+TEST(Planner, MulticastFanOutWithinOneSection) {
+  Fixture f;
+  MulticastTee tee("tee", 2);
+  CollectorSink sink2("sink2");
+  Pipeline p;
+  p.connect(f.src, 0, f.pump, 0);
+  p.connect(f.pump, 0, tee, 0);
+  p.connect(tee, 0, f.fn, 0);
+  p.connect(f.fn, 0, f.sink, 0);
+  p.connect(tee, 1, sink2, 0);
+  Plan pl = plan(p);
+  EXPECT_EQ(pl.total_threads(), 1);  // one pump drives the whole tree
+}
+
+TEST(Planner, MergeTeeMarksSharedTail) {
+  Fixture f;
+  MergeTee merge("merge", 2);
+  FreeRunningPump pump2("pump2");
+  CountingSource src2("src2", 100);
+  Pipeline p;
+  p.connect(f.src, 0, f.pump, 0);
+  p.connect(src2, 0, pump2, 0);
+  p.connect(f.pump, 0, merge, 0);
+  p.connect(pump2, 0, merge, 1);
+  p.connect(merge, 0, f.fn, 0);
+  p.connect(f.fn, 0, f.sink, 0);
+  Plan pl = plan(p);
+  EXPECT_EQ(pl.sections.size(), 2u);
+  EXPECT_EQ(pl.total_threads(), 2);
+  ASSERT_NE(pl.hosted_info(f.fn), nullptr);
+  EXPECT_TRUE(pl.hosted_info(f.fn)->shared);
+  EXPECT_TRUE(pl.hosted_info(merge)->shared);
+}
+
+TEST(Planner, DescribeNamesEveryDecision) {
+  Fixture f;
+  rt::Runtime rtm;
+  auto ch = f.src >> f.pump >> f.consumer >> f.active >> f.sink;
+  Realization real(rtm, ch.pipeline());
+  const std::string d = real.describe();
+  EXPECT_NE(d.find("driven by 'pump'"), std::string::npos) << d;
+  EXPECT_NE(d.find("consumer: consumer in push mode, direct call"),
+            std::string::npos)
+      << d;
+  EXPECT_NE(d.find("active: active in push mode, coroutine"),
+            std::string::npos)
+      << d;
+  EXPECT_NE(d.find("2 threads"), std::string::npos) << d;
+}
+
+TEST(Planner, StatsReportShowsDriversAndBuffers) {
+  rt::Runtime rtm;
+  CountingSource src("src", 20);
+  FreeRunningPump fill("fill");
+  Buffer buf("mid-buf", 4);
+  FreeRunningPump drain("drain");
+  CollectorSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  Realization real(rtm, ch.pipeline());
+  real.start();
+  rtm.run();
+  const std::string r = real.stats_report();
+  EXPECT_NE(r.find("fill: 20 items pumped"), std::string::npos) << r;
+  EXPECT_NE(r.find("drain: 20 items pumped"), std::string::npos) << r;
+  EXPECT_NE(r.find("mid-buf: fill 0/4, 20 in / 20 out"), std::string::npos)
+      << r;
+}
+
+TEST(Planner, BalancingSwitchSharesUpstream) {
+  CountingSource src("src", 100);
+  BalancingSwitch sw("sw", 2);
+  FreeRunningPump p1("p1");
+  FreeRunningPump p2("p2");
+  CollectorSink s1("s1");
+  CollectorSink s2("s2");
+  IdentityFunction fn("fn");
+  Pipeline p;
+  p.connect(src, 0, fn, 0);
+  p.connect(fn, 0, sw, 0);
+  p.connect(sw, 0, p1, 0);
+  p.connect(sw, 1, p2, 0);
+  p.connect(p1, 0, s1, 0);
+  p.connect(p2, 0, s2, 0);
+  Plan pl = plan(p);
+  EXPECT_EQ(pl.sections.size(), 2u);
+  ASSERT_NE(pl.hosted_info(fn), nullptr);
+  EXPECT_TRUE(pl.hosted_info(fn)->shared);
+  EXPECT_EQ(pl.hosted_info(fn)->mode, FlowMode::kPull);
+}
+
+}  // namespace
+}  // namespace infopipe

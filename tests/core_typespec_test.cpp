@@ -1,0 +1,292 @@
+// Typespec algebra tests (§2.3): intersection, subset, don't-know/don't-care,
+// ranges, string sets, and end-to-end propagation through a pipeline.
+#include <gtest/gtest.h>
+
+#include "core/infopipes.hpp"
+
+namespace infopipe {
+namespace {
+
+TEST(Range, IntersectOverlap) {
+  auto r = Range{10, 30}.intersect(Range{20, 40});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 20);
+  EXPECT_EQ(r->hi, 30);
+}
+
+TEST(Range, IntersectDisjoint) {
+  const Range a{0, 5};
+  const Range b{6, 9};
+  EXPECT_FALSE(a.intersect(b).has_value());
+}
+
+TEST(Range, TouchingEndpointsIntersectToAPoint) {
+  const Range a{0, 5};
+  const Range b{5, 9};
+  auto r = a.intersect(b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 5);
+  EXPECT_EQ(r->hi, 5);
+}
+
+TEST(Typespec, AbsentKeysAlwaysCompose) {
+  Typespec a{{props::kItemType, std::string("video")}};
+  Typespec b{{props::kFrameRate, Range{10, 60}}};
+  auto m = a.intersect(b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get<std::string>(props::kItemType), "video");
+  EXPECT_EQ(m->get<Range>(props::kFrameRate), (Range{10, 60}));
+}
+
+TEST(Typespec, ScalarConflictFails) {
+  Typespec a{{props::kItemType, std::string("video")}};
+  Typespec b{{props::kItemType, std::string("audio")}};
+  EXPECT_FALSE(a.intersect(b).has_value());
+  EXPECT_FALSE(a.compatible_with(b));
+}
+
+TEST(Typespec, RangeIntersectionNarrows) {
+  Typespec a{{props::kFrameRate, Range{10, 60}}};
+  Typespec b{{props::kFrameRate, Range{24, 120}}};
+  auto m = a.intersect(b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get<Range>(props::kFrameRate), (Range{24, 60}));
+}
+
+TEST(Typespec, StringSetsIntersect) {
+  Typespec a{{props::kFormats, StringSet{"mpeg1", "mpeg2", "raw"}}};
+  Typespec b{{props::kFormats, StringSet{"mpeg2", "h261"}}};
+  auto m = a.intersect(b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get<StringSet>(props::kFormats), (StringSet{"mpeg2"}));
+  Typespec c{{props::kFormats, StringSet{"theora"}}};
+  EXPECT_FALSE(a.intersect(c).has_value());
+}
+
+TEST(Typespec, ScalarInsideRangeReconciles) {
+  // A source states 30 fps; a sink supports [10, 60] fps.
+  Typespec source{{props::kFrameRate, 30.0}};
+  Typespec sink{{props::kFrameRate, Range{10, 60}}};
+  auto m = source.intersect(sink);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get<double>(props::kFrameRate), 30.0);
+  Typespec narrow{{props::kFrameRate, Range{40, 60}}};
+  EXPECT_FALSE(source.intersect(narrow).has_value());
+}
+
+TEST(Typespec, MixedTypesOtherwiseConflict) {
+  Typespec a{{"k", std::int64_t{3}}};
+  Typespec b{{"k", 3.0}};
+  EXPECT_FALSE(a.intersect(b).has_value());
+}
+
+TEST(Typespec, SubsetOf) {
+  Typespec tight{{props::kFrameRate, Range{24, 30}},
+                 {props::kItemType, std::string("video")}};
+  Typespec loose{{props::kFrameRate, Range{10, 60}}};
+  EXPECT_TRUE(tight.subset_of(loose));
+  EXPECT_FALSE(loose.subset_of(tight));  // missing item.type + wider range
+  EXPECT_TRUE(tight.subset_of(Typespec{}));  // everything ⊆ "don't care"
+}
+
+TEST(Typespec, SubsetWithStringSets) {
+  Typespec small{{props::kFormats, StringSet{"mpeg2"}}};
+  Typespec big{{props::kFormats, StringSet{"mpeg1", "mpeg2"}}};
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+}
+
+TEST(Typespec, BoolAndIntConflicts) {
+  Typespec a{{"flag", true}, {"n", std::int64_t{5}}};
+  Typespec b{{"flag", true}, {"n", std::int64_t{5}}};
+  EXPECT_TRUE(a.compatible_with(b));
+  b.set("flag", false);
+  EXPECT_FALSE(a.compatible_with(b));
+  b.set("flag", true);
+  b.set("n", std::int64_t{6});
+  EXPECT_FALSE(a.compatible_with(b));
+}
+
+TEST(Typespec, EraseAndEmpty) {
+  Typespec t{{"a", std::int64_t{1}}};
+  EXPECT_FALSE(t.empty());
+  t.erase("a");
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.get<std::int64_t>("a").has_value());
+  // Erasing a missing key is a no-op.
+  t.erase("ghost");
+  EXPECT_TRUE(t.compatible_with(Typespec{}));
+}
+
+TEST(Typespec, GetWithWrongAlternativeTypeIsNullopt) {
+  Typespec t{{"rate", Range{1, 2}}};
+  EXPECT_FALSE(t.get<double>("rate").has_value());
+  EXPECT_TRUE(t.get<Range>("rate").has_value());
+}
+
+TEST(Typespec, IntersectionIsCommutative) {
+  Typespec a{{props::kFrameRate, Range{10, 40}},
+             {props::kFormats, StringSet{"x", "y"}},
+             {"only-a", std::int64_t{1}}};
+  Typespec b{{props::kFrameRate, Range{20, 60}},
+             {props::kFormats, StringSet{"y", "z"}},
+             {"only-b", 2.5}};
+  auto ab = a.intersect(b);
+  auto ba = b.intersect(a);
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_EQ(*ab, *ba);
+}
+
+TEST(Typespec, OverlayUpdatesAndAdds) {
+  Typespec base{{"a", std::int64_t{1}}, {"b", std::int64_t{2}}};
+  Typespec up{{"b", std::int64_t{20}}, {"c", std::int64_t{3}}};
+  Typespec r = base.overlay(up);
+  EXPECT_EQ(r.get<std::int64_t>("a"), 1);
+  EXPECT_EQ(r.get<std::int64_t>("b"), 20);
+  EXPECT_EQ(r.get<std::int64_t>("c"), 3);
+}
+
+TEST(Typespec, ToStringIsReadable) {
+  Typespec t{{props::kItemType, std::string("video")},
+             {props::kFrameRate, Range{10, 60}}};
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("item.type=video"), std::string::npos);
+  EXPECT_NE(s.find("[10, 60]"), std::string::npos);
+}
+
+// --- propagation through components at plan time ------------------------------
+
+/// A source offering mpeg video at 30 fps.
+class SpecSource : public CountingSource {
+ public:
+  SpecSource() : CountingSource("spec-src", 10) {}
+  Typespec output_offer(int) const override {
+    return Typespec{{props::kItemType, std::string("video")},
+                    {props::kFormats, StringSet{"mpeg1", "mpeg2"}},
+                    {props::kFrameRate, 30.0}};
+  }
+};
+
+/// A decoder: requires mpeg, outputs raw video (transforms the spec).
+class SpecDecoder : public IdentityFunction {
+ public:
+  SpecDecoder() : IdentityFunction("spec-dec") {}
+  Typespec input_requirement(int) const override {
+    return Typespec{{props::kFormats, StringSet{"mpeg1", "mpeg2", "mpeg4"}}};
+  }
+  Typespec transform_downstream(const Typespec& in, int,
+                                int) const override {
+    Typespec out = in;
+    out.set(props::kFormats, StringSet{"raw"});
+    return out;
+  }
+};
+
+/// A display that only takes raw video up to 60 fps.
+class SpecDisplay : public CollectorSink {
+ public:
+  SpecDisplay() : CollectorSink("spec-display") {}
+  Typespec input_requirement(int) const override {
+    return Typespec{{props::kFormats, StringSet{"raw"}},
+                    {props::kFrameRate, Range{1, 60}}};
+  }
+};
+
+TEST(TypespecPropagation, DecoderAdaptsFormatAlongPipeline) {
+  SpecSource src;
+  SpecDecoder dec;
+  FreeRunningPump pump("pump");
+  SpecDisplay display;
+  auto ch = src >> dec >> pump >> display;
+  Plan p = plan(ch.pipeline());
+  // The edge into the display carries raw format and the source's rate.
+  const Edge* last = ch.pipeline().edge_into(display, 0);
+  ASSERT_NE(last, nullptr);
+  const Typespec& spec = p.edge_spec.at(last);
+  EXPECT_EQ(spec.get<StringSet>(props::kFormats), (StringSet{"raw"}));
+  EXPECT_EQ(spec.get<double>(props::kFrameRate), 30.0);
+}
+
+TEST(TypespecPropagation, IncompatibleSinkRejectedAtPlanTime) {
+  SpecSource src;
+  FreeRunningPump pump("pump");
+  SpecDisplay display;  // requires raw; source offers mpeg and no decoder
+  auto ch = src >> pump >> display;
+  EXPECT_THROW((void)plan(ch.pipeline()), CompositionError);
+}
+
+TEST(TypespecPropagation, UserPreferenceRestrictsTheFlow) {
+  // §2.3: source/sink-supplied ranges "can be restricted by the user to
+  // indicate preferences".
+  SpecSource src;
+  SpecDecoder dec;
+  FreeRunningPump pump("pump");
+  SpecDisplay display;
+  auto ch = src >> dec >> pump >> display;
+  // Satisfiable preference: narrows the propagated spec.
+  ch.pipeline().restrict(display, 0,
+                         Typespec{{props::kFrameRate, Range{24, 48}}});
+  Plan p = plan(ch.pipeline());
+  const Edge* last = ch.pipeline().edge_into(display, 0);
+  EXPECT_EQ(p.edge_spec.at(last).get<double>(props::kFrameRate), 30.0);
+
+  // Tighten the preference to a band the source's fixed 30 fps cannot
+  // satisfy (it still intersects the previous preference, so the conflict
+  // surfaces during planning, against the actual flow).
+  ch.pipeline().restrict(display, 0,
+                         Typespec{{props::kFrameRate, Range{40, 48}}});
+  EXPECT_THROW((void)plan(ch.pipeline()), CompositionError);
+}
+
+TEST(TypespecPropagation, ContradictoryPreferencesRejectedAtOnce) {
+  SpecDisplay display;
+  Pipeline p;
+  p.restrict(display, 0, Typespec{{props::kFrameRate, Range{10, 20}}});
+  EXPECT_THROW(
+      p.restrict(display, 0, Typespec{{props::kFrameRate, Range{30, 40}}}),
+      CompositionError);
+}
+
+TEST(ControlCapabilities, RequirementWithoutEmitterFailsPlanning) {
+  // §2.3: "The capability of components to send or react to these control
+  // events is included in the Typespec to ensure that the resulting
+  // pipeline is operational."
+  class NeedsTicks : public IdentityFunction {
+   public:
+    NeedsTicks() : IdentityFunction("needs-ticks") {}
+    StringSet control_requires() const override { return {"tick"}; }
+  };
+  class EmitsTicks : public IdentityFunction {
+   public:
+    EmitsTicks() : IdentityFunction("emits-ticks") {}
+    StringSet control_emits() const override { return {"tick"}; }
+  };
+  CountingSource src("src", 5);
+  FreeRunningPump pump("pump");
+  NeedsTicks needy;
+  CollectorSink sink("sink");
+  {
+    auto ch = src >> pump >> needy >> sink;
+    EXPECT_THROW((void)plan(ch.pipeline()), CompositionError);
+  }
+  EmitsTicks emitter;
+  Pipeline p2;
+  p2.connect(src, 0, pump, 0);
+  p2.connect(pump, 0, emitter, 0);
+  p2.connect(emitter, 0, needy, 0);
+  p2.connect(needy, 0, sink, 0);
+  EXPECT_NO_THROW((void)plan(p2));
+}
+
+TEST(TypespecPropagation, ConnectTimeShallowCheckCatchesDirectMismatch) {
+  SpecSource src;
+  SpecDisplay display;
+  Pipeline p;
+  // Direct source->display: offer {mpeg1,mpeg2} vs requirement {raw} clash
+  // already at connect time (§4: ">> would throw an exception").
+  EXPECT_THROW(p.connect(src, 0, display, 0), CompositionError);
+}
+
+}  // namespace
+}  // namespace infopipe

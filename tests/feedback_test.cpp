@@ -1,0 +1,201 @@
+// Feedback toolkit tests: controllers (pure math), sensors in pipelines, and
+// closed loops steering pumps — §3.1's "more elaborate approaches adjust CPU
+// allocations among pipeline stages according to feedback from buffer fill
+// levels" and the producer-rate pump of the distributed player.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/infopipes.hpp"
+#include "feedback/controller.hpp"
+#include "feedback/toolkit.hpp"
+
+namespace infopipe::fb {
+namespace {
+
+// ---------- controllers -----------------------------------------------------------
+
+TEST(LowPass, ConvergesToConstantInput) {
+  LowPassFilter f(0.3);
+  for (int i = 0; i < 60; ++i) f.update(10.0);
+  EXPECT_NEAR(f.value(), 10.0, 1e-6);
+}
+
+TEST(LowPass, FirstSamplePrimes) {
+  LowPassFilter f(0.1);
+  EXPECT_FALSE(f.primed());
+  f.update(42.0);
+  EXPECT_TRUE(f.primed());
+  EXPECT_EQ(f.value(), 42.0);
+}
+
+TEST(LowPass, SmoothsSpikes) {
+  LowPassFilter f(0.2);
+  f.update(10.0);
+  f.update(100.0);  // spike
+  EXPECT_LT(f.value(), 30.0);
+  EXPECT_GT(f.value(), 10.0);
+}
+
+TEST(PControl, ProportionalAndClamped) {
+  PController c(2.0, -5.0, 5.0);
+  EXPECT_EQ(c.update(1.0), 2.0);
+  EXPECT_EQ(c.update(-1.0), -2.0);
+  EXPECT_EQ(c.update(100.0), 5.0);   // clamped high
+  EXPECT_EQ(c.update(-100.0), -5.0); // clamped low
+}
+
+TEST(PIControl, EliminatesSteadyStateError) {
+  // Plant: value += 0.1 * u each step; setpoint 1.0 from 0.
+  PIController c(0.5, 2.0, -10.0, 10.0);
+  double value = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double u = c.update(1.0 - value, 0.01);
+    value += 0.1 * u;
+  }
+  EXPECT_NEAR(value, 1.0, 0.01);
+}
+
+TEST(PIControl, AntiWindupBoundsIntegral) {
+  PIController c(0.0, 1.0, -1.0, 1.0);
+  for (int i = 0; i < 1000; ++i) (void)c.update(100.0, 1.0);
+  EXPECT_LE(std::abs(c.integral()), 1.0 + 1e-9);
+  // Recovery after the error flips sign must be quick (no windup).
+  double u = 0.0;
+  for (int i = 0; i < 3; ++i) u = c.update(-100.0, 1.0);
+  EXPECT_LT(u, 0.0);
+}
+
+// ---------- PeriodicTask ------------------------------------------------------------
+
+TEST(PeriodicTask, RunsAtThePeriodUntilStopped) {
+  rt::Runtime rtm;
+  std::vector<rt::Time> ticks;
+  PeriodicTask task(rtm, "tick", rt::milliseconds(10),
+                    [&](rt::Time now) { ticks.push_back(now); });
+  task.start();
+  rtm.run_until(rt::milliseconds(55));
+  EXPECT_EQ(ticks.size(), 5u);
+  EXPECT_EQ(ticks.front(), rt::milliseconds(10));
+  task.stop();
+  rtm.run_until(rt::milliseconds(200));
+  EXPECT_LE(ticks.size(), 6u);
+}
+
+// ---------- sensors in pipelines ------------------------------------------------------
+
+TEST(RateSensor, MeasuresPumpRate) {
+  rt::Runtime rtm;
+  CountingSource src("src", 200);
+  ClockedPump pump("pump", 50.0);
+  RateSensor sensor("rate", 0.3, rt::milliseconds(200), /*report=*/false);
+  CollectorSink sink("sink");
+  auto ch = src >> pump >> sensor >> sink;
+  Realization real(rtm, ch.pipeline());
+  real.start();
+  rtm.run_until(rt::seconds(2));
+  EXPECT_NEAR(sensor.rate_hz(), 50.0, 2.0);
+}
+
+TEST(RateSensor, BroadcastsReports) {
+  rt::Runtime rtm;
+  CountingSource src("src", 200);
+  ClockedPump pump("pump", 100.0);
+  RateSensor sensor("rate", /*alpha=*/0.8, rt::milliseconds(100));
+  CollectorSink sink("sink");
+  auto ch = src >> pump >> sensor >> sink;
+  Realization real(rtm, ch.pipeline());
+  int reports = 0;
+  double last = 0.0;
+  real.set_event_listener([&](const Event& e) {
+    if (e.type == kEventSensorReport) {
+      ++reports;
+      last = e.get<SensorReport>()->value;
+    }
+  });
+  real.start();
+  rtm.run();
+  // 200 items at 100 Hz = 2 s of flow with 100 ms windows.
+  EXPECT_GE(reports, 15);
+  EXPECT_EQ(reports, sensor.reports_sent());
+  EXPECT_NEAR(last, 100.0, 5.0);
+}
+
+TEST(LatencySensor, SeesQueueingDelay) {
+  rt::Runtime rtm;
+  CountingSource src("src", 40);
+  ClockedPump fill("fill", 200.0);
+  Buffer buf("buf", 64);
+  ClockedPump drain("drain", 50.0);  // slower: queueing delay builds up
+  LatencySensor sensor("lat", 0.5, 0);
+  CollectorSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sensor >> sink;
+  Realization real(rtm, ch.pipeline());
+  real.start();
+  rtm.run();
+  // Items sit in the buffer: smoothed latency must be well above zero.
+  EXPECT_GT(sensor.latency_ms(), 50.0);
+}
+
+// ---------- closed loop: buffer fill steers an adaptive pump ---------------------------
+
+TEST(FeedbackLoop, HoldsBufferAtSetpoint) {
+  rt::Runtime rtm;
+  CountingSource src("src", 1000000);
+  ClockedPump fill("fill", 100.0);  // producer fixed at 100 Hz
+  Buffer buf("buf", 100, FullPolicy::kDropNewest, EmptyPolicy::kNil);
+  AdaptivePump drain("drain", 10.0);  // starts way too slow
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  Realization real(rtm, ch.pipeline());
+
+  // Keep the buffer at 50%: reading = fill fraction, output = drain rate.
+  // Gains are NEGATIVE: raising the drain rate lowers the fill level.
+  FeedbackLoop loop(
+      rtm, "fill-ctl", rt::milliseconds(50), fill_fraction(buf),
+      /*setpoint=*/0.5,
+      PIController(/*kp=*/-200.0, /*ki=*/-400.0, /*out_min=*/1.0,
+                   /*out_max=*/1000.0),
+      pump_rate_actuator(real, drain));
+
+  real.start();
+  loop.start();
+  rtm.run_until(rt::seconds(20));
+  loop.stop();
+
+  // Converged: drain rate ends near the producer's 100 Hz and the fill level
+  // sits near the setpoint.
+  EXPECT_NEAR(drain.rate_hz(), 100.0, 15.0);
+  const double frac =
+      static_cast<double>(buf.fill()) / static_cast<double>(buf.capacity());
+  EXPECT_NEAR(frac, 0.5, 0.15);
+  real.shutdown();
+  rtm.run();
+}
+
+TEST(FeedbackLoop, TracksProducerRateChange) {
+  rt::Runtime rtm;
+  CountingSource src("src", 1000000);
+  AdaptivePump fill("fill", 100.0);
+  Buffer buf("buf", 100, FullPolicy::kDropNewest, EmptyPolicy::kNil);
+  AdaptivePump drain("drain", 100.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  Realization real(rtm, ch.pipeline());
+  FeedbackLoop loop(rtm, "fill-ctl", rt::milliseconds(50), fill_fraction(buf),
+                    0.5, PIController(-200.0, -400.0, 1.0, 1000.0),
+                    pump_rate_actuator(real, drain));
+  real.start();
+  loop.start();
+  rtm.run_until(rt::seconds(10));
+  // Disturbance: the producer speeds up to 250 Hz mid-run.
+  real.post_event_to(fill, Event{kEventQualityHint, 250.0});
+  rtm.run_until(rt::seconds(30));
+  EXPECT_NEAR(drain.rate_hz(), 250.0, 30.0);
+  loop.stop();
+  real.shutdown();
+  rtm.run();
+}
+
+}  // namespace
+}  // namespace infopipe::fb

@@ -1,0 +1,133 @@
+// Unit tests for the lowest-level vocabulary: Item sharing semantics, the
+// special markers, and the §2.3 polarity algebra.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/item.hpp"
+#include "core/polarity.hpp"
+#include "core/event.hpp"
+
+namespace infopipe {
+namespace {
+
+TEST(Item, DefaultIsNil) {
+  Item x;
+  EXPECT_TRUE(x.is_nil());
+  EXPECT_FALSE(x.is_data());
+  EXPECT_FALSE(static_cast<bool>(x));
+  EXPECT_EQ(x.payload<int>(), nullptr);
+}
+
+TEST(Item, SpecialMarkers) {
+  EXPECT_TRUE(Item::nil().is_nil());
+  EXPECT_TRUE(Item::eos().is_eos());
+  EXPECT_FALSE(Item::eos().is_data());
+  EXPECT_TRUE(Item::token().is_data());
+  EXPECT_EQ(Item::token(7).kind, 7);
+}
+
+TEST(Item, PayloadIsSharedAcrossCopies) {
+  Item a = Item::of<std::string>("frame-data");
+  EXPECT_EQ(a.use_count(), 1);
+  Item b = a;  // the §2.2 reference-frame situation: two holders
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(a.payload<std::string>(), b.payload<std::string>())
+      << "copies must share one payload object";
+  {
+    Item c = b;
+    EXPECT_EQ(a.use_count(), 3);
+  }
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(Item, MetadataIsPerCopy) {
+  Item a = Item::of<int>(5);
+  a.seq = 1;
+  a.kind = 10;
+  Item b = a;
+  b.seq = 2;
+  b.kind = 20;
+  EXPECT_EQ(a.seq, 1u);
+  EXPECT_EQ(a.kind, 10);
+  EXPECT_EQ(b.seq, 2u);
+  EXPECT_EQ(b.kind, 20);
+}
+
+TEST(Item, TypedAccessIsSafe) {
+  Item x = Item::of<int>(42);
+  EXPECT_NE(x.payload<int>(), nullptr);
+  EXPECT_EQ(*x.payload<int>(), 42);
+  EXPECT_EQ(x.payload<double>(), nullptr) << "wrong type reads as absent";
+  EXPECT_EQ(x.as<int>(), 42);
+  EXPECT_THROW((void)x.as<std::string>(), std::bad_any_cast);
+}
+
+TEST(Item, TokenHasNoPayload) {
+  Item t = Item::token(3);
+  EXPECT_EQ(t.use_count(), 0);
+  EXPECT_EQ(t.payload<int>(), nullptr);
+}
+
+// ---------- polarity algebra (§2.3) ---------------------------------------------
+
+TEST(Polarity, OppositeFixedPolaritiesConnect) {
+  EXPECT_TRUE(connectable(Polarity::kPositive, Polarity::kNegative));
+  EXPECT_TRUE(connectable(Polarity::kNegative, Polarity::kPositive));
+}
+
+TEST(Polarity, SameFixedPolarityIsTheCompositionError) {
+  EXPECT_FALSE(connectable(Polarity::kPositive, Polarity::kPositive));
+  EXPECT_FALSE(connectable(Polarity::kNegative, Polarity::kNegative));
+}
+
+TEST(Polarity, PolymorphicConnectsToAnything) {
+  for (Polarity p : {Polarity::kPositive, Polarity::kNegative,
+                     Polarity::kPolymorphic}) {
+    EXPECT_TRUE(connectable(Polarity::kPolymorphic, p));
+    EXPECT_TRUE(connectable(p, Polarity::kPolymorphic));
+  }
+}
+
+TEST(Polarity, EdgeModeFollowsTheDrivingSide) {
+  // "A positive out-port will make calls to push" -> the edge runs in push
+  // mode; a negative out-port receives pulls -> pull mode.
+  EXPECT_EQ(edge_mode(Polarity::kPositive), FlowMode::kPush);
+  EXPECT_EQ(edge_mode(Polarity::kNegative), FlowMode::kPull);
+}
+
+TEST(Polarity, ModeAndPolarityRoundTrip) {
+  for (FlowMode m : {FlowMode::kPush, FlowMode::kPull}) {
+    EXPECT_EQ(edge_mode(out_polarity_for(m)), m);
+    // The in-port polarity is always the out-port's opposite.
+    EXPECT_TRUE(connectable(out_polarity_for(m), in_polarity_for(m)));
+    EXPECT_NE(out_polarity_for(m), in_polarity_for(m));
+  }
+}
+
+TEST(Polarity, ToStringIsCompact) {
+  EXPECT_EQ(to_string(Polarity::kPositive), "+");
+  EXPECT_EQ(to_string(Polarity::kNegative), "-");
+  EXPECT_EQ(to_string(Polarity::kPolymorphic), "a");
+  EXPECT_EQ(to_string(FlowMode::kPush), "push");
+  EXPECT_EQ(to_string(FlowMode::kPull), "pull");
+}
+
+TEST(Events, WellKnownNames) {
+  EXPECT_EQ(to_string(Event{kEventStart}), "START");
+  EXPECT_EQ(to_string(Event{kEventStop}), "STOP");
+  EXPECT_EQ(to_string(Event{kEventEndOfStream}), "EOS");
+  EXPECT_EQ(to_string(Event{kEventReservationDenied}), "RESERVATION-DENIED");
+  EXPECT_EQ(to_string(Event{kEventUser + 3}),
+            "user(" + std::to_string(kEventUser + 3) + ")");
+}
+
+TEST(Events, TypedPayloadAccess) {
+  Event e{kEventUser, std::string("hello")};
+  ASSERT_NE(e.get<std::string>(), nullptr);
+  EXPECT_EQ(*e.get<std::string>(), "hello");
+  EXPECT_EQ(e.get<int>(), nullptr);
+}
+
+}  // namespace
+}  // namespace infopipe

@@ -1,0 +1,222 @@
+// Microlanguage tests: parsing, the standard library, error reporting with
+// line numbers, and full parse -> realize -> run integration.
+#include <gtest/gtest.h>
+
+#include "core/infopipes.hpp"
+#include "lang/microlang.hpp"
+#include "media/mpeg.hpp"
+
+namespace infopipe::lang {
+namespace {
+
+TEST(MicroLang, BuildsAndRunsTheQuickstartPlayer) {
+  MicroLang ml;
+  Assembly a = ml.parse(R"(
+    # the paper's local video player
+    let src     = mpeg_file(test.mpg, 60, 30)
+    let decode  = decoder()
+    let pump    = pump(30)
+    let display = display(30)
+    chain src -> decode -> pump -> display
+  )");
+  EXPECT_EQ(a.components.size(), 4u);
+
+  rt::Runtime rtm;
+  Realization real(rtm, a.pipeline);
+  EXPECT_EQ(real.thread_count(), 1u);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(a.as<media::VideoDisplay>("display").stats().displayed, 60u);
+}
+
+TEST(MicroLang, MultiPortConnectSyntax) {
+  MicroLang ml;
+  Assembly a = ml.parse(R"(
+    let src  = counting_source(10)
+    let pump = freerunning_pump()
+    let tee  = multicast(2)
+    let s1   = collector()
+    let s2   = collector()
+    chain src -> pump
+    connect pump.0 -> tee.0
+    connect tee.0 -> s1.0
+    connect tee.1 -> s2.0
+  )");
+  rt::Runtime rtm;
+  Realization real(rtm, a.pipeline);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(a.as<CollectorSink>("s1").count(), 10u);
+  EXPECT_EQ(a.as<CollectorSink>("s2").count(), 10u);
+}
+
+TEST(MicroLang, BufferPoliciesByName) {
+  MicroLang ml;
+  Assembly a = ml.parse(
+      "let b = buffer(5, drop-oldest, nil)\n");
+  auto& b = a.as<Buffer>("b");
+  EXPECT_EQ(b.capacity(), 5u);
+  EXPECT_EQ(b.full_policy(), FullPolicy::kDropOldest);
+  EXPECT_EQ(b.empty_policy(), EmptyPolicy::kNil);
+}
+
+TEST(MicroLang, CommentsAndBlankLines) {
+  MicroLang ml;
+  Assembly a = ml.parse(R"(
+
+    # full-line comment
+    let s = sink()   # trailing comment
+
+  )");
+  EXPECT_EQ(a.components.size(), 1u);
+}
+
+TEST(MicroLang, CustomRegisteredType) {
+  MicroLang ml;
+  ml.register_type("doubler", [](const std::string& n,
+                                 const std::vector<std::string>&) {
+    return std::make_unique<LambdaFunction>(n, [](Item x) {
+      x.kind *= 2;
+      return x;
+    });
+  });
+  EXPECT_TRUE(ml.has_type("doubler"));
+  Assembly a = ml.parse(R"(
+    let src  = counting_source(3)
+    let d    = doubler()
+    let pump = freerunning_pump()
+    let out  = collector()
+    chain src -> d -> pump -> out
+  )");
+  rt::Runtime rtm;
+  Realization real(rtm, a.pipeline);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(a.as<CollectorSink>("out").count(), 3u);
+}
+
+TEST(MicroLang, DistributedPipelineWithLinkAndNetpipe) {
+  MicroLang ml;
+  Assembly a = ml.parse(R"(
+    # Figure 1's skeleton, entirely in the microlanguage.
+    let movie   = mpeg_file(m.mpg, 90, 30)
+    let pump    = pump(30)
+    let wire    = link(6e6, 25)          # 6 Mbps, 25 ms
+    let enc     = marshal(video)
+    let tx      = net_sender(wire, server)
+    let rx      = net_receiver(wire, client)
+    let dec_b   = unmarshal(video)
+    let decode  = decoder()
+    let screen  = display(30)
+    chain movie -> pump -> enc -> tx
+    chain rx -> dec_b -> decode -> screen
+  )");
+  ASSERT_EQ(a.links.size(), 1u);
+  EXPECT_EQ(a.link("wire").config().base_latency, rt::milliseconds(25));
+
+  rt::Runtime rtm;
+  Realization real(rtm, a.pipeline);
+  EXPECT_EQ(real.thread_count(), 2u);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(a.as<media::VideoDisplay>("screen").stats().displayed, 90u);
+  EXPECT_EQ(a.as<media::VideoDisplay>("screen").stats().corrupt, 0u);
+}
+
+TEST(MicroLangErrors, NetSenderNeedsADeclaredLink) {
+  MicroLang ml;
+  EXPECT_THROW((void)ml.parse("let tx = net_sender(nolink, a)\n"),
+               ParseError);
+}
+
+TEST(MicroLangErrors, UnknownCodec) {
+  MicroLang ml;
+  EXPECT_THROW((void)ml.parse("let m = marshal(interpretive-dance)\n"),
+               ParseError);
+}
+
+// ---------- error reporting ---------------------------------------------------
+
+void expect_error_at(const std::string& program, int line,
+                     const std::string& fragment) {
+  MicroLang ml;
+  try {
+    (void)ml.parse(program);
+    FAIL() << "expected ParseError containing '" << fragment << "'";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MicroLangErrors, UnknownType) {
+  expect_error_at("let x = warp_drive()\n", 1, "unknown component type");
+}
+
+TEST(MicroLangErrors, UnknownNameInChain) {
+  expect_error_at("let s = sink()\nchain ghost -> s\n", 2, "unknown component");
+}
+
+TEST(MicroLangErrors, DuplicateName) {
+  expect_error_at("let s = sink()\nlet s = sink()\n", 2, "duplicate");
+}
+
+TEST(MicroLangErrors, BadStatement) {
+  expect_error_at("frobnicate a b\n", 1, "unknown statement");
+}
+
+TEST(MicroLangErrors, MissingParen) {
+  expect_error_at("let s = sink(\n", 1, "missing ')'");
+}
+
+TEST(MicroLangErrors, BadPortReference) {
+  expect_error_at("let s = sink()\nlet p = pump(10)\nconnect p.x -> s.0\n", 3,
+                  "bad port");
+}
+
+TEST(MicroLangErrors, CompositionErrorsCarryLineNumbers) {
+  // pump -> pump is a polarity error; it must surface as a ParseError with
+  // the right line.
+  expect_error_at(
+      "let a = pump(10)\nlet b = pump(10)\nconnect a.0 -> b.0\n", 3,
+      "polarity");
+}
+
+TEST(MicroLangErrors, BadNumericArgument) {
+  expect_error_at("let p = pump(fast)\n", 1, "expected a number");
+}
+
+TEST(MicroLang, ChainSyntaxAcceptsExplicitPorts) {
+  MicroLang ml;
+  Assembly a = ml.parse(R"(
+    let src  = counting_source(6)
+    let pump = freerunning_pump()
+    let sw   = multicast(2)
+    let s1   = collector()
+    let s2   = collector()
+    chain src -> pump -> sw
+    chain sw.0 -> s1
+    chain sw.1 -> s2
+  )");
+  rt::Runtime rtm;
+  Realization real(rtm, a.pipeline);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(a.as<CollectorSink>("s1").count(), 6u);
+  EXPECT_EQ(a.as<CollectorSink>("s2").count(), 6u);
+}
+
+TEST(MicroLang, StandardLibraryIsComplete) {
+  MicroLang ml;
+  for (const char* t :
+       {"counting_source", "identity", "pump", "freerunning_pump",
+        "adaptive_pump", "buffer", "multicast", "merge", "balance", "sink",
+        "collector", "mpeg_file", "decoder", "drop_filter", "resizer",
+        "display", "tone", "audio_mixer", "audio_device"}) {
+    EXPECT_TRUE(ml.has_type(t)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace infopipe::lang

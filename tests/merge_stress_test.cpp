@@ -1,0 +1,225 @@
+// Stress tests for shared regions (§3.2's synchronized objects under
+// contention): many sections funnel through MergeTees into shared tails;
+// the section lock must serialize data processing, keep control handlers
+// legal (re-entrant only for the owner), and deliver exactly once.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/infopipes.hpp"
+
+namespace infopipe {
+namespace {
+
+/// A stage that detects any interleaving violation: if two threads were
+/// ever inside push() at once, `violations` becomes nonzero. It also yields
+/// mid-processing (via a buffer-less no-op that cannot yield — so instead
+/// it emits twice, lengthening the critical section).
+class MutualExclusionProbe : public Consumer {
+ public:
+  explicit MutualExclusionProbe(std::string name)
+      : Consumer(std::move(name)) {}
+
+  int violations = 0;
+
+ protected:
+  void push(Item x) override {
+    if (inside_) ++violations;
+    inside_ = true;
+    push_next(std::move(x));
+    inside_ = false;
+  }
+
+ private:
+  bool inside_ = false;
+};
+
+TEST(MergeStress, ManyBranchesExactlyOnceDelivery) {
+  for (int branches : {2, 4, 8}) {
+    rt::Runtime rtm;
+    std::vector<std::unique_ptr<CountingSource>> srcs;
+    std::vector<std::unique_ptr<ClockedPump>> pumps;
+    MergeTee merge("merge", branches);
+    MutualExclusionProbe probe("probe");
+    CollectorSink sink("sink");
+    Pipeline p;
+    constexpr std::uint64_t kPerBranch = 200;
+    for (int b = 0; b < branches; ++b) {
+      srcs.push_back(std::make_unique<CountingSource>(
+          "src" + std::to_string(b), kPerBranch));
+      // Co-prime-ish rates so arrivals interleave irregularly.
+      pumps.push_back(std::make_unique<ClockedPump>(
+          "pump" + std::to_string(b), 97.0 + 13.0 * b));
+      p.connect(*srcs.back(), 0, *pumps.back(), 0);
+      p.connect(*pumps.back(), 0, merge, b);
+    }
+    p.connect(merge, 0, probe, 0);
+    p.connect(probe, 0, sink, 0);
+    Realization real(rtm, p);
+    real.start();
+    rtm.run();
+    EXPECT_EQ(sink.count(),
+              static_cast<std::uint64_t>(branches) * kPerBranch)
+        << branches << " branches";
+    EXPECT_TRUE(sink.eos_seen());
+    EXPECT_EQ(probe.violations, 0);
+  }
+}
+
+TEST(MergeStress, SharedTailWithBlockingBufferSerializes) {
+  // The shared tail ends in a tiny blocking buffer drained slowly: pushers
+  // block INSIDE the shared region holding the lock; the lock must hand
+  // over cleanly and nothing deadlocks.
+  rt::Runtime rtm;
+  CountingSource s1("s1", 60);
+  CountingSource s2("s2", 60);
+  ClockedPump p1("p1", 300.0);
+  ClockedPump p2("p2", 310.0);
+  MergeTee merge("merge", 2);
+  MutualExclusionProbe probe("probe");
+  Buffer buf("buf", 2, FullPolicy::kBlock, EmptyPolicy::kBlock);
+  ClockedPump drain("drain", 150.0);
+  CollectorSink sink("sink");
+  Pipeline p;
+  p.connect(s1, 0, p1, 0);
+  p.connect(s2, 0, p2, 0);
+  p.connect(p1, 0, merge, 0);
+  p.connect(p2, 0, merge, 1);
+  p.connect(merge, 0, probe, 0);
+  p.connect(probe, 0, buf, 0);
+  p.connect(buf, 0, drain, 0);
+  p.connect(drain, 0, sink, 0);
+  Realization real(rtm, p);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(sink.count(), 120u);
+  EXPECT_EQ(probe.violations, 0);
+  EXPECT_GT(buf.stats().put_blocks, 0u)
+      << "the scenario must actually block inside the shared tail";
+}
+
+TEST(MergeStress, ControlEventsIntoSharedComponentsStayLegal) {
+  // Broadcast control events while the shared tail is under contention; the
+  // §3.2 invariant (no handler during data processing — except for the
+  // owner blocked in a push) must hold.
+  class GuardedShared : public Consumer {
+   public:
+    explicit GuardedShared(std::string n) : Consumer(std::move(n)) {}
+    bool in_data = false;
+    int handled = 0;
+    bool blocked_in_push = false;
+
+   protected:
+    void push(Item x) override {
+      EXPECT_FALSE(in_data);
+      in_data = true;
+      blocked_in_push = true;
+      push_next(std::move(x));  // may block in the downstream buffer
+      blocked_in_push = false;
+      in_data = false;
+    }
+    void handle_event(const Event& e) override {
+      if (e.type != kEventUser + 9) return;
+      // Legal exactly when we are not mid-processing OR we are blocked in
+      // the push (the paper allows delivery while blocked).
+      EXPECT_TRUE(!in_data || blocked_in_push);
+      ++handled;
+    }
+  };
+
+  rt::Runtime rtm;
+  CountingSource s1("s1", 150);
+  CountingSource s2("s2", 150);
+  ClockedPump p1("p1", 500.0);
+  ClockedPump p2("p2", 490.0);
+  MergeTee merge("merge", 2);
+  GuardedShared shared("shared");
+  Buffer buf("buf", 2, FullPolicy::kBlock, EmptyPolicy::kBlock);
+  ClockedPump drain("drain", 400.0);
+  CollectorSink sink("sink");
+  Pipeline p;
+  p.connect(s1, 0, p1, 0);
+  p.connect(s2, 0, p2, 0);
+  p.connect(p1, 0, merge, 0);
+  p.connect(p2, 0, merge, 1);
+  p.connect(merge, 0, shared, 0);
+  p.connect(shared, 0, buf, 0);
+  p.connect(buf, 0, drain, 0);
+  p.connect(drain, 0, sink, 0);
+  Realization real(rtm, p);
+  real.start();
+  std::mt19937 rng(11);
+  rt::Time t = 0;
+  for (int i = 0; i < 60; ++i) {
+    t += rt::microseconds(std::uniform_int_distribution<int>(500, 20000)(rng));
+    rtm.run_until(t);
+    real.post_event_to(shared, Event{kEventUser + 9});
+  }
+  rtm.run();
+  EXPECT_EQ(sink.count(), 300u);
+  EXPECT_EQ(shared.handled, 60);
+}
+
+TEST(MergeStress, CascadedMerges) {
+  // merge(merge(a,b), c): the inner merge's tail contains the outer merge.
+  rt::Runtime rtm;
+  CountingSource a("a", 50), b("b", 50), c("c", 50);
+  ClockedPump pa("pa", 200.0), pb("pb", 210.0), pc("pc", 190.0);
+  MergeTee inner("inner", 2);
+  MergeTee outer("outer", 2);
+  CollectorSink sink("sink");
+  Pipeline p;
+  p.connect(a, 0, pa, 0);
+  p.connect(b, 0, pb, 0);
+  p.connect(c, 0, pc, 0);
+  p.connect(pa, 0, inner, 0);
+  p.connect(pb, 0, inner, 1);
+  p.connect(inner, 0, outer, 0);
+  p.connect(pc, 0, outer, 1);
+  p.connect(outer, 0, sink, 0);
+  Realization real(rtm, p);
+  real.start();
+  rtm.run();
+  EXPECT_EQ(sink.count(), 150u);
+  EXPECT_TRUE(sink.eos_seen());
+}
+
+TEST(MergeStress, SharedTailThroughCoroutine) {
+  // The shared tail contains an ACTIVE component: both pumps' items funnel
+  // through one coroutine; serialization then happens at its mailbox.
+  rt::Runtime rtm;
+  CountingSource s1("s1", 80);
+  CountingSource s2("s2", 80);
+  ClockedPump p1("p1", 400.0);
+  ClockedPump p2("p2", 410.0);
+  MergeTee merge("merge", 2);
+  LambdaActive doubler("doubler", [](const auto& pull, const auto& push) {
+    for (;;) {
+      Item x = pull();
+      x.kind *= 2;
+      push(std::move(x));
+    }
+  });
+  CollectorSink sink("sink");
+  Pipeline p;
+  p.connect(s1, 0, p1, 0);
+  p.connect(s2, 0, p2, 0);
+  p.connect(p1, 0, merge, 0);
+  p.connect(p2, 0, merge, 1);
+  p.connect(merge, 0, doubler, 0);
+  p.connect(doubler, 0, sink, 0);
+  Realization real(rtm, p);
+  EXPECT_EQ(real.thread_count(), 3u);  // two pumps + one coroutine
+  real.start();
+  rtm.run();
+  EXPECT_EQ(sink.count(), 160u);
+  EXPECT_TRUE(sink.eos_seen());
+}
+
+}  // namespace
+}  // namespace infopipe

@@ -1,0 +1,442 @@
+// Property-based tests: randomly generated pipelines executed against a
+// reference simulation.
+//
+// The paper's central transparency promise is behavioural: however a
+// pipeline is assembled — any mix of activity styles, any pump position,
+// any buffer placement — the delivered item stream must equal what a plain
+// sequential composition of the component functions would produce. We
+// generate hundreds of random pipelines, run them through the full
+// middleware (planner, coroutines, buffers, events) and compare against a
+// pure-functional reference.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "core/infopipes.hpp"
+
+namespace infopipe {
+namespace {
+
+// ---------- the component vocabulary -------------------------------------------
+// Each mid-pipeline element applies one of these integer transformations to
+// the flow; the reference simulator applies the same ones to a plain vector.
+
+enum class Op {
+  kAddOne,      // one-to-one:   x -> x+1
+  kDouble,      // one-to-one:   x -> 2x
+  kDropOdd,     // filtering:    keep only even values
+  kPairSum,     // defragment:   (a,b) -> a+b
+  kSplit,       // fragment:     x -> x, x+1000
+};
+constexpr Op kAllOps[] = {Op::kAddOne, Op::kDouble, Op::kDropOdd,
+                          Op::kPairSum, Op::kSplit};
+
+std::vector<long> apply_reference(Op op, const std::vector<long>& in) {
+  std::vector<long> out;
+  switch (op) {
+    case Op::kAddOne:
+      for (long v : in) out.push_back(v + 1);
+      break;
+    case Op::kDouble:
+      for (long v : in) out.push_back(v * 2);
+      break;
+    case Op::kDropOdd:
+      for (long v : in) {
+        if (v % 2 == 0) out.push_back(v);
+      }
+      break;
+    case Op::kPairSum:
+      for (std::size_t i = 0; i + 1 < in.size(); i += 2) {
+        out.push_back(in[i] + in[i + 1]);
+      }
+      break;
+    case Op::kSplit:
+      for (long v : in) {
+        out.push_back(v);
+        out.push_back(v + 1000);
+      }
+      break;
+  }
+  return out;
+}
+
+// Style in which a component is implemented (chosen at random, must not
+// matter).
+enum class Impl { kConsumer, kProducer, kActive, kFunction };
+
+bool op_is_one_to_one(Op op) {
+  return op == Op::kAddOne || op == Op::kDouble;
+}
+
+long value_of(const Item& x) { return static_cast<long>(x.kind); }
+Item item_of(long v) {
+  Item x = Item::token(static_cast<int>(v));
+  return x;
+}
+
+std::unique_ptr<Component> make_component(const std::string& name, Op op,
+                                          Impl impl) {
+  auto transform1 = [op](long v) {
+    return op == Op::kAddOne ? v + 1 : v * 2;
+  };
+  switch (impl) {
+    case Impl::kFunction:
+      return std::make_unique<LambdaFunction>(name, [transform1](Item x) {
+        return item_of(transform1(value_of(x)));
+      });
+    case Impl::kConsumer:
+      return std::make_unique<LambdaConsumer>(
+          name, [op, transform1, saved = std::optional<long>{}](
+                    Item x, const std::function<void(Item)>& emit) mutable {
+            const long v = value_of(x);
+            switch (op) {
+              case Op::kAddOne:
+              case Op::kDouble:
+                emit(item_of(transform1(v)));
+                break;
+              case Op::kDropOdd:
+                if (v % 2 == 0) emit(item_of(v));
+                break;
+              case Op::kPairSum:
+                if (saved) {
+                  emit(item_of(*saved + v));
+                  saved.reset();
+                } else {
+                  saved = v;
+                }
+                break;
+              case Op::kSplit:
+                emit(item_of(v));
+                emit(item_of(v + 1000));
+                break;
+            }
+          });
+    case Impl::kProducer:
+      return std::make_unique<LambdaProducer>(
+          name, [op, transform1, saved = std::optional<long>{}](
+                    const std::function<Item()>& take) mutable -> Item {
+            switch (op) {
+              case Op::kAddOne:
+              case Op::kDouble:
+                return item_of(transform1(value_of(take())));
+              case Op::kDropOdd:
+                for (;;) {
+                  const long v = value_of(take());
+                  if (v % 2 == 0) return item_of(v);
+                }
+              case Op::kPairSum: {
+                const long a = value_of(take());
+                const long b = value_of(take());
+                return item_of(a + b);
+              }
+              case Op::kSplit:
+                if (saved) {
+                  const long s = *saved;
+                  saved.reset();
+                  return item_of(s);
+                } else {
+                  const long v = value_of(take());
+                  saved = v + 1000;
+                  return item_of(v);
+                }
+            }
+            return Item::nil();
+          });
+    case Impl::kActive:
+      return std::make_unique<LambdaActive>(
+          name, [op, transform1](const std::function<Item()>& take,
+                                 const std::function<void(Item)>& put) {
+            for (;;) {
+              switch (op) {
+                case Op::kAddOne:
+                case Op::kDouble:
+                  put(item_of(transform1(value_of(take()))));
+                  break;
+                case Op::kDropOdd: {
+                  const long v = value_of(take());
+                  if (v % 2 == 0) put(item_of(v));
+                  break;
+                }
+                case Op::kPairSum: {
+                  const long a = value_of(take());
+                  const long b = value_of(take());
+                  put(item_of(a + b));
+                  break;
+                }
+                case Op::kSplit: {
+                  const long v = value_of(take());
+                  put(item_of(v));
+                  put(item_of(v + 1000));
+                  break;
+                }
+              }
+            }
+          });
+  }
+  return nullptr;
+}
+
+// ---------- random pipeline construction ------------------------------------------
+
+struct RandomPipeline {
+  std::vector<std::unique_ptr<Component>> owned;
+  std::vector<Op> ops;      // in order, upstream to downstream
+  int pump_slot = 0;        // component index the pump precedes
+  std::vector<int> buffer_after;  // slots with a buffer (plus extra pump)
+};
+
+TEST(PropertyPipelines, RandomChainsMatchReferenceSimulation) {
+  constexpr int kCases = 120;
+  constexpr std::uint64_t kInputs = 64;
+
+  std::vector<long> input(kInputs);
+  std::iota(input.begin(), input.end(), 0);
+
+  for (int seed = 0; seed < kCases; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) * 7919 + 13);
+    const int n_stages = std::uniform_int_distribution<int>(1, 5)(rng);
+
+    // Choose operations and implementations.
+    std::vector<Op> ops;
+    std::vector<Impl> impls;
+    for (int i = 0; i < n_stages; ++i) {
+      const Op op =
+          kAllOps[std::uniform_int_distribution<std::size_t>(0, 4)(rng)];
+      ops.push_back(op);
+      // Function style only expresses one-to-one ops.
+      const int max_impl = op_is_one_to_one(op) ? 3 : 2;
+      impls.push_back(static_cast<Impl>(
+          std::uniform_int_distribution<int>(0, max_impl)(rng)));
+    }
+
+    // Reference result.
+    std::vector<long> expected = input;
+    for (Op op : ops) expected = apply_reference(op, expected);
+
+    // Optional buffer splits the chain into two pump-driven sections.
+    const bool with_buffer =
+        n_stages >= 2 && std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+    const int buffer_slot =
+        with_buffer
+            ? std::uniform_int_distribution<int>(1, n_stages - 1)(rng)
+            : -1;
+    // Pump positions within each section.
+    const int pump1_slot = std::uniform_int_distribution<int>(
+        0, with_buffer ? buffer_slot : n_stages)(rng);
+    const int pump2_slot =
+        with_buffer ? std::uniform_int_distribution<int>(buffer_slot,
+                                                         n_stages)(rng)
+                    : -1;
+
+    // Build.
+    rt::Runtime rtm;
+    std::vector<Item> items;
+    items.reserve(input.size());
+    for (long v : input) items.push_back(item_of(v));
+    VectorSource src("src", std::move(items));
+    FreeRunningPump pump1("pump1");
+    FreeRunningPump pump2("pump2");
+    Buffer buf("buf", 4);
+    CollectorSink sink("sink");
+    std::vector<std::unique_ptr<Component>> mids;
+
+    Pipeline p;
+    Component* prev = &src;
+    auto link = [&](Component& next) {
+      p.connect(*prev, 0, next, 0);
+      prev = &next;
+    };
+    for (int slot = 0; slot <= n_stages; ++slot) {
+      if (slot == pump1_slot) link(pump1);
+      if (with_buffer && slot == buffer_slot) link(buf);
+      if (with_buffer && slot == pump2_slot) link(pump2);
+      if (slot < n_stages) {
+        mids.push_back(make_component("c" + std::to_string(slot), ops[slot],
+                                      impls[static_cast<std::size_t>(slot)]));
+        link(*mids.back());
+      }
+    }
+    link(sink);
+
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Realization real(rtm, p);
+    real.start();
+    rtm.run();
+
+    // Compare delivered stream with the reference.
+    std::vector<long> got;
+    for (const auto& a : sink.arrivals()) got.push_back(value_of(a.item));
+    EXPECT_EQ(got, expected)
+        << "pipeline behaviour depends on style/threading (seed " << seed
+        << ", stages=" << n_stages << ")";
+    EXPECT_TRUE(sink.eos_seen());
+
+    // Clean teardown must leave no live threads behind.
+    real.shutdown();
+    rtm.run();
+    EXPECT_EQ(rtm.live_threads(), 0u);
+  }
+}
+
+TEST(PropertyPipelines, RandomMulticastTreesDeliverEverywhere) {
+  // Random fan-out trees: a pump feeds a multicast tee whose branches are
+  // random chains (possibly with further tees); every leaf sink must see
+  // the complete flow, transformed by exactly its path's stages.
+  for (int seed = 0; seed < 40; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) * 131 + 5);
+    rt::Runtime rtm;
+    constexpr std::uint64_t kInputs = 32;
+    CountingSource src("src", kInputs);
+    FreeRunningPump pump("pump");
+    std::vector<std::unique_ptr<Component>> owned;
+    std::vector<CollectorSink*> sinks;
+    std::vector<int> adds;  // per-sink total of +1 stages on its path
+
+    Pipeline p;
+    p.connect(src, 0, pump, 0);
+
+    // Recursive random tree builder.
+    std::function<void(Component&, int, int, int)> grow =
+        [&](Component& from, int out_port, int depth, int added) {
+          // Random chain of 0-2 “+1” stages.
+          Component* prev = &from;
+          int prev_port = out_port;
+          const int stages = std::uniform_int_distribution<int>(0, 2)(rng);
+          for (int s = 0; s < stages; ++s) {
+            owned.push_back(std::make_unique<LambdaFunction>(
+                "f" + std::to_string(owned.size()), [](Item x) {
+                  ++x.kind;
+                  return x;
+                }));
+            p.connect(*prev, prev_port, *owned.back(), 0);
+            prev = owned.back().get();
+            prev_port = 0;
+            ++added;
+          }
+          const bool branch =
+              depth < 2 && std::uniform_int_distribution<int>(0, 2)(rng) == 0;
+          if (branch) {
+            const int fan = std::uniform_int_distribution<int>(2, 3)(rng);
+            owned.push_back(std::make_unique<MulticastTee>(
+                "tee" + std::to_string(owned.size()), fan));
+            Component* tee = owned.back().get();
+            p.connect(*prev, prev_port, *tee, 0);
+            for (int b = 0; b < fan; ++b) grow(*tee, b, depth + 1, added);
+          } else {
+            owned.push_back(std::make_unique<CollectorSink>(
+                "sink" + std::to_string(owned.size())));
+            auto* sink = static_cast<CollectorSink*>(owned.back().get());
+            p.connect(*prev, prev_port, *sink, 0);
+            sinks.push_back(sink);
+            adds.push_back(added);
+          }
+        };
+    grow(pump, 0, 0, 0);
+
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Realization real(rtm, p);
+    EXPECT_EQ(real.thread_count(), 1u)
+        << "a multicast tree of passive stages needs only the pump's thread";
+    real.start();
+    rtm.run();
+    ASSERT_FALSE(sinks.empty());
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      ASSERT_EQ(sinks[i]->count(), kInputs) << "sink " << i;
+      EXPECT_TRUE(sinks[i]->eos_seen()) << "sink " << i;
+      // Every item went through exactly this path's stages, in order.
+      EXPECT_EQ(sinks[i]->arrivals()[0].item.kind, adds[i]) << "sink " << i;
+      std::vector<std::uint64_t> expect_seqs(kInputs);
+      std::iota(expect_seqs.begin(), expect_seqs.end(), 0);
+      EXPECT_EQ(sinks[i]->seqs(), expect_seqs) << "sink " << i;
+    }
+  }
+}
+
+TEST(PropertyPipelines, StopRestartPreservesStreamContents) {
+  // Stopping and restarting a pipeline mid-flow must not lose or duplicate
+  // items (buffered/blocked items continue after restart).
+  for (int seed = 0; seed < 20; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) + 99);
+    rt::Runtime rtm;
+    CountingSource src("src", 200);
+    ClockedPump fill("fill", 1000.0);
+    Buffer buf("buf", 8);
+    ClockedPump drain("drain", 800.0);
+    CollectorSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    Realization real(rtm, ch.pipeline());
+    real.start();
+    // Stop at a random instant mid-stream, then resume.
+    const rt::Time stop_at = rt::milliseconds(
+        std::uniform_int_distribution<int>(10, 120)(rng));
+    rtm.run_until(stop_at);
+    real.stop();
+    rtm.run_until(stop_at + rt::milliseconds(50));
+    const std::size_t frozen = sink.count();
+    rtm.run_until(stop_at + rt::milliseconds(100));
+    EXPECT_LE(sink.count(), frozen + 2) << "flow continued while stopped";
+    real.start();
+    rtm.run();
+    ASSERT_EQ(sink.count(), 200u) << "seed " << seed;
+    // In-order, exactly-once delivery.
+    std::vector<std::uint64_t> expect(200);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(sink.seqs(), expect) << "seed " << seed;
+  }
+}
+
+TEST(PropertyPipelines, EventsDuringRandomExecutionNeverReenter) {
+  // Fire broadcasts at random times; the §3.2 invariant — no handler runs
+  // while the same component is inside its data function — must hold for
+  // every component style. The guard component asserts the invariant.
+  class Guarded : public Consumer {
+   public:
+    explicit Guarded(std::string n) : Consumer(std::move(n)) {}
+    bool in_data = false;
+    int events = 0;
+
+   protected:
+    void push(Item x) override {
+      ASSERT_FALSE(in_data);
+      in_data = true;
+      push_next(std::move(x));
+      in_data = false;
+    }
+    void handle_event(const Event& e) override {
+      ASSERT_FALSE(in_data) << "handler ran during data processing";
+      if (e.type == kEventUser + 1) ++events;
+    }
+  };
+
+  for (int seed = 0; seed < 10; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed) + 7);
+    rt::Runtime rtm;
+    CountingSource src("src", 300);
+    ClockedPump pump("pump", 1000.0);
+    Guarded g1("g1");
+    DefragmenterActive defrag("defrag",
+                              [](Item a, Item) { return a; });  // coroutine
+    Guarded g2("g2");
+    CollectorSink sink("sink");
+    auto ch = src >> pump >> g1 >> defrag >> g2 >> sink;
+    Realization real(rtm, ch.pipeline());
+    real.start();
+    rt::Time t = 0;
+    for (int i = 0; i < 40; ++i) {
+      t += rt::microseconds(std::uniform_int_distribution<int>(100, 9000)(rng));
+      rtm.run_until(t);
+      real.post_event(Event{kEventUser + 1});
+    }
+    rtm.run();
+    EXPECT_EQ(sink.count(), 150u);
+    EXPECT_EQ(g1.events, 40);
+    EXPECT_EQ(g2.events, 40);
+  }
+}
+
+}  // namespace
+}  // namespace infopipe

@@ -1,0 +1,145 @@
+// CPU reservation tests (§3.1): admission-control arithmetic and the pump
+// integration — an over-committed pipeline is refused at START, and
+// releasing a reservation (stop / end-of-stream) frees the capacity.
+#include <gtest/gtest.h>
+
+#include "core/infopipes.hpp"
+
+namespace infopipe {
+namespace {
+
+using rt::Reservation;
+using rt::ReservationManager;
+
+TEST(ReservationManager, AdmitsUntilCapacity) {
+  ReservationManager m(1.0);
+  EXPECT_TRUE(m.admit(1, {rt::milliseconds(10), rt::milliseconds(4)}));  // .4
+  EXPECT_TRUE(m.admit(2, {rt::milliseconds(10), rt::milliseconds(4)}));  // .8
+  EXPECT_FALSE(m.admit(3, {rt::milliseconds(10), rt::milliseconds(4)}))
+      << "1.2 total must be refused";
+  EXPECT_TRUE(m.admit(3, {rt::milliseconds(10), rt::milliseconds(2)}));  // 1.0
+  EXPECT_NEAR(m.utilization(), 1.0, 1e-9);
+}
+
+TEST(ReservationManager, ReplaceAndRelease) {
+  ReservationManager m(1.0);
+  EXPECT_TRUE(m.admit(1, {rt::milliseconds(10), rt::milliseconds(9)}));
+  // Same owner may shrink or grow its own reservation in place.
+  EXPECT_TRUE(m.admit(1, {rt::milliseconds(10), rt::milliseconds(5)}));
+  EXPECT_NEAR(m.utilization(), 0.5, 1e-9);
+  EXPECT_TRUE(m.admit(2, {rt::milliseconds(10), rt::milliseconds(5)}));
+  m.release(1);
+  EXPECT_FALSE(m.holds(1));
+  EXPECT_NEAR(m.utilization(), 0.5, 1e-9);
+}
+
+TEST(ReservationManager, RejectsNonsense) {
+  ReservationManager m(1.0);
+  EXPECT_FALSE(m.admit(1, {0, 0}));
+  EXPECT_FALSE(m.admit(1, {rt::milliseconds(1), rt::milliseconds(2)}))
+      << "budget > period is infeasible";
+}
+
+TEST(ReservationPumps, OverCommittedPumpRefusedAtStart) {
+  rt::Runtime rtm;  // capacity 1.0
+  CountingSource s1("s1", 1000000);
+  CountingSource s2("s2", 1000000);
+  ClockedPump p1("p1", 100.0);  // 10 ms period
+  ClockedPump p2("p2", 100.0);
+  p1.set_cost_estimate(rt::milliseconds(7));  // 0.7 utilization
+  p2.set_cost_estimate(rt::milliseconds(7));  // 0.7 -> over-committed
+  CountingSink k1("k1");
+  CountingSink k2("k2");
+  Pipeline p;
+  p.connect(s1, 0, p1, 0);
+  p.connect(p1, 0, k1, 0);
+  p.connect(s2, 0, p2, 0);
+  p.connect(p2, 0, k2, 0);
+  Realization real(rtm, p);
+  std::vector<std::string> denied;
+  real.set_event_listener([&](const Event& e) {
+    if (e.type == kEventReservationDenied) {
+      denied.push_back(*e.get<std::string>());
+    }
+  });
+  real.start();
+  rtm.run_until(rt::milliseconds(100));
+  // Exactly one pump won admission; the other was refused and moved nothing.
+  ASSERT_EQ(denied.size(), 1u);
+  EXPECT_EQ(real.running_drivers(), 1);
+  EXPECT_EQ(std::min(k1.count(), k2.count()), 0u);
+  EXPECT_GT(std::max(k1.count(), k2.count()), 5u);
+  real.shutdown();
+  rtm.run();
+}
+
+TEST(ReservationPumps, StopReleasesCapacityForRestart) {
+  rt::Runtime rtm;
+  CountingSource s1("s1", 1000000);
+  CountingSource s2("s2", 1000000);
+  ClockedPump p1("p1", 100.0);
+  ClockedPump p2("p2", 100.0);
+  p1.set_cost_estimate(rt::milliseconds(7));
+  p2.set_cost_estimate(rt::milliseconds(7));
+  CountingSink k1("k1");
+  CountingSink k2("k2");
+  Pipeline p;
+  p.connect(s1, 0, p1, 0);
+  p.connect(p1, 0, k1, 0);
+  p.connect(s2, 0, p2, 0);
+  p.connect(p2, 0, k2, 0);
+  Realization real(rtm, p);
+  real.start();
+  rtm.run_until(rt::milliseconds(100));
+  EXPECT_EQ(real.running_drivers(), 1);
+  // Stop everything: reservations release. Restart: one pump wins again.
+  real.stop();
+  rtm.run_until(rt::milliseconds(200));
+  EXPECT_NEAR(rtm.reservations().utilization(), 0.0, 1e-9);
+  real.start();
+  rtm.run_until(rt::milliseconds(300));
+  EXPECT_EQ(real.running_drivers(), 1);
+  real.shutdown();
+  rtm.run();
+}
+
+TEST(ReservationPumps, NoEstimateMeansNoReservation) {
+  rt::Runtime rtm;
+  CountingSource src("src", 50);
+  ClockedPump pump("pump", 100.0);  // no cost estimate set
+  CountingSink sink("sink");
+  auto ch = src >> pump >> sink;
+  Realization real(rtm, ch.pipeline());
+  real.start();
+  rtm.run_until(rt::milliseconds(10));
+  EXPECT_EQ(rtm.reservations().count(), 0u);
+  rtm.run();
+  EXPECT_EQ(sink.count(), 50u);
+}
+
+TEST(ReservationPumps, FeasibleMixAdmitted) {
+  rt::Runtime rtm;
+  CountingSource s1("s1", 1000);
+  CountingSource s2("s2", 1000);
+  ClockedPump p1("p1", 100.0);
+  ClockedPump p2("p2", 50.0);
+  p1.set_cost_estimate(rt::milliseconds(4));   // 0.4
+  p2.set_cost_estimate(rt::milliseconds(10));  // 0.5
+  CountingSink k1("k1");
+  CountingSink k2("k2");
+  Pipeline p;
+  p.connect(s1, 0, p1, 0);
+  p.connect(p1, 0, k1, 0);
+  p.connect(s2, 0, p2, 0);
+  p.connect(p2, 0, k2, 0);
+  Realization real(rtm, p);
+  real.start();
+  rtm.run_until(rt::milliseconds(50));
+  EXPECT_EQ(real.running_drivers(), 2);
+  EXPECT_NEAR(rtm.reservations().utilization(), 0.9, 1e-9);
+  real.shutdown();
+  rtm.run();
+}
+
+}  // namespace
+}  // namespace infopipe
