@@ -13,6 +13,8 @@
 
 #include "core/infopipes.hpp"
 
+#include "bench_obs.hpp"
+
 using namespace infopipe;
 
 namespace {
@@ -40,6 +42,7 @@ int data_before_control(bool overtake) {
   }
   rt.send(t, rt::Message{0, rt::MsgClass::kControl});
   rt.run();
+  obsbench::capture(rt, "A1_control_overtakes_data");
   return data_before;
 }
 
@@ -78,6 +81,7 @@ InversionResult inversion(bool inheritance) {
   rt.send(caller, rt::Message{});
   for (int i = 0; i < 200; ++i) rt.send(middle, rt::Message{i, rt::MsgClass::kData});
   rt.run();
+  obsbench::capture(rt, "A2_priority_inversion");
   return r;
 }
 
@@ -108,12 +112,14 @@ int wake_to_run_distance(bool preemption) {
       });
   rt.send(busy, rt::Message{});
   rt.run();
+  obsbench::capture(rt, "A3_dispatch_preemption");
   return sent_after_wake;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obsbench::strip_metrics_flag(argc, argv);
   std::puts("Ablation A1: data items processed before a control event's");
   std::puts("handler runs (5000-item backlog):");
   std::printf("  control-overtakes-data ON : %d\n",
@@ -139,5 +145,6 @@ int main() {
   std::puts("");
   std::puts("expected shape: each OFF column is large where the ON column");
   std::puts("is ~0 — the paper's design choices are each load-bearing.");
+  obsbench::write_metrics();
   return 0;
 }

@@ -12,6 +12,8 @@
 // adapted/active ones pay one coroutine hand-off per item.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include <memory>
 
 #include "core/infopipes.hpp"
@@ -69,6 +71,7 @@ void BM_StyleMode(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_StyleMode");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -83,4 +86,4 @@ BENCHMARK(BM_StyleMode)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

@@ -10,6 +10,8 @@
 // a/b/c ≈ direct-call cost, d/g/h one hand-off, e/f two.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include <array>
 #include <memory>
 
@@ -112,6 +114,7 @@ void BM_Fig9Configuration(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_Fig9Configuration");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems * 4));
     state.ResumeTiming();
@@ -125,4 +128,4 @@ BENCHMARK(BM_Fig9Configuration)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

@@ -17,6 +17,8 @@
 // magnitude), and the hand-off a small multiple of the raw switch.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include "core/infopipes.hpp"
 #include "rt/context.hpp"
 
@@ -98,6 +100,7 @@ void BM_ScheduledYield(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_ScheduledYield");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(2 * kRounds));
     state.ResumeTiming();
@@ -127,6 +130,7 @@ void BM_MessageSendDispatch(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_MessageSendDispatch");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kMsgs));
     state.ResumeTiming();
@@ -154,6 +158,7 @@ void BM_CoroutineHandoffPerItem(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_CoroutineHandoffPerItem");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -178,6 +183,7 @@ void BM_DirectCallPipelinePerItem(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_DirectCallPipelinePerItem");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -187,4 +193,4 @@ BENCHMARK(BM_DirectCallPipelinePerItem)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

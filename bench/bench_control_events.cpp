@@ -22,6 +22,8 @@
 #include "core/infopipes.hpp"
 #include "media/mpeg.hpp"
 
+#include "bench_obs.hpp"
+
 using namespace infopipe;
 using namespace infopipe::media;
 
@@ -53,6 +55,7 @@ rt::Time probe_idle() {
   const rt::Time posted = rt.now();
   real.post_event_to(target, Event{kEvProbe});
   rt.run_until(rt::milliseconds(400));
+  obsbench::capture(rt, "probe_idle");
   return target.handled_at - posted;
 }
 
@@ -77,6 +80,7 @@ rt::Time probe_busy(rt::Time decode_ns_per_kb) {
   const rt::Time posted = rt.now();
   real.post_event_to(target, Event{kEvProbe});
   rt.run_until(rt::seconds(30));
+  obsbench::capture(rt, "probe_busy");
   return target.handled_at - posted;
 }
 
@@ -96,6 +100,7 @@ rt::Time probe_blocked() {
   const rt::Time posted = rt.now();
   real.post_event_to(target, Event{kEvProbe});
   rt.run_until(rt::milliseconds(1400));
+  obsbench::capture(rt, "probe_blocked");
   return target.handled_at - posted;
 }
 
@@ -109,7 +114,8 @@ void report(const char* label, rt::Time ns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obsbench::strip_metrics_flag(argc, argv);
   std::puts("E6  control-event latency by pipeline state");
   report("idle (between cycles):", probe_idle());
   report("busy (light decode, 1us/kB):", probe_busy(1000));
@@ -119,5 +125,6 @@ int main() {
   std::puts("  expected shape: idle and blocked deliver at the next dispatch");
   std::puts("  point (~0 ms); busy waits for at most one data function, so the");
   std::puts("  latency scales with per-item decode cost, NOT with queue length.");
+  obsbench::write_metrics();
   return 0;
 }

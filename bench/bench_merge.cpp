@@ -3,6 +3,8 @@
 // multi-port components of §2.1.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include <memory>
 #include <vector>
 
@@ -37,6 +39,7 @@ void BM_MergeFanIn(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_MergeFanIn");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kPerBranch) * branches);
     state.ResumeTiming();
@@ -69,6 +72,7 @@ void BM_MulticastFanOut(benchmark::State& state) {
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "BM_MulticastFanOut");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -80,4 +84,4 @@ BENCHMARK(BM_MulticastFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

@@ -17,6 +17,8 @@
 #include "net/netpipe.hpp"
 #include "net/reliable.hpp"
 
+#include "bench_obs.hpp"
+
 using namespace infopipe;
 using namespace infopipe::media;
 
@@ -57,6 +59,7 @@ void BM_LocalPipeline(benchmark::State& state) {
     state.ResumeTiming();
     rt.run();
     state.PauseTiming();
+    obsbench::capture(rt, "BM_LocalPipeline");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kFrames));
     state.ResumeTiming();
@@ -96,6 +99,7 @@ void BM_NetpipePipeline(benchmark::State& state) {
     state.ResumeTiming();
     rt.run();
     state.PauseTiming();
+    obsbench::capture(rt, "BM_NetpipePipeline");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kFrames));
     state.ResumeTiming();
@@ -232,9 +236,11 @@ void print_protocol_comparison() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obsbench::strip_metrics_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_link_behaviour();
   print_protocol_comparison();
+  obsbench::write_metrics();
   return 0;
 }

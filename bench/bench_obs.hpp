@@ -1,0 +1,89 @@
+// Shared --metrics-out support for the benches.
+//
+// Every bench accepts `--metrics-out=FILE` (or `--metrics-out FILE`). When
+// given, each workload captures the final state of its runtime's metrics
+// registry, and the bench writes them on exit as JSON lines — one object
+// per captured label:
+//
+//     {"bench":"BM_PumpCycle","metrics":{...MetricsSnapshot::to_json()...}}
+//
+// Without the flag, capture() is a single predicate test, so normal timing
+// runs are not distorted.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "rt/runtime.hpp"
+
+namespace obsbench {
+
+inline std::string& out_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::map<std::string, std::string>& captured() {
+  static std::map<std::string, std::string> rows;
+  return rows;
+}
+
+[[nodiscard]] inline bool enabled() { return !out_path().empty(); }
+
+/// Removes `--metrics-out[=FILE]` from argv (before the benchmark library
+/// sees it) and remembers FILE. Updates argc in place.
+inline void strip_metrics_flag(int& argc, char** argv) {
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strncmp(argv[r], "--metrics-out=", 14) == 0) {
+      out_path() = argv[r] + 14;
+    } else if (std::strcmp(argv[r], "--metrics-out") == 0 && r + 1 < argc) {
+      out_path() = argv[++r];
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+}
+
+/// Snapshots the runtime's registry under `label` (last capture per label
+/// wins — for code inside a benchmark iteration loop, that is the final
+/// iteration). No-op unless --metrics-out was given.
+inline void capture(infopipe::rt::Runtime& rtm, const char* label) {
+  if (!enabled()) return;
+  captured()[label] = rtm.metrics().snapshot().to_json();
+}
+
+/// Writes all captured snapshots as JSON lines. Call once at the end of
+/// main.
+inline void write_metrics() {
+  if (!enabled()) return;
+  std::FILE* f = std::fopen(out_path().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", out_path().c_str());
+    return;
+  }
+  for (const auto& [label, json] : captured()) {
+    std::fprintf(f, "{\"bench\":\"%s\",\"metrics\":%s}\n", label.c_str(),
+                 json.c_str());
+  }
+  std::fclose(f);
+}
+
+}  // namespace obsbench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --metrics-out.
+/// (A macro so it expands where <benchmark/benchmark.h> is included.)
+#define OBSBENCH_MAIN()                                                      \
+  int main(int argc, char** argv) {                                          \
+    obsbench::strip_metrics_flag(argc, argv);                                \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    obsbench::write_metrics();                                               \
+    return 0;                                                                \
+  }                                                                          \
+  static_assert(true, "require a trailing semicolon")

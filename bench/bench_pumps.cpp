@@ -9,6 +9,8 @@
 // convergence time to a producer-rate disturbance.
 #include <cstdio>
 
+#include "bench_obs.hpp"
+
 #include "core/infopipes.hpp"
 #include "feedback/toolkit.hpp"
 
@@ -32,6 +34,7 @@ void clocked_accuracy() {
     const double achieved = static_cast<double>(sink.count()) / 10.0;
     std::printf("  %8.1f  | %10.2f  | %llu\n", hz, achieved,
                 static_cast<unsigned long long>(sink.count()));
+    obsbench::capture(rt, "clocked_accuracy");
     real.shutdown();
     rt.run();
   }
@@ -55,6 +58,7 @@ void freerunning_pacing() {
     std::printf("  %10.1f    |       %8.2f         | %llu\n", hz,
                 static_cast<double>(fill.items_pumped()) / 10.0,
                 static_cast<unsigned long long>(buf.stats().put_blocks));
+    obsbench::capture(rt, "freerunning_pacing");
     real.shutdown();
     rt.run();
   }
@@ -100,6 +104,7 @@ void adaptive_convergence() {
                   static_cast<double>(buf.capacity()),
               settled_at < 0 ? -1.0 : static_cast<double>(settled_at) / 1e9);
   std::puts("  expected: settles within a few seconds, fill returns to 50%");
+  obsbench::capture(rt, "adaptive_convergence");
   loop.stop();
   real.shutdown();
   rt.run();
@@ -107,9 +112,11 @@ void adaptive_convergence() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obsbench::strip_metrics_flag(argc, argv);
   clocked_accuracy();
   freerunning_pacing();
   adaptive_convergence();
+  obsbench::write_metrics();
   return 0;
 }

@@ -16,6 +16,8 @@
 // futex-mediated OS thread wakeups.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -44,6 +46,7 @@ void BM_MiddlewarePipelineTwoSections(benchmark::State& state) {
     state.ResumeTiming();
     rt.run();
     state.PauseTiming();
+    obsbench::capture(rt, "BM_MiddlewarePipelineTwoSections");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -127,6 +130,7 @@ void BM_SingleThreadDirectCalls(benchmark::State& state) {
     state.ResumeTiming();
     rt.run();
     state.PauseTiming();
+    obsbench::capture(rt, "BM_SingleThreadDirectCalls");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -136,4 +140,4 @@ BENCHMARK(BM_SingleThreadDirectCalls)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

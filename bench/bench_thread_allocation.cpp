@@ -15,6 +15,8 @@
 // cheap.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include <memory>
 #include <vector>
 
@@ -78,6 +80,7 @@ void run_chain(benchmark::State& state, int stages, bool thread_per_stage,
     state.ResumeTiming();
     rtm.run();
     state.PauseTiming();
+    obsbench::capture(rtm, "None");
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(kItems));
     state.ResumeTiming();
@@ -115,4 +118,4 @@ BENCHMARK(BM_WorkThreadPerStage)->Arg(0)->Arg(100)->Arg(1000)->Arg(10000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

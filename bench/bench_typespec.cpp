@@ -5,6 +5,8 @@
 // linear in pipeline length.
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
+
 #include <memory>
 #include <vector>
 
@@ -126,9 +128,10 @@ void BM_RealizeTeardown(benchmark::State& state) {
     Realization real(rt, ch.pipeline());
     benchmark::DoNotOptimize(real.thread_count());
   }
+  obsbench::capture(rt, "BM_RealizeTeardown");
 }
 BENCHMARK(BM_RealizeTeardown)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OBSBENCH_MAIN();

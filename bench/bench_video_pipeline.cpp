@@ -20,6 +20,8 @@
 #include "media/mpeg.hpp"
 #include "net/netpipe.hpp"
 
+#include "bench_obs.hpp"
+
 using namespace infopipe;
 using namespace infopipe::media;
 
@@ -93,6 +95,7 @@ AdaptResult run_adaptation(double congested_bps, bool feedback) {
   r.i_total = cfg.frames / cfg.gop.size();  // one I per GOP
   r.corrupt = s.corrupt;
   r.net_drops = link.stats().dropped_congestion;
+  obsbench::capture(rt, "adaptation");
   return r;
 }
 
@@ -141,12 +144,14 @@ JitterResult run_jitter(bool with_buffer_and_pump) {
   rt.run();
 
   const auto s = display.stats();
+  obsbench::capture(rt, "jitter");
   return JitterResult{s.mean_abs_jitter_ms, s.max_abs_jitter_ms, s.displayed};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obsbench::strip_metrics_flag(argc, argv);
   std::puts("E5.1  Adaptation under congestion (Figure 1 pipeline)");
   std::puts("  congestion | feedback | delivered | I survival | corrupt | net drops");
   std::puts("  -----------+----------+-----------+------------+---------+----------");
@@ -178,5 +183,6 @@ int main() {
   std::puts("  expected shape: feedback keeps I survival ~100% and corruption");
   std::puts("  near zero at every congestion level; buffer+pump cut jitter by");
   std::puts("  roughly an order of magnitude.");
+  obsbench::write_metrics();
   return 0;
 }

@@ -34,16 +34,18 @@ int main() {
   // Composition type-checks as it goes: the decoder requires an mpeg flow
   // and offers a raw flow, which is what the display accepts. An
   // incompatible chain would throw CompositionError right here.
-  auto chain = source >> decode >> pump >> sink;
-
+  // share() hands the pipeline to the realization, which keeps it alive —
+  // no dangling graph even if the Chain object goes away.
   // Realization plans the threading: this pipeline needs exactly ONE thread
   // (the pump's) — decoder and endpoints are called directly.
-  Realization player(rt, chain.pipeline());
+  Realization player(rt, (source >> decode >> pump >> sink).share());
   std::printf("planned threads: %d (coroutines: %d)\n",
               player.plan().total_threads(),
               player.plan().total_coroutines());
 
-  send_event(player, START);
+  // player.start() is the canonical API; the paper's send_event(player,
+  // START) is a one-line shim over it (media/paper_api.hpp).
+  player.start();
   rt.run();  // returns when the stream ends and the pipeline is quiescent
 
   const auto stats = sink.stats();

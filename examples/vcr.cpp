@@ -20,8 +20,9 @@ int main() {
   MpegDecoder decoder("decoder");
   ClockedPump pump("pump", cfg.fps);
   VideoDisplay screen("screen", cfg.fps);
-  auto chain = movie >> decoder >> pump >> screen;
-  Realization player(rt, chain.pipeline());
+  // The shared-pipeline overload keeps the composed graph alive for the
+  // realization's lifetime.
+  Realization player(rt, (movie >> decoder >> pump >> screen).share());
 
   auto status = [&](const char* action) {
     std::printf("%-22s t=%5.1fs  shown=%4llu  corrupt=%llu  source@%llu\n",

@@ -1,7 +1,27 @@
 #!/usr/bin/env sh
-# Full verification: configure, build, tests, benches. What CI would run.
+# Full verification: configure, build, tests, benches, sanitizers, format.
+# What CI would run.
 set -e
+
+# Formatting first (cheap): only when clang-format is available.
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format check =="
+  find src tests bench examples \
+      \( -name '*.cpp' -o -name '*.hpp' \) -print |
+    xargs clang-format --dry-run --Werror
+else
+  echo "== clang-format not installed; skipping format check =="
+fi
+
+echo "== RelWithDebInfo build + tests + benches =="
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
+
+echo "== ASan+UBSan build + tests =="
+cmake -B build-sanitize -G Ninja -DCMAKE_BUILD_TYPE=Sanitize
+cmake --build build-sanitize
+ASAN_OPTIONS=detect_stack_use_after_return=0 \
+UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-sanitize --output-on-failure

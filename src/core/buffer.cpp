@@ -19,6 +19,15 @@ Buffer::Buffer(std::string name, std::size_t capacity, FullPolicy full,
       full_(full),
       empty_(empty) {}
 
+obs::Histogram* Buffer::block_hist(HostContext& host) {
+  rt::Runtime& rtm = host.runtime();
+  if (obs_owner_ != &rtm) {
+    obs_owner_ = &rtm;
+    obs_block_ns_ = &rtm.metrics().histogram("core.buffer_block_ns");
+  }
+  return obs_block_ns_;
+}
+
 void Buffer::notify_one(std::vector<rt::ThreadId>& waiters,
                         HostContext& host) {
   if (waiters.empty()) return;
@@ -40,11 +49,15 @@ void Buffer::put(Item x, HostContext& host) {
   while (q_.size() >= capacity_) {
     if (full_ == FullPolicy::kDropNewest) {
       ++stats_.drops;
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kDrop, name().c_str(), 0,
+                   static_cast<std::int64_t>(q_.size()));
       return;
     }
     if (full_ == FullPolicy::kDropOldest) {
       q_.pop_front();
       ++stats_.drops;
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kDrop, name().c_str(), 1,
+                   static_cast<std::int64_t>(q_.size()));
       continue;
     }
     // FullPolicy::kBlock
@@ -56,6 +69,9 @@ void Buffer::put(Item x, HostContext& host) {
       break;
     }
     ++stats_.put_blocks;
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                 name().c_str(), 0, static_cast<std::int64_t>(q_.size()));
+    const rt::Time t0 = host.runtime().now();
     waiting_writers_.push_back(host.tid());
     Buffer* self = this;
     (void)host.wait_interruptible([self](const rt::Message& m) {
@@ -65,6 +81,9 @@ void Buffer::put(Item x, HostContext& host) {
     // A control event may have woken us instead of a notification (e.g.
     // STOP or FLUSH); deregister and re-evaluate the condition.
     erase_tid(waiting_writers_, host.tid());
+    block_hist(host)->record(host.runtime().now() - t0);
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                 name().c_str(), 0, static_cast<std::int64_t>(q_.size()));
   }
   q_.push_back(std::move(x));
   ++stats_.puts;
@@ -88,6 +107,9 @@ Item Buffer::take(HostContext& host) {
     }
     if (host.flow_stopped()) throw detail::StopFlow{};
     ++stats_.take_blocks;
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                 name().c_str(), 1, 0);
+    const rt::Time t0 = host.runtime().now();
     waiting_readers_.push_back(host.tid());
     Buffer* self = this;
     (void)host.wait_interruptible([self](const rt::Message& m) {
@@ -95,6 +117,9 @@ Item Buffer::take(HostContext& host) {
       return m.type == detail::kMsgBufNotify && b != nullptr && *b == self;
     });
     erase_tid(waiting_readers_, host.tid());
+    block_hist(host)->record(host.runtime().now() - t0);
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                 name().c_str(), 1, static_cast<std::int64_t>(q_.size()));
   }
 }
 

@@ -20,6 +20,10 @@
 
 namespace infopipe {
 
+namespace obs {
+class Histogram;
+}  // namespace obs
+
 class HostContext;
 
 enum class FullPolicy {
@@ -74,6 +78,11 @@ class Buffer : public Component {
  private:
   void notify_one(std::vector<rt::ThreadId>& waiters, HostContext& host);
 
+  /// Block-time histogram handle, resolved lazily on the (already slow)
+  /// block path and re-resolved when the buffer is realized under a
+  /// different runtime.
+  obs::Histogram* block_hist(HostContext& host);
+
   std::size_t capacity_;
   FullPolicy full_;
   EmptyPolicy empty_;
@@ -82,6 +91,8 @@ class Buffer : public Component {
   std::vector<rt::ThreadId> waiting_readers_;
   std::vector<rt::ThreadId> waiting_writers_;
   Stats stats_;
+  obs::Histogram* obs_block_ns_ = nullptr;
+  const void* obs_owner_ = nullptr;  ///< runtime the cached handle belongs to
 };
 
 }  // namespace infopipe

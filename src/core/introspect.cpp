@@ -1,0 +1,195 @@
+#include "core/introspect.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace infopipe {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t PlanInfo::coroutine_count() const {
+  std::size_t n = 0;
+  for (const SectionInfo& sec : sections) {
+    for (const Member& m : sec.members) n += m.coroutine ? 1 : 0;
+  }
+  return n;
+}
+
+const PlanInfo::SectionInfo* PlanInfo::section(std::string_view driver) const {
+  for (const SectionInfo& sec : sections) {
+    if (sec.driver == driver) return &sec;
+  }
+  return nullptr;
+}
+
+const PlanInfo::Member* PlanInfo::member(std::string_view name) const {
+  for (const SectionInfo& sec : sections) {
+    for (const Member& m : sec.members) {
+      if (m.name == name) return &m;
+    }
+  }
+  return nullptr;
+}
+
+const DriverStats* StatsSnapshot::driver(std::string_view name) const {
+  for (const DriverStats& d : drivers) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const BufferStats* StatsSnapshot::buffer(std::string_view name) const {
+  for (const BufferStats& b : buffers) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::string to_string(const PlanInfo& p) {
+  std::string out;
+  out += "pipeline: " + std::to_string(p.components) + " components, " +
+         std::to_string(p.sections.size()) + " sections, " +
+         std::to_string(p.threads) + " threads\n";
+  for (const PlanInfo::SectionInfo& sec : p.sections) {
+    out += "  section driven by '" + sec.driver + "' (" +
+           to_string(sec.driver_style) + ", " +
+           std::to_string(sec.thread_count) + " thread" +
+           (sec.thread_count == 1 ? "" : "s") + ")\n";
+    for (const PlanInfo::Member& m : sec.members) {
+      out += "    " + m.name + ": " + to_string(m.style) + " in " +
+             to_string(m.mode) + " mode, " +
+             (m.coroutine ? "coroutine" : "direct call");
+      if (m.shared) out += ", shared region";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_string(const StatsSnapshot& s) {
+  std::string out;
+  for (const DriverStats& d : s.drivers) {
+    out += "  " + d.name + ": " + std::to_string(d.items_pumped) +
+           " items pumped" + (d.running ? " (running)" : "") + "\n";
+  }
+  for (const BufferStats& b : s.buffers) {
+    out += "  " + b.name + ": fill " + std::to_string(b.fill) + "/" +
+           std::to_string(b.capacity) + ", " + std::to_string(b.puts) +
+           " in / " + std::to_string(b.takes) + " out, " +
+           std::to_string(b.drops) + " dropped, " +
+           std::to_string(b.put_blocks + b.take_blocks) + " blocks\n";
+  }
+  return out;
+}
+
+std::string to_json(const PlanInfo& p) {
+  std::string out = "{\"components\":" + std::to_string(p.components) +
+                    ",\"threads\":" + std::to_string(p.threads) +
+                    ",\"sections\":[";
+  bool first_sec = true;
+  for (const PlanInfo::SectionInfo& sec : p.sections) {
+    if (!first_sec) out += ',';
+    first_sec = false;
+    out += "{\"driver\":\"" + json_escape(sec.driver) + "\",\"style\":\"" +
+           json_escape(to_string(sec.driver_style)) + "\",\"threads\":" +
+           std::to_string(sec.thread_count) + ",\"members\":[";
+    bool first_m = true;
+    for (const PlanInfo::Member& m : sec.members) {
+      if (!first_m) out += ',';
+      first_m = false;
+      out += "{\"name\":\"" + json_escape(m.name) + "\",\"style\":\"" +
+             json_escape(to_string(m.style)) + "\",\"mode\":\"" +
+             json_escape(to_string(m.mode)) + "\",\"coroutine\":" +
+             (m.coroutine ? "true" : "false") + ",\"shared\":" +
+             (m.shared ? "true" : "false") + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(const StatsSnapshot& s) {
+  std::string out = "{\"when\":" + std::to_string(s.when) + ",\"drivers\":[";
+  bool first = true;
+  for (const DriverStats& d : s.drivers) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(d.name) + "\",\"items_pumped\":" +
+           std::to_string(d.items_pumped) + ",\"deadline_misses\":" +
+           std::to_string(d.deadline_misses) + ",\"running\":" +
+           (d.running ? "true" : "false") + "}";
+  }
+  out += "],\"buffers\":[";
+  first = true;
+  for (const BufferStats& b : s.buffers) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(b.name) + "\",\"fill\":" +
+           std::to_string(b.fill) + ",\"capacity\":" +
+           std::to_string(b.capacity) + ",\"max_fill\":" +
+           std::to_string(b.max_fill) + ",\"puts\":" + std::to_string(b.puts) +
+           ",\"takes\":" + std::to_string(b.takes) + ",\"drops\":" +
+           std::to_string(b.drops) + ",\"nil_returns\":" +
+           std::to_string(b.nil_returns) + ",\"put_blocks\":" +
+           std::to_string(b.put_blocks) + ",\"take_blocks\":" +
+           std::to_string(b.take_blocks) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void publish(const StatsSnapshot& s, obs::MetricsSnapshot& out) {
+  for (const DriverStats& d : s.drivers) {
+    const std::string p = "pipe.driver." + d.name;
+    out.add_counter(p + ".items_pumped", d.items_pumped);
+    out.add_counter(p + ".deadline_misses", d.deadline_misses);
+    out.add_gauge(p + ".running", d.running ? 1.0 : 0.0);
+  }
+  for (const BufferStats& b : s.buffers) {
+    const std::string p = "pipe.buffer." + b.name;
+    out.add_gauge(p + ".fill", static_cast<double>(b.fill));
+    out.add_gauge(p + ".max_fill", static_cast<double>(b.max_fill));
+    out.add_counter(p + ".puts", b.puts);
+    out.add_counter(p + ".takes", b.takes);
+    out.add_counter(p + ".drops", b.drops);
+    out.add_counter(p + ".nil_returns", b.nil_returns);
+    out.add_counter(p + ".put_blocks", b.put_blocks);
+    out.add_counter(p + ".take_blocks", b.take_blocks);
+  }
+}
+
+}  // namespace infopipe

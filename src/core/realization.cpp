@@ -23,6 +23,9 @@ rt::Message HostContext::wait(const MsgPred& pred) {
       return x.cls == rt::MsgClass::kControl || pred(x);
     });
     if (m.cls == rt::MsgClass::kControl) {
+      // §3.2 in action: a control event delivered to a logically blocked
+      // thread.
+      real_->obs_hooks().control_while_blocked->inc();
       dispatch(std::move(m));
       if (terminate_) throw ShutdownSignal{};
       continue;
@@ -38,6 +41,7 @@ std::optional<rt::Message> HostContext::wait_interruptible(
     return x.cls == rt::MsgClass::kControl || pred(x);
   });
   if (m.cls == rt::MsgClass::kControl) {
+    real_->obs_hooks().control_while_blocked->inc();
     dispatch(std::move(m));
     if (terminate_) throw ShutdownSignal{};
     return std::nullopt;
@@ -65,6 +69,9 @@ void HostContext::dispatch(rt::Message&& m) {
   } else {
     targets = hosted_;
   }
+  real_->obs_hooks().control_dispatched->inc(targets.size());
+  IP_OBS_TRACE(runtime().tracer(), obs::Hop::kControlDispatch, "control",
+               e.type, static_cast<std::int64_t>(targets.size()));
   for (Component* c : targets) {
     // Middleware lifecycle side effects first.
     switch (e.type) {
@@ -152,20 +159,34 @@ namespace {
 
 void channel_push(Realization& R, rt::ThreadId co, Item x) {
   HostContext& h = R.current_host();
+  rt::Runtime& rtm = h.runtime();
+  const rt::Time t0 = rtm.now();
   rt::Message m{detail::kMsgCoItem, rt::MsgClass::kData};
   m.payload = std::move(x);
-  h.runtime().send(co, std::move(m));
+  rtm.send(co, std::move(m));
   (void)h.wait([co](const rt::Message& mm) {
     return mm.type == detail::kMsgCoDone && mm.sender == co;
   });
+  Realization::ObsHooks& ob = R.obs_hooks();
+  ob.handoffs->inc();
+  ob.handoff_ns->record(rtm.now() - t0);
+  IP_OBS_TRACE(rtm.tracer(), obs::Hop::kHandOff, "co.push",
+               static_cast<std::int64_t>(co));
 }
 
 Item channel_pull(Realization& R, rt::ThreadId co) {
   HostContext& h = R.current_host();
-  h.runtime().send(co, rt::Message{detail::kMsgCoPull, rt::MsgClass::kData});
+  rt::Runtime& rtm = h.runtime();
+  const rt::Time t0 = rtm.now();
+  rtm.send(co, rt::Message{detail::kMsgCoPull, rt::MsgClass::kData});
   rt::Message m = h.wait([co](const rt::Message& mm) {
     return mm.type == detail::kMsgCoItem && mm.sender == co;
   });
+  Realization::ObsHooks& ob = R.obs_hooks();
+  ob.handoffs->inc();
+  ob.handoff_ns->record(rtm.now() - t0);
+  IP_OBS_TRACE(rtm.tracer(), obs::Hop::kHandOff, "co.pull",
+               static_cast<std::int64_t>(co));
   return m.take<Item>();
 }
 
@@ -706,9 +727,37 @@ Realization::Realization(rt::Runtime& rt, const Pipeline& p)
   }
   Wiring(*this).build();
   for (Component* c : p.components()) c->on_realized();
+
+  // Hot-path metric handles: resolved once here, incremented without any
+  // lookup in the glue. The collector republishes per-driver/per-buffer
+  // stats into every registry snapshot and must be removed before `this`
+  // dies (see the destructor).
+  obs::MetricsRegistry& mr = rt.metrics();
+  obs_.handoffs = &mr.counter("core.handoffs");
+  obs_.handoff_ns = &mr.histogram("core.handoff_ns");
+  obs_.control_dispatched = &mr.counter("core.control_dispatched");
+  obs_.control_while_blocked = &mr.counter("core.control_while_blocked");
+  obs_.driver_cycles = &mr.counter("core.driver_cycles");
+  obs_collector_ = mr.add_collector(
+      [this](obs::MetricsSnapshot& s) { publish(stats_snapshot(), s); });
+}
+
+namespace {
+const Pipeline& deref_pipeline(const std::shared_ptr<const Pipeline>& p) {
+  if (p == nullptr) {
+    throw CompositionError("Realization: null pipeline");
+  }
+  return *p;
+}
+}  // namespace
+
+Realization::Realization(rt::Runtime& rt, std::shared_ptr<const Pipeline> p)
+    : Realization(rt, deref_pipeline(p)) {
+  pipe_owner_ = std::move(p);
 }
 
 Realization::~Realization() {
+  rt_->metrics().remove_collector(obs_collector_);
   for (rt::ThreadId t : all_threads_) {
     if (rt_->alive(t)) rt_->kill(t);
   }
@@ -759,43 +808,43 @@ rt::ThreadId Realization::host_thread(const Component& c) const {
   return it == host_of_comp_.end() ? rt::kNoThread : it->second;
 }
 
-std::string Realization::describe() const {
-  std::string out;
-  out += "pipeline: " + std::to_string(pipe_->components().size()) +
-         " components, " + std::to_string(plan_.sections.size()) +
-         " sections, " + std::to_string(all_threads_.size()) + " threads\n";
+PlanInfo Realization::plan_info() const {
+  PlanInfo info;
+  info.components = pipe_->components().size();
+  info.threads = all_threads_.size();
+  info.sections.reserve(plan_.sections.size());
   for (const auto& sec : plan_.sections) {
-    out += "  section driven by '" + sec.driver->name() + "' (" +
-           to_string(sec.driver->style()) + ", " +
-           std::to_string(sec.thread_count()) + " thread" +
-           (sec.thread_count() == 1 ? "" : "s") + ")\n";
+    PlanInfo::SectionInfo si;
+    si.driver = sec.driver->name();
+    si.driver_style = sec.driver->style();
+    si.thread_count = sec.thread_count();
+    si.members.reserve(sec.members.size());
     for (const auto& h : sec.members) {
-      out += "    " + h.comp->name() + ": " + to_string(h.comp->style()) +
-             " in " + to_string(h.mode) + " mode, " +
-             (h.needs_coroutine ? "coroutine" : "direct call");
-      if (h.shared) out += ", shared region";
-      out += "\n";
+      si.members.push_back(PlanInfo::Member{h.comp->name(), h.comp->style(),
+                                            h.mode, h.needs_coroutine,
+                                            h.shared});
     }
+    info.sections.push_back(std::move(si));
   }
-  return out;
+  return info;
 }
 
-std::string Realization::stats_report() const {
-  std::string out;
+StatsSnapshot Realization::stats_snapshot() const {
+  StatsSnapshot snap;
+  snap.when = rt_->now();
   for (Component* c : pipe_->components()) {
     if (auto* d = dynamic_cast<Driver*>(c)) {
-      out += "  " + d->name() + ": " + std::to_string(d->items_pumped()) +
-             " items pumped" + (d->running() ? " (running)" : "") + "\n";
+      snap.drivers.push_back(DriverStats{d->name(), d->items_pumped(),
+                                         d->deadline_misses(), d->running()});
     } else if (auto* b = dynamic_cast<Buffer*>(c)) {
       const auto& s = b->stats();
-      out += "  " + b->name() + ": fill " + std::to_string(b->fill()) + "/" +
-             std::to_string(b->capacity()) + ", " + std::to_string(s.puts) +
-             " in / " + std::to_string(s.takes) + " out, " +
-             std::to_string(s.drops) + " dropped, " +
-             std::to_string(s.put_blocks + s.take_blocks) + " blocks\n";
+      snap.buffers.push_back(BufferStats{b->name(), b->fill(), b->capacity(),
+                                         s.max_fill, s.puts, s.takes, s.drops,
+                                         s.nil_returns, s.put_blocks,
+                                         s.take_blocks});
     }
   }
-  return out;
+  return snap;
 }
 
 int Realization::running_drivers() const {
@@ -900,6 +949,7 @@ void Realization::run_driver(HostContext& h, Driver& d) {
       }
       if (!d.running_) break;  // STOP arrived during the wait
     }
+    obs_.driver_cycles->inc();
     try {
       d.cycle();
     } catch (EndOfStream&) {

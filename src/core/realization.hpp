@@ -23,9 +23,11 @@
 #include "core/buffer.hpp"
 #include "core/component.hpp"
 #include "core/event.hpp"
+#include "core/introspect.hpp"
 #include "core/pipeline.hpp"
 #include "core/planner.hpp"
 #include "core/pump.hpp"
+#include "obs/metrics.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe {
@@ -161,6 +163,12 @@ class SectionLock {
 class Realization {
  public:
   Realization(rt::Runtime& rt, const Pipeline& p);
+  /// Same, but shares ownership of the pipeline: the realization keeps it
+  /// alive, so `Realization real(rtm, (a >> b >> c).share());` is safe even
+  /// when the Chain temporary is gone. (The reference-taking overload
+  /// requires the caller to keep the Pipeline alive — the classic footgun
+  /// with `chain.pipeline()` on a discarded Chain.)
+  Realization(rt::Runtime& rt, std::shared_ptr<const Pipeline> p);
   ~Realization();
 
   Realization(const Realization&) = delete;
@@ -203,18 +211,42 @@ class Realization {
   /// True once every driver has stopped (STOP or end-of-stream).
   [[nodiscard]] bool finished() const { return running_drivers() == 0; }
 
-  /// Human-readable summary of the realized plan: sections, drivers, the
-  /// mode and activity style of every hosted component, and where
-  /// coroutines were allocated. What a developer reads to understand what
-  /// the planner decided.
-  [[nodiscard]] std::string describe() const;
+  /// What the planner decided, as data: sections, drivers, the mode and
+  /// activity style of every hosted component, and where coroutines were
+  /// allocated. Tests and tools consume this directly.
+  [[nodiscard]] PlanInfo plan_info() const;
 
-  /// Runtime statistics snapshot: items pumped per driver, buffer
-  /// fill/drops/blocks. Companion to describe() for a running pipeline.
-  [[nodiscard]] std::string stats_report() const;
+  /// Runtime statistics as data: items pumped per driver, buffer
+  /// fill/drops/blocks, timestamped by the runtime clock. Built from pure
+  /// reads of counters the middleware only mutates between dispatch points,
+  /// so calling it from an event listener while the flow is blocked yields
+  /// a consistent picture (fill == puts - takes holds for every buffer).
+  [[nodiscard]] StatsSnapshot stats_snapshot() const;
+
+  /// Human-readable rendering of plan_info() (see
+  /// to_string(const PlanInfo&)). What a developer reads to understand what
+  /// the planner decided.
+  [[nodiscard]] std::string describe() const { return to_string(plan_info()); }
+
+  /// Human-readable rendering of stats_snapshot(). Companion to describe()
+  /// for a running pipeline.
+  [[nodiscard]] std::string stats_report() const {
+    return to_string(stats_snapshot());
+  }
 
   /// HostContext of the calling user-level thread. Middleware-internal.
   [[nodiscard]] HostContext& current_host();
+
+  /// Hot-path metric handles, resolved once against the runtime's registry
+  /// at construction. Middleware-internal (the glue increments these).
+  struct ObsHooks {
+    obs::Counter* handoffs = nullptr;          ///< core.handoffs
+    obs::Histogram* handoff_ns = nullptr;      ///< core.handoff_ns
+    obs::Counter* control_dispatched = nullptr;    ///< core.control_dispatched
+    obs::Counter* control_while_blocked = nullptr; ///< core.control_while_blocked
+    obs::Counter* driver_cycles = nullptr;     ///< core.driver_cycles
+  };
+  [[nodiscard]] ObsHooks& obs_hooks() noexcept { return obs_; }
 
  private:
   friend class HostContext;
@@ -236,7 +268,10 @@ class Realization {
 
   rt::Runtime* rt_;
   const Pipeline* pipe_;
+  std::shared_ptr<const Pipeline> pipe_owner_;  ///< set by the sharing ctor
   Plan plan_;
+  ObsHooks obs_;
+  obs::MetricsRegistry::CollectorId obs_collector_ = 0;
   std::vector<std::unique_ptr<HostContext>> hosts_;
   std::map<rt::ThreadId, HostContext*> host_by_tid_;
   std::map<const Component*, rt::ThreadId> host_of_comp_;

@@ -45,7 +45,11 @@ class video_display : public VideoDisplay {
 inline constexpr int START = kEventStart;
 inline constexpr int STOP = kEventStop;
 
-/// Broadcast a control event to every component of the realized pipeline.
+/// Paper-verbatim shim: `send_event(real, START)` is exactly
+/// `real.post_event(Event{START})`. The member API is the canonical
+/// event-sending surface (`real.start()` / `real.stop()` /
+/// `real.post_event(...)`); this free function exists only so the paper's
+/// setup code compiles as written.
 inline void send_event(Realization& real, int type) {
   real.post_event(Event{type});
 }

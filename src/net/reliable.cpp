@@ -23,6 +23,8 @@ ReliableTransport::ReliableTransport(rt::Runtime& rt, SimLink& forward,
                                });
   fwd_->attach_receiver(receiver_agent_);
   rev_->attach_receiver(sender_agent_);
+  obs_retx_ = &rt_->metrics().counter("net.arq_retransmissions");
+  obs_delivered_ = &rt_->metrics().counter("net.arq_delivered");
 }
 
 ReliableTransport::~ReliableTransport() {
@@ -71,6 +73,7 @@ rt::CodeResult ReliableTransport::sender_code(rt::Runtime& rt,
       auto it = in_flight_.find(*seq);
       if (it != in_flight_.end()) {
         ++stats_.retransmissions;
+        obs_retx_->inc();
         transmit(rt, it->second);
       }
       return rt::CodeResult::kContinue;
@@ -117,6 +120,7 @@ rt::CodeResult ReliableTransport::receiver_code(rt::Runtime& rt,
       out.payload = ready.eos ? Item::eos() : std::move(ready.item);
       rt.send(consumer_, std::move(out));
       ++stats_.delivered;
+      obs_delivered_->inc();
     }
   }
   return rt::CodeResult::kContinue;

@@ -86,6 +86,11 @@ class ReliableTransport : public Transport {
   std::map<std::uint64_t, ArqPacket> reorder_;
 
   Stats stats_;
+
+  // Registry handles, resolved once in the constructor (the runtime is
+  // known there, unlike SimLink's lazy caching).
+  obs::Counter* obs_retx_ = nullptr;
+  obs::Counter* obs_delivered_ = nullptr;
 };
 
 }  // namespace infopipe::net

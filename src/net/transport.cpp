@@ -13,6 +13,13 @@ std::size_t SimLink::queue_depth_bytes(rt::Time now) const {
 
 void SimLink::send(rt::Runtime& rt, Item packet) {
   const rt::Time now = rt.now();
+  if (obs_owner_ != &rt) {
+    obs_owner_ = &rt;
+    obs::MetricsRegistry& mr = rt.metrics();
+    obs_bytes_ = &mr.counter("net.bytes_sent");
+    obs_packets_ = &mr.counter("net.packets_sent");
+    obs_drops_ = &mr.counter("net.drops");
+  }
   if (packet.is_eos()) {
     // End-of-stream travels reliably, after all queued data, without jitter
     // reordering past the last packet.
@@ -29,12 +36,18 @@ void SimLink::send(rt::Runtime& rt, Item packet) {
 
   if (queue_depth_bytes(now) + size > cfg_.queue_capacity_bytes) {
     ++stats_.dropped_congestion;  // drop-tail: arbitrary from the app's view
+    obs_drops_->inc();
+    IP_OBS_TRACE(rt.tracer(), obs::Hop::kDrop, "link",
+                 static_cast<std::int64_t>(size));
     return;
   }
   if (cfg_.random_loss > 0.0) {
     std::uniform_real_distribution<double> u(0.0, 1.0);
     if (u(rng_) < cfg_.random_loss) {
       ++stats_.dropped_random;
+      obs_drops_->inc();
+      IP_OBS_TRACE(rt.tracer(), obs::Hop::kDrop, "link",
+                   static_cast<std::int64_t>(size));
       return;
     }
   }
@@ -52,6 +65,8 @@ void SimLink::send(rt::Runtime& rt, Item packet) {
 
   stats_.bytes_sent += size;
   ++stats_.delivered_scheduled;
+  obs_bytes_->inc(size);
+  obs_packets_->inc();
   rt::Message m{kMsgNetDeliver, rt::MsgClass::kData};
   m.payload = std::move(packet);
   rt.send_at(deliver_at, rx_, std::move(m));

@@ -91,6 +91,12 @@ class SimLink : public Transport {
   rt::ThreadId rx_ = rt::kNoThread;
   rt::Time wire_free_at_ = 0;  ///< when the serializer finishes current work
   Stats stats_;
+  // Registry handles, cached on first send against the runtime doing it
+  // (a link object can outlive a runtime across experiments).
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_packets_ = nullptr;
+  obs::Counter* obs_drops_ = nullptr;
+  const void* obs_owner_ = nullptr;
 };
 
 }  // namespace infopipe::net

@@ -1,0 +1,233 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace infopipe::obs {
+
+// ============================ Histogram =====================================
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = MetricsRegistry::default_latency_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(std::int64_t sample) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+// ============================ MetricsSnapshot ===============================
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::add_counter(std::string name, std::uint64_t value) {
+  MetricValue v;
+  v.name = std::move(name);
+  v.kind = MetricValue::Kind::kCounter;
+  v.count = value;
+  metrics.push_back(std::move(v));
+}
+
+void MetricsSnapshot::add_gauge(std::string name, double value) {
+  MetricValue v;
+  v.name = std::move(name);
+  v.kind = MetricValue::Kind::kGauge;
+  v.value = value;
+  metrics.push_back(std::move(v));
+}
+
+namespace {
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::string s = std::to_string(v);
+  return s;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"when\": " + std::to_string(when) + ", \"metrics\": [";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    json_escape(out, m.name);
+    out += "\", ";
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "\"type\": \"counter\", \"value\": " + std::to_string(m.count);
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "\"type\": \"gauge\", \"value\": " + json_double(m.value);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "\"type\": \"histogram\", \"count\": " +
+               std::to_string(m.count) + ", \"sum\": " + std::to_string(m.sum) +
+               ", \"min\": " + std::to_string(m.min) +
+               ", \"max\": " + std::to_string(m.max) + ", \"bounds\": [";
+        for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += std::to_string(m.bounds[i]);
+        }
+        out += "], \"buckets\": [";
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += std::to_string(m.buckets[i]);
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ============================ MetricsRegistry ===============================
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != MetricValue::Kind::kCounter) {
+      throw std::logic_error("metric '" + name + "' is not a counter");
+    }
+    return *it->second.c;
+  }
+  counters_.emplace_back();
+  Entry e;
+  e.kind = MetricValue::Kind::kCounter;
+  e.c = &counters_.back();
+  by_name_.emplace(name, e);
+  order_.emplace_back(name, e);
+  return *e.c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != MetricValue::Kind::kGauge) {
+      throw std::logic_error("metric '" + name + "' is not a gauge");
+    }
+    return *it->second.g;
+  }
+  gauges_.emplace_back();
+  Entry e;
+  e.kind = MetricValue::Kind::kGauge;
+  e.g = &gauges_.back();
+  by_name_.emplace(name, e);
+  order_.emplace_back(name, e);
+  return *e.g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> bounds) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != MetricValue::Kind::kHistogram) {
+      throw std::logic_error("metric '" + name + "' is not a histogram");
+    }
+    return *it->second.h;
+  }
+  histograms_.emplace_back(std::move(bounds));
+  Entry e;
+  e.kind = MetricValue::Kind::kHistogram;
+  e.h = &histograms_.back();
+  by_name_.emplace(name, e);
+  order_.emplace_back(name, e);
+  return *e.h;
+}
+
+MetricsRegistry::CollectorId MetricsRegistry::add_collector(Collector fn) {
+  const CollectorId id = next_collector_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(CollectorId id) {
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.when = now();
+  s.metrics.reserve(order_.size());
+  for (const auto& [name, e] : order_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricValue::Kind::kCounter:
+        v.count = e.c->value();
+        break;
+      case MetricValue::Kind::kGauge:
+        v.value = e.g->value();
+        break;
+      case MetricValue::Kind::kHistogram:
+        v.count = e.h->count();
+        v.value = e.h->mean();
+        v.sum = e.h->sum();
+        v.min = e.h->min();
+        v.max = e.h->max();
+        v.bounds = e.h->bounds();
+        v.buckets = e.h->buckets();
+        break;
+    }
+    s.metrics.push_back(std::move(v));
+  }
+  for (const auto& [id, fn] : collectors_) fn(s);
+  return s;
+}
+
+std::vector<std::int64_t> MetricsRegistry::default_latency_bounds() {
+  using namespace rt;
+  return {microseconds(1),    microseconds(5),    microseconds(10),
+          microseconds(50),   microseconds(100),  microseconds(500),
+          milliseconds(1),    milliseconds(5),    milliseconds(10),
+          milliseconds(50),   milliseconds(100),  milliseconds(500),
+          seconds(1)};
+}
+
+}  // namespace infopipe::obs

@@ -1,0 +1,109 @@
+#include "obs/trace.hpp"
+
+namespace infopipe::obs {
+
+const char* to_string(Hop h) {
+  switch (h) {
+    case Hop::kPush:
+      return "push";
+    case Hop::kPull:
+      return "pull";
+    case Hop::kHandOff:
+      return "hand-off";
+    case Hop::kBufferBlock:
+      return "buffer-block";
+    case Hop::kBufferUnblock:
+      return "buffer-unblock";
+    case Hop::kControlDispatch:
+      return "control-dispatch";
+    case Hop::kTimerFire:
+      return "timer-fire";
+    case Hop::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_json() const {
+  std::string out = "{\"t\": " + std::to_string(t) + ", \"hop\": \"";
+  out += to_string(hop);
+  out += "\", \"site\": \"";
+  for (char c : site) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\", \"a\": " + std::to_string(a) + ", \"b\": " + std::to_string(b) +
+         "}";
+  return out;
+}
+
+// ============================ JsonLinesSink =================================
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : f_(std::fopen(path.c_str(), "w")) {}
+
+JsonLinesSink::~JsonLinesSink() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void JsonLinesSink::on_event(const TraceEvent& e) {
+  if (f_ == nullptr) return;
+  const std::string line = e.to_json();
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fputc('\n', f_);
+}
+
+void JsonLinesSink::on_flush() {
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+// ============================ FlowTracer ====================================
+
+FlowTracer::FlowTracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlowTracer::set_capacity(std::size_t capacity) {
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+}
+
+void FlowTracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  if (sink) sinks_.push_back(std::move(sink));
+}
+
+void FlowTracer::clear_sinks() { sinks_.clear(); }
+
+void FlowTracer::record_slow(Hop hop, const char* site, std::int64_t a,
+                             std::int64_t b) {
+  TraceEvent e;
+  e.t = now_ ? now_() : 0;
+  e.hop = hop;
+  e.site = site == nullptr ? "" : site;
+  e.a = a;
+  e.b = b;
+  for (const auto& s : sinks_) s->on_event(e);
+  if (size_ == ring_.size()) {
+    ++dropped_;  // overwriting the oldest buffered event
+  } else {
+    ++size_;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> FlowTracer::drain() {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(std::move(ring_[(start + i) % ring_.size()]));
+  }
+  size_ = 0;
+  head_ = 0;
+  for (const auto& s : sinks_) s->on_flush();
+  return out;
+}
+
+}  // namespace infopipe::obs

@@ -2,37 +2,110 @@
 
 #include <cstdint>
 
+#if defined(__SANITIZE_ADDRESS__)
+#define IP_RT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define IP_RT_ASAN 1
+#endif
+#endif
+#ifndef IP_RT_ASAN
+#define IP_RT_ASAN 0
+#endif
+
+#if IP_RT_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace infopipe::rt {
+
+namespace {
+
+#if IP_RT_ASAN
+/// The context most recently switched away from on this OS thread; lets the
+/// resumed side back-fill the bounds of stacks we did not allocate (the
+/// scheduler's OS-thread stack).
+thread_local Context* g_leaving = nullptr;
+#endif
+
+}  // namespace
+
+// The sanitizer protocol: before switching stacks, announce the target stack
+// and save the current fake stack; immediately after gaining control on the
+// new stack (both on ordinary resume and on first entry), finish the switch.
+// These helpers compile to nothing in non-ASan builds.
+namespace {
+
+struct AsanSwitch {
+#if IP_RT_ASAN
+  static void start(Context& from, void* to_bottom, std::size_t to_size,
+                    void** fake_slot) {
+    g_leaving = &from;
+    __sanitizer_start_switch_fiber(fake_slot, to_bottom, to_size);
+  }
+  static void finish(void* fake_stack, void** prev_bottom,
+                     std::size_t* prev_size) {
+    const void* bottom = nullptr;
+    std::size_t size = 0;
+    __sanitizer_finish_switch_fiber(fake_stack, &bottom, &size);
+    if (prev_bottom != nullptr) *prev_bottom = const_cast<void*>(bottom);
+    if (prev_size != nullptr) *prev_size = size;
+  }
+#else
+  static void start(Context&, void*, std::size_t, void**) {}
+  static void finish(void*, void**, std::size_t*) {}
+#endif
+};
+
+}  // namespace
+
+void Context::entry_shim(void* self) {
+  auto* ctx = static_cast<Context*>(self);
+#if IP_RT_ASAN
+  // First code on the fresh stack: complete the fiber switch and back-fill
+  // the bounds of the stack we came from (lazily learned for the scheduler's
+  // OS-thread stack, harmlessly re-confirmed for init()ed ones).
+  void* prev_bottom = nullptr;
+  std::size_t prev_size = 0;
+  AsanSwitch::finish(nullptr, &prev_bottom, &prev_size);
+  if (g_leaving != nullptr && g_leaving->stack_bottom_ == nullptr) {
+    g_leaving->stack_bottom_ = prev_bottom;
+    g_leaving->stack_size_ = prev_size;
+  }
+#endif
+  ctx->entry_(ctx->arg_);
+}
 
 #if IP_RT_UCONTEXT
 
 namespace {
-// makecontext() only forwards int arguments portably, so split the pointers.
-void trampoline(unsigned hi_entry, unsigned lo_entry, unsigned hi_arg,
-                unsigned lo_arg) {
-  auto entry = reinterpret_cast<ContextEntry>(
-      (static_cast<std::uintptr_t>(hi_entry) << 32) | lo_entry);
-  auto* arg = reinterpret_cast<void*>(
+// makecontext() only forwards int arguments portably, so split the pointer.
+void trampoline(unsigned hi_arg, unsigned lo_arg) {
+  auto* ctx = reinterpret_cast<Context*>(
       (static_cast<std::uintptr_t>(hi_arg) << 32) | lo_arg);
-  entry(arg);
+  Context::entry_shim(ctx);  // never returns
 }
 }  // namespace
 
 void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
                    void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  stack_bottom_ = static_cast<char*>(stack_top) - stack_size;
+  stack_size_ = stack_size;
   getcontext(&uctx_);
   uctx_.uc_stack.ss_sp = static_cast<char*>(stack_top) - stack_size;
   uctx_.uc_stack.ss_size = stack_size;
   uctx_.uc_link = nullptr;  // threads must switch away, never fall off
-  const auto e = reinterpret_cast<std::uintptr_t>(entry);
-  const auto a = reinterpret_cast<std::uintptr_t>(arg);
-  makecontext(&uctx_, reinterpret_cast<void (*)()>(trampoline), 4,
-              static_cast<unsigned>(e >> 32), static_cast<unsigned>(e),
+  const auto a = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&uctx_, reinterpret_cast<void (*)()>(trampoline), 2,
               static_cast<unsigned>(a >> 32), static_cast<unsigned>(a));
 }
 
 void Context::switch_to(Context& from, Context& to) {
+  AsanSwitch::start(from, to.stack_bottom_, to.stack_size_, &from.fake_stack_);
   swapcontext(&from.uctx_, &to.uctx_);
+  AsanSwitch::finish(from.fake_stack_, nullptr, nullptr);
 }
 
 #else  // hand-rolled x86-64 System V implementation
@@ -90,8 +163,12 @@ ip_rt_ctx_entry_thunk:
 
 }  // namespace
 
-void Context::init(void* stack_top, std::size_t /*stack_size*/,
-                   ContextEntry entry, void* arg) {
+void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
+                   void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  stack_bottom_ = static_cast<char*>(stack_top) - stack_size;
+  stack_size_ = stack_size;
   // Build the frame that ip_rt_ctx_switch expects to pop. stack_top is
   // 16-byte aligned; after the six pops and the retq, rsp == top-16, which is
   // 16-byte aligned. The thunk's `callq` then pushes the return address, so
@@ -100,17 +177,19 @@ void Context::init(void* stack_top, std::size_t /*stack_size*/,
   auto** frame = static_cast<void**>(stack_top);
   frame -= 2;  // keep top 16 bytes as scratch / alignment padding
   *--frame = reinterpret_cast<void*>(&ip_rt_ctx_entry_thunk);  // return addr
-  *--frame = nullptr;                        // rbp
-  *--frame = nullptr;                        // rbx
-  *--frame = reinterpret_cast<void*>(entry); // r12
-  *--frame = arg;                            // r13
-  *--frame = nullptr;                        // r14
-  *--frame = nullptr;                        // r15
+  *--frame = nullptr;                                      // rbp
+  *--frame = nullptr;                                      // rbx
+  *--frame = reinterpret_cast<void*>(&Context::entry_shim);  // r12
+  *--frame = this;                                         // r13
+  *--frame = nullptr;                                      // r14
+  *--frame = nullptr;                                      // r15
   sp_ = frame;
 }
 
 void Context::switch_to(Context& from, Context& to) {
+  AsanSwitch::start(from, to.stack_bottom_, to.stack_size_, &from.fake_stack_);
   ip_rt_ctx_switch(&from.sp_, to.sp_);
+  AsanSwitch::finish(from.fake_stack_, nullptr, nullptr);
 }
 
 #endif  // IP_RT_UCONTEXT

@@ -9,6 +9,12 @@
 //  * a portable ucontext(3) fallback (selected on other architectures or via
 //    -DIP_RT_FORCE_UCONTEXT), which is slower because every swapcontext
 //    performs a sigprocmask system call.
+//
+// Under AddressSanitizer, every switch is bracketed with the sanitizer's
+// fiber annotations (__sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber) so that ASan tracks the active stack
+// correctly across user-level threads; without them the Sanitize build
+// reports false stack-buffer overflows the moment a pipeline thread runs.
 #pragma once
 
 #include <cstddef>
@@ -28,7 +34,8 @@ namespace infopipe::rt {
 using ContextEntry = void (*)(void* arg);
 
 /// A suspended (or not-yet-started) flow of control. POD-ish: no ownership
-/// of the stack, which must outlive the context.
+/// of the stack, which must outlive the context. A Context must not move
+/// after init() (the prepared frame points back into it).
 class Context {
  public:
   Context() = default;
@@ -42,12 +49,24 @@ class Context {
   /// back to `from`.
   static void switch_to(Context& from, Context& to);
 
+  /// Internal: first C++ code on a fresh context; completes the sanitizer
+  /// fiber switch, then runs the user entry. `self` is the Context.
+  static void entry_shim(void* self);
+
  private:
 #if IP_RT_UCONTEXT
   ucontext_t uctx_{};
 #else
   void* sp_ = nullptr;  // saved stack pointer; everything else lives on-stack
 #endif
+  ContextEntry entry_ = nullptr;
+  void* arg_ = nullptr;
+  // Stack bounds for the sanitizer fiber annotations. Contexts that were
+  // never init()ed (the scheduler running on the OS thread stack) learn
+  // their bounds lazily from the first switch away.
+  void* stack_bottom_ = nullptr;
+  std::size_t stack_size_ = 0;
+  void* fake_stack_ = nullptr;  // ASan fake-stack save slot
 };
 
 }  // namespace infopipe::rt

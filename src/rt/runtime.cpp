@@ -22,7 +22,22 @@ struct ActiveRuntimeScope {
 
 Runtime::Runtime(std::unique_ptr<Clock> clock, Options options)
     : clock_(clock ? std::move(clock) : std::make_unique<VirtualClock>()),
-      options_(options) {}
+      options_(options) {
+  metrics_.set_time_source([this] { return clock_->now(); });
+  tracer_.set_time_source([this] { return clock_->now(); });
+  // The scheduler's hot-path counters live in the plain Stats struct (an
+  // increment costs one add); this collector publishes them into snapshots.
+  metrics_.add_collector([this](obs::MetricsSnapshot& s) {
+    s.add_counter("rt.context_switches", stats_.context_switches);
+    s.add_counter("rt.messages_sent", stats_.messages_sent);
+    s.add_counter("rt.messages_dropped", stats_.messages_dropped);
+    s.add_counter("rt.timer_wakeups", stats_.timer_wakeups);
+    s.add_counter("rt.threads_spawned", stats_.threads_spawned);
+    s.add_counter("rt.preemptions", stats_.preemptions);
+    s.add_counter("rt.dispatches", stats_.dispatches);
+    s.add_gauge("rt.live_threads", static_cast<double>(live_threads()));
+  });
+}
 
 Runtime::~Runtime() = default;
 
@@ -265,6 +280,7 @@ void Runtime::thread_main(UThread& t) {
       continue;
     }
     Message m = pop_next_message(t);
+    ++stats_.dispatches;
     t.active_constraint_ = m.constraint;
     CodeResult r = CodeResult::kTerminate;
     try {
@@ -318,6 +334,8 @@ void Runtime::fire_due_timers() {
     TimerEntry e = std::move(timers_.back());
     timers_.pop_back();
     ++stats_.timer_wakeups;
+    IP_OBS_TRACE(tracer_, obs::Hop::kTimerFire, "rt",
+                 static_cast<std::int64_t>(e.target));
     if (e.message) {
       send(e.target, std::move(*e.message));
     } else if (UThread* t = thread(e.target);

@@ -31,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/clock.hpp"
 #include "rt/reservation.hpp"
 #include "rt/message.hpp"
@@ -179,10 +181,24 @@ class Runtime {
     std::uint64_t messages_dropped = 0;  ///< sends to dead threads
     std::uint64_t timer_wakeups = 0;
     std::uint64_t threads_spawned = 0;
-    std::uint64_t preemptions = 0;  ///< involuntary suspensions
+    std::uint64_t preemptions = 0;   ///< involuntary suspensions
+    std::uint64_t dispatches = 0;    ///< code-function invocations
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
+
+  /// Structured observability (src/obs/): counters/gauges/histograms
+  /// timestamped by this runtime's clock. The runtime's own hot-path
+  /// counters (the Stats struct above) are published into every snapshot as
+  /// `rt.*` rows by a built-in collector, so the scheduler loop pays no
+  /// extra cost for them.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Per-item hop tracer (disabled by default; see obs/trace.hpp).
+  [[nodiscard]] obs::FlowTracer& tracer() noexcept { return tracer_; }
 
   /// CPU reservation table (admission control for pumps, §3.1).
   [[nodiscard]] ReservationManager& reservations() noexcept {
@@ -237,6 +253,8 @@ class Runtime {
   std::unique_ptr<Clock> clock_;
   Options options_;
   ReservationManager reservations_;
+  obs::MetricsRegistry metrics_;
+  obs::FlowTracer tracer_;
   std::mutex external_mutex_;
   std::vector<std::pair<ThreadId, Message>> external_;
   std::atomic<bool> external_pending_{false};

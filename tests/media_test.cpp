@@ -227,6 +227,9 @@ TEST(WireCodec, RejectsGarbage) {
   EXPECT_TRUE(decode_frame(std::vector<std::uint8_t>(100, 7)).is_nil());
 }
 
+// Exercises the paper-verbatim shim on purpose: send_event(real, START) is
+// the documented one-liner over the canonical real.start(). Everything else
+// uses the member API.
 TEST(PaperApi, QuickstartSnippetCompilesAndRuns) {
   rt::Runtime rtm;
   StreamConfig cfg;

@@ -174,10 +174,13 @@ TEST(RealClockSmoke, PipelineRunsOnWallTime) {
   EXPECT_EQ(sink.count(), 20u);
   EXPECT_GE(wall_ms, 15);
   EXPECT_LE(wall_ms, 500);
-  // Inter-arrival spacing also tracked the real clock.
+  // Inter-arrival spacing also tracked the real clock: the 19 pump periods
+  // cannot complete faster than the clock allows; under CI load they may
+  // stretch, so only a generous upper bound is checked.
   const rt::Time span =
       sink.arrivals().back().at - sink.arrivals().front().at;
-  EXPECT_NEAR(static_cast<double>(span) / 1e6, 19.0, 10.0);
+  EXPECT_GE(static_cast<double>(span) / 1e6, 9.0);
+  EXPECT_LE(static_cast<double>(span) / 1e6, 480.0);
 }
 
 }  // namespace
