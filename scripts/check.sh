@@ -25,3 +25,14 @@ cmake --build build-sanitize
 ASAN_OPTIONS=detect_stack_use_after_return=0 \
 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-sanitize --output-on-failure
+
+echo "== TSan build + multi-runtime suites =="
+# Only the suites that exercise multiple kernel threads: the ip_shard
+# channels/groups, the io_bridge poller, and the rt substrate they build
+# on. The remaining suites are single-threaded by construction (one ULT
+# scheduler on one kernel thread) and run under ASan above.
+cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
+cmake --build build-thread
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard' \
+    --output-on-failure

@@ -78,6 +78,13 @@ const BufferStats* StatsSnapshot::buffer(std::string_view name) const {
   return nullptr;
 }
 
+const ChannelStats* StatsSnapshot::channel(std::string_view name) const {
+  for (const ChannelStats& c : channels) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
 std::string to_string(const PlanInfo& p) {
   std::string out;
   out += "pipeline: " + std::to_string(p.components) + " components, " +
@@ -111,6 +118,15 @@ std::string to_string(const StatsSnapshot& s) {
            " in / " + std::to_string(b.takes) + " out, " +
            std::to_string(b.drops) + " dropped, " +
            std::to_string(b.put_blocks + b.take_blocks) + " blocks\n";
+  }
+  for (const ChannelStats& c : s.channels) {
+    out += "  " + c.name + " (shard " + std::to_string(c.from_shard) +
+           " -> " + std::to_string(c.to_shard) + "): depth " +
+           std::to_string(c.depth) + "/" + std::to_string(c.capacity) + ", " +
+           std::to_string(c.pushes) + " in / " + std::to_string(c.pops) +
+           " out, " + std::to_string(c.drops) + " dropped, " +
+           std::to_string(c.producer_stalls + c.consumer_stalls) +
+           " stalls, " + std::to_string(c.wakeups) + " wakeups\n";
   }
   return out;
 }
@@ -168,6 +184,22 @@ std::string to_json(const StatsSnapshot& s) {
            std::to_string(b.put_blocks) + ",\"take_blocks\":" +
            std::to_string(b.take_blocks) + "}";
   }
+  out += "],\"channels\":[";
+  first = true;
+  for (const ChannelStats& c : s.channels) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(c.name) + "\",\"from_shard\":" +
+           std::to_string(c.from_shard) + ",\"to_shard\":" +
+           std::to_string(c.to_shard) + ",\"depth\":" +
+           std::to_string(c.depth) + ",\"capacity\":" +
+           std::to_string(c.capacity) + ",\"pushes\":" +
+           std::to_string(c.pushes) + ",\"pops\":" + std::to_string(c.pops) +
+           ",\"producer_stalls\":" + std::to_string(c.producer_stalls) +
+           ",\"consumer_stalls\":" + std::to_string(c.consumer_stalls) +
+           ",\"wakeups\":" + std::to_string(c.wakeups) + ",\"drops\":" +
+           std::to_string(c.drops) + "}";
+  }
   out += "]}";
   return out;
 }
@@ -189,6 +221,16 @@ void publish(const StatsSnapshot& s, obs::MetricsSnapshot& out) {
     out.add_counter(p + ".nil_returns", b.nil_returns);
     out.add_counter(p + ".put_blocks", b.put_blocks);
     out.add_counter(p + ".take_blocks", b.take_blocks);
+  }
+  for (const ChannelStats& c : s.channels) {
+    const std::string p = "chan." + c.name;
+    out.add_gauge(p + ".depth", static_cast<double>(c.depth));
+    out.add_counter(p + ".pushes", c.pushes);
+    out.add_counter(p + ".pops", c.pops);
+    out.add_counter(p + ".producer_stalls", c.producer_stalls);
+    out.add_counter(p + ".consumer_stalls", c.consumer_stalls);
+    out.add_counter(p + ".wakeups", c.wakeups);
+    out.add_counter(p + ".drops", c.drops);
   }
 }
 

@@ -81,15 +81,36 @@ struct BufferStats {
   std::uint64_t take_blocks = 0;
 };
 
+/// Per-channel traffic counters at snapshot time (ip_shard: the lock-free
+/// SPSC channel that replaces a buffer cut across shards). Unlike buffer
+/// counters these are sampled from atomics, so `depth == pushes - pops` is
+/// only approximate while both shards are running.
+struct ChannelStats {
+  std::string name;
+  int from_shard = 0;
+  int to_shard = 0;
+  std::size_t depth = 0;
+  std::size_t capacity = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t producer_stalls = 0;  ///< producer found the ring full
+  std::uint64_t consumer_stalls = 0;  ///< consumer found the ring empty
+  std::uint64_t wakeups = 0;          ///< cross-shard doorbell posts
+  std::uint64_t drops = 0;            ///< kDropNewest overflow drops
+};
+
 /// A consistent picture of the realized pipeline's progress, timestamped by
-/// the runtime clock (deterministic under the virtual clock).
+/// the runtime clock (deterministic under the virtual clock). The channels
+/// vector is populated only for sharded realizations.
 struct StatsSnapshot {
   rt::Time when = 0;
   std::vector<DriverStats> drivers;
   std::vector<BufferStats> buffers;
+  std::vector<ChannelStats> channels;
 
   [[nodiscard]] const DriverStats* driver(std::string_view name) const;
   [[nodiscard]] const BufferStats* buffer(std::string_view name) const;
+  [[nodiscard]] const ChannelStats* channel(std::string_view name) const;
 };
 
 // -- renderers -----------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <set>
 
 #include "core/buffer.hpp"
@@ -300,5 +301,155 @@ class PlannerImpl {
 }  // namespace
 
 Plan plan(const Pipeline& p) { return PlannerImpl(p).run(); }
+
+// ---- Multi-core sharding (ip_shard) -----------------------------------------
+
+int Partition::shard_of(const Plan& plan, const Component& c) const {
+  for (std::size_t i = 0; i < plan.sections.size(); ++i) {
+    const Plan::Section& s = plan.sections[i];
+    if (s.driver == &c) return shard_of_section[i];
+    for (const Plan::Hosted& h : s.members) {
+      if (h.comp == &c) return shard_of_section[i];
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Partition::threads_per_shard(const Plan& plan) const {
+  std::vector<int> out(static_cast<std::size_t>(n_shards), 0);
+  for (std::size_t i = 0; i < plan.sections.size(); ++i) {
+    out[static_cast<std::size_t>(shard_of_section[i])] +=
+        plan.sections[i].thread_count();
+  }
+  return out;
+}
+
+Partition partition(
+    const Plan& plan, int n_shards,
+    const std::vector<std::pair<const Component*, const Component*>>&
+        colocate) {
+  Partition part;
+  part.n_shards = std::max(1, n_shards);
+  const std::size_t ns = plan.sections.size();
+  part.shard_of_section.assign(ns, 0);
+  if (ns == 0) return part;
+
+  // Section of every driver and member. Shared components (merge tails /
+  // balance heads) are listed in one section; the edges below pull their
+  // other neighbours into the same cluster anyway.
+  std::map<const Component*, std::size_t> section_of;
+  for (std::size_t i = 0; i < ns; ++i) {
+    section_of.emplace(plan.sections[i].driver, i);
+    for (const Plan::Hosted& h : plan.sections[i].members) {
+      section_of.emplace(h.comp, i);
+    }
+  }
+
+  // Union-find over sections.
+  std::vector<std::size_t> parent(ns);
+  for (std::size_t i = 0; i < ns; ++i) parent[i] = i;
+  auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  // An edge with both endpoints inside sections but in *different* sections
+  // crosses a shared region (a pump feeding a MergeTee in another driver's
+  // section, a BalancingSwitch feeding another pump). Such sections share a
+  // SectionLock and must land on one shard; only buffer boundaries — where
+  // one endpoint is outside every section — may be cut.
+  for (const auto& [e, mode] : plan.edge_mode) {
+    (void)mode;
+    auto a = section_of.find(e->from);
+    auto b = section_of.find(e->to);
+    if (a != section_of.end() && b != section_of.end() &&
+        a->second != b->second) {
+      unite(a->second, b->second);
+    }
+  }
+  for (const auto& [c1, c2] : colocate) {
+    auto a = section_of.find(c1);
+    auto b = section_of.find(c2);
+    if (a != section_of.end() && b != section_of.end()) {
+      unite(a->second, b->second);
+    }
+  }
+
+  // Clusters, balanced by thread count: deterministic LPT greedy (heaviest
+  // cluster first onto the least-loaded shard; ties by lowest index) — the
+  // classic 4/3-approximation, and stable run to run because every ordering
+  // is total.
+  struct Cluster {
+    std::size_t min_index;
+    int weight = 0;
+    std::vector<std::size_t> sections;
+  };
+  std::map<std::size_t, Cluster> by_root;
+  for (std::size_t i = 0; i < ns; ++i) {
+    Cluster& cl = by_root[find(i)];
+    if (cl.sections.empty()) cl.min_index = i;
+    cl.weight += plan.sections[i].thread_count();
+    cl.sections.push_back(i);
+  }
+  std::vector<Cluster> clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [root, cl] : by_root) clusters.push_back(std::move(cl));
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.weight != b.weight ? a.weight > b.weight
+                                          : a.min_index < b.min_index;
+            });
+  std::vector<int> load(static_cast<std::size_t>(part.n_shards), 0);
+  for (const Cluster& cl : clusters) {
+    const auto lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[lightest] += cl.weight;
+    for (std::size_t s : cl.sections) {
+      part.shard_of_section[s] = static_cast<int>(lightest);
+    }
+  }
+
+  // Cuts: boundary components (outside every section — i.e. buffers) whose
+  // upstream and downstream sections landed on different shards.
+  struct Sides {
+    std::optional<std::size_t> up, down;
+  };
+  std::map<Component*, Sides> boundaries;
+  for (const auto& [e, mode] : plan.edge_mode) {
+    (void)mode;
+    if (section_of.count(e->to) == 0) {
+      if (auto a = section_of.find(e->from); a != section_of.end()) {
+        boundaries[e->to].up = a->second;
+      }
+    }
+    if (section_of.count(e->from) == 0) {
+      if (auto b = section_of.find(e->to); b != section_of.end()) {
+        boundaries[e->from].down = b->second;
+      }
+    }
+  }
+  for (const auto& [comp, sides] : boundaries) {
+    if (!sides.up || !sides.down) continue;  // passive endpoint, one side
+    const int su = part.shard_of_section[*sides.up];
+    const int sd = part.shard_of_section[*sides.down];
+    if (su != sd) {
+      part.cuts.push_back(Partition::Cut{comp, *sides.up, *sides.down});
+    }
+  }
+  // The map above is keyed by pointer; re-order by section index so the cut
+  // list (and thus channel naming downstream) is deterministic run to run.
+  std::sort(part.cuts.begin(), part.cuts.end(),
+            [](const Partition::Cut& a, const Partition::Cut& b) {
+              return a.upstream_section != b.upstream_section
+                         ? a.upstream_section < b.upstream_section
+                         : a.downstream_section < b.downstream_section;
+            });
+  return part;
+}
 
 }  // namespace infopipe

@@ -96,4 +96,46 @@ struct Plan {
 /// push-driven pull-only tees, incompatible Typespecs, cycles).
 [[nodiscard]] Plan plan(const Pipeline& p);
 
+// ---- Multi-core sharding (ip_shard) -----------------------------------------
+
+/// Assignment of whole sections to shards. Cuts happen only at passive
+/// boundaries (buffers between sections) — never inside a coroutine set —
+/// so the per-section single-threading invariants of §3.2 hold unchanged on
+/// every shard.
+struct Partition {
+  /// A buffer whose two neighbouring sections landed on different shards;
+  /// the sharded realization replaces it with a cross-shard channel.
+  struct Cut {
+    Component* buffer = nullptr;
+    std::size_t upstream_section = 0;    ///< index into Plan::sections
+    std::size_t downstream_section = 0;  ///< index into Plan::sections
+  };
+
+  int n_shards = 1;
+  /// Parallel to Plan::sections: which shard hosts each section.
+  std::vector<int> shard_of_section;
+  std::vector<Cut> cuts;
+
+  /// Shard of the section a driver/member belongs to; -1 for components
+  /// outside every section (boundaries).
+  [[nodiscard]] int shard_of(const Plan& plan, const Component& c) const;
+
+  /// Threads per shard; sums to plan.total_threads() (conservation is a
+  /// partition invariant the tests assert).
+  [[nodiscard]] std::vector<int> threads_per_shard(const Plan& plan) const;
+};
+
+/// Splits a plan across `n_shards` shards. Sections are never split;
+/// sections connected through anything but a buffer (merge/balance shared
+/// regions, where an edge runs directly between two drivers' domains) are
+/// clustered together, as are the sections around each `colocate` pair of
+/// components (the sharded realization uses this to keep buffers whose
+/// policies a channel cannot reproduce, e.g. kDropOldest, on one shard).
+/// Clusters are balanced by thread count (deterministic longest-processing-
+/// time greedy). Shards may end up empty when there are fewer clusters.
+[[nodiscard]] Partition partition(
+    const Plan& plan, int n_shards,
+    const std::vector<std::pair<const Component*, const Component*>>&
+        colocate = {});
+
 }  // namespace infopipe

@@ -865,6 +865,18 @@ void Realization::post_event(const Event& e) {
   }
 }
 
+void Realization::post_event_external(const Event& e) {
+  // hosts_ and each host's tid are immutable after construction, so reading
+  // them from a foreign kernel thread is safe; delivery goes through the
+  // runtime's one thread-safe entry point.
+  for (const auto& host : hosts_) {
+    rt::Message m{detail::kMsgControl, rt::MsgClass::kControl};
+    m.constraint = rt::Constraint{rt::kPriorityControl, rt::kTimeNever};
+    m.payload = ControlDispatch{nullptr, e};
+    rt_->post_external(host->tid(), std::move(m));
+  }
+}
+
 void Realization::post_event_to(Component& c, const Event& e) {
   post_event_to_after(c, e, 0);
 }

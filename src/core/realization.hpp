@@ -190,6 +190,14 @@ class Realization {
 
   /// Broadcast to every component, in pipeline order per thread.
   void post_event(const Event& e);
+  /// Thread-safe broadcast from OUTSIDE this realization's runtime thread
+  /// (built on rt::Runtime::post_external): the event enqueues onto the
+  /// owning runtime and is delivered at its dispatch points, so the
+  /// deliver-while-blocked semantics (§3.2) are preserved across kernel
+  /// threads. The event listener is NOT invoked (it would run on the
+  /// foreign caller's thread). This is how a ShardGroup forwards control
+  /// events between shards.
+  void post_event_external(const Event& e);
   /// Local delivery to one component.
   void post_event_to(Component& c, const Event& e);
   /// Delayed delivery (used by netpipes to impose network latency on

@@ -20,6 +20,8 @@ const char* to_string(Hop h) {
       return "timer-fire";
     case Hop::kDrop:
       return "drop";
+    case Hop::kShardHop:
+      return "shard-hop";
   }
   return "?";
 }

@@ -38,6 +38,7 @@ enum class Hop : std::uint8_t {
   kControlDispatch,  ///< control event delivered to a component
   kTimerFire,        ///< runtime timer fired
   kDrop,             ///< item dropped (full buffer / switch misroute / link)
+  kShardHop,         ///< item crossed shards via a ShardChannel (a=from, b=to)
 };
 
 [[nodiscard]] const char* to_string(Hop h);

@@ -17,6 +17,21 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define IP_RT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IP_RT_TSAN 1
+#endif
+#endif
+#ifndef IP_RT_TSAN
+#define IP_RT_TSAN 0
+#endif
+
+#if IP_RT_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace infopipe::rt {
 
 namespace {
@@ -57,7 +72,36 @@ struct AsanSwitch {
 #endif
 };
 
+// The fields are passed by address (same style as AsanSwitch's fake-stack
+// slot) because Context's members are private to these translation-unit
+// helpers.
+struct TsanSwitch {
+#if IP_RT_TSAN
+  static void create(void** fiber, bool* owned) {
+    *fiber = __tsan_create_fiber(0);
+    *owned = true;
+  }
+  static void destroy(void** fiber, bool* owned) {
+    if (*owned && *fiber != nullptr) __tsan_destroy_fiber(*fiber);
+    *fiber = nullptr;
+    *owned = false;
+  }
+  static void start(void** from_fiber, void* to_fiber) {
+    // A context that was never init()ed runs on the kernel thread's own
+    // stack; adopt that thread's implicit fiber at the first switch away.
+    if (*from_fiber == nullptr) *from_fiber = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(to_fiber, 0);
+  }
+#else
+  static void create(void**, bool*) {}
+  static void destroy(void**, bool*) {}
+  static void start(void**, void*) {}
+#endif
+};
+
 }  // namespace
+
+Context::~Context() { TsanSwitch::destroy(&tsan_fiber_, &tsan_fiber_owned_); }
 
 void Context::entry_shim(void* self) {
   auto* ctx = static_cast<Context*>(self);
@@ -93,6 +137,7 @@ void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
   arg_ = arg;
   stack_bottom_ = static_cast<char*>(stack_top) - stack_size;
   stack_size_ = stack_size;
+  TsanSwitch::create(&tsan_fiber_, &tsan_fiber_owned_);
   getcontext(&uctx_);
   uctx_.uc_stack.ss_sp = static_cast<char*>(stack_top) - stack_size;
   uctx_.uc_stack.ss_size = stack_size;
@@ -104,6 +149,7 @@ void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
 
 void Context::switch_to(Context& from, Context& to) {
   AsanSwitch::start(from, to.stack_bottom_, to.stack_size_, &from.fake_stack_);
+  TsanSwitch::start(&from.tsan_fiber_, to.tsan_fiber_);
   swapcontext(&from.uctx_, &to.uctx_);
   AsanSwitch::finish(from.fake_stack_, nullptr, nullptr);
 }
@@ -169,6 +215,7 @@ void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
   arg_ = arg;
   stack_bottom_ = static_cast<char*>(stack_top) - stack_size;
   stack_size_ = stack_size;
+  TsanSwitch::create(&tsan_fiber_, &tsan_fiber_owned_);
   // Build the frame that ip_rt_ctx_switch expects to pop. stack_top is
   // 16-byte aligned; after the six pops and the retq, rsp == top-16, which is
   // 16-byte aligned. The thunk's `callq` then pushes the return address, so
@@ -188,6 +235,7 @@ void Context::init(void* stack_top, std::size_t stack_size, ContextEntry entry,
 
 void Context::switch_to(Context& from, Context& to) {
   AsanSwitch::start(from, to.stack_bottom_, to.stack_size_, &from.fake_stack_);
+  TsanSwitch::start(&from.tsan_fiber_, to.tsan_fiber_);
   ip_rt_ctx_switch(&from.sp_, to.sp_);
   AsanSwitch::finish(from.fake_stack_, nullptr, nullptr);
 }

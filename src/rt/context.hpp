@@ -15,6 +15,11 @@
 // __sanitizer_finish_switch_fiber) so that ASan tracks the active stack
 // correctly across user-level threads; without them the Sanitize build
 // reports false stack-buffer overflows the moment a pipeline thread runs.
+// Under ThreadSanitizer the equivalent fiber API (__tsan_create_fiber /
+// __tsan_switch_to_fiber / __tsan_destroy_fiber) is used so that TSan
+// attributes happens-before edges to the right logical thread across
+// user-level switches; without it the Thread build reports false races
+// between every pair of fibers sharing a kernel thread.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +44,8 @@ using ContextEntry = void (*)(void* arg);
 class Context {
  public:
   Context() = default;
+  /// Releases the TSan fiber created by init(), if any (no-op elsewhere).
+  ~Context();
 
   /// Prepare this context to run `entry(arg)` on the stack whose highest
   /// usable, 16-byte-aligned address is `stack_top` (stack grows down).
@@ -67,6 +74,11 @@ class Context {
   void* stack_bottom_ = nullptr;
   std::size_t stack_size_ = 0;
   void* fake_stack_ = nullptr;  // ASan fake-stack save slot
+  // TSan fiber handle. init()ed contexts own a created fiber; contexts that
+  // were never init()ed (the scheduler on the OS-thread stack) borrow the
+  // kernel thread's implicit fiber at the first switch away.
+  void* tsan_fiber_ = nullptr;
+  bool tsan_fiber_owned_ = false;
 };
 
 }  // namespace infopipe::rt

@@ -1,0 +1,52 @@
+// Doorbell: the sleep/wake primitive for runtimes hosted on dedicated
+// kernel threads (ip_shard).
+//
+// A Runtime's host thread sits in run() while there is work; when the
+// runtime goes quiescent the host loop parks on a Doorbell instead of
+// spinning. Any kernel thread that injects work (Runtime::post_external,
+// rt::IoBridge, a cross-shard channel) rings the bell to resume it. The
+// counter makes ring() sticky: a ring that arrives between the runtime
+// going quiescent and the host reaching wait() is not lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace infopipe::rt {
+
+class Doorbell {
+ public:
+  /// Wakes the waiter (now or, thanks to the counter, at its next wait()).
+  /// Thread-safe; callable from any kernel thread and cheap enough for the
+  /// external-post notification hook.
+  void ring() {
+    {
+      std::lock_guard lk(mutex_);
+      ++rings_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until ring() has been called more often than wait() has
+  /// consumed. Intended for a single waiter (the runtime's host thread).
+  void wait() {
+    std::unique_lock lk(mutex_);
+    cv_.wait(lk, [this] { return rings_ > consumed_; });
+    ++consumed_;
+  }
+
+  /// Number of rings so far (diagnostics).
+  [[nodiscard]] std::uint64_t rings() const {
+    std::lock_guard lk(mutex_);
+    return rings_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t rings_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace infopipe::rt

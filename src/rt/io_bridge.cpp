@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 
@@ -11,12 +12,15 @@ namespace infopipe::rt {
 
 namespace {
 
-/// Write end of the signal self-pipe; written from the signal handler, so
-/// it must be a plain static (async-signal-safe access only).
-volatile int g_signal_pipe_wr = -1;
+/// Write end of the signal self-pipe; read from the signal handler, so it
+/// must be a lock-free atomic (async-signal-safe access only). Claimed by
+/// the first bridge to watch a signal — NOT by every constructed bridge,
+/// so multiple bridges (one per shard runtime) can coexist for fd watching.
+std::atomic<int> g_signal_pipe_wr{-1};
+static_assert(std::atomic<int>::is_always_lock_free);
 
 extern "C" void io_bridge_signal_handler(int signo) {
-  const int fd = g_signal_pipe_wr;
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const auto byte = static_cast<std::uint8_t>(signo);
     // write(2) is async-signal-safe; a full pipe just drops the event.
@@ -37,11 +41,20 @@ IoBridge::IoBridge(Runtime& rt) : rt_(&rt) {
   }
   set_nonblocking(control_pipe_[0]);
   set_nonblocking(control_pipe_[1]);
-  g_signal_pipe_wr = control_pipe_[1];
   poller_ = std::thread([this] { poll_loop(); });
 }
 
 IoBridge::~IoBridge() {
+  // Restore handlers before tearing the pipe down so no signal races the
+  // close; then stop the poller. The join is deterministic: either the wake
+  // byte lands, or the pipe is full — in which case poll() sees POLLIN
+  // anyway, the poller drains it and re-checks stop_.
+  for (const auto& [signo, action] : saved_actions_) {
+    ::sigaction(signo, &action, nullptr);
+  }
+  if (owns_signal_pipe_) {
+    g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
+  }
   {
     std::lock_guard lk(mutex_);
     stop_ = true;
@@ -49,10 +62,6 @@ IoBridge::~IoBridge() {
   const std::uint8_t kWake = 0;
   [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
   poller_.join();
-  g_signal_pipe_wr = -1;
-  for (const auto& [signo, action] : saved_actions_) {
-    ::sigaction(signo, &action, nullptr);
-  }
   ::close(control_pipe_[0]);
   ::close(control_pipe_[1]);
 }
@@ -76,6 +85,16 @@ void IoBridge::unwatch_fd(int fd) {
 }
 
 void IoBridge::watch_signal(int signo, ThreadId to) {
+  if (!owns_signal_pipe_) {
+    int expected = -1;
+    if (!g_signal_pipe_wr.compare_exchange_strong(expected, control_pipe_[1],
+                                                  std::memory_order_relaxed)) {
+      throw RuntimeError(
+          "IoBridge::watch_signal: another bridge already owns the signal "
+          "self-pipe");
+    }
+    owns_signal_pipe_ = true;
+  }
   {
     std::lock_guard lk(mutex_);
     signal_targets_[signo] = to;
@@ -118,7 +137,9 @@ void IoBridge::poll_loop() {
         fds.push_back(pollfd{fd, POLLIN, 0});
       }
     }
-    const int rc = ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
+    // No timeout: every mutation (watch/unwatch/stop/signal) writes a wake
+    // byte, so blocking indefinitely is safe and shutdown is deterministic.
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout ms=*/-1);
     if (rc < 0) continue;  // EINTR etc.
 
     // Control pipe: wake-ups and signal bytes.

@@ -12,6 +12,16 @@
 // Only meaningful with a RealClock runtime (a virtual-clock run has no OS
 // time to align with); the signal path uses the classic self-pipe trick, so
 // handlers stay async-signal-safe.
+//
+// Lifecycle: any number of bridges may coexist (one per runtime is the
+// sharded-execution pattern); each owns its control pipe and poller. The
+// poller blocks in poll() with no timeout — every state change (watch,
+// unwatch, destruction) writes a wake byte, so shutdown joins
+// deterministically instead of waiting out a poll tick. The process-wide
+// signal self-pipe is claimed by the first bridge that calls watch_signal()
+// and released when that bridge is destroyed; a second bridge calling
+// watch_signal() while the first still owns it throws. The Runtime must
+// outlive its bridge.
 #pragma once
 
 #include <csignal>
@@ -45,7 +55,9 @@ class IoBridge {
 
   /// Delivers each occurrence of `signo` to `to` as kMsgIoSignal. Installs
   /// a process-wide handler for that signal (restored on destruction).
-  /// One bridge per process may watch signals.
+  /// One bridge at a time may watch signals (the handler's self-pipe is a
+  /// process-wide singleton); a second concurrent claimant throws
+  /// RuntimeError.
   void watch_signal(int signo, ThreadId to);
 
  private:
@@ -60,6 +72,7 @@ class IoBridge {
   std::map<int, ThreadId> signal_targets_;
   std::map<int, struct sigaction> saved_actions_;
   bool stop_ = false;
+  bool owns_signal_pipe_ = false;  ///< claimed the process-wide self-pipe
 };
 
 }  // namespace infopipe::rt

@@ -126,6 +126,7 @@ void Runtime::post_external(ThreadId to, Message m) {
     external_pending_.store(true, std::memory_order_release);
   }
   clock_->interrupt_wait();
+  if (notifier_) notifier_();
 }
 
 void Runtime::send_at(Time t, ThreadId to, Message m) {
@@ -430,10 +431,10 @@ void Runtime::run_until(Time t) {
   stop_requested_ = false;
   ActiveRuntimeScope scope(this);
   for (;;) {
-    while (!stop_requested_ && step(t)) {
+    while (!stop_requested_ && !halted() && step(t)) {
     }
-    if (stop_requested_ || t == kTimeNever || clock_->is_virtual() ||
-        now() >= t) {
+    if (stop_requested_ || halted() || t == kTimeNever ||
+        clock_->is_virtual() || now() >= t) {
       break;
     }
     // Real clock with a finite horizon: quiescent but early. Block until
@@ -453,6 +454,17 @@ void Runtime::run_until(Time t) {
       throw RuntimeError("uncaught exception in thread '" + name +
                          "': " + e.what());
     }
+  }
+}
+
+void Runtime::run_service(Doorbell& bell) {
+  while (!halted()) {
+    run();
+    if (halted()) break;
+    // Quiescent. Work injected between run() returning and wait() parks is
+    // not lost: post_external rings the bell (sticky counter), and
+    // request_halt() is followed by a ring from the caller.
+    bell.wait();
   }
 }
 

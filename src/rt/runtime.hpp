@@ -34,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/clock.hpp"
+#include "rt/doorbell.hpp"
 #include "rt/reservation.hpp"
 #include "rt/message.hpp"
 #include "rt/uthread.hpp"
@@ -113,6 +114,15 @@ class Runtime {
   /// wait. The message is delivered at the next scheduling step.
   void post_external(ThreadId to, Message m);
 
+  /// Hook invoked (on the posting kernel thread) after every
+  /// post_external(). A runtime hosted on a dedicated kernel thread sets
+  /// this to ring its Doorbell so a quiescent run_service() loop resumes.
+  /// Must be installed before the host thread starts; the hook itself must
+  /// be thread-safe.
+  void set_external_notifier(std::function<void()> fn) {
+    notifier_ = std::move(fn);
+  }
+
   /// Synchronous call: sends `m` with a fresh request_id and blocks until
   /// the matching kReply arrives. While blocked, the callee inherits the
   /// caller's effective priority. Control-class messages addressed to the
@@ -172,6 +182,30 @@ class Runtime {
 
   /// Makes run() return at the next dispatch point.
   void request_stop() noexcept { stop_requested_ = true; }
+
+  /// Thread-safe, STICKY variant of request_stop() for runtimes hosted on a
+  /// dedicated kernel thread: run()/run_until()/run_service() return at the
+  /// next dispatch point and every subsequent run() returns immediately
+  /// until clear_halt(). Unlike request_stop() (reset on run entry, so a
+  /// cross-thread request can be lost to the race with a starting run), a
+  /// halt posted from any thread is never missed. Also interrupts an idle
+  /// RealClock wait.
+  void request_halt() noexcept {
+    halt_.store(true, std::memory_order_release);
+    clock_->interrupt_wait();
+  }
+  [[nodiscard]] bool halted() const noexcept {
+    return halt_.load(std::memory_order_acquire);
+  }
+  /// Re-arms a halted runtime (call from the host thread, between runs).
+  void clear_halt() noexcept { halt_.store(false, std::memory_order_release); }
+
+  /// Host loop for a runtime owned by a dedicated kernel thread: run() until
+  /// quiescent, park on `bell`, repeat — until request_halt(). Work injected
+  /// through post_external() resumes a parked loop provided the external
+  /// notifier rings the bell (ShardGroup wires this up). Rethrows the first
+  /// exception that escaped a code function, like run().
+  void run_service(Doorbell& bell);
 
   // ---- Introspection -------------------------------------------------------
 
@@ -258,6 +292,8 @@ class Runtime {
   std::mutex external_mutex_;
   std::vector<std::pair<ThreadId, Message>> external_;
   std::atomic<bool> external_pending_{false};
+  std::atomic<bool> halt_{false};
+  std::function<void()> notifier_;  ///< see set_external_notifier()
   std::unordered_map<ThreadId, std::unique_ptr<UThread>> threads_;
   std::vector<TimerEntry> timers_;  // min-heap via TimerLater
   Context sched_ctx_;

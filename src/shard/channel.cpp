@@ -1,0 +1,179 @@
+#include "shard/channel.hpp"
+
+#include "core/realization.hpp"
+
+namespace infopipe::shard {
+
+namespace {
+/// Overflow slots beyond capacity for the stopped-flow escape (one in-flight
+/// item per stop; a few slots cover repeated stop/restart before a drain).
+constexpr std::size_t kOverflowReserve = 4;
+}  // namespace
+
+ShardChannel::ShardChannel(std::string name, std::size_t capacity,
+                           FullPolicy full, EmptyPolicy empty)
+    : name_(std::move(name)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      full_(full),
+      empty_(empty),
+      slots_(capacity_ + kOverflowReserve) {}
+
+bool ShardChannel::try_push(Item& x) {
+  const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+  if (t - head_.load(std::memory_order_seq_cst) >= capacity_) return false;
+  slots_[t % slots_.size()] = std::move(x);
+  tail_.store(t + 1, std::memory_order_seq_cst);
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShardChannel::force_push(Item& x) {
+  const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+  if (t - head_.load(std::memory_order_seq_cst) >= slots_.size()) return false;
+  slots_[t % slots_.size()] = std::move(x);
+  tail_.store(t + 1, std::memory_order_seq_cst);
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<Item> ShardChannel::try_pop() {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  if (h == tail_.load(std::memory_order_seq_cst)) return std::nullopt;
+  Item x = std::move(slots_[h % slots_.size()]);
+  head_.store(h + 1, std::memory_order_seq_cst);
+  pops_.fetch_add(1, std::memory_order_relaxed);
+  return x;
+}
+
+void ShardChannel::wake_producer() {
+  const rt::ThreadId w =
+      producer_waiter_.exchange(rt::kNoThread, std::memory_order_seq_cst);
+  if (w == rt::kNoThread || producer_rt_ == nullptr) return;
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  rt::Message m{detail::kMsgChanSpace, rt::MsgClass::kData};
+  m.payload = static_cast<ShardChannel*>(this);
+  producer_rt_->post_external(w, std::move(m));
+}
+
+void ShardChannel::wake_consumer() {
+  const rt::ThreadId w =
+      consumer_waiter_.exchange(rt::kNoThread, std::memory_order_seq_cst);
+  if (w == rt::kNoThread || consumer_rt_ == nullptr) return;
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  rt::Message m{detail::kMsgChanData, rt::MsgClass::kData};
+  m.payload = static_cast<ShardChannel*>(this);
+  consumer_rt_->post_external(w, std::move(m));
+}
+
+ChannelStats ShardChannel::stats() const {
+  ChannelStats s;
+  s.name = name_;
+  s.from_shard = producer_shard_;
+  s.to_shard = consumer_shard_;
+  s.depth = depth();
+  s.capacity = capacity_;
+  s.pushes = pushes_.load(std::memory_order_relaxed);
+  s.pops = pops_.load(std::memory_order_relaxed);
+  s.producer_stalls = producer_stalls_.load(std::memory_order_relaxed);
+  s.consumer_stalls = consumer_stalls_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.drops = drops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ============================ ChannelSink ===================================
+
+void ChannelSink::consume(Item x) {
+  HostContext& host = realization()->current_host();
+  ShardChannel& ch = *chan_;
+  for (;;) {
+    if (ch.try_push(x)) {
+      ch.wake_consumer();
+      return;
+    }
+    // Ring full.
+    if (ch.full_policy() == FullPolicy::kDropNewest) {
+      ch.count_drop();
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kDrop, name().c_str(), 0,
+                   static_cast<std::int64_t>(ch.depth()));
+      return;
+    }
+    ch.count_producer_stall();
+    // The section was stopped while this thread was blocked in the push; the
+    // item is already in flight, so park it in the overflow reserve rather
+    // than lose it across a stop/restart (mirrors Buffer::put).
+    if (host.flow_stopped() && ch.force_push(x)) {
+      ch.wake_consumer();
+      return;
+    }
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                 name().c_str(), 0, static_cast<std::int64_t>(ch.depth()));
+    ch.register_producer_waiter(host.tid());
+    // Dekker recheck: the consumer may have popped (and missed our waiter
+    // registration) between our failed try_push and the store above.
+    if (ch.try_push(x)) {
+      ch.clear_producer_waiter();
+      ch.wake_consumer();
+      return;
+    }
+    ShardChannel* self = &ch;
+    (void)host.wait_interruptible([self](const rt::Message& m) {
+      const auto* c = m.get<ShardChannel*>();
+      return m.type == detail::kMsgChanSpace && c != nullptr && *c == self;
+    });
+    // A control event may have woken us instead of a space notification;
+    // deregister and re-evaluate.
+    ch.clear_producer_waiter();
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                 name().c_str(), 0, static_cast<std::int64_t>(ch.depth()));
+  }
+}
+
+void ChannelSink::on_eos() {
+  chan_->set_eos();
+  chan_->wake_consumer();
+}
+
+// ============================ ChannelSource =================================
+
+Item ChannelSource::generate() {
+  HostContext& host = realization()->current_host();
+  ShardChannel& ch = *chan_;
+  for (;;) {
+    if (std::optional<Item> x = ch.try_pop()) {
+      ch.wake_producer();
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                   name().c_str(), ch.from_shard(), ch.to_shard());
+      return std::move(*x);
+    }
+    if (ch.eos()) return Item::eos();
+    if (ch.empty_policy() == EmptyPolicy::kNil) return Item::nil();
+    ch.count_consumer_stall();
+    if (host.flow_stopped()) throw infopipe::detail::StopFlow{};
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                 name().c_str(), 1, 0);
+    ch.register_consumer_waiter(host.tid());
+    // Dekker recheck against both the ring and the sticky EOS flag.
+    if (std::optional<Item> x = ch.try_pop()) {
+      ch.clear_consumer_waiter();
+      ch.wake_producer();
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                   name().c_str(), ch.from_shard(), ch.to_shard());
+      return std::move(*x);
+    }
+    if (ch.eos()) {
+      ch.clear_consumer_waiter();
+      return Item::eos();
+    }
+    ShardChannel* self = &ch;
+    (void)host.wait_interruptible([self](const rt::Message& m) {
+      const auto* c = m.get<ShardChannel*>();
+      return m.type == detail::kMsgChanData && c != nullptr && *c == self;
+    });
+    ch.clear_consumer_waiter();
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                 name().c_str(), 1, static_cast<std::int64_t>(ch.depth()));
+  }
+}
+
+}  // namespace infopipe::shard

@@ -1,0 +1,218 @@
+// Lock-free cross-shard channels (ip_shard).
+//
+// A ShardChannel bridges one cut edge of a partitioned plan: the buffer the
+// planner placed between two sections is replaced by a bounded SPSC ring
+// whose producer endpoint (ChannelSink) lives on the upstream shard and
+// whose consumer endpoint (ChannelSource) lives on the downstream shard.
+// The fast path is wait-free — one atomic load, a slot move, one atomic
+// store per item. Only when a side finds the ring full/empty does it fall
+// back to the doorbell path: it publishes its thread id in a waiter slot and
+// parks in the middleware's control-responsive wait; the other side, after
+// every push/pop, exchanges the waiter slot and posts a wakeup message
+// through rt::Runtime::post_external (which rings the shard's Doorbell), so
+// an idle shard sleeps instead of spinning.
+//
+// The sleep/wake handshake is a classic Dekker pattern on
+// (ring state, waiter slot): the waiter stores its tid and THEN re-checks
+// the ring; the other side updates the ring and THEN exchanges the waiter
+// slot. All four accesses are seq_cst, so one of the two always observes the
+// other's write and no wakeup is lost.
+//
+// Semantics mirror core::Buffer so a cut is behaviour-preserving:
+// end-of-stream is a sticky flag drained after queued items, kDropNewest
+// counts drops, EmptyPolicy::kNil returns nils, a stopped flow stashes the
+// in-flight item in a small overflow reserve instead of dropping it, and a
+// blocked endpoint still dispatches control events (wait_interruptible).
+// FullPolicy::kDropOldest cannot be reproduced without racing the consumer;
+// partition() colocates such buffers so they are never cut.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/buffer.hpp"
+#include "core/introspect.hpp"
+#include "core/item.hpp"
+#include "core/typespec.hpp"
+#include "rt/runtime.hpp"
+
+namespace infopipe::shard {
+
+namespace detail {
+/// rt message types of the cross-shard doorbell path (payload: the
+/// ShardChannel*). Distinct from the ipcore range (1..7).
+enum ShardMsgType : int {
+  kMsgChanData = 400,   ///< ring has data; wakes a parked consumer
+  kMsgChanSpace = 401,  ///< ring has space; wakes a parked producer
+  kMsgRunFn = 410,      ///< ShardGroup::run_on function payload
+};
+}  // namespace detail
+
+/// The bounded SPSC ring plus the cross-shard wakeup protocol. One producer
+/// thread (on the bound producer runtime) and one consumer thread (on the
+/// bound consumer runtime) at a time; the sharded realization guarantees
+/// this by construction (a cut buffer has exactly one upstream and one
+/// downstream section).
+class ShardChannel {
+ public:
+  ShardChannel(std::string name, std::size_t capacity,
+               FullPolicy full = FullPolicy::kBlock,
+               EmptyPolicy empty = EmptyPolicy::kBlock);
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] FullPolicy full_policy() const noexcept { return full_; }
+  [[nodiscard]] EmptyPolicy empty_policy() const noexcept { return empty_; }
+  [[nodiscard]] int from_shard() const noexcept { return producer_shard_; }
+  [[nodiscard]] int to_shard() const noexcept { return consumer_shard_; }
+
+  /// Wiring (before any data flows): which runtime/shard hosts each side.
+  void bind_producer(rt::Runtime& rtm, int shard) {
+    producer_rt_ = &rtm;
+    producer_shard_ = shard;
+  }
+  void bind_consumer(rt::Runtime& rtm, int shard) {
+    consumer_rt_ = &rtm;
+    consumer_shard_ = shard;
+  }
+
+  // -- ring (producer side: try_push/force_push; consumer side: try_pop) -----
+
+  /// Moves `x` into the ring if depth < capacity. Producer shard only.
+  bool try_push(Item& x);
+  /// Like try_push but may use the small overflow reserve beyond capacity;
+  /// the stopped-flow escape hatch mirroring Buffer::put's transient
+  /// one-slot overflow. Returns false only when even the reserve is full.
+  bool force_push(Item& x);
+  /// Takes the oldest item, if any. Consumer shard only.
+  std::optional<Item> try_pop();
+
+  /// Sticky end-of-stream: queued items drain first, then the consumer
+  /// observes EOS forever (exactly Buffer's eos_ flag).
+  void set_eos() noexcept { eos_.store(true, std::memory_order_seq_cst); }
+  [[nodiscard]] bool eos() const noexcept {
+    return eos_.load(std::memory_order_seq_cst);
+  }
+
+  /// Approximate while both shards run; exact when one side is parked.
+  [[nodiscard]] std::size_t depth() const noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  // -- sleep/wake handshake ----------------------------------------------------
+
+  void register_producer_waiter(rt::ThreadId tid) noexcept {
+    producer_waiter_.store(tid, std::memory_order_seq_cst);
+  }
+  void clear_producer_waiter() noexcept {
+    producer_waiter_.store(rt::kNoThread, std::memory_order_seq_cst);
+  }
+  void register_consumer_waiter(rt::ThreadId tid) noexcept {
+    consumer_waiter_.store(tid, std::memory_order_seq_cst);
+  }
+  void clear_consumer_waiter() noexcept {
+    consumer_waiter_.store(rt::kNoThread, std::memory_order_seq_cst);
+  }
+
+  /// Posts kMsgChanSpace to a parked producer, if one registered. Called by
+  /// the consumer after every pop.
+  void wake_producer();
+  /// Posts kMsgChanData to a parked consumer, if one registered. Called by
+  /// the producer after every push (and on EOS).
+  void wake_consumer();
+
+  // -- stats (relaxed atomics, sampled by stats()) ----------------------------
+
+  void count_drop() noexcept { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void count_producer_stall() noexcept {
+    producer_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_consumer_stall() noexcept {
+    consumer_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ChannelStats stats() const;
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  FullPolicy full_;
+  EmptyPolicy empty_;
+  std::vector<Item> slots_;  ///< capacity_ + overflow reserve
+
+  // Monotonic positions; slot index = position % slots_.size(). 64-bit
+  // counters make wraparound a non-issue at any realistic item rate.
+  std::atomic<std::uint64_t> head_{0};  ///< next pop position
+  std::atomic<std::uint64_t> tail_{0};  ///< next push position
+  std::atomic<bool> eos_{false};
+
+  rt::Runtime* producer_rt_ = nullptr;
+  rt::Runtime* consumer_rt_ = nullptr;
+  int producer_shard_ = 0;
+  int consumer_shard_ = 0;
+  std::atomic<rt::ThreadId> producer_waiter_{rt::kNoThread};
+  std::atomic<rt::ThreadId> consumer_waiter_{rt::kNoThread};
+
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::uint64_t> producer_stalls_{0};
+  std::atomic<std::uint64_t> consumer_stalls_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> drops_{0};
+};
+
+/// Upstream endpoint of a cut: a passive sink the upstream section's driver
+/// pushes into, exactly where it used to push into the cut buffer. Blocking
+/// follows Buffer::put — control events are dispatched while blocked, a
+/// stopped flow escapes into the overflow reserve instead of losing the
+/// in-flight item.
+class ChannelSink : public PassiveSink {
+ public:
+  explicit ChannelSink(ShardChannel& chan)
+      : PassiveSink(chan.name() + ".send"), chan_(&chan) {}
+
+  [[nodiscard]] ShardChannel& channel() noexcept { return *chan_; }
+
+ protected:
+  void consume(Item x) override;
+  void on_eos() override;
+
+ private:
+  ShardChannel* chan_;
+};
+
+/// Downstream endpoint of a cut: a passive source the downstream section's
+/// driver pulls from, exactly where it used to take from the cut buffer.
+/// Offers the Typespec the original plan propagated onto the cut edge, so
+/// sub-pipeline planning sees the same flow description.
+class ChannelSource : public PassiveSource {
+ public:
+  ChannelSource(ShardChannel& chan, Typespec offer)
+      : PassiveSource(chan.name() + ".recv"),
+        chan_(&chan),
+        offer_(std::move(offer)) {}
+
+  [[nodiscard]] ShardChannel& channel() noexcept { return *chan_; }
+  [[nodiscard]] Typespec output_offer(int port) const override {
+    (void)port;
+    return offer_;
+  }
+
+ protected:
+  Item generate() override;
+
+ private:
+  ShardChannel* chan_;
+  Typespec offer_;
+};
+
+}  // namespace infopipe::shard

@@ -1,0 +1,176 @@
+#include "shard/shard_group.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "shard/channel.hpp"  // detail::kMsgRunFn
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace infopipe::shard {
+
+namespace {
+
+/// One run_on() request: the function plus the completion handshake. Shipped
+/// as shared_ptr payload so an abandoned request (host thread died) cannot
+/// dangle.
+struct RunOnReq {
+  std::function<void()> fn;
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+/// Best-effort pinning of the calling kernel thread; a shard landing on its
+/// own core is the point of the module, but a machine with fewer cores than
+/// shards must still work (the channels and doorbells do not care).
+void pin_to_core(int shard) {
+#ifdef __linux__
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu <= 1) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(shard) % ncpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)shard;
+#endif
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(int n_shards, rt::RuntimeOptions options) {
+  if (n_shards < 1) throw rt::RuntimeError("ShardGroup needs >= 1 shard");
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int i = 0; i < n_shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->rtm = std::make_unique<rt::Runtime>(std::make_unique<rt::RealClock>(),
+                                           options);
+    // Ring the shard's doorbell after every post_external, so work injected
+    // into a parked run_service() loop resumes it.
+    rt::Doorbell* bell = &s->bell;
+    s->rtm->set_external_notifier([bell] { bell->ring(); });
+    // The service thread: executes run_on() payloads on this shard.
+    s->service_tid = s->rtm->spawn(
+        "shard.service", rt::kPriorityControl,
+        [](rt::Runtime&, rt::Message m) {
+          if (m.type == detail::kMsgRunFn) {
+            if (auto* p = m.get<std::shared_ptr<RunOnReq>>()) {
+              const std::shared_ptr<RunOnReq> req = *p;
+              try {
+                req->fn();
+              } catch (...) {
+                req->error = std::current_exception();
+              }
+              {
+                const std::lock_guard<std::mutex> lk(req->m);
+                req->done = true;
+              }
+              req->cv.notify_all();
+            }
+          }
+          return rt::CodeResult::kContinue;
+        });
+    shards_.push_back(std::move(s));
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  try {
+    stop();
+  } catch (...) {
+    // A shard error surfacing during destruction has nowhere to go.
+  }
+}
+
+void ShardGroup::launch() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    s.dead.store(false, std::memory_order_release);
+    s.rtm->clear_halt();
+    s.host = std::thread(&ShardGroup::host_loop, this, static_cast<int>(i));
+  }
+}
+
+void ShardGroup::host_loop(int shard) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  pin_to_core(shard);
+  try {
+    s.rtm->run_service(s.bell);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lk(err_mutex_);
+    if (!s.error) s.error = std::current_exception();
+  }
+  s.dead.store(true, std::memory_order_release);
+}
+
+void ShardGroup::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  for (const auto& s : shards_) {
+    s->rtm->request_halt();
+    s->bell.ring();
+  }
+  for (const auto& s : shards_) {
+    if (s->host.joinable()) s->host.join();
+  }
+  running_.store(false, std::memory_order_release);
+  const std::lock_guard<std::mutex> lk(err_mutex_);
+  for (const auto& s : shards_) {
+    if (s->error) {
+      const std::exception_ptr e = s->error;
+      s->error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ShardGroup::run_on(int shard, std::function<void()> fn) {
+  Shard& s = *shards_.at(static_cast<std::size_t>(shard));
+  if (!running_.load(std::memory_order_acquire)) {
+    throw rt::RuntimeError("ShardGroup::run_on: group is not running");
+  }
+  auto req = std::make_shared<RunOnReq>();
+  req->fn = std::move(fn);
+  rt::Message m{detail::kMsgRunFn, rt::MsgClass::kControl};
+  m.payload = req;
+  s.rtm->post_external(s.service_tid, std::move(m));
+  std::unique_lock<std::mutex> lk(req->m);
+  while (!req->cv.wait_for(lk, std::chrono::milliseconds(50),
+                           [&req] { return req->done; })) {
+    if (s.dead.load(std::memory_order_acquire)) {
+      throw rt::RuntimeError("ShardGroup::run_on: shard " +
+                             std::to_string(shard) + " host thread died");
+    }
+  }
+  if (req->error) std::rethrow_exception(req->error);
+}
+
+obs::MetricsSnapshot ShardGroup::metrics_snapshot() {
+  obs::MetricsSnapshot out;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    obs::MetricsSnapshot part;
+    if (running_.load(std::memory_order_acquire) &&
+        !s.dead.load(std::memory_order_acquire)) {
+      part = call_on(static_cast<int>(i),
+                     [&s] { return s.rtm->metrics().snapshot(); });
+    } else {
+      // Host thread parked/joined: direct read is race-free.
+      part = s.rtm->metrics().snapshot();
+    }
+    if (part.when > out.when) out.when = part.when;
+    const std::string prefix = "shard" + std::to_string(i) + ".";
+    for (obs::MetricValue& mv : part.metrics) {
+      mv.name = prefix + mv.name;
+      out.metrics.push_back(std::move(mv));
+    }
+  }
+  return out;
+}
+
+}  // namespace infopipe::shard

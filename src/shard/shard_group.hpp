@@ -1,0 +1,109 @@
+// ShardGroup: N runtimes, N kernel threads, one doorbell each (ip_shard).
+//
+// Everything inside one rt::Runtime stays single-kernel-threaded — that is
+// the substrate the whole middleware's no-locks-in-components guarantee
+// rests on. A ShardGroup scales out WITHOUT touching that invariant: it owns
+// n_shards independent runtimes, each hosted by its own kernel thread
+// running Runtime::run_service(), i.e. run-until-quiescent then park on the
+// shard's Doorbell. Cross-shard traffic (ShardChannel items, forwarded
+// control events, run_on() calls) enters a shard exclusively through
+// rt::Runtime::post_external — the one thread-safe Runtime entry point —
+// whose external notifier rings the doorbell, so idle shards sleep and
+// never spin.
+//
+// run_on() is the coordination primitive: it executes a function ON a
+// shard's kernel thread (inside a dedicated service user-level thread) and
+// blocks the caller until it returns. All inspection of a live shard's
+// non-atomic state (metrics registries, realization counters) goes through
+// it; that is what keeps the whole module clean under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "rt/doorbell.hpp"
+#include "rt/runtime.hpp"
+
+namespace infopipe::shard {
+
+class ShardGroup {
+ public:
+  /// Builds n_shards runtimes over real-time clocks (cross-shard flows need
+  /// a common notion of time; independent virtual clocks would diverge).
+  /// Nothing runs until launch().
+  explicit ShardGroup(int n_shards, rt::RuntimeOptions options = {});
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] rt::Runtime& runtime(int shard) {
+    return *shards_.at(static_cast<std::size_t>(shard))->rtm;
+  }
+  [[nodiscard]] rt::Doorbell& doorbell(int shard) {
+    return shards_.at(static_cast<std::size_t>(shard))->bell;
+  }
+
+  /// Starts one kernel thread per shard (idempotent). Each thread pins
+  /// itself to core `shard % hardware_concurrency` (best effort, Linux
+  /// only) and enters run_service().
+  void launch();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Halts every shard, rings the doorbells, joins the kernel threads.
+  /// Idempotent. Rethrows the first exception that escaped a shard's
+  /// scheduling loop, if any.
+  void stop();
+
+  /// Executes `fn` on the shard's kernel thread (inside the shard's service
+  /// user-level thread, so `fn` may use the full Runtime API, spawn
+  /// threads, construct Realizations…). Blocks until `fn` returns;
+  /// rethrows what it threw. Throws rt::RuntimeError if the group is not
+  /// running or the shard's host thread has died.
+  void run_on(int shard, std::function<void()> fn);
+
+  /// run_on returning a value.
+  template <typename F>
+  auto call_on(int shard, F fn) -> decltype(fn()) {
+    using R = decltype(fn());
+    std::optional<R> out;
+    run_on(shard, [&out, &fn] { out.emplace(fn()); });
+    return std::move(*out);
+  }
+
+  /// Aggregates every shard's registry snapshot, each row prefixed
+  /// `shard<i>.`; `when` is the latest shard timestamp. Snapshots are taken
+  /// on the owning shard threads (run_on) while running, directly when not.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+
+ private:
+  struct Shard {
+    std::unique_ptr<rt::Runtime> rtm;
+    rt::Doorbell bell;
+    std::thread host;
+    rt::ThreadId service_tid = rt::kNoThread;
+    std::atomic<bool> dead{false};     ///< host thread exited (error or halt)
+    std::exception_ptr error;          ///< guarded by err_mutex_
+  };
+
+  void host_loop(int shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+  std::mutex err_mutex_;
+};
+
+}  // namespace infopipe::shard

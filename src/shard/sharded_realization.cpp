@@ -1,0 +1,285 @@
+#include "shard/sharded_realization.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+
+namespace infopipe::shard {
+
+ShardedRealization::ShardedRealization(ShardGroup& group, const Pipeline& p)
+    : group_(&group), pipe_(&p), plan_(infopipe::plan(p)) {
+  // Buffers whose policy a channel cannot reproduce must never be cut:
+  // kDropOldest would race the consumer for the head slot.
+  std::vector<std::pair<const Component*, const Component*>> colo;
+  for (Component* c : p.components()) {
+    if (auto* b = dynamic_cast<Buffer*>(c)) {
+      if (b->full_policy() == FullPolicy::kDropOldest) {
+        const Edge* in = p.edge_into(*b, 0);
+        const Edge* out = p.edge_from(*b, 0);
+        if (in != nullptr && out != nullptr) colo.emplace_back(in->from, out->to);
+      }
+    }
+  }
+  part_ = infopipe::partition(plan_, group.size(), colo);
+
+  // Component -> shard. Section members and drivers come straight from the
+  // partition; boundary components (not cut) inherit the shard of any
+  // mapped neighbour (all neighbours agree, else the boundary were a cut).
+  std::map<const Component*, std::size_t> section_of;
+  for (std::size_t i = 0; i < plan_.sections.size(); ++i) {
+    const Plan::Section& sec = plan_.sections[i];
+    section_of.emplace(sec.driver, i);
+    for (const Plan::Hosted& h : sec.members) section_of.emplace(h.comp, i);
+  }
+  std::map<const Component*, int> shard_of_comp;
+  for (const auto& [c, sec] : section_of) {
+    shard_of_comp[c] = part_.shard_of_section[sec];
+  }
+  std::map<const Component*, std::size_t> cut_of;  // cut buffer -> cut index
+  for (std::size_t i = 0; i < part_.cuts.size(); ++i) {
+    cut_of[part_.cuts[i].buffer] = i;
+  }
+  for (const Edge& e : p.edges()) {
+    const auto fu = shard_of_comp.find(e.from);
+    const auto tu = shard_of_comp.find(e.to);
+    if (fu != shard_of_comp.end() && tu == shard_of_comp.end() &&
+        cut_of.find(e.to) == cut_of.end()) {
+      shard_of_comp[e.to] = fu->second;
+    } else if (tu != shard_of_comp.end() && fu == shard_of_comp.end() &&
+               cut_of.find(e.from) == cut_of.end()) {
+      shard_of_comp[e.from] = tu->second;
+    }
+  }
+
+  // One channel + endpoint pair per cut, semantics copied from the buffer.
+  for (const Partition::Cut& cut : part_.cuts) {
+    auto* b = dynamic_cast<Buffer*>(cut.buffer);
+    if (b == nullptr) {
+      throw CompositionError("partition cut at '" + cut.buffer->name() +
+                             "' which is not a buffer");
+    }
+    const int up = part_.shard_of_section[cut.upstream_section];
+    const int down = part_.shard_of_section[cut.downstream_section];
+    auto ch = std::make_unique<ShardChannel>(b->name(), b->capacity(),
+                                             b->full_policy(),
+                                             b->empty_policy());
+    ch->bind_producer(group.runtime(up), up);
+    ch->bind_consumer(group.runtime(down), down);
+    Typespec spec;
+    if (const Edge* out_e = p.edge_from(*b, 0)) {
+      const auto it = plan_.edge_spec.find(out_e);
+      if (it != plan_.edge_spec.end()) spec = it->second;
+    }
+    sinks_.push_back(std::make_unique<ChannelSink>(*ch));
+    sources_.push_back(std::make_unique<ChannelSource>(*ch, std::move(spec)));
+    channels_.push_back(std::move(ch));
+  }
+
+  // Per-shard sub-pipelines: every edge lands on exactly one shard; edges
+  // touching a cut buffer are rerouted to the channel endpoints.
+  sub_pipes_.resize(static_cast<std::size_t>(group.size()));
+  for (auto& sp : sub_pipes_) sp = std::make_unique<Pipeline>();
+  for (const Edge& e : p.edges()) {
+    Component* from = e.from;
+    Component* to = e.to;
+    int s = 0;
+    if (const auto c = cut_of.find(e.to); c != cut_of.end()) {
+      to = sinks_[c->second].get();
+      s = channels_[c->second]->from_shard();
+    } else if (const auto c2 = cut_of.find(e.from); c2 != cut_of.end()) {
+      from = sources_[c2->second].get();
+      s = channels_[c2->second]->to_shard();
+    } else if (const auto f = shard_of_comp.find(e.from);
+               f != shard_of_comp.end()) {
+      s = f->second;
+    } else {
+      s = shard_of_comp.at(e.to);
+    }
+    sub_pipes_[static_cast<std::size_t>(s)]->connect(*from, e.out_port, *to,
+                                                     e.in_port);
+  }
+  // Carry user preferences over (cut buffers excepted: their typespec was
+  // already resolved in the full plan and travels via the source's offer).
+  for (Component* c : p.components()) {
+    const auto s = shard_of_comp.find(c);
+    if (s == shard_of_comp.end()) continue;
+    for (int port = 0; port < c->in_port_count(); ++port) {
+      if (const Typespec* r = p.restriction(*c, port)) {
+        sub_pipes_[static_cast<std::size_t>(s->second)]->restrict(*c, port, *r);
+      }
+    }
+  }
+
+  // Realize each non-empty shard on its own kernel thread, and wire the
+  // cross-shard control-event forwarding.
+  group.launch();
+  reals_.resize(static_cast<std::size_t>(group.size()));
+  try {
+    for (int s = 0; s < group.size(); ++s) {
+      Pipeline& sp = *sub_pipes_[static_cast<std::size_t>(s)];
+      if (sp.components().empty()) continue;
+      group.run_on(s, [this, s, &sp] {
+        auto r = std::make_unique<Realization>(group_->runtime(s), sp);
+        r->set_event_listener(
+            [this, s](const Event& e) { forward_event(s, e); });
+        reals_[static_cast<std::size_t>(s)] = std::move(r);
+      });
+    }
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      const int cs = channels_[i]->to_shard();
+      group.run_on(cs, [this, i, cs] {
+        ShardChannel* ch = channels_[i].get();
+        const auto id = group_->runtime(cs).metrics().add_collector(
+            [ch](obs::MetricsSnapshot& out) {
+              StatsSnapshot tmp;
+              tmp.channels.push_back(ch->stats());
+              publish(tmp, out);
+            });
+        collectors_.emplace_back(cs, id);
+      });
+    }
+  } catch (...) {
+    teardown();
+    throw;
+  }
+}
+
+ShardedRealization::~ShardedRealization() { teardown(); }
+
+void ShardedRealization::teardown() noexcept {
+  // Channel collectors first (they capture channel pointers), then the
+  // realizations — each on its own shard thread so nothing races the
+  // scheduler there. If a shard thread is gone, the runtime is parked and a
+  // direct call is race-free.
+  for (const auto& [cs, id] : collectors_) {
+    const int shard = cs;
+    const auto coll = id;
+    const auto remove = [this, shard, coll] {
+      group_->runtime(shard).metrics().remove_collector(coll);
+    };
+    try {
+      if (group_->running()) {
+        group_->run_on(shard, remove);
+      } else {
+        remove();
+      }
+    } catch (...) {
+      try {
+        remove();
+      } catch (...) {
+      }
+    }
+  }
+  collectors_.clear();
+  for (std::size_t s = 0; s < reals_.size(); ++s) {
+    if (!reals_[s]) continue;
+    const auto destroy = [this, s] { reals_[s].reset(); };
+    try {
+      if (group_->running()) {
+        group_->run_on(static_cast<int>(s), destroy);
+      } else {
+        destroy();
+      }
+    } catch (...) {
+      try {
+        destroy();
+      } catch (...) {
+      }
+    }
+  }
+}
+
+void ShardedRealization::forward_event(int from_shard, const Event& e) {
+  // Runs on the originating shard's kernel thread. post_event_external
+  // enqueues without invoking the remote listener, so forwarding cannot
+  // loop.
+  for (std::size_t t = 0; t < reals_.size(); ++t) {
+    if (static_cast<int>(t) == from_shard || !reals_[t]) continue;
+    reals_[t]->post_event_external(e);
+  }
+  if (listener_) listener_(e);
+}
+
+void ShardedRealization::start() {
+  post_event(Event{kEventStart});
+  if (!group_->running()) return;
+  for (std::size_t s = 0; s < reals_.size(); ++s) {
+    if (reals_[s]) group_->run_on(static_cast<int>(s), [] {});
+  }
+}
+
+void ShardedRealization::post_event(const Event& e) {
+  for (const auto& r : reals_) {
+    if (r) r->post_event_external(e);
+  }
+  if (listener_) listener_(e);
+}
+
+bool ShardedRealization::finished() {
+  for (std::size_t s = 0; s < reals_.size(); ++s) {
+    if (!reals_[s]) continue;
+    Realization* r = reals_[s].get();
+    const bool f =
+        group_->running()
+            ? group_->call_on(static_cast<int>(s), [r] { return r->finished(); })
+            : r->finished();
+    if (!f) return false;
+  }
+  return true;
+}
+
+bool ShardedRealization::wait_finished(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!finished()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+StatsSnapshot ShardedRealization::stats_snapshot() {
+  StatsSnapshot out;
+  for (std::size_t s = 0; s < reals_.size(); ++s) {
+    if (!reals_[s]) continue;
+    Realization* r = reals_[s].get();
+    StatsSnapshot part =
+        group_->running()
+            ? group_->call_on(static_cast<int>(s),
+                              [r] { return r->stats_snapshot(); })
+            : r->stats_snapshot();
+    if (part.when > out.when) out.when = part.when;
+    for (DriverStats& d : part.drivers) out.drivers.push_back(std::move(d));
+    for (BufferStats& b : part.buffers) out.buffers.push_back(std::move(b));
+  }
+  for (const auto& ch : channels_) out.channels.push_back(ch->stats());
+  return out;
+}
+
+obs::MetricsSnapshot ShardedRealization::metrics_snapshot() {
+  return group_->metrics_snapshot();
+}
+
+std::string ShardedRealization::describe() const {
+  std::string out = "sharded over " + std::to_string(group_->size()) +
+                    " shards, " + std::to_string(channels_.size()) +
+                    " cross-shard channel" +
+                    (channels_.size() == 1 ? "" : "s") + "\n";
+  for (const auto& ch : channels_) {
+    out += "  channel '" + ch->name() + "': shard " +
+           std::to_string(ch->from_shard()) + " -> shard " +
+           std::to_string(ch->to_shard()) + ", capacity " +
+           std::to_string(ch->capacity()) + "\n";
+  }
+  for (std::size_t s = 0; s < reals_.size(); ++s) {
+    out += "shard " + std::to_string(s) + ":";
+    if (!reals_[s]) {
+      out += " (empty)\n";
+      continue;
+    }
+    out += "\n" + reals_[s]->describe();
+  }
+  return out;
+}
+
+}  // namespace infopipe::shard

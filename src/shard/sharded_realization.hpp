@@ -1,0 +1,117 @@
+// ShardedRealization: one pipeline, many cores (ip_shard).
+//
+// Takes the application's pipeline exactly as a single-runtime Realization
+// would, partitions its plan across a ShardGroup (whole sections only —
+// partition() cuts exclusively at passive buffer boundaries), replaces each
+// cut buffer with a ShardChannel's sink/source endpoint pair, and realizes
+// one ordinary Realization per non-empty shard on that shard's runtime. All
+// single-runtime machinery — planning, coroutine glue, section locks,
+// control dispatch while blocked — runs unchanged inside every shard; the
+// only new mechanics are the channels between them.
+//
+// Control events stay global: a broadcast posted on any shard (a component's
+// broadcast(), end-of-stream, a start/stop from outside) is forwarded to
+// every other shard through Realization::post_event_external, which enqueues
+// it at the remote runtime's dispatch points — so deliver-while-blocked
+// semantics (§3.2) hold across shards exactly as within one.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/introspect.hpp"
+#include "core/pipeline.hpp"
+#include "core/planner.hpp"
+#include "core/realization.hpp"
+#include "shard/channel.hpp"
+#include "shard/shard_group.hpp"
+
+namespace infopipe::shard {
+
+class ShardedRealization {
+ public:
+  /// Plans, partitions and realizes `p` across the group's shards. Launches
+  /// the group if it is not running yet. The pipeline (and its components)
+  /// must outlive this object, as with Realization.
+  ShardedRealization(ShardGroup& group, const Pipeline& p);
+  ~ShardedRealization();
+
+  ShardedRealization(const ShardedRealization&) = delete;
+  ShardedRealization& operator=(const ShardedRealization&) = delete;
+
+  [[nodiscard]] ShardGroup& group() noexcept { return *group_; }
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Partition& partition() const noexcept { return part_; }
+
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] const ShardChannel& channel(std::size_t i) const {
+    return *channels_.at(i);
+  }
+
+  /// The per-shard realization; nullptr for a shard that got no sections.
+  [[nodiscard]] Realization* shard_realization(int shard) {
+    return reals_.at(static_cast<std::size_t>(shard)).get();
+  }
+
+  // -- lifecycle (thread-safe: events enqueue onto every shard) ---------------
+
+  /// Broadcasts kEventStart, then barriers on every shard's service thread:
+  /// when start() returns, each driver has dispatched the event (FIFO among
+  /// equal priorities), so a subsequent finished() cannot mistake
+  /// "not started yet" for "done".
+  void start();
+  void stop() { post_event(Event{kEventStop}); }
+  void shutdown() { post_event(Event{kEventShutdown}); }
+
+  /// Broadcast to every component on every shard.
+  void post_event(const Event& e);
+
+  /// Observer for broadcast events originating on any shard. Runs on the
+  /// originating shard's kernel thread — treat it like a signal handler.
+  void set_event_listener(std::function<void(const Event&)> fn) {
+    listener_ = std::move(fn);
+  }
+
+  // -- introspection ----------------------------------------------------------
+
+  /// True once every driver on every shard has stopped.
+  [[nodiscard]] bool finished();
+  /// Polls finished() until true or the timeout elapses.
+  bool wait_finished(std::chrono::milliseconds timeout);
+
+  /// Merged snapshot: drivers and buffers from every shard plus one
+  /// ChannelStats row per cross-shard channel; `when` is the latest shard
+  /// clock. Each shard's counters are read on that shard's kernel thread.
+  [[nodiscard]] StatsSnapshot stats_snapshot();
+
+  /// Every shard's registry rows prefixed `shard<i>.` (the channel rows
+  /// appear under their consumer shard as `shard<i>.chan.<name>.*`).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+
+  /// Partition summary plus each shard's plan description.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  void forward_event(int from_shard, const Event& e);
+  void teardown() noexcept;
+
+  ShardGroup* group_;
+  const Pipeline* pipe_;
+  Plan plan_;
+  Partition part_;
+  std::vector<std::unique_ptr<Pipeline>> sub_pipes_;          // per shard
+  std::vector<std::unique_ptr<Realization>> reals_;           // per shard
+  std::vector<std::unique_ptr<ShardChannel>> channels_;       // per cut
+  std::vector<std::unique_ptr<ChannelSink>> sinks_;           // per cut
+  std::vector<std::unique_ptr<ChannelSource>> sources_;       // per cut
+  /// (consumer shard, collector id) of each channel's metrics collector.
+  std::vector<std::pair<int, obs::MetricsRegistry::CollectorId>> collectors_;
+  std::function<void(const Event&)> listener_;
+};
+
+}  // namespace infopipe::shard

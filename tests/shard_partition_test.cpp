@@ -1,0 +1,257 @@
+// Partition tests: sections-to-shards assignment (ip_shard).
+//
+// The invariants under test, for the Figure 9 configurations a-h and for
+// multi-section chains, at 1, 2 and 4 shards:
+//   * cuts land ONLY on passive buffer boundaries — never inside a section,
+//   * threads_per_shard() sums to plan.total_threads() (conservation),
+//   * sections joined through a shared region (MergeTee tails) are never
+//     separated, nor are explicitly colocated pairs,
+//   * the assignment is deterministic (LPT greedy over sorted clusters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/infopipes.hpp"
+#include "core/tee.hpp"
+
+namespace infopipe {
+namespace {
+
+Item combine2(Item a, Item) { return a; }
+
+struct Fixture {
+  CountingSource src{"src", 100};
+  CollectorSink sink{"sink"};
+  FreeRunningPump pump{"pump"};
+  DefragmenterConsumer consumer{"consumer", combine2};
+  DefragmenterConsumer consumer2{"consumer2", combine2};
+  DefragmenterProducer producer{"producer", combine2};
+  DefragmenterProducer producer2{"producer2", combine2};
+  DefragmenterActive active{"active", combine2};
+  DefragmenterActive active2{"active2", combine2};
+  IdentityFunction fn{"fn"};
+  IdentityFunction fn2{"fn2"};
+};
+
+/// Checks the partition invariants that must hold for EVERY plan.
+void check_invariants(const Plan& p, const Partition& part, int n_shards) {
+  ASSERT_EQ(part.n_shards, n_shards);
+  ASSERT_EQ(part.shard_of_section.size(), p.sections.size());
+  for (const int s : part.shard_of_section) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, n_shards);
+  }
+  // Thread conservation.
+  const std::vector<int> per_shard = part.threads_per_shard(p);
+  ASSERT_EQ(per_shard.size(), static_cast<std::size_t>(n_shards));
+  EXPECT_EQ(std::accumulate(per_shard.begin(), per_shard.end(), 0),
+            p.total_threads());
+  // Cuts only at buffer boundaries, and only where shards actually differ.
+  for (const Partition::Cut& c : part.cuts) {
+    ASSERT_NE(c.buffer, nullptr);
+    EXPECT_EQ(c.buffer->style(), Style::kBuffer)
+        << "cut at non-buffer '" << c.buffer->name() << "'";
+    EXPECT_EQ(p.hosted_info(*c.buffer), nullptr)
+        << "cut buffer '" << c.buffer->name() << "' is inside a section";
+    ASSERT_LT(c.upstream_section, p.sections.size());
+    ASSERT_LT(c.downstream_section, p.sections.size());
+    EXPECT_NE(part.shard_of_section[c.upstream_section],
+              part.shard_of_section[c.downstream_section]);
+  }
+  // Every section member stays with its driver (sections are atomic).
+  for (std::size_t i = 0; i < p.sections.size(); ++i) {
+    const Plan::Section& sec = p.sections[i];
+    EXPECT_EQ(part.shard_of(p, *sec.driver), part.shard_of_section[i]);
+    for (const Plan::Hosted& h : sec.members) {
+      if (h.shared) continue;  // shared comps are listed under one section
+      EXPECT_EQ(part.shard_of(p, *h.comp), part.shard_of_section[i]);
+    }
+  }
+}
+
+// --- Figure 9 a-h: single-section pipelines never get cut -------------------
+
+TEST(ShardPartition, Figure9SingleSectionsNeverCut) {
+  for (const int n : {1, 2, 4}) {
+    for (int cfg = 0; cfg < 8; ++cfg) {
+      Fixture f;
+      Pipeline* pipe = nullptr;
+      Chain ch = [&]() -> Chain {
+        switch (cfg) {
+          case 0:  // a
+            return f.src >> f.producer >> f.pump >> f.consumer >> f.sink;
+          case 1:  // b
+            return f.src >> f.fn >> f.pump >> f.fn2 >> f.sink;
+          case 2:  // c
+            return f.src >> f.pump >> f.consumer >> f.consumer2 >> f.sink;
+          case 3:  // d
+            return f.src >> f.pump >> f.active >> f.fn >> f.sink;
+          case 4:  // e
+            return f.src >> f.consumer >> f.pump >> f.producer >> f.sink;
+          case 5:  // f
+            return f.src >> f.active >> f.pump >> f.active2 >> f.sink;
+          case 6:  // g
+            return f.src >> f.producer2 >> f.producer >> f.pump >> f.sink;
+          case 7:  // h
+          default:
+            return f.src >> f.pump >> f.consumer >> f.fn >> f.sink;
+        }
+      }();
+      pipe = &ch.pipeline();
+      const Plan p = plan(*pipe);
+      ASSERT_EQ(p.sections.size(), 1u) << "cfg " << cfg;
+      const Partition part = partition(p, n);
+      check_invariants(p, part, n);
+      EXPECT_TRUE(part.cuts.empty()) << "cfg " << cfg << " at " << n;
+      // All threads on one shard.
+      const std::vector<int> per = part.threads_per_shard(p);
+      int nonzero = 0;
+      for (const int t : per) nonzero += t > 0 ? 1 : 0;
+      EXPECT_EQ(nonzero, 1) << "cfg " << cfg << " at " << n;
+    }
+  }
+}
+
+// --- Multi-section chains: cuts appear exactly at the buffers ---------------
+
+TEST(ShardPartition, TwoSectionsSplitAtTheBuffer) {
+  Fixture f;
+  Buffer buf{"buf", 8};
+  FreeRunningPump pump2{"pump2"};
+  auto ch = f.src >> f.pump >> buf >> pump2 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 2u);
+
+  const Partition p1 = partition(p, 1);
+  check_invariants(p, p1, 1);
+  EXPECT_TRUE(p1.cuts.empty());
+
+  const Partition p2 = partition(p, 2);
+  check_invariants(p, p2, 2);
+  ASSERT_EQ(p2.cuts.size(), 1u);
+  EXPECT_EQ(p2.cuts[0].buffer, &buf);
+  EXPECT_EQ(p2.threads_per_shard(p), (std::vector<int>{1, 1}));
+}
+
+TEST(ShardPartition, FourSectionChainAcrossFourShards) {
+  Fixture f;
+  Buffer b1{"b1", 8};
+  Buffer b2{"b2", 8};
+  Buffer b3{"b3", 8};
+  FreeRunningPump pump2{"pump2"};
+  FreeRunningPump pump3{"pump3"};
+  FreeRunningPump pump4{"pump4"};
+  auto ch = f.src >> f.pump >> b1 >> f.fn >> pump2 >> b2 >> pump3 >> b3 >>
+            f.fn2 >> pump4 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 4u);
+
+  for (const int n : {1, 2, 4}) {
+    const Partition part = partition(p, n);
+    check_invariants(p, part, n);
+    if (n == 1) {
+      EXPECT_TRUE(part.cuts.empty());
+    } else if (n == 4) {
+      // Four 1-thread sections over four shards: every buffer is a cut.
+      EXPECT_EQ(part.cuts.size(), 3u);
+      for (const int t : part.threads_per_shard(p)) EXPECT_EQ(t, 1);
+    } else {
+      EXPECT_EQ(part.threads_per_shard(p), (std::vector<int>{2, 2}));
+    }
+  }
+}
+
+TEST(ShardPartition, HeavySectionsBalanceByThreadCount) {
+  // Section 1 has three threads (two active members), sections 2 and 3 have
+  // one each; LPT must put the heavy one alone on a shard.
+  Fixture f;
+  Buffer b1{"b1", 8};
+  Buffer b2{"b2", 8};
+  FreeRunningPump pump2{"pump2"};
+  FreeRunningPump pump3{"pump3"};
+  auto ch = f.src >> f.active >> f.pump >> f.active2 >> b1 >> pump2 >> b2 >>
+            pump3 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 3u);
+  ASSERT_EQ(p.total_threads(), 5);
+
+  const Partition part = partition(p, 2);
+  check_invariants(p, part, 2);
+  std::vector<int> per = part.threads_per_shard(p);
+  std::sort(per.begin(), per.end());
+  EXPECT_EQ(per, (std::vector<int>{2, 3}));
+}
+
+// --- Shared regions and explicit colocation are never separated -------------
+
+TEST(ShardPartition, MergeTailSectionsStayTogether) {
+  Fixture f;
+  CountingSource src2{"src2", 100};
+  FreeRunningPump pump2{"pump2"};
+  MergeTee merge{"merge", 2};
+  Pipeline pipe;
+  pipe.connect(f.src, 0, f.pump, 0);
+  pipe.connect(f.pump, 0, merge, 0);
+  pipe.connect(src2, 0, pump2, 0);
+  pipe.connect(pump2, 0, merge, 1);
+  pipe.connect(merge, 0, f.sink, 0);
+  const Plan p = plan(pipe);
+  ASSERT_EQ(p.sections.size(), 2u);
+
+  for (const int n : {2, 4}) {
+    const Partition part = partition(p, n);
+    check_invariants(p, part, n);
+    // The merge tail is reachable from both drivers; separating the two
+    // sections would put a non-buffer edge across shards.
+    EXPECT_EQ(part.shard_of_section[0], part.shard_of_section[1]);
+    EXPECT_TRUE(part.cuts.empty());
+  }
+}
+
+TEST(ShardPartition, ColocatePairOverridesBalance) {
+  Fixture f;
+  Buffer buf{"buf", 8};
+  FreeRunningPump pump2{"pump2"};
+  auto ch = f.src >> f.pump >> buf >> pump2 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+
+  // Without the constraint the two sections separate at 2 shards...
+  EXPECT_EQ(partition(p, 2).cuts.size(), 1u);
+  // ...with it they land on one shard and nothing is cut.
+  const Partition part = partition(p, 2, {{&f.pump, &pump2}});
+  check_invariants(p, part, 2);
+  EXPECT_TRUE(part.cuts.empty());
+  EXPECT_EQ(part.shard_of_section[0], part.shard_of_section[1]);
+}
+
+TEST(ShardPartition, DeterministicAcrossCalls) {
+  Fixture f;
+  Buffer b1{"b1", 8};
+  Buffer b2{"b2", 8};
+  FreeRunningPump pump2{"pump2"};
+  FreeRunningPump pump3{"pump3"};
+  auto ch =
+      f.src >> f.pump >> b1 >> pump2 >> b2 >> pump3 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  const Partition a = partition(p, 2);
+  const Partition b = partition(p, 2);
+  EXPECT_EQ(a.shard_of_section, b.shard_of_section);
+  ASSERT_EQ(a.cuts.size(), b.cuts.size());
+  for (std::size_t i = 0; i < a.cuts.size(); ++i) {
+    EXPECT_EQ(a.cuts[i].buffer, b.cuts[i].buffer);
+  }
+}
+
+TEST(ShardPartition, MoreShardsThanSectionsLeavesShardsEmpty) {
+  Fixture f;
+  auto ch = f.src >> f.pump >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  const Partition part = partition(p, 4);
+  check_invariants(p, part, 4);
+  const std::vector<int> per = part.threads_per_shard(p);
+  EXPECT_EQ(std::count(per.begin(), per.end(), 0), 3);
+}
+
+}  // namespace
+}  // namespace infopipe
