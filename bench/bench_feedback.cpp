@@ -1,0 +1,192 @@
+// E12 — feedback endpoints (§3.1): cost and convergence of named-endpoint
+// control loops, within one runtime and across a shard cut.
+//
+// Measured: (1) convergence of a fill-level loop bound by name on a single
+// runtime (settling time under virtual time, plus the wall cost of the
+// simulation); (2) the same congestion-steering loop across a two-shard cut
+// in manual/lockstep mode — the deterministic configuration the tests use —
+// reporting settling time, actuation traffic and wall cost; (3) raw sampling
+// cost of the sensor readings themselves (buffer probe vs channel atomics)
+// and of the cross-shard actuation post.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_obs.hpp"
+
+#include "core/infopipes.hpp"
+#include "feedback/endpoint.hpp"
+#include "feedback/toolkit.hpp"
+#include "shard/sharded_realization.hpp"
+
+using namespace infopipe;
+using namespace infopipe::fb;
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void in_runtime_convergence() {
+  std::puts("E12.1  named-endpoint loop on one runtime (virtual clock)");
+  std::puts("  period ms | settling s | steps | wall ms");
+  for (const rt::Time period :
+       {rt::milliseconds(20), rt::milliseconds(50), rt::milliseconds(200)}) {
+    rt::Runtime rtm;
+    CountingSource src("src", 10000000);
+    ClockedPump fill("fill", 100.0);
+    Buffer buf("buf", 100, FullPolicy::kDropNewest, EmptyPolicy::kNil);
+    AdaptivePump drain("drain", 10.0);
+    CountingSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    Realization real(rtm, ch.pipeline());
+    auto loop = make_loop(
+        real, LoopSpec{.name = "ctl",
+                       .period = period,
+                       .sensor = fill_fraction("buf"),
+                       .setpoint = 0.5,
+                       .controller = PIController(-200.0, -400.0, 1.0, 2000.0),
+                       .actuator = pump_rate("drain")});
+    const auto t0 = std::chrono::steady_clock::now();
+    real.start();
+    loop->start();
+    rt::Time settled_at = -1;
+    for (int step = 1; step <= 600; ++step) {
+      rtm.run_until(step * rt::milliseconds(50));
+      if (settled_at < 0 && drain.rate_hz() > 95.0 && drain.rate_hz() < 105.0) {
+        settled_at = rtm.now();
+      }
+    }
+    std::printf("  %7.0f   | %8.2f   | %5d | %7.2f\n",
+                static_cast<double>(period) / 1e6,
+                settled_at < 0 ? -1.0 : static_cast<double>(settled_at) / 1e9,
+                loop->steps(), wall_ms_since(t0));
+    obsbench::capture(rtm, "in_runtime_convergence");
+    loop->stop();
+    real.shutdown();
+    rtm.run();
+  }
+}
+
+void cross_shard_convergence() {
+  std::puts("");
+  std::puts("E12.2  congestion loop across a 2-shard cut (manual lockstep)");
+  std::puts("  slice ms | settling s | actuations | delivered | wall ms");
+  for (const rt::Time slice : {rt::milliseconds(50), rt::milliseconds(200)}) {
+    shard::ShardGroup::GroupOptions opt;
+    opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+    opt.manual = true;
+    shard::ShardGroup group(2, std::move(opt));
+
+    CountingSource src("src", 10000000);
+    AdaptivePump fill("fill", 300.0);
+    Buffer buf("buf", 64, FullPolicy::kBlock, EmptyPolicy::kBlock);
+    ClockedPump drain("drain", 100.0);
+    CountingSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    shard::ShardedRealization sr(group, ch.pipeline());
+
+    auto loop = make_loop(
+        sr, LoopSpec{.name = "congestion",
+                     .period = rt::milliseconds(50),
+                     .sensor = fill_fraction("buf"),
+                     .setpoint = 0.5,
+                     .controller = PIController(200.0, 400.0, 1.0, 2000.0),
+                     .actuator = pump_rate("fill")});
+    const auto t0 = std::chrono::steady_clock::now();
+    sr.start();
+    loop->start();
+    rt::Time settled_at = -1;
+    for (rt::Time t = slice; t <= rt::seconds(30); t += slice) {
+      group.step_until(t);
+      if (settled_at < 0 && fill.rate_hz() > 95.0 && fill.rate_hz() < 105.0) {
+        settled_at = t;
+      }
+    }
+    std::printf("  %6.0f   | %8.2f   | %10d | %9llu | %7.2f\n",
+                static_cast<double>(slice) / 1e6,
+                settled_at < 0 ? -1.0 : static_cast<double>(settled_at) / 1e9,
+                loop->actuations(),
+                static_cast<unsigned long long>(sink.count()),
+                wall_ms_since(t0));
+    loop->stop();
+    sr.shutdown();
+    group.step_until(rt::seconds(31));
+  }
+  std::puts("  expected: settles within a few simulated seconds; actuation");
+  std::puts("  count ~ settling-window / 50 ms, independent of the slice");
+}
+
+void sampling_and_actuation_cost() {
+  std::puts("");
+  std::puts("E12.3  endpoint primitive costs (1M ops each)");
+  constexpr int kN = 1000000;
+
+  {
+    rt::Runtime rtm;
+    CountingSource src("src", 10);
+    AdaptivePump fill("fill", 100.0);
+    Buffer buf("buf", 100);
+    FreeRunningPump drain("drain");
+    CountingSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    Realization real(rtm, ch.pipeline());
+    auto read = resolve_reading(real, fill_fraction("buf"));
+    double acc = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kN; ++i) acc += read();
+    std::printf("  buffer fill_fraction sample:   %6.1f ns/op (acc=%.0f)\n",
+                wall_ms_since(t0) * 1e6 / kN, acc);
+    auto act = resolve_actuate(real, pump_rate("fill"));
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kN; ++i) act(100.0);
+    std::printf("  in-runtime pump_rate post:     %6.1f ns/op\n",
+                wall_ms_since(t0) * 1e6 / kN);
+    rtm.run();  // drain the posted control events
+    obsbench::capture(rtm, "sampling_cost");
+  }
+
+  {
+    shard::ShardGroup::GroupOptions opt;
+    opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+    opt.manual = true;
+    shard::ShardGroup group(2, std::move(opt));
+    CountingSource src("src", 10);
+    AdaptivePump fill("fill", 100.0);
+    Buffer buf("buf", 64);
+    FreeRunningPump drain("drain");
+    CountingSink sink("sink");
+    auto ch = src >> fill >> buf >> drain >> sink;
+    shard::ShardedRealization sr(group, ch.pipeline());
+    auto read = resolve_reading(sr, fill_fraction("buf"), 1);
+    double acc = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kN; ++i) acc += read();
+    std::printf("  channel depth sample:          %6.1f ns/op (acc=%.0f)\n",
+                wall_ms_since(t0) * 1e6 / kN, acc);
+    // Post in batches and drain: an unbounded external queue would otherwise
+    // hold a million pending control events at once.
+    auto act = resolve_actuate(sr, pump_rate("fill"));
+    t0 = std::chrono::steady_clock::now();
+    for (int b = 0; b < 1000; ++b) {
+      for (int i = 0; i < 1000; ++i) act(100.0);
+      group.step_until(rt::milliseconds(b + 1));
+    }
+    std::printf("  cross-shard pump_rate post:    %6.1f ns/op (incl. drain)\n",
+                wall_ms_since(t0) * 1e6 / kN);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obsbench::strip_metrics_flag(argc, argv);
+  in_runtime_convergence();
+  cross_shard_convergence();
+  sampling_and_actuation_cost();
+  obsbench::write_metrics();
+  return 0;
+}

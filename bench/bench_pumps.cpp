@@ -12,6 +12,7 @@
 #include "bench_obs.hpp"
 
 #include "core/infopipes.hpp"
+#include "feedback/endpoint.hpp"
 #include "feedback/toolkit.hpp"
 
 using namespace infopipe;
@@ -76,11 +77,15 @@ void adaptive_convergence() {
   CountingSink sink("sink");
   auto ch = src >> fill >> buf >> drain >> sink;
   Realization real(rt, ch.pipeline());
-  FeedbackLoop loop(rt, "ctl", rt::milliseconds(50), fill_fraction(buf), 0.5,
-                    PIController(-200.0, -400.0, 1.0, 2000.0),
-                    pump_rate_actuator(real, drain));
+  auto loop = make_loop(
+      real, LoopSpec{.name = "ctl",
+                     .period = rt::milliseconds(50),
+                     .sensor = fill_fraction("buf"),
+                     .setpoint = 0.5,
+                     .controller = PIController(-200.0, -400.0, 1.0, 2000.0),
+                     .actuator = pump_rate("drain")});
   real.start();
-  loop.start();
+  loop->start();
   rt.run_until(rt::seconds(10));
   std::printf("  settled: drain=%.1f Hz, fill=%.0f%%\n", drain.rate_hz(),
               100.0 * static_cast<double>(buf.fill()) /
@@ -105,7 +110,7 @@ void adaptive_convergence() {
               settled_at < 0 ? -1.0 : static_cast<double>(settled_at) / 1e9);
   std::puts("  expected: settles within a few seconds, fill returns to 50%");
   obsbench::capture(rt, "adaptive_convergence");
-  loop.stop();
+  loop->stop();
   real.shutdown();
   rt.run();
 }

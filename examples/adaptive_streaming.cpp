@@ -19,6 +19,7 @@
 
 #include "core/infopipes.hpp"
 #include "feedback/controller.hpp"
+#include "feedback/endpoint.hpp"
 #include "feedback/toolkit.hpp"
 #include "media/mpeg.hpp"
 #include "net/control_link.hpp"
@@ -31,15 +32,17 @@ namespace {
 
 /// Consumer-side controller: compares delivered rate to the nominal frame
 /// rate and broadcasts drop levels to the producer side. A tiny domain
-/// controller built from the feedback toolkit's pieces.
+/// controller built from the feedback toolkit's pieces. The sensor end is
+/// bound by NAME through the endpoint layer: the controller reads whatever
+/// component the pipeline calls `sensor_name`, wherever it runs.
 class QualityController {
  public:
-  QualityController(rt::Runtime& rt, Realization& real, fb::RateSensor& sensor,
-                    FrameDropFilter& filter, double nominal_fps,
-                    const net::RemoteControlLink& uplink)
+  QualityController(rt::Runtime& rt, Realization& real,
+                    const std::string& sensor_name, FrameDropFilter& filter,
+                    double nominal_fps, const net::RemoteControlLink& uplink)
       : real_(&real),
         filter_(&filter),
-        sensor_(&sensor),
+        delivered_(fb::resolve_reading(real, fb::probe_value(sensor_name))),
         uplink_(&uplink),
         nominal_(nominal_fps),
         task_(rt, "quality-ctl", rt::milliseconds(250), [this](rt::Time) {
@@ -51,14 +54,14 @@ class QualityController {
 
  private:
   void step() {
-    if (sensor_->observed() < 10) return;  // sensor still warming up
+    const double delivered = delivered_();
+    if (delivered <= 0.0) return;  // sensor still warming up
     if (settle_periods_ > 0) {
       // A level change takes a couple of sensor windows to show up in the
       // smoothed rate; don't react to stale readings.
       --settle_periods_;
       return;
     }
-    const double delivered = sensor_->rate_hz();
     int level = filter_->level();
     if (delivered < 0.8 * expected_rate(level) && level < 2) {
       ++level;  // losing frames at this level: shed the next frame class
@@ -93,7 +96,7 @@ class QualityController {
 
   Realization* real_;
   FrameDropFilter* filter_;
-  fb::RateSensor* sensor_;
+  fb::FeedbackLoop::Reading delivered_;
   const net::RemoteControlLink* uplink_;
   double nominal_;
   int clean_periods_ = 0;
@@ -149,7 +152,8 @@ RunResult run(bool with_feedback) {
 
   Realization real(rt, p);
   net::RemoteControlLink uplink(link);  // feedback path shares the network
-  QualityController controller(rt, real, sensor, filter, cfg.fps, uplink);
+  QualityController controller(rt, real, "delivered-rate", filter, cfg.fps,
+                               uplink);
 
   real.start();
   if (with_feedback) controller.start();

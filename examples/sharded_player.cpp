@@ -66,13 +66,13 @@ int main() {
   const StatsSnapshot snap = real.stats_snapshot();
   for (const ChannelStats& ch : snap.channels) {
     std::printf(
-        "channel '%s' shard%d->shard%d: %llu pushes, %llu pops, "
+        "channel '%s' shard%d->shard%d: %llu puts, %llu takes, "
         "%llu producer stalls, %llu consumer stalls, %llu wakeups\n",
-        ch.name.c_str(), ch.from_shard, ch.to_shard,
-        static_cast<unsigned long long>(ch.pushes),
-        static_cast<unsigned long long>(ch.pops),
-        static_cast<unsigned long long>(ch.producer_stalls),
-        static_cast<unsigned long long>(ch.consumer_stalls),
+        ch.flow.name.c_str(), ch.from_shard, ch.to_shard,
+        static_cast<unsigned long long>(ch.flow.puts),
+        static_cast<unsigned long long>(ch.flow.takes),
+        static_cast<unsigned long long>(ch.flow.put_blocks),
+        static_cast<unsigned long long>(ch.flow.take_blocks),
         static_cast<unsigned long long>(ch.wakeups));
   }
   const obs::MetricsSnapshot m = real.metrics_snapshot();

@@ -38,6 +38,32 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+std::string flow_json(const BufferStats& b) {
+  return "{\"name\":\"" + json_escape(b.name) + "\",\"fill\":" +
+         std::to_string(b.fill) + ",\"capacity\":" +
+         std::to_string(b.capacity) + ",\"max_fill\":" +
+         std::to_string(b.max_fill) + ",\"puts\":" + std::to_string(b.puts) +
+         ",\"takes\":" + std::to_string(b.takes) + ",\"drops\":" +
+         std::to_string(b.drops) + ",\"nil_returns\":" +
+         std::to_string(b.nil_returns) + ",\"put_blocks\":" +
+         std::to_string(b.put_blocks) + ",\"take_blocks\":" +
+         std::to_string(b.take_blocks) + "}";
+}
+
+/// One flow row under `prefix` — shared by buffers and channels so both
+/// publish the identical schema.
+void publish_flow(const std::string& prefix, const BufferStats& b,
+                  obs::MetricsSnapshot& out) {
+  out.add_gauge(prefix + ".fill", static_cast<double>(b.fill));
+  out.add_gauge(prefix + ".max_fill", static_cast<double>(b.max_fill));
+  out.add_counter(prefix + ".puts", b.puts);
+  out.add_counter(prefix + ".takes", b.takes);
+  out.add_counter(prefix + ".drops", b.drops);
+  out.add_counter(prefix + ".nil_returns", b.nil_returns);
+  out.add_counter(prefix + ".put_blocks", b.put_blocks);
+  out.add_counter(prefix + ".take_blocks", b.take_blocks);
+}
+
 }  // namespace
 
 std::size_t PlanInfo::coroutine_count() const {
@@ -80,7 +106,7 @@ const BufferStats* StatsSnapshot::buffer(std::string_view name) const {
 
 const ChannelStats* StatsSnapshot::channel(std::string_view name) const {
   for (const ChannelStats& c : channels) {
-    if (c.name == name) return &c;
+    if (c.flow.name == name) return &c;
   }
   return nullptr;
 }
@@ -120,13 +146,15 @@ std::string to_string(const StatsSnapshot& s) {
            std::to_string(b.put_blocks + b.take_blocks) + " blocks\n";
   }
   for (const ChannelStats& c : s.channels) {
-    out += "  " + c.name + " (shard " + std::to_string(c.from_shard) +
-           " -> " + std::to_string(c.to_shard) + "): depth " +
-           std::to_string(c.depth) + "/" + std::to_string(c.capacity) + ", " +
-           std::to_string(c.pushes) + " in / " + std::to_string(c.pops) +
-           " out, " + std::to_string(c.drops) + " dropped, " +
-           std::to_string(c.producer_stalls + c.consumer_stalls) +
-           " stalls, " + std::to_string(c.wakeups) + " wakeups\n";
+    out += "  " + c.flow.name + " (shard " + std::to_string(c.from_shard) +
+           " -> " + std::to_string(c.to_shard) + "): fill " +
+           std::to_string(c.flow.fill) + "/" +
+           std::to_string(c.flow.capacity) + ", " +
+           std::to_string(c.flow.puts) + " in / " +
+           std::to_string(c.flow.takes) + " out, " +
+           std::to_string(c.flow.drops) + " dropped, " +
+           std::to_string(c.flow.put_blocks + c.flow.take_blocks) +
+           " blocks, " + std::to_string(c.wakeups) + " wakeups\n";
   }
   return out;
 }
@@ -174,31 +202,19 @@ std::string to_json(const StatsSnapshot& s) {
   for (const BufferStats& b : s.buffers) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + json_escape(b.name) + "\",\"fill\":" +
-           std::to_string(b.fill) + ",\"capacity\":" +
-           std::to_string(b.capacity) + ",\"max_fill\":" +
-           std::to_string(b.max_fill) + ",\"puts\":" + std::to_string(b.puts) +
-           ",\"takes\":" + std::to_string(b.takes) + ",\"drops\":" +
-           std::to_string(b.drops) + ",\"nil_returns\":" +
-           std::to_string(b.nil_returns) + ",\"put_blocks\":" +
-           std::to_string(b.put_blocks) + ",\"take_blocks\":" +
-           std::to_string(b.take_blocks) + "}";
+    out += flow_json(b);
   }
   out += "],\"channels\":[";
   first = true;
   for (const ChannelStats& c : s.channels) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + json_escape(c.name) + "\",\"from_shard\":" +
-           std::to_string(c.from_shard) + ",\"to_shard\":" +
-           std::to_string(c.to_shard) + ",\"depth\":" +
-           std::to_string(c.depth) + ",\"capacity\":" +
-           std::to_string(c.capacity) + ",\"pushes\":" +
-           std::to_string(c.pushes) + ",\"pops\":" + std::to_string(c.pops) +
-           ",\"producer_stalls\":" + std::to_string(c.producer_stalls) +
-           ",\"consumer_stalls\":" + std::to_string(c.consumer_stalls) +
-           ",\"wakeups\":" + std::to_string(c.wakeups) + ",\"drops\":" +
-           std::to_string(c.drops) + "}";
+    std::string row = flow_json(c.flow);
+    row.pop_back();  // reopen the flow object to append the channel facts
+    row += ",\"from_shard\":" + std::to_string(c.from_shard) +
+           ",\"to_shard\":" + std::to_string(c.to_shard) + ",\"wakeups\":" +
+           std::to_string(c.wakeups) + "}";
+    out += row;
   }
   out += "]}";
   return out;
@@ -212,25 +228,12 @@ void publish(const StatsSnapshot& s, obs::MetricsSnapshot& out) {
     out.add_gauge(p + ".running", d.running ? 1.0 : 0.0);
   }
   for (const BufferStats& b : s.buffers) {
-    const std::string p = "pipe.buffer." + b.name;
-    out.add_gauge(p + ".fill", static_cast<double>(b.fill));
-    out.add_gauge(p + ".max_fill", static_cast<double>(b.max_fill));
-    out.add_counter(p + ".puts", b.puts);
-    out.add_counter(p + ".takes", b.takes);
-    out.add_counter(p + ".drops", b.drops);
-    out.add_counter(p + ".nil_returns", b.nil_returns);
-    out.add_counter(p + ".put_blocks", b.put_blocks);
-    out.add_counter(p + ".take_blocks", b.take_blocks);
+    publish_flow("pipe.buffer." + b.name, b, out);
   }
   for (const ChannelStats& c : s.channels) {
-    const std::string p = "chan." + c.name;
-    out.add_gauge(p + ".depth", static_cast<double>(c.depth));
-    out.add_counter(p + ".pushes", c.pushes);
-    out.add_counter(p + ".pops", c.pops);
-    out.add_counter(p + ".producer_stalls", c.producer_stalls);
-    out.add_counter(p + ".consumer_stalls", c.consumer_stalls);
+    const std::string p = "chan." + c.flow.name;
+    publish_flow(p, c.flow, out);
     out.add_counter(p + ".wakeups", c.wakeups);
-    out.add_counter(p + ".drops", c.drops);
   }
 }
 

@@ -82,21 +82,18 @@ struct BufferStats {
 };
 
 /// Per-channel traffic counters at snapshot time (ip_shard: the lock-free
-/// SPSC channel that replaces a buffer cut across shards). Unlike buffer
-/// counters these are sampled from atomics, so `depth == pushes - pops` is
-/// only approximate while both shards are running.
+/// SPSC channel that replaces a buffer cut across shards). The flow counters
+/// use the exact BufferStats schema — a channel IS the buffer it replaced,
+/// so tooling reads one format: fill is the ring depth, puts/takes are
+/// pushes/pops, put_blocks/take_blocks are producer/consumer stalls. Unlike
+/// buffer counters these are sampled from atomics, so `fill == puts - takes`
+/// is only approximate while both shards are running. The shard pair and the
+/// doorbell wakeup count are the only channel-specific facts left.
 struct ChannelStats {
-  std::string name;
+  BufferStats flow;
   int from_shard = 0;
   int to_shard = 0;
-  std::size_t depth = 0;
-  std::size_t capacity = 0;
-  std::uint64_t pushes = 0;
-  std::uint64_t pops = 0;
-  std::uint64_t producer_stalls = 0;  ///< producer found the ring full
-  std::uint64_t consumer_stalls = 0;  ///< consumer found the ring empty
-  std::uint64_t wakeups = 0;          ///< cross-shard doorbell posts
-  std::uint64_t drops = 0;            ///< kDropNewest overflow drops
+  std::uint64_t wakeups = 0;  ///< cross-shard doorbell posts
 };
 
 /// A consistent picture of the realized pipeline's progress, timestamped by

@@ -808,6 +808,13 @@ rt::ThreadId Realization::host_thread(const Component& c) const {
   return it == host_of_comp_.end() ? rt::kNoThread : it->second;
 }
 
+Component* Realization::find_component(std::string_view name) const {
+  for (Component* c : pipe_->components()) {
+    if (c->name() == name) return c;
+  }
+  return nullptr;
+}
+
 PlanInfo Realization::plan_info() const {
   PlanInfo info;
   info.components = pipe_->components().size();
@@ -879,6 +886,21 @@ void Realization::post_event_external(const Event& e) {
 
 void Realization::post_event_to(Component& c, const Event& e) {
   post_event_to_after(c, e, 0);
+}
+
+void Realization::post_event_to_external(Component& c, const Event& e) {
+  // host_of_comp_ is immutable after construction, so the lookup is safe
+  // from a foreign kernel thread; delivery goes through the runtime's one
+  // thread-safe entry point and lands at the host's dispatch points — the
+  // targeted twin of post_event_external.
+  auto it = host_of_comp_.find(&c);
+  if (it == host_of_comp_.end()) {
+    throw CompositionError(c.name() + " is not hosted by this realization");
+  }
+  rt::Message m{detail::kMsgControl, rt::MsgClass::kControl};
+  m.constraint = rt::Constraint{rt::kPriorityControl, rt::kTimeNever};
+  m.payload = ControlDispatch{&c, e};
+  rt_->post_external(it->second, std::move(m));
 }
 
 void Realization::post_event_to_after(Component& c, const Event& e,

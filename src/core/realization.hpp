@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/buffer.hpp"
@@ -200,6 +201,11 @@ class Realization {
   void post_event_external(const Event& e);
   /// Local delivery to one component.
   void post_event_to(Component& c, const Event& e);
+  /// Thread-safe targeted delivery from OUTSIDE this realization's runtime
+  /// thread: the component→host map is immutable after construction and the
+  /// message goes through rt::Runtime::post_external, so a feedback loop on
+  /// another shard can steer a component here purely via control events.
+  void post_event_to_external(Component& c, const Event& e);
   /// Delayed delivery (used by netpipes to impose network latency on
   /// control events crossing to a remote component, §2.4).
   void post_event_to_after(Component& c, const Event& e, rt::Time delay);
@@ -209,6 +215,11 @@ class Realization {
   }
 
   // -- introspection -------------------------------------------------------------
+
+  /// The hosted component with this name, or nullptr. Names are the
+  /// application's own; the first match wins when names collide. This is the
+  /// lookup behind the feedback toolkit's named sensor/actuator endpoints.
+  [[nodiscard]] Component* find_component(std::string_view name) const;
 
   [[nodiscard]] rt::ThreadId host_thread(const Component& c) const;
   [[nodiscard]] std::size_t thread_count() const noexcept {

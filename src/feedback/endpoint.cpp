@@ -1,0 +1,241 @@
+#include "feedback/endpoint.hpp"
+
+#include <cstdint>
+#include <functional>
+
+namespace infopipe::fb {
+
+namespace {
+
+/// Current value of a probeable component: the sensor classes the toolkit
+/// ships plus the adaptive pump (so a loop can read another loop's plant).
+double probe(Component* c) {
+  if (auto* rs = dynamic_cast<RateSensor*>(c)) return rs->rate_hz();
+  if (auto* ls = dynamic_cast<LatencySensor*>(c)) return ls->latency_ms();
+  if (auto* ap = dynamic_cast<AdaptivePump*>(c)) return ap->rate_hz();
+  throw CompositionError("'" + c->name() +
+                         "' is not a probeable sensor "
+                         "(RateSensor/LatencySensor/AdaptivePump)");
+}
+
+Buffer* need_buffer(Component* c) {
+  auto* b = dynamic_cast<Buffer*>(c);
+  if (b == nullptr) {
+    throw CompositionError("'" + c->name() + "' is not a buffer");
+  }
+  return b;
+}
+
+[[noreturn]] void unknown(const std::string& target) {
+  throw CompositionError("feedback endpoint '" + target +
+                         "' matches no component or channel");
+}
+
+/// Turns a cumulative event count into a smoothed events-per-second reading,
+/// differenced over the home runtime's clock between samples. First sample
+/// primes the window and reads 0.
+FeedbackLoop::Reading windowed_rate(std::function<std::uint64_t()> count,
+                                    rt::Runtime* home) {
+  struct State {
+    std::uint64_t n = 0;
+    rt::Time t = 0;
+    double rate = 0.0;
+    bool primed = false;
+  };
+  auto st = std::make_shared<State>();
+  return [count = std::move(count), home, st]() {
+    const std::uint64_t n = count();
+    const rt::Time now = home->now();
+    if (st->primed && now > st->t) {
+      st->rate = static_cast<double>(n - st->n) * 1e9 /
+                 static_cast<double>(now - st->t);
+    }
+    st->n = n;
+    st->t = now;
+    st->primed = true;
+    return st->rate;
+  };
+}
+
+/// Runs `sample` on the owning shard while the group has kernel threads;
+/// when parked or manual the direct call is race-free.
+template <typename T>
+std::function<T()> on_owner(shard::ShardGroup* grp, int owner,
+                            std::function<T()> sample) {
+  return [grp, owner, sample = std::move(sample)]() {
+    if (grp->running()) return grp->call_on(owner, sample);
+    return sample();
+  };
+}
+
+FeedbackLoop::Actuate event_actuator(std::function<void(const Event&)> post,
+                                     ActuatorKind kind) {
+  return [post = std::move(post), kind](double v) {
+    if (kind == ActuatorKind::kPumpRate && v <= 0.0) return;
+    post(Event{kEventQualityHint, v});
+  };
+}
+
+}  // namespace
+
+FeedbackLoop::Reading resolve_reading(Realization& real, const SensorRef& s) {
+  Component* c = real.find_component(s.target);
+  if (c == nullptr) unknown(s.target);
+  switch (s.kind) {
+    case SensorKind::kFillFraction: {
+      Buffer* b = need_buffer(c);
+      return [b]() {
+        return static_cast<double>(b->fill()) /
+               static_cast<double>(b->capacity());
+      };
+    }
+    case SensorKind::kProducerStallRate: {
+      Buffer* b = need_buffer(c);
+      return windowed_rate([b]() { return b->stats().put_blocks; },
+                           &real.runtime());
+    }
+    case SensorKind::kConsumerStallRate: {
+      Buffer* b = need_buffer(c);
+      return windowed_rate([b]() { return b->stats().take_blocks; },
+                           &real.runtime());
+    }
+    case SensorKind::kProbeValue:
+      (void)probe(c);  // type-check at bind time, not first sample
+      return [c]() { return probe(c); };
+  }
+  unknown(s.target);
+}
+
+FeedbackLoop::Actuate resolve_actuate(Realization& real,
+                                      const ActuatorRef& a) {
+  Component* c = real.find_component(a.target);
+  if (c == nullptr) unknown(a.target);
+  if (a.kind == ActuatorKind::kPumpRate &&
+      dynamic_cast<AdaptivePump*>(c) == nullptr) {
+    throw CompositionError("'" + a.target + "' is not an AdaptivePump");
+  }
+  Realization* r = &real;
+  return event_actuator(
+      [r, c](const Event& e) { r->post_event_to(*c, e); }, a.kind);
+}
+
+FeedbackLoop::Reading resolve_reading(shard::ShardedRealization& sr,
+                                      const SensorRef& s, int home_shard) {
+  rt::Runtime* home = &sr.group().runtime(home_shard);
+  // A channel carries the name of the buffer it replaced, so the same
+  // SensorRef works before and after a cut lands on its target.
+  if (shard::ShardChannel* ch = sr.find_channel(s.target)) {
+    switch (s.kind) {
+      case SensorKind::kFillFraction:
+        return [ch]() {
+          return static_cast<double>(ch->depth()) /
+                 static_cast<double>(ch->capacity());
+        };
+      case SensorKind::kProducerStallRate:
+        return windowed_rate([ch]() { return ch->producer_stalls(); }, home);
+      case SensorKind::kConsumerStallRate:
+        return windowed_rate([ch]() { return ch->consumer_stalls(); }, home);
+      case SensorKind::kProbeValue:
+        throw CompositionError("channel '" + s.target +
+                               "' has no probe value; use fill_fraction or "
+                               "a stall rate");
+    }
+  }
+  const shard::ShardedRealization::Located loc = sr.find_component(s.target);
+  if (loc.comp == nullptr) unknown(s.target);
+  shard::ShardGroup* grp = &sr.group();
+  const bool local = loc.shard == home_shard;
+  switch (s.kind) {
+    case SensorKind::kFillFraction: {
+      Buffer* b = need_buffer(loc.comp);
+      std::function<double()> sample = [b]() {
+        return static_cast<double>(b->fill()) /
+               static_cast<double>(b->capacity());
+      };
+      return local ? FeedbackLoop::Reading(std::move(sample))
+                   : FeedbackLoop::Reading(
+                         on_owner(grp, loc.shard, std::move(sample)));
+    }
+    case SensorKind::kProducerStallRate:
+    case SensorKind::kConsumerStallRate: {
+      Buffer* b = need_buffer(loc.comp);
+      const bool producer = s.kind == SensorKind::kProducerStallRate;
+      std::function<std::uint64_t()> count = [b, producer]() {
+        const Buffer::Stats& st = b->stats();
+        return producer ? st.put_blocks : st.take_blocks;
+      };
+      if (!local) count = on_owner(grp, loc.shard, std::move(count));
+      return windowed_rate(std::move(count), home);
+    }
+    case SensorKind::kProbeValue: {
+      (void)probe(loc.comp);  // type-check at bind time
+      Component* c = loc.comp;
+      std::function<double()> sample = [c]() { return probe(c); };
+      return local ? FeedbackLoop::Reading(std::move(sample))
+                   : FeedbackLoop::Reading(
+                         on_owner(grp, loc.shard, std::move(sample)));
+    }
+  }
+  unknown(s.target);
+}
+
+FeedbackLoop::Actuate resolve_actuate(shard::ShardedRealization& sr,
+                                      const ActuatorRef& a) {
+  const shard::ShardedRealization::Located loc = sr.find_component(a.target);
+  if (loc.comp == nullptr) unknown(a.target);
+  if (a.kind == ActuatorKind::kPumpRate &&
+      dynamic_cast<AdaptivePump*>(loc.comp) == nullptr) {
+    throw CompositionError("'" + a.target + "' is not an AdaptivePump");
+  }
+  // The hint crosses shards as a control event through the one thread-safe
+  // runtime entry point: delivered at the target's dispatch points, even
+  // while the target is blocked in a push/pull (§3.2 across cores).
+  Realization* r = loc.real;
+  Component* c = loc.comp;
+  return event_actuator(
+      [r, c](const Event& e) { r->post_event_to_external(*c, e); }, a.kind);
+}
+
+std::unique_ptr<FeedbackLoop> make_loop(Realization& real, LoopSpec spec) {
+  return std::make_unique<FeedbackLoop>(
+      real.runtime(), std::move(spec.name), spec.period,
+      resolve_reading(real, spec.sensor), spec.setpoint, spec.controller,
+      resolve_actuate(real, spec.actuator));
+}
+
+std::unique_ptr<FeedbackLoop> make_loop(shard::ShardedRealization& sr,
+                                        LoopSpec spec, int home_shard) {
+  int home = home_shard;
+  if (home < 0) {
+    if (shard::ShardChannel* ch = sr.find_channel(spec.sensor.target)) {
+      home = ch->to_shard();
+    } else {
+      const auto loc = sr.find_component(spec.sensor.target);
+      if (loc.comp == nullptr) unknown(spec.sensor.target);
+      home = loc.shard;
+    }
+  }
+  FeedbackLoop::Reading read = resolve_reading(sr, spec.sensor, home);
+  FeedbackLoop::Actuate act = resolve_actuate(sr, spec.actuator);
+  shard::ShardGroup* grp = &sr.group();
+  FeedbackLoop::Exec exec = [grp, home](const std::function<void()>& f) {
+    if (grp->running()) {
+      grp->run_on(home, f);
+    } else {
+      f();
+    }
+  };
+  // Construct ON the home shard: the loop's task thread spawns there and
+  // its metric handles resolve against that shard's registry (rows appear
+  // as shard<home>.fb.loop.<name>.* in the group snapshot).
+  std::unique_ptr<FeedbackLoop> loop;
+  exec([&] {
+    loop = std::make_unique<FeedbackLoop>(
+        grp->runtime(home), std::move(spec.name), spec.period,
+        std::move(read), spec.setpoint, spec.controller, std::move(act),
+        exec);
+  });
+  return loop;
+}
+
+}  // namespace infopipe::fb

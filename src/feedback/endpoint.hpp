@@ -1,0 +1,139 @@
+// Location-transparent feedback endpoints (ip_feedback).
+//
+// The Figure 1 loop — a consumer-side sensor steering a producer-side
+// component through the platform — must not care WHERE its two ends run.
+// A SensorRef/ActuatorRef names an endpoint (a component or a cross-shard
+// channel, by the name the application gave it); resolving the ref against
+// a realization produces the concrete Reading/Actuate function:
+//
+//   * against a Realization, refs resolve to direct probes and local
+//     control events — everything is on one runtime;
+//   * against a shard::ShardedRealization, channel sensors read the ring's
+//     atomics from anywhere, component sensors are sampled on the owning
+//     shard (ShardGroup::call_on while the group runs, direct reads when it
+//     is parked or manual), and actuations travel as kEventQualityHint
+//     control events through Realization::post_event_to_external — the same
+//     deliver-while-blocked event service that carries them within one
+//     runtime, now hopping kernel threads.
+//
+// make_loop() binds a whole loop from a LoopSpec: on a sharded realization
+// the loop is homed on a shard (by default the sensor channel's consumer
+// shard — congestion is observed where it hurts) and its lifecycle is
+// routed there via run_on, so the caller never touches a foreign runtime.
+//
+// Caveat: sampling a foreign component while the group runs blocks the
+// loop's shard for the round trip. Prefer channel sensors (pure atomics)
+// across cuts; do not close two component-sampling loops in opposite
+// directions between the same pair of shards.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "feedback/toolkit.hpp"
+#include "shard/sharded_realization.hpp"
+
+namespace infopipe::fb {
+
+/// What a named sensor endpoint measures.
+enum class SensorKind {
+  kFillFraction,       ///< buffer fill / channel depth, as fraction of capacity
+  kProducerStallRate,  ///< producer-side blocks (put_blocks) per second
+  kConsumerStallRate,  ///< consumer-side blocks (take_blocks) per second
+  kProbeValue,  ///< RateSensor rate_hz / LatencySensor latency_ms / pump rate
+};
+
+/// A sensor endpoint by name: a component or channel in some realization.
+/// Pure value — resolution happens against a realization.
+struct SensorRef {
+  std::string target;
+  SensorKind kind = SensorKind::kFillFraction;
+};
+
+/// What a named actuator endpoint does with the loop output.
+enum class ActuatorKind {
+  kPumpRate,     ///< kEventQualityHint(Hz) to an AdaptivePump; <= 0 dropped
+  kQualityHint,  ///< kEventQualityHint(double) to any component, unfiltered
+};
+
+/// An actuator endpoint by name. Pure value, like SensorRef.
+struct ActuatorRef {
+  std::string target;
+  ActuatorKind kind = ActuatorKind::kPumpRate;
+};
+
+// -- named-endpoint factories ---------------------------------------------------
+
+/// Fill level of the buffer (or depth of the cross-shard channel) named
+/// `target`, as a fraction of capacity.
+[[nodiscard]] inline SensorRef fill_fraction(std::string target) {
+  return SensorRef{std::move(target), SensorKind::kFillFraction};
+}
+/// Producer-side stall rate (blocks/s) of the buffer or channel `target`.
+[[nodiscard]] inline SensorRef producer_stall_rate(std::string target) {
+  return SensorRef{std::move(target), SensorKind::kProducerStallRate};
+}
+/// Consumer-side stall rate (blocks/s) of the buffer or channel `target`.
+[[nodiscard]] inline SensorRef consumer_stall_rate(std::string target) {
+  return SensorRef{std::move(target), SensorKind::kConsumerStallRate};
+}
+/// Current value of the sensor component `target` (RateSensor/LatencySensor)
+/// or the current rate of the AdaptivePump `target`.
+[[nodiscard]] inline SensorRef probe_value(std::string target) {
+  return SensorRef{std::move(target), SensorKind::kProbeValue};
+}
+/// Rate actuation of the AdaptivePump named `target` (kEventQualityHint).
+[[nodiscard]] inline ActuatorRef pump_rate(std::string target) {
+  return ActuatorRef{std::move(target), ActuatorKind::kPumpRate};
+}
+/// Raw kEventQualityHint(double) to any component named `target`.
+[[nodiscard]] inline ActuatorRef quality_hint(std::string target) {
+  return ActuatorRef{std::move(target), ActuatorKind::kQualityHint};
+}
+
+// -- resolution -----------------------------------------------------------------
+
+/// Resolve against a single-runtime realization: direct probes and local
+/// control events. Throws CompositionError if the name is unknown or the
+/// component's type does not fit the kind.
+[[nodiscard]] FeedbackLoop::Reading resolve_reading(Realization& real,
+                                                    const SensorRef& s);
+[[nodiscard]] FeedbackLoop::Actuate resolve_actuate(Realization& real,
+                                                    const ActuatorRef& a);
+
+/// Resolve against a sharded realization for a loop homed on `home_shard`:
+/// channel refs read the ring atomics, component refs on the home shard read
+/// directly, foreign component refs are sampled on their owning shard.
+[[nodiscard]] FeedbackLoop::Reading resolve_reading(
+    shard::ShardedRealization& sr, const SensorRef& s, int home_shard);
+/// Actuations are location-transparent by construction: the event enqueues
+/// onto the target's shard through the thread-safe external path.
+[[nodiscard]] FeedbackLoop::Actuate resolve_actuate(
+    shard::ShardedRealization& sr, const ActuatorRef& a);
+
+// -- whole-loop binding ---------------------------------------------------------
+
+/// Everything a feedback loop needs, with both ends as named endpoints.
+struct LoopSpec {
+  std::string name;
+  rt::Time period = rt::milliseconds(50);
+  SensorRef sensor;
+  double setpoint = 0.0;
+  PIController controller{0.0, 0.0, 0.0, 0.0};
+  ActuatorRef actuator;
+};
+
+/// Bind a loop on a single runtime.
+[[nodiscard]] std::unique_ptr<FeedbackLoop> make_loop(Realization& real,
+                                                      LoopSpec spec);
+
+/// Bind a loop on a sharded realization. `home_shard` < 0 picks the natural
+/// home: the sensor channel's consumer shard (where congestion is observed),
+/// else the sensor component's shard. The loop's task runs on that shard's
+/// runtime; construction, start/stop and destruction are routed there, so
+/// this is safe to call from any kernel thread while the group runs.
+[[nodiscard]] std::unique_ptr<FeedbackLoop> make_loop(
+    shard::ShardedRealization& sr, LoopSpec spec, int home_shard = -1);
+
+}  // namespace infopipe::fb

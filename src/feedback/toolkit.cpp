@@ -28,13 +28,67 @@ PeriodicTask::~PeriodicTask() {
 }
 
 void PeriodicTask::start() {
-  if (active_) return;
+  // Clear the stop flag FIRST: a start() racing a not-yet-noticed stop()
+  // (the ticking thread only checks at its next wakeup) must simply cancel
+  // the stop — sending another tick message would stack a second loop.
   stop_requested_ = false;
+  if (active_) return;
   active_ = true;
   rt_->send(tid_, rt::Message{kMsgLoopTick, rt::MsgClass::kData});
 }
 
 void PeriodicTask::stop() { stop_requested_ = true; }
+
+// ============================ FeedbackLoop ==================================
+
+FeedbackLoop::FeedbackLoop(rt::Runtime& rt, std::string name, rt::Time period,
+                           Reading read, double setpoint,
+                           PIController controller, Actuate actuate, Exec exec)
+    : name_(std::move(name)),
+      controller_(std::move(controller)),
+      read_(std::move(read)),
+      actuate_(std::move(actuate)),
+      setpoint_(setpoint),
+      period_(period),
+      exec_(std::move(exec)) {
+  if (!exec_) exec_ = [](const std::function<void()>& f) { f(); };
+  // Handles resolve once against the home runtime's registry; step() runs on
+  // that runtime, so the plain handle updates stay single-threaded.
+  const std::string p = "fb.loop." + name_;
+  out_gauge_ = &rt.metrics().gauge(p + ".output");
+  err_gauge_ = &rt.metrics().gauge(p + ".error");
+  steps_ctr_ = &rt.metrics().counter(p + ".steps");
+  act_ctr_ = &rt.metrics().counter(p + ".actuations");
+  task_ = std::make_unique<PeriodicTask>(rt, name_, period,
+                                         [this](rt::Time) { step(); });
+}
+
+FeedbackLoop::~FeedbackLoop() {
+  exec_([this] { task_.reset(); });
+}
+
+void FeedbackLoop::start() {
+  exec_([this] { task_->start(); });
+}
+
+void FeedbackLoop::stop() {
+  exec_([this] { task_->stop(); });
+}
+
+void FeedbackLoop::step() {
+  const double error = setpoint_.load(std::memory_order_relaxed) - read_();
+  const double out =
+      controller_.update(error, static_cast<double>(period_) / 1e9);
+  last_err_.store(error, std::memory_order_relaxed);
+  last_out_.store(out, std::memory_order_relaxed);
+  err_gauge_->set(error);
+  out_gauge_->set(out);
+  steps_ctr_->inc();
+  steps_.fetch_add(1, std::memory_order_relaxed);
+  actuate_(out);
+  act_ctr_->inc();
+  actuations_.fetch_add(1, std::memory_order_relaxed);
+}
 
 FeedbackLoop::Actuate pump_rate_actuator(Realization& real,
                                          AdaptivePump& pump) {

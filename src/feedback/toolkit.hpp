@@ -8,7 +8,9 @@
 // producer side.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -17,6 +19,7 @@
 #include "core/pump.hpp"
 #include "core/realization.hpp"
 #include "feedback/controller.hpp"
+#include "obs/metrics.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::fb {
@@ -117,9 +120,14 @@ class LatencySensor : public FunctionComponent {
 
  protected:
   Item convert(Item x) override {
-    const double lat_ms =
-        static_cast<double>(pipeline_now() - x.timestamp) / 1e6;
-    filter_.update(lat_ms);
+    // Item::timestamp defaults to 0 = "never stamped"; such an item would
+    // read as the whole pipeline-clock epoch (multi-second bogus latency)
+    // and poison the filter, so it contributes no sample.
+    if (x.timestamp != 0) {
+      const double lat_ms =
+          static_cast<double>(pipeline_now() - x.timestamp) / 1e6;
+      filter_.update(lat_ms);
+    }
     ++seen_;
     if (report_every_ > 0 && seen_ % report_every_ == 0) {
       broadcast(Event{kEventSensorReport,
@@ -138,49 +146,84 @@ class LatencySensor : public FunctionComponent {
 /// actuator — on its own thread at a fixed period. This is the generic
 /// shape of §3.1's "more elaborate approaches [that] adjust CPU allocations
 /// among pipeline stages according to feedback from buffer fill levels".
+///
+/// Readings and actuations are usually bound by NAME through the endpoint
+/// layer (endpoint.hpp) — resolve a SensorRef/ActuatorRef against a
+/// Realization or a shard::ShardedRealization — rather than by constructing
+/// the std::functions by hand.
+///
+/// The loop publishes itself through the home runtime's MetricsRegistry:
+/// `fb.loop.<name>.output` and `.error` gauges, `.steps` and `.actuations`
+/// counters, so a registry snapshot shows every loop's trajectory (prefixed
+/// `shard<i>.` when the loop lives on a shard).
+///
+/// Thread ownership: the loop's periodic task lives on the runtime passed
+/// in. Construct/destroy it ON that runtime's kernel thread; `exec` routes
+/// start()/stop()/destruction there for callers on other kernel threads
+/// (the sharded binder passes ShardGroup::run_on). Default: run inline.
 class FeedbackLoop {
  public:
   using Reading = std::function<double()>;
   using Actuate = std::function<void(double)>;
+  using Exec = std::function<void(const std::function<void()>&)>;
 
   /// The controller maps (setpoint - reading) to an absolute actuation
   /// value via a PI controller bounded to [out_min, out_max].
   FeedbackLoop(rt::Runtime& rt, std::string name, rt::Time period,
                Reading read, double setpoint, PIController controller,
-               Actuate actuate)
-      : controller_(std::move(controller)),
-        read_(std::move(read)),
-        actuate_(std::move(actuate)),
-        setpoint_(setpoint),
-        period_(period),
-        task_(rt, std::move(name), period, [this](rt::Time) { step(); }) {}
+               Actuate actuate, Exec exec = {});
+  ~FeedbackLoop();
 
-  void start() { task_.start(); }
-  void stop() { task_.stop(); }
-  void set_setpoint(double s) noexcept { setpoint_ = s; }
-  [[nodiscard]] double last_output() const noexcept { return last_out_; }
-  [[nodiscard]] int steps() const noexcept { return steps_; }
+  FeedbackLoop(const FeedbackLoop&) = delete;
+  FeedbackLoop& operator=(const FeedbackLoop&) = delete;
 
- private:
-  void step() {
-    const double error = setpoint_ - read_();
-    last_out_ =
-        controller_.update(error, static_cast<double>(period_) / 1e9);
-    actuate_(last_out_);
-    ++steps_;
+  void start();
+  void stop();
+  void set_setpoint(double s) noexcept {
+    setpoint_.store(s, std::memory_order_relaxed);
   }
 
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double last_output() const noexcept {
+    return last_out_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double last_error() const noexcept {
+    return last_err_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int steps() const noexcept {
+    return steps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int actuations() const noexcept {
+    return actuations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void step();
+
+  std::string name_;
   PIController controller_;
   Reading read_;
   Actuate actuate_;
-  double setpoint_;
+  std::atomic<double> setpoint_;
   rt::Time period_;
-  double last_out_ = 0.0;
-  int steps_ = 0;
-  PeriodicTask task_;
+  std::atomic<double> last_out_{0.0};
+  std::atomic<double> last_err_{0.0};
+  std::atomic<int> steps_{0};
+  std::atomic<int> actuations_{0};
+  obs::Gauge* out_gauge_ = nullptr;
+  obs::Gauge* err_gauge_ = nullptr;
+  obs::Counter* steps_ctr_ = nullptr;
+  obs::Counter* act_ctr_ = nullptr;
+  Exec exec_;
+  std::unique_ptr<PeriodicTask> task_;
 };
 
 /// Reading helper: a buffer's fill level as a fraction of capacity.
+/// Deprecated: binds by C++ reference, so it cannot cross a shard cut and
+/// dangles if the buffer dies first. Use the named endpoint instead:
+/// `resolve_reading(real, fill_fraction("buf"))` (endpoint.hpp).
+[[deprecated(
+    "bind by name: resolve_reading(real, fill_fraction(\"<buffer>\"))")]]
 [[nodiscard]] inline FeedbackLoop::Reading fill_fraction(const Buffer& b) {
   return [&b]() {
     return static_cast<double>(b.fill()) / static_cast<double>(b.capacity());
@@ -189,6 +232,9 @@ class FeedbackLoop {
 
 /// Actuation helper: set an adaptive pump's rate through the event service
 /// (kEventQualityHint), i.e. via the platform rather than a direct call.
+/// Deprecated: binds by C++ reference. Use the named endpoint instead:
+/// `resolve_actuate(real, pump_rate("<pump>"))` (endpoint.hpp).
+[[deprecated("bind by name: resolve_actuate(real, pump_rate(\"<pump>\"))")]]
 [[nodiscard]] FeedbackLoop::Actuate pump_rate_actuator(Realization& real,
                                                        AdaptivePump& pump);
 

@@ -20,19 +20,23 @@ ShardChannel::ShardChannel(std::string name, std::size_t capacity,
 
 bool ShardChannel::try_push(Item& x) {
   const std::uint64_t t = tail_.load(std::memory_order_relaxed);
-  if (t - head_.load(std::memory_order_seq_cst) >= capacity_) return false;
+  const std::uint64_t h = head_.load(std::memory_order_seq_cst);
+  if (t - h >= capacity_) return false;
   slots_[t % slots_.size()] = std::move(x);
   tail_.store(t + 1, std::memory_order_seq_cst);
   pushes_.fetch_add(1, std::memory_order_relaxed);
+  note_depth(t + 1 - h);
   return true;
 }
 
 bool ShardChannel::force_push(Item& x) {
   const std::uint64_t t = tail_.load(std::memory_order_relaxed);
-  if (t - head_.load(std::memory_order_seq_cst) >= slots_.size()) return false;
+  const std::uint64_t h = head_.load(std::memory_order_seq_cst);
+  if (t - h >= slots_.size()) return false;
   slots_[t % slots_.size()] = std::move(x);
   tail_.store(t + 1, std::memory_order_seq_cst);
   pushes_.fetch_add(1, std::memory_order_relaxed);
+  note_depth(t + 1 - h);
   return true;
 }
 
@@ -67,17 +71,20 @@ void ShardChannel::wake_consumer() {
 
 ChannelStats ShardChannel::stats() const {
   ChannelStats s;
-  s.name = name_;
+  s.flow.name = name_;
+  s.flow.fill = depth();
+  s.flow.capacity = capacity_;
+  s.flow.max_fill =
+      static_cast<std::size_t>(max_depth_.load(std::memory_order_relaxed));
+  s.flow.puts = pushes_.load(std::memory_order_relaxed);
+  s.flow.takes = pops_.load(std::memory_order_relaxed);
+  s.flow.drops = drops_.load(std::memory_order_relaxed);
+  s.flow.nil_returns = nils_.load(std::memory_order_relaxed);
+  s.flow.put_blocks = producer_stalls_.load(std::memory_order_relaxed);
+  s.flow.take_blocks = consumer_stalls_.load(std::memory_order_relaxed);
   s.from_shard = producer_shard_;
   s.to_shard = consumer_shard_;
-  s.depth = depth();
-  s.capacity = capacity_;
-  s.pushes = pushes_.load(std::memory_order_relaxed);
-  s.pops = pops_.load(std::memory_order_relaxed);
-  s.producer_stalls = producer_stalls_.load(std::memory_order_relaxed);
-  s.consumer_stalls = consumer_stalls_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
-  s.drops = drops_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -147,7 +154,10 @@ Item ChannelSource::generate() {
       return std::move(*x);
     }
     if (ch.eos()) return Item::eos();
-    if (ch.empty_policy() == EmptyPolicy::kNil) return Item::nil();
+    if (ch.empty_policy() == EmptyPolicy::kNil) {
+      ch.count_nil();
+      return Item::nil();
+    }
     ch.count_consumer_stall();
     if (host.flow_stopped()) throw infopipe::detail::StopFlow{};
     IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,

@@ -133,6 +133,7 @@ class ShardChannel {
   // -- stats (relaxed atomics, sampled by stats()) ----------------------------
 
   void count_drop() noexcept { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void count_nil() noexcept { nils_.fetch_add(1, std::memory_order_relaxed); }
   void count_producer_stall() noexcept {
     producer_stalls_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -140,6 +141,16 @@ class ShardChannel {
     consumer_stalls_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  [[nodiscard]] std::uint64_t producer_stalls() const noexcept {
+    return producer_stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t consumer_stalls() const noexcept {
+    return consumer_stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Rendered in the BufferStats schema (stats().flow): the channel is the
+  /// buffer it replaced, so fill==depth, puts==pushes, takes==pops,
+  /// put_blocks==producer stalls, take_blocks==consumer stalls.
   [[nodiscard]] ChannelStats stats() const;
 
  private:
@@ -155,6 +166,14 @@ class ShardChannel {
   std::atomic<std::uint64_t> tail_{0};  ///< next push position
   std::atomic<bool> eos_{false};
 
+  /// High-water mark. Only the producer writes it (right after its own
+  /// push), so a plain load-compare-store is enough.
+  void note_depth(std::uint64_t d) noexcept {
+    if (d > max_depth_.load(std::memory_order_relaxed)) {
+      max_depth_.store(d, std::memory_order_relaxed);
+    }
+  }
+
   rt::Runtime* producer_rt_ = nullptr;
   rt::Runtime* consumer_rt_ = nullptr;
   int producer_shard_ = 0;
@@ -168,6 +187,8 @@ class ShardChannel {
   std::atomic<std::uint64_t> consumer_stalls_{0};
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> nils_{0};
+  std::atomic<std::uint64_t> max_depth_{0};  ///< producer-side single writer
 };
 
 /// Upstream endpoint of a cut: a passive sink the upstream section's driver

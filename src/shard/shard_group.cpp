@@ -43,13 +43,19 @@ void pin_to_core(int shard) {
 
 }  // namespace
 
-ShardGroup::ShardGroup(int n_shards, rt::RuntimeOptions options) {
+ShardGroup::ShardGroup(int n_shards, rt::RuntimeOptions options)
+    : ShardGroup(n_shards, GroupOptions{std::move(options), {}, false}) {}
+
+ShardGroup::ShardGroup(int n_shards, GroupOptions options)
+    : manual_(options.manual) {
   if (n_shards < 1) throw rt::RuntimeError("ShardGroup needs >= 1 shard");
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int i = 0; i < n_shards; ++i) {
     auto s = std::make_unique<Shard>();
-    s->rtm = std::make_unique<rt::Runtime>(std::make_unique<rt::RealClock>(),
-                                           options);
+    std::unique_ptr<rt::Clock> clock =
+        options.clock_factory ? options.clock_factory()
+                              : std::make_unique<rt::RealClock>();
+    s->rtm = std::make_unique<rt::Runtime>(std::move(clock), options.runtime);
     // Ring the shard's doorbell after every post_external, so work injected
     // into a parked run_service() loop resumes it.
     rt::Doorbell* bell = &s->bell;
@@ -88,6 +94,7 @@ ShardGroup::~ShardGroup() {
 }
 
 void ShardGroup::launch() {
+  if (manual_) return;
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = *shards_[i];
@@ -129,8 +136,32 @@ void ShardGroup::stop() {
   }
 }
 
+void ShardGroup::step_until(rt::Time t) {
+  if (!manual_) {
+    throw rt::RuntimeError("ShardGroup::step_until needs manual mode");
+  }
+  // Round-robin until quiescent: a shard's turn may post work into another
+  // shard (channel wakeups, forwarded events, run_on payloads), so keep
+  // cycling until one full round moves no code function anywhere.
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (;;) {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      s->rtm->run_until(t);
+      total += s->rtm->stats().dispatches;
+    }
+    if (total == prev) break;
+    prev = total;
+  }
+}
+
 void ShardGroup::run_on(int shard, std::function<void()> fn) {
   Shard& s = *shards_.at(static_cast<std::size_t>(shard));
+  if (manual_) {
+    // One kernel thread by design: the caller IS the shard's host.
+    fn();
+    return;
+  }
   if (!running_.load(std::memory_order_acquire)) {
     throw rt::RuntimeError("ShardGroup::run_on: group is not running");
   }

@@ -36,10 +36,27 @@ namespace infopipe::shard {
 
 class ShardGroup {
  public:
-  /// Builds n_shards runtimes over real-time clocks (cross-shard flows need
-  /// a common notion of time; independent virtual clocks would diverge).
-  /// Nothing runs until launch().
+  /// Construction knobs beyond the per-runtime options. The defaults give
+  /// the production shape: real-time clocks (cross-shard flows need a common
+  /// notion of time; free-running virtual clocks would diverge) and one
+  /// kernel thread per shard after launch().
+  ///
+  /// `manual` inverts that for deterministic testing: no kernel threads are
+  /// ever started, run_on() executes inline on the caller, and step_until()
+  /// drives every shard runtime round-robin in lockstep — combined with a
+  /// virtual clock_factory the whole multi-shard execution replays
+  /// bit-identically on one kernel thread.
+  struct GroupOptions {
+    rt::RuntimeOptions runtime;
+    /// Clock for each shard runtime; default builds rt::RealClock.
+    std::function<std::unique_ptr<rt::Clock>()> clock_factory;
+    bool manual = false;
+  };
+
+  /// Builds n_shards runtimes over real-time clocks. Nothing runs until
+  /// launch().
   explicit ShardGroup(int n_shards, rt::RuntimeOptions options = {});
+  ShardGroup(int n_shards, GroupOptions options);
   ~ShardGroup();
 
   ShardGroup(const ShardGroup&) = delete;
@@ -57,11 +74,18 @@ class ShardGroup {
 
   /// Starts one kernel thread per shard (idempotent). Each thread pins
   /// itself to core `shard % hardware_concurrency` (best effort, Linux
-  /// only) and enters run_service().
+  /// only) and enters run_service(). No-op in manual mode.
   void launch();
   [[nodiscard]] bool running() const noexcept {
     return running_.load(std::memory_order_acquire);
   }
+  [[nodiscard]] bool manual() const noexcept { return manual_; }
+
+  /// Manual mode only: advances every shard runtime to `t`, round-robin,
+  /// until a full round dispatches nothing new — so cross-shard messages
+  /// posted during one shard's turn are drained by the others before the
+  /// step returns. All shard clocks end at `t`.
+  void step_until(rt::Time t);
 
   /// Halts every shard, rings the doorbells, joins the kernel threads.
   /// Idempotent. Rethrows the first exception that escaped a shard's
@@ -72,7 +96,8 @@ class ShardGroup {
   /// user-level thread, so `fn` may use the full Runtime API, spawn
   /// threads, construct Realizations…). Blocks until `fn` returns;
   /// rethrows what it threw. Throws rt::RuntimeError if the group is not
-  /// running or the shard's host thread has died.
+  /// running or the shard's host thread has died. In manual mode `fn` runs
+  /// inline on the caller (there is only one kernel thread by design).
   void run_on(int shard, std::function<void()> fn);
 
   /// run_on returning a value.
@@ -103,6 +128,7 @@ class ShardGroup {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{false};
+  bool manual_ = false;
   std::mutex err_mutex_;
 };
 

@@ -238,6 +238,27 @@ bool ShardedRealization::wait_finished(std::chrono::milliseconds timeout) {
   return true;
 }
 
+ShardedRealization::Located ShardedRealization::find_component(
+    std::string_view name) {
+  // reals_ and each realization's component set are immutable after
+  // construction, so resolving a name from any thread is safe; SAMPLING the
+  // found component's state is the caller's problem (owning shard only).
+  for (std::size_t s = 0; s < reals_.size(); ++s) {
+    if (!reals_[s]) continue;
+    if (Component* c = reals_[s]->find_component(name)) {
+      return Located{c, reals_[s].get(), static_cast<int>(s)};
+    }
+  }
+  return Located{};
+}
+
+ShardChannel* ShardedRealization::find_channel(std::string_view name) {
+  for (const auto& ch : channels_) {
+    if (ch->name() == name) return ch.get();
+  }
+  return nullptr;
+}
+
 StatsSnapshot ShardedRealization::stats_snapshot() {
   StatsSnapshot out;
   for (std::size_t s = 0; s < reals_.size(); ++s) {

@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,21 @@ class ShardedRealization {
   [[nodiscard]] Realization* shard_realization(int shard) {
     return reals_.at(static_cast<std::size_t>(shard)).get();
   }
+
+  /// Where a named component landed after partitioning: the component, the
+  /// shard realization hosting it, and the shard number. comp == nullptr if
+  /// no shard hosts that name. This is the resolution surface behind the
+  /// feedback toolkit's location-transparent endpoints.
+  struct Located {
+    Component* comp = nullptr;
+    Realization* real = nullptr;
+    int shard = -1;
+  };
+  [[nodiscard]] Located find_component(std::string_view name);
+
+  /// The cross-shard channel that replaced the cut buffer `name` (channels
+  /// keep the buffer's name), or nullptr.
+  [[nodiscard]] ShardChannel* find_channel(std::string_view name);
 
   // -- lifecycle (thread-safe: events enqueue onto every shard) ---------------
 

@@ -8,6 +8,7 @@
 
 #include "core/infopipes.hpp"
 #include "feedback/controller.hpp"
+#include "feedback/endpoint.hpp"
 #include "feedback/toolkit.hpp"
 
 namespace infopipe::fb {
@@ -82,6 +83,45 @@ TEST(PeriodicTask, RunsAtThePeriodUntilStopped) {
   EXPECT_LE(ticks.size(), 6u);
 }
 
+TEST(PeriodicTask, StopThenRestartResumesTicking) {
+  rt::Runtime rtm;
+  int ticks = 0;
+  PeriodicTask task(rtm, "tick", rt::milliseconds(10),
+                    [&](rt::Time) { ++ticks; });
+  task.start();
+  rtm.run_until(rt::milliseconds(35));
+  task.stop();
+  rtm.run_until(rt::milliseconds(200));
+  EXPECT_FALSE(task.active());
+  const int after_stop = ticks;
+  EXPECT_GE(after_stop, 3);
+  task.start();
+  EXPECT_TRUE(task.active());
+  rtm.run_until(rt::milliseconds(260));
+  EXPECT_GE(ticks, after_stop + 4);
+  task.stop();
+  rtm.run_until(rt::milliseconds(400));
+  EXPECT_FALSE(task.active());
+}
+
+TEST(PeriodicTask, RestartBeforeTheLoopNoticesStopKeepsOneLoop) {
+  // stop() is only observed at the task's next wakeup; a start() issued
+  // before that must cancel the stop WITHOUT stacking a second ticking
+  // loop (which would double the effective rate).
+  rt::Runtime rtm;
+  int ticks = 0;
+  PeriodicTask task(rtm, "tick", rt::milliseconds(10),
+                    [&](rt::Time) { ++ticks; });
+  task.start();
+  rtm.run_until(rt::milliseconds(35));
+  task.stop();
+  task.start();  // the loop never saw the stop flag
+  rtm.run_until(rt::milliseconds(135));
+  // 135 ms at one tick per 10 ms: a doubled loop would be near 20+ ticks.
+  EXPECT_GE(ticks, 12);
+  EXPECT_LE(ticks, 14);
+}
+
 // ---------- sensors in pipelines ------------------------------------------------------
 
 TEST(RateSensor, MeasuresPumpRate) {
@@ -121,6 +161,40 @@ TEST(RateSensor, BroadcastsReports) {
   EXPECT_NEAR(last, 100.0, 5.0);
 }
 
+TEST(LatencySensor, IgnoresUnstampedItems) {
+  // A source that never stamps its items: every timestamp stays at the
+  // Item default of 0, which used to read as the whole clock epoch and
+  // poison the low-pass filter with multi-second bogus latencies.
+  class UnstampedSource : public PassiveSource {
+   public:
+    explicit UnstampedSource(std::string name) : PassiveSource(std::move(name)) {}
+
+   protected:
+    Item generate() override {
+      if (n_ >= 50) return Item::eos();
+      Item x = Item::token();
+      x.seq = n_++;
+      return x;
+    }
+
+   private:
+    std::uint64_t n_ = 0;
+  };
+
+  rt::Runtime rtm;
+  UnstampedSource src("src");
+  ClockedPump pump("pump", 100.0);
+  LatencySensor sensor("lat", 0.5, 0);
+  CollectorSink sink("sink");
+  auto ch = src >> pump >> sensor >> sink;
+  Realization real(rtm, ch.pipeline());
+  real.start();
+  rtm.run_until(rt::seconds(5));
+  // No stamped item ever arrived: the filter must stay unprimed at 0, not
+  // report seconds' worth of phantom queueing delay.
+  EXPECT_EQ(sensor.latency_ms(), 0.0);
+}
+
 TEST(LatencySensor, SeesQueueingDelay) {
   rt::Runtime rtm;
   CountingSource src("src", 40);
@@ -150,18 +224,22 @@ TEST(FeedbackLoop, HoldsBufferAtSetpoint) {
   Realization real(rtm, ch.pipeline());
 
   // Keep the buffer at 50%: reading = fill fraction, output = drain rate.
-  // Gains are NEGATIVE: raising the drain rate lowers the fill level.
-  FeedbackLoop loop(
-      rtm, "fill-ctl", rt::milliseconds(50), fill_fraction(buf),
-      /*setpoint=*/0.5,
-      PIController(/*kp=*/-200.0, /*ki=*/-400.0, /*out_min=*/1.0,
-                   /*out_max=*/1000.0),
-      pump_rate_actuator(real, drain));
+  // Gains are NEGATIVE: raising the drain rate lowers the fill level. Both
+  // ends are named endpoints resolved through the realization.
+  auto loop = make_loop(
+      real, LoopSpec{.name = "fill-ctl",
+                     .period = rt::milliseconds(50),
+                     .sensor = fill_fraction("buf"),
+                     .setpoint = 0.5,
+                     .controller = PIController(/*kp=*/-200.0, /*ki=*/-400.0,
+                                                /*out_min=*/1.0,
+                                                /*out_max=*/1000.0),
+                     .actuator = pump_rate("drain")});
 
   real.start();
-  loop.start();
+  loop->start();
   rtm.run_until(rt::seconds(20));
-  loop.stop();
+  loop->stop();
 
   // Converged: drain rate ends near the producer's 100 Hz and the fill level
   // sits near the setpoint.
@@ -169,6 +247,88 @@ TEST(FeedbackLoop, HoldsBufferAtSetpoint) {
   const double frac =
       static_cast<double>(buf.fill()) / static_cast<double>(buf.capacity());
   EXPECT_NEAR(frac, 0.5, 0.15);
+  EXPECT_NEAR(loop->last_error(), 0.0, 0.15);
+  EXPECT_GT(loop->steps(), 100);
+  EXPECT_GT(loop->actuations(), 100);
+
+  // The loop publishes itself through the registry.
+  const obs::MetricsSnapshot ms = rtm.metrics().snapshot();
+  const obs::MetricValue* out = ms.find("fb.loop.fill-ctl.output");
+  ASSERT_NE(out, nullptr);
+  EXPECT_NEAR(out->value, drain.rate_hz(), 20.0);
+  const obs::MetricValue* steps = ms.find("fb.loop.fill-ctl.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_EQ(steps->count, static_cast<std::uint64_t>(loop->steps()));
+  ASSERT_NE(ms.find("fb.loop.fill-ctl.error"), nullptr);
+  ASSERT_NE(ms.find("fb.loop.fill-ctl.actuations"), nullptr);
+
+  real.shutdown();
+  rtm.run();
+}
+
+TEST(FeedbackLoop, UnknownEndpointNamesThrow) {
+  rt::Runtime rtm;
+  CountingSource src("src", 100);
+  AdaptivePump pump("pump", 10.0);
+  Buffer buf("buf", 8);
+  FreeRunningPump drain("drain");
+  CountingSink sink("sink");
+  auto ch = src >> pump >> buf >> drain >> sink;
+  Realization real(rtm, ch.pipeline());
+  EXPECT_THROW((void)resolve_reading(real, fill_fraction("nope")),
+               CompositionError);
+  EXPECT_THROW((void)resolve_reading(real, fill_fraction("pump")),
+               CompositionError);  // not a buffer
+  EXPECT_THROW((void)resolve_reading(real, probe_value("buf")),
+               CompositionError);  // not a probeable sensor
+  EXPECT_THROW((void)resolve_actuate(real, pump_rate("drain")),
+               CompositionError);  // not an AdaptivePump
+  EXPECT_NO_THROW((void)resolve_actuate(real, quality_hint("drain")));
+  EXPECT_NO_THROW((void)resolve_reading(real, probe_value("pump")));
+}
+
+TEST(FeedbackLoop, StallRateSensorsReadBufferBlocks) {
+  rt::Runtime rtm;
+  CountingSource src("src", 1000000);
+  FreeRunningPump fill("fill");  // pushes as fast as it can: blocks on buf
+  Buffer buf("buf", 4, FullPolicy::kBlock, EmptyPolicy::kBlock);
+  ClockedPump drain("drain", 50.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  Realization real(rtm, ch.pipeline());
+  auto producer_rate = resolve_reading(real, producer_stall_rate("buf"));
+  real.start();
+  (void)producer_rate();  // primes the window
+  rtm.run_until(rt::seconds(5));
+  // The producer hits the full buffer roughly once per drained item.
+  EXPECT_NEAR(producer_rate(), 50.0, 15.0);
+  real.shutdown();
+  rtm.run();
+}
+
+TEST(FeedbackLoop, DeprecatedByReferenceHelpersStillWork) {
+  // Compatibility shims: the by-reference helpers keep their exact
+  // behaviour for existing callers while the repo moves to named endpoints.
+  rt::Runtime rtm;
+  CountingSource src("src", 1000000);
+  ClockedPump fill("fill", 100.0);
+  Buffer buf("buf", 100, FullPolicy::kDropNewest, EmptyPolicy::kNil);
+  AdaptivePump drain("drain", 10.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  Realization real(rtm, ch.pipeline());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  FeedbackLoop loop(rtm, "compat-ctl", rt::milliseconds(50),
+                    fill_fraction(buf), 0.5,
+                    PIController(-200.0, -400.0, 1.0, 1000.0),
+                    pump_rate_actuator(real, drain));
+#pragma GCC diagnostic pop
+  real.start();
+  loop.start();
+  rtm.run_until(rt::seconds(20));
+  loop.stop();
+  EXPECT_NEAR(drain.rate_hz(), 100.0, 15.0);
   real.shutdown();
   rtm.run();
 }
@@ -182,17 +342,22 @@ TEST(FeedbackLoop, TracksProducerRateChange) {
   CountingSink sink("sink");
   auto ch = src >> fill >> buf >> drain >> sink;
   Realization real(rtm, ch.pipeline());
-  FeedbackLoop loop(rtm, "fill-ctl", rt::milliseconds(50), fill_fraction(buf),
-                    0.5, PIController(-200.0, -400.0, 1.0, 1000.0),
-                    pump_rate_actuator(real, drain));
+  auto loop = make_loop(
+      real, LoopSpec{.name = "fill-ctl",
+                     .period = rt::milliseconds(50),
+                     .sensor = fill_fraction("buf"),
+                     .setpoint = 0.5,
+                     .controller = PIController(-200.0, -400.0, 1.0, 1000.0),
+                     .actuator = pump_rate("drain")});
   real.start();
-  loop.start();
+  loop->start();
   rtm.run_until(rt::seconds(10));
-  // Disturbance: the producer speeds up to 250 Hz mid-run.
-  real.post_event_to(fill, Event{kEventQualityHint, 250.0});
+  // Disturbance: the producer speeds up to 250 Hz mid-run, actuated through
+  // its own named endpoint rather than a component reference.
+  resolve_actuate(real, pump_rate("fill"))(250.0);
   rtm.run_until(rt::seconds(30));
   EXPECT_NEAR(drain.rate_hz(), 250.0, 30.0);
-  loop.stop();
+  loop->stop();
   real.shutdown();
   rtm.run();
 }

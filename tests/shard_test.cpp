@@ -56,9 +56,10 @@ TEST(ShardChannel, SpscRingAcrossKernelThreads) {
   EXPECT_TRUE(ordered);
   EXPECT_EQ(expect, kN);
   const ChannelStats s = ch.stats();
-  EXPECT_EQ(s.pushes, kN);
-  EXPECT_EQ(s.pops, kN);
-  EXPECT_EQ(s.depth, 0u);
+  EXPECT_EQ(s.flow.puts, kN);
+  EXPECT_EQ(s.flow.takes, kN);
+  EXPECT_EQ(s.flow.fill, 0u);
+  EXPECT_GE(s.flow.max_fill, 1u);
 }
 
 TEST(ShardChannel, CapacityBoundsAndForcePushReserve) {
@@ -166,14 +167,14 @@ TEST(ShardedRealization, TwoShardsPreserveOrderCountAndEos) {
   const StatsSnapshot stats = sr.stats_snapshot();
   const ChannelStats* cs = stats.channel("buf");
   ASSERT_NE(cs, nullptr);
-  EXPECT_EQ(cs->pushes, kN);
-  EXPECT_EQ(cs->pops, kN);
-  EXPECT_EQ(cs->depth, 0u);
-  EXPECT_EQ(cs->capacity, 16u);
+  EXPECT_EQ(cs->flow.puts, kN);
+  EXPECT_EQ(cs->flow.takes, kN);
+  EXPECT_EQ(cs->flow.fill, 0u);
+  EXPECT_EQ(cs->flow.capacity, 16u);
 
   const obs::MetricsSnapshot ms = sr.metrics_snapshot();
   const std::string chan_row =
-      "shard" + std::to_string(sr.channel(0).to_shard()) + ".chan.buf.pops";
+      "shard" + std::to_string(sr.channel(0).to_shard()) + ".chan.buf.takes";
   const obs::MetricValue* row = ms.find(chan_row);
   ASSERT_NE(row, nullptr);
   EXPECT_EQ(row->count, kN);
@@ -243,7 +244,7 @@ TEST(ShardedRealization, BackpressureStallsProducerNotItems) {
   const StatsSnapshot stats = sr.stats_snapshot();
   const ChannelStats* cs = stats.channel("buf");
   ASSERT_NE(cs, nullptr);
-  EXPECT_EQ(cs->pops, kN);
+  EXPECT_EQ(cs->flow.takes, kN);
   group.stop();
   ASSERT_EQ(sink.seqs.size(), kN);
   for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(sink.seqs[i], i);
