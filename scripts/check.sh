@@ -29,12 +29,13 @@ UBSAN_OPTIONS=halt_on_error=1 \
 echo "== TSan build + multi-runtime suites =="
 # Only the suites that exercise multiple kernel threads: the ip_shard
 # channels/groups, the io_bridge poller, the rt substrate they build on,
-# and the feedback suites (cross-shard loops sample channel atomics and
-# post control events between kernel threads). The remaining suites are
-# single-threaded by construction (one ULT scheduler on one kernel thread)
-# and run under ASan above.
+# the feedback suites (cross-shard loops sample channel atomics and
+# post control events between kernel threads), and the ip_balance suite
+# (live migration re-binds channels while the far shard runs). The
+# remaining suites are single-threaded by construction (one ULT scheduler
+# on one kernel thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance' \
     --output-on-failure

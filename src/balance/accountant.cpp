@@ -1,0 +1,136 @@
+#include "balance/accountant.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace infopipe::balance {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int LoadSnapshot::max_shard() const {
+  if (busy.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(busy.begin(), busy.end()) - busy.begin());
+}
+
+int LoadSnapshot::min_shard() const {
+  if (busy.empty()) return -1;
+  return static_cast<int>(
+      std::min_element(busy.begin(), busy.end()) - busy.begin());
+}
+
+double LoadSnapshot::imbalance() const {
+  if (busy.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(busy.begin(), busy.end());
+  return *hi - *lo;
+}
+
+LoadAccountant::LoadAccountant(shard::ShardedRealization& sr, Options opts)
+    : sr_(&sr), opts_(opts) {
+  shards_.resize(static_cast<std::size_t>(sr.group().size()));
+}
+
+void LoadAccountant::ewma_update(ShardAcc& acc, double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  acc.ewma = acc.has_estimate
+                 ? opts_.alpha * fraction + (1.0 - opts_.alpha) * acc.ewma
+                 : fraction;
+  acc.has_estimate = true;
+}
+
+void LoadAccountant::rebind_channels_locked() {
+  chans_.clear();
+  for (shard::ShardChannel* ch : sr_->live_channels()) {
+    ChanAcc acc;
+    acc.ch = ch;
+    chans_.push_back(acc);
+  }
+  epoch_ = sr_->migrations();
+}
+
+void LoadAccountant::sample() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t now = steady_now_ns();
+
+  // Shard busy fractions only exist when shards have kernel threads; the
+  // first sample after launch just primes the counters.
+  if (sr_->group().running()) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      rt::Runtime& rtm = sr_->group().runtime(static_cast<int>(s));
+      const std::uint64_t busy = rtm.service_busy_ns();
+      const std::uint64_t idle = rtm.service_idle_ns();
+      ShardAcc& acc = shards_[s];
+      if (acc.primed) {
+        const std::uint64_t dbusy = busy - acc.busy_ns;
+        const std::uint64_t didle = idle - acc.idle_ns;
+        if (dbusy + didle > 0) {
+          ewma_update(acc, static_cast<double>(dbusy) /
+                               static_cast<double>(dbusy + didle));
+        }
+      }
+      acc.busy_ns = busy;
+      acc.idle_ns = idle;
+      acc.primed = true;
+    }
+  }
+
+  if (epoch_ != sr_->migrations()) rebind_channels_locked();
+  for (ChanAcc& acc : chans_) {
+    const std::uint64_t ps = acc.ch->producer_stalls();
+    const std::uint64_t cs = acc.ch->consumer_stalls();
+    if (acc.primed && now > acc.when_ns) {
+      const double dt = static_cast<double>(now - acc.when_ns) / 1e9;
+      const double pr = static_cast<double>(ps - acc.producer_stalls) / dt;
+      const double cr = static_cast<double>(cs - acc.consumer_stalls) / dt;
+      acc.producer_rate = opts_.alpha * pr + (1.0 - opts_.alpha) * acc.producer_rate;
+      acc.consumer_rate = opts_.alpha * cr + (1.0 - opts_.alpha) * acc.consumer_rate;
+    }
+    acc.producer_stalls = ps;
+    acc.consumer_stalls = cs;
+    acc.when_ns = now;
+    acc.primed = true;
+  }
+
+  last_when_ = now;
+}
+
+void LoadAccountant::note_busy_sample(int shard, double fraction) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (shard < 0 || static_cast<std::size_t>(shard) >= shards_.size()) return;
+  ewma_update(shards_[static_cast<std::size_t>(shard)], fraction);
+  last_when_ = std::max(last_when_, steady_now_ns());
+}
+
+LoadSnapshot LoadAccountant::snapshot() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  LoadSnapshot snap;
+  snap.when_ns = last_when_;
+  snap.busy.reserve(shards_.size());
+  for (const ShardAcc& acc : shards_) snap.busy.push_back(acc.ewma);
+  snap.channels.reserve(chans_.size());
+  for (const ChanAcc& acc : chans_) {
+    ChannelLoad cl;
+    cl.name = acc.ch->name();
+    cl.from_shard = acc.ch->from_shard();
+    cl.to_shard = acc.ch->to_shard();
+    const std::size_t cap = acc.ch->capacity();
+    cl.fill_fraction =
+        cap == 0 ? 0.0
+                 : static_cast<double>(acc.ch->depth()) / static_cast<double>(cap);
+    cl.producer_stall_rate = acc.producer_rate;
+    cl.consumer_stall_rate = acc.consumer_rate;
+    snap.channels.push_back(std::move(cl));
+  }
+  return snap;
+}
+
+}  // namespace infopipe::balance

@@ -1,0 +1,108 @@
+// LoadAccountant: decaying per-shard and per-cut load estimates (ip_balance).
+//
+// The rebalance policy needs two signals: how busy each shard's kernel
+// thread is, and how congested each cross-shard channel is. Both are
+// sampled without perturbing the flow:
+//
+//   * shard busy fraction — differences of rt::Runtime::service_busy_ns /
+//     service_idle_ns between samples (the run_service loop splits its wall
+//     time into stepping vs parked-on-the-doorbell), folded into an EWMA so
+//     a momentary burst does not trigger a migration;
+//   * channel load — the ShardChannel stat atomics (depth, producer and
+//     consumer stall counters), readable from any thread by design; stall
+//     counters are differenced into rates per second.
+//
+// In manual/deterministic mode there are no kernel threads and the busy
+// split reads zero; tests inject shard loads through note_busy_sample()
+// instead, which feeds the same EWMA. When a migration completes
+// (ShardedRealization::migrations() bumps), the channel bindings are
+// re-resolved, so collapsed cuts drop out and fresh cuts appear.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_realization.hpp"
+
+namespace infopipe::balance {
+
+struct ChannelLoad {
+  std::string name;
+  int from_shard = -1;
+  int to_shard = -1;
+  double fill_fraction = 0.0;
+  double producer_stall_rate = 0.0;  ///< blocks/s, smoothed
+  double consumer_stall_rate = 0.0;
+};
+
+struct LoadSnapshot {
+  std::uint64_t when_ns = 0;  ///< steady-clock sample time
+  std::vector<double> busy;   ///< per shard, [0,1]
+  std::vector<ChannelLoad> channels;
+
+  [[nodiscard]] int max_shard() const;
+  [[nodiscard]] int min_shard() const;
+  /// busy[max_shard] - busy[min_shard]; the policy's hysteresis input.
+  [[nodiscard]] double imbalance() const;
+};
+
+struct AccountantOptions {
+  double alpha = 0.3;  ///< EWMA weight of the newest sample
+};
+
+class LoadAccountant {
+ public:
+  using Options = AccountantOptions;
+
+  explicit LoadAccountant(shard::ShardedRealization& sr,
+                          Options opts = Options());
+
+  LoadAccountant(const LoadAccountant&) = delete;
+  LoadAccountant& operator=(const LoadAccountant&) = delete;
+
+  /// Takes one sample: shard busy fractions (only while the group has
+  /// kernel threads — otherwise the estimates move only via
+  /// note_busy_sample) and channel readings. Thread-safe; call from the
+  /// rebalancer's thread, never from a shard thread.
+  void sample();
+
+  /// Deterministic injection: folds `fraction` into the shard's EWMA
+  /// exactly as a measured sample would. Tests and manual-mode drivers use
+  /// this where no kernel-thread wall time exists.
+  void note_busy_sample(int shard, double fraction);
+
+  [[nodiscard]] LoadSnapshot snapshot() const;
+
+ private:
+  struct ShardAcc {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t idle_ns = 0;
+    bool primed = false;
+    bool has_estimate = false;
+    double ewma = 0.0;
+  };
+  struct ChanAcc {
+    shard::ShardChannel* ch = nullptr;
+    std::uint64_t producer_stalls = 0;
+    std::uint64_t consumer_stalls = 0;
+    std::uint64_t when_ns = 0;
+    bool primed = false;
+    double producer_rate = 0.0;
+    double consumer_rate = 0.0;
+  };
+
+  void ewma_update(ShardAcc& acc, double fraction);
+  void rebind_channels_locked();
+
+  shard::ShardedRealization* sr_;
+  Options opts_;
+  mutable std::mutex mu_;
+  std::vector<ShardAcc> shards_;
+  std::vector<ChanAcc> chans_;
+  std::uint64_t epoch_ = ~std::uint64_t{0};  ///< sr_->migrations() at rebind
+  std::uint64_t last_when_ = 0;
+};
+
+}  // namespace infopipe::balance

@@ -1,0 +1,73 @@
+// MigrationProtocol: one observed, metered section move (ip_balance).
+//
+// ShardedRealization::begin_migration() supplies the mechanism — this layer
+// adds the operational shell around it: per-phase wall-clock timing
+// (quiesce / transfer / resume), balance.migration.* metrics, and
+// failure containment. A throw from any phase is caught here and reported
+// as MigrationPhase::kFailed; the Migration handle's destructor has already
+// restarted whatever survived, so a failed move leaves the flow running in
+// its old placement rather than stopped.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "shard/sharded_realization.hpp"
+
+namespace infopipe::balance {
+
+enum class MigrationPhase {
+  kIdle,
+  kQuiesce,
+  kTransfer,
+  kResume,
+  kDone,
+  kFailed,
+};
+
+[[nodiscard]] const char* to_string(MigrationPhase p) noexcept;
+
+struct MigrationReport {
+  std::size_t section = 0;
+  int from = -1;
+  int to = -1;
+  /// kDone on success; otherwise the phase that threw.
+  MigrationPhase phase = MigrationPhase::kIdle;
+  shard::MigrationOutcome outcome;
+  std::uint64_t quiesce_ns = 0;
+  std::uint64_t transfer_ns = 0;
+  std::uint64_t resume_ns = 0;
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return phase == MigrationPhase::kDone; }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return quiesce_ns + transfer_ns + resume_ns;
+  }
+};
+
+struct ProtocolOptions {
+  std::chrono::milliseconds quiesce_timeout{5000};
+};
+
+class MigrationProtocol {
+ public:
+  using Options = ProtocolOptions;
+
+  explicit MigrationProtocol(Options opts = Options()) : opts_(opts) {}
+
+  /// Runs the full quiesce → transfer → resume sequence for one section.
+  /// Never throws: failures come back as a kFailed report with `error` set.
+  /// When `metrics` is given, publishes balance.migration.count / .failed
+  /// counters and phase-duration histograms into it (the registry is not
+  /// thread-safe — the caller serializes access, as Rebalancer does).
+  MigrationReport move_section(shard::ShardedRealization& sr,
+                               std::size_t section, int to,
+                               obs::MetricsRegistry* metrics = nullptr);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace infopipe::balance

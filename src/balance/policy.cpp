@@ -1,0 +1,85 @@
+#include "balance/policy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace infopipe::balance {
+
+RebalancePolicy::RebalancePolicy(PolicyOptions opts, shard::Topology topo)
+    : opts_(opts), topo_(std::move(topo)) {}
+
+std::optional<MigrationDecision> RebalancePolicy::decide(
+    const LoadSnapshot& load, shard::ShardedRealization& sr) {
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return std::nullopt;
+  }
+  if (load.busy.size() < 2) return std::nullopt;
+
+  const int from = load.max_shard();
+  const int global_min = load.min_shard();
+  const double spread = load.imbalance();
+  if (spread < opts_.min_imbalance) return std::nullopt;
+
+  // Load share of each migratable section on the hot shard, proxied by its
+  // thread count relative to everything hosted there (the accountant cannot
+  // attribute kernel-thread time to individual ULTs).
+  int threads_on_from = 0;
+  for (std::size_t s = 0; s < sr.section_count(); ++s) {
+    if (sr.shard_of_section(s) == from) threads_on_from += sr.section_threads(s);
+  }
+  if (threads_on_from <= 0) return std::nullopt;
+
+  std::optional<std::size_t> best;
+  double best_gain = 0.0;
+  for (std::size_t s = 0; s < sr.section_count(); ++s) {
+    if (sr.shard_of_section(s) != from) continue;
+    if (!sr.section_migratable(s)) continue;
+    const double share = load.busy[static_cast<std::size_t>(from)] *
+                         static_cast<double>(sr.section_threads(s)) /
+                         static_cast<double>(threads_on_from);
+    // Moving more than half the spread would just invert the imbalance.
+    const double gain = std::min(share, spread / 2.0);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = s;
+    }
+  }
+  if (!best || best_gain <= opts_.migration_cost) return std::nullopt;
+
+  // Pick the target: the global minimum, unless an equally idle shard sits
+  // on the source's NUMA node.
+  int to = global_min;
+  if (opts_.prefer_same_node && !topo_.flat()) {
+    const int n = static_cast<int>(load.busy.size());
+    const int from_node = topo_.node_of_shard(from, n);
+    const double floor = load.busy[static_cast<std::size_t>(global_min)];
+    double to_busy = load.busy[static_cast<std::size_t>(to)];
+    bool to_local = topo_.node_of_shard(to, n) == from_node;
+    for (int s = 0; s < n; ++s) {
+      if (s == from) continue;
+      const double b = load.busy[static_cast<std::size_t>(s)];
+      if (b > floor + opts_.target_slack) continue;
+      const bool local = topo_.node_of_shard(s, n) == from_node;
+      if ((local && !to_local) || (local == to_local && b < to_busy)) {
+        to = s;
+        to_busy = b;
+        to_local = local;
+      }
+    }
+  }
+  if (to == from) return std::nullopt;
+
+  cooldown_ = opts_.cooldown_steps;
+  MigrationDecision d;
+  d.section = *best;
+  d.from = from;
+  d.to = to;
+  d.expected_gain = best_gain;
+  d.reason = "spread " + std::to_string(spread) + " > " +
+             std::to_string(opts_.min_imbalance) + ", section share " +
+             std::to_string(best_gain);
+  return d;
+}
+
+}  // namespace infopipe::balance

@@ -1,0 +1,70 @@
+// RebalancePolicy: greedy steal-from-max / give-to-min section placement
+// (ip_balance).
+//
+// The policy is deliberately simple — the paper's point is that migration is
+// cheap enough to correct mistakes, not that placement is optimal:
+//
+//   * act only when the busy-fraction spread exceeds a hysteresis band
+//     (min_imbalance), so a balanced flow is never churned;
+//   * move one migratable section at a time from the busiest shard toward
+//     the least loaded one, and only when the estimated gain (the section's
+//     load share, capped by half the spread) exceeds a fixed migration-cost
+//     penalty;
+//   * after a decision, hold off for cooldown_steps samples so the EWMA can
+//     re-converge on the new placement before judging it;
+//   * among near-idle target shards, prefer one on the same NUMA node as
+//     the source (Topology), so a migration does not move a section's
+//     working set across the interconnect when an equally idle local core
+//     exists.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "balance/accountant.hpp"
+#include "shard/sharded_realization.hpp"
+#include "shard/topology.hpp"
+
+namespace infopipe::balance {
+
+struct PolicyOptions {
+  double min_imbalance = 0.2;   ///< act only above this busy spread
+  double migration_cost = 0.05; ///< estimated gain must exceed this
+  int cooldown_steps = 2;       ///< samples to skip after each decision
+  bool prefer_same_node = true; ///< use Topology when choosing the target
+  /// Targets within this much of the minimum busy fraction count as
+  /// equally idle for the NUMA preference.
+  double target_slack = 0.1;
+};
+
+struct MigrationDecision {
+  std::size_t section = 0;
+  int from = -1;
+  int to = -1;
+  double expected_gain = 0.0;
+  std::string reason;
+};
+
+class RebalancePolicy {
+ public:
+  explicit RebalancePolicy(PolicyOptions opts = {},
+                           shard::Topology topo = shard::Topology{});
+
+  /// One placement decision for the current load picture, or nullopt when
+  /// the flow is balanced / cooling down / nothing migratable would help.
+  /// Mutates only the policy's own cooldown counter.
+  std::optional<MigrationDecision> decide(const LoadSnapshot& load,
+                                          shard::ShardedRealization& sr);
+
+  [[nodiscard]] const shard::Topology& topology() const noexcept {
+    return topo_;
+  }
+
+ private:
+  PolicyOptions opts_;
+  shard::Topology topo_;
+  int cooldown_ = 0;
+};
+
+}  // namespace infopipe::balance

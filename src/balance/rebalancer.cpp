@@ -1,0 +1,85 @@
+#include "balance/rebalancer.hpp"
+
+#include <utility>
+
+#include "rt/clock.hpp"
+
+namespace infopipe::balance {
+
+Rebalancer::Rebalancer(shard::ShardedRealization& sr, Options opts)
+    : sr_(&sr),
+      opts_(opts),
+      accountant_(sr, opts.accountant),
+      policy_(opts.policy, opts.topology),
+      protocol_(opts.protocol) {}
+
+Rebalancer::~Rebalancer() { stop(); }
+
+std::optional<MigrationReport> Rebalancer::step() {
+  accountant_.sample();
+  const LoadSnapshot load = accountant_.snapshot();
+  std::optional<MigrationDecision> decision = policy_.decide(load, *sr_);
+  steps_.fetch_add(1, std::memory_order_relaxed);
+
+  std::optional<MigrationReport> report;
+  if (decision) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    report = protocol_.move_section(*sr_, decision->section, decision->to,
+                                    nullptr);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(metrics_mu_);
+    metrics_.counter("balance.steps").inc();
+    metrics_.gauge("balance.imbalance").set(load.imbalance());
+    if (report) {
+      // Re-run the metric bookkeeping move_section would have done had we
+      // been able to hand it the registry under the lock up front.
+      if (report->ok()) {
+        metrics_.counter("balance.migration.count").inc();
+        metrics_.counter("balance.migration.items_moved")
+            .inc(report->outcome.items_moved);
+        metrics_.histogram("balance.migration.quiesce_ns")
+            .record(static_cast<std::int64_t>(report->quiesce_ns));
+        metrics_.histogram("balance.migration.transfer_ns")
+            .record(static_cast<std::int64_t>(report->transfer_ns));
+        metrics_.histogram("balance.migration.total_ns")
+            .record(static_cast<std::int64_t>(report->total_ns()));
+      } else {
+        metrics_.counter("balance.migration.failed").inc();
+      }
+    }
+  }
+  return report;
+}
+
+void Rebalancer::launch() {
+  if (host_.joinable()) return;
+  rt_ = std::make_unique<rt::Runtime>(std::make_unique<rt::RealClock>());
+  rt_->set_external_notifier([this] { bell_.ring(); });
+  // Spawn + start the task before the host thread exists: still
+  // single-threaded here, so the non-thread-safe Runtime surface is safe.
+  task_ = std::make_unique<fb::PeriodicTask>(
+      *rt_, "balance.rebalancer", opts_.period,
+      [this](rt::Time) { (void)step(); });
+  task_->start();
+  host_ = std::thread([this] { rt_->run_service(bell_); });
+}
+
+void Rebalancer::stop() {
+  if (!host_.joinable()) return;
+  rt_->request_halt();
+  bell_.ring();
+  host_.join();
+  // The runtime is parked again; tearing the task down from this thread is
+  // race-free.
+  task_.reset();
+  rt_.reset();
+}
+
+obs::MetricsSnapshot Rebalancer::metrics_snapshot() {
+  const std::lock_guard<std::mutex> lk(metrics_mu_);
+  return metrics_.snapshot();
+}
+
+}  // namespace infopipe::balance

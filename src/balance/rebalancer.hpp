@@ -1,0 +1,109 @@
+// Rebalancer: the closed loop over accounting, policy and migration
+// (ip_balance).
+//
+// Two driving modes, mirroring ShardGroup's:
+//
+//   * manual — the caller invokes step() whenever it likes (tests inject
+//     loads through accountant().note_busy_sample() and step in lockstep
+//     with ShardGroup::step_until);
+//   * autonomous — launch() gives the rebalancer its own rt::Runtime on its
+//     own kernel thread (real clock) and a fb::PeriodicTask whose body is
+//     step(). The rebalancer MUST NOT run on a shard's kernel thread: a
+//     migration issues ShardGroup::run_on calls, which would self-deadlock
+//     when issued from the shard they target. A dedicated thread — like the
+//     feedback loops' home-shard placement, but outside the group — keeps
+//     the control plane off the data plane.
+//
+// Observability: the rebalancer owns a private obs::MetricsRegistry
+// (balance.steps / balance.imbalance / balance.migration.*). The registry
+// class is not thread-safe, so every access — step() updating it,
+// metrics_snapshot() reading it — happens under one internal mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "balance/accountant.hpp"
+#include "balance/migration.hpp"
+#include "balance/policy.hpp"
+#include "feedback/toolkit.hpp"
+#include "obs/metrics.hpp"
+#include "rt/doorbell.hpp"
+#include "rt/runtime.hpp"
+#include "shard/sharded_realization.hpp"
+
+namespace infopipe::balance {
+
+struct RebalancerOptions {
+  rt::Time period = rt::milliseconds(200);  ///< autonomous sampling period
+  AccountantOptions accountant;
+  PolicyOptions policy;
+  ProtocolOptions protocol;
+  shard::Topology topology;  ///< defaults to flat; pass Topology::detect()
+};
+
+class Rebalancer {
+ public:
+  using Options = RebalancerOptions;
+
+  explicit Rebalancer(shard::ShardedRealization& sr,
+                      Options opts = Options());
+  ~Rebalancer();
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  /// One control cycle: sample loads, ask the policy, run the migration it
+  /// decided on (if any). Returns the migration report when one was
+  /// attempted. Call from any thread EXCEPT a shard's kernel thread.
+  std::optional<MigrationReport> step();
+
+  /// For load injection (note_busy_sample) and inspection.
+  [[nodiscard]] LoadAccountant& accountant() noexcept { return accountant_; }
+
+  /// Starts the autonomous mode: a dedicated kernel thread hosting a
+  /// private runtime whose PeriodicTask calls step() every `period`.
+  /// No-op if already launched.
+  void launch();
+  /// Stops the autonomous thread (no-op if not launched). Also called by
+  /// the destructor.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return host_.joinable(); }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept {
+    return steps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t migrations_attempted() const noexcept {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the rebalancer's private balance.* registry.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+
+ private:
+  shard::ShardedRealization* sr_;
+  Options opts_;
+  LoadAccountant accountant_;
+  RebalancePolicy policy_;
+  MigrationProtocol protocol_;
+
+  std::mutex metrics_mu_;  ///< guards metrics_ (registry is not thread-safe)
+  obs::MetricsRegistry metrics_;
+
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint64_t> attempts_{0};
+
+  // Autonomous mode. The task is constructed and started before the host
+  // thread exists (single-threaded, so the non-thread-safe spawn/send are
+  // fine) and destroyed after it joined (runtime parked again).
+  std::unique_ptr<rt::Runtime> rt_;
+  std::unique_ptr<fb::PeriodicTask> task_;
+  rt::Doorbell bell_;
+  std::thread host_;
+};
+
+}  // namespace infopipe::balance

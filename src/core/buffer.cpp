@@ -123,6 +123,19 @@ Item Buffer::take(HostContext& host) {
   }
 }
 
+std::deque<Item> Buffer::drain_for_migration() {
+  std::deque<Item> out = std::move(q_);
+  q_.clear();
+  stats_.takes += out.size();
+  return out;
+}
+
+void Buffer::preload(Item x) {
+  q_.push_back(std::move(x));
+  ++stats_.puts;
+  stats_.max_fill = std::max(stats_.max_fill, q_.size());
+}
+
 void Buffer::handle_event(const Event& e) {
   if (e.type == kEventFlush) {
     stats_.drops += q_.size();

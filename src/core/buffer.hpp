@@ -75,6 +75,19 @@ class Buffer : public Component {
   /// Discard queued items (kEventFlush does this).
   void handle_event(const Event& e) override;
 
+  // -- migration hooks (ip_balance; called only while the adjacent sections
+  // are quiesced, so no waiter can race) -------------------------------------
+
+  /// Move out every queued item. Counted as takes so the documented
+  /// `fill == puts - takes` invariant survives the migration.
+  [[nodiscard]] std::deque<Item> drain_for_migration();
+  /// Insert an item carried over from a collapsed cross-shard channel.
+  /// Counted as a put; may exceed capacity transiently (like the stopped-
+  /// flow overflow in put()) — the drain recovers once the flow restarts.
+  void preload(Item x);
+  [[nodiscard]] bool saw_eos() const noexcept { return eos_; }
+  void mark_eos() noexcept { eos_ = true; }
+
  private:
   void notify_one(std::vector<rt::ThreadId>& waiters, HostContext& host);
 

@@ -119,6 +119,13 @@ class Component {
   /// to its transport) hook in here.
   virtual void on_realized() {}
 
+  /// May the platform move this component's section to another shard while
+  /// the flow runs? Components bound to external OS resources (netpipe
+  /// transports, audio devices, anything built on an rt::IoBridge) return
+  /// false; partition() then pins the whole hosting section so the
+  /// rebalancer never tries to re-instantiate it elsewhere.
+  [[nodiscard]] virtual bool migratable() const { return true; }
+
   /// True between kEventStart and kEventStop. Active components' main loops
   /// are conventionally `while (running()) { ... }` as in the paper's
   /// figures; also useful for application-level introspection.

@@ -414,8 +414,36 @@ Partition partition(
     }
   }
 
-  // Cuts: boundary components (outside every section — i.e. buffers) whose
-  // upstream and downstream sections landed on different shards.
+  part.cuts = cuts_for(plan, part.shard_of_section);
+
+  // Migratability: a section may move alone only if its cluster is itself
+  // (shared regions and colocation constraints move as a unit, which single-
+  // section migration cannot do) and no hosted component is tied to an
+  // external resource.
+  part.migratable_section.assign(ns, 1);
+  std::vector<int> cluster_size(ns, 0);
+  for (std::size_t i = 0; i < ns; ++i) ++cluster_size[find(i)];
+  for (std::size_t i = 0; i < ns; ++i) {
+    if (cluster_size[find(i)] > 1) part.migratable_section[i] = 0;
+    if (!plan.sections[i].driver->migratable()) part.migratable_section[i] = 0;
+    for (const Plan::Hosted& h : plan.sections[i].members) {
+      if (!h.comp->migratable()) part.migratable_section[i] = 0;
+    }
+  }
+  return part;
+}
+
+std::vector<Partition::Cut> cuts_for(
+    const Plan& plan, const std::vector<int>& shard_of_section) {
+  std::map<const Component*, std::size_t> section_of;
+  for (std::size_t i = 0; i < plan.sections.size(); ++i) {
+    section_of.emplace(plan.sections[i].driver, i);
+    for (const Plan::Hosted& h : plan.sections[i].members) {
+      section_of.emplace(h.comp, i);
+    }
+  }
+  // Boundary components (outside every section — i.e. buffers) whose
+  // upstream and downstream sections sit on different shards.
   struct Sides {
     std::optional<std::size_t> up, down;
   };
@@ -433,23 +461,24 @@ Partition partition(
       }
     }
   }
+  std::vector<Partition::Cut> cuts;
   for (const auto& [comp, sides] : boundaries) {
     if (!sides.up || !sides.down) continue;  // passive endpoint, one side
-    const int su = part.shard_of_section[*sides.up];
-    const int sd = part.shard_of_section[*sides.down];
+    const int su = shard_of_section.at(*sides.up);
+    const int sd = shard_of_section.at(*sides.down);
     if (su != sd) {
-      part.cuts.push_back(Partition::Cut{comp, *sides.up, *sides.down});
+      cuts.push_back(Partition::Cut{comp, *sides.up, *sides.down});
     }
   }
   // The map above is keyed by pointer; re-order by section index so the cut
   // list (and thus channel naming downstream) is deterministic run to run.
-  std::sort(part.cuts.begin(), part.cuts.end(),
+  std::sort(cuts.begin(), cuts.end(),
             [](const Partition::Cut& a, const Partition::Cut& b) {
               return a.upstream_section != b.upstream_section
                          ? a.upstream_section < b.upstream_section
                          : a.downstream_section < b.downstream_section;
             });
-  return part;
+  return cuts;
 }
 
 }  // namespace infopipe

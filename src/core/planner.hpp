@@ -115,6 +115,17 @@ struct Partition {
   /// Parallel to Plan::sections: which shard hosts each section.
   std::vector<int> shard_of_section;
   std::vector<Cut> cuts;
+  /// Parallel to Plan::sections: may the rebalancer move this section alone?
+  /// Pinned (false): sections clustered with others — shared merge/balance
+  /// regions and colocation constraints must move as a unit or not at all —
+  /// and sections hosting a component whose migratable() is false (netpipe
+  /// endpoints, audio devices, anything on an external I/O path).
+  std::vector<char> migratable_section;
+
+  [[nodiscard]] bool migratable(std::size_t section) const {
+    return section < migratable_section.size() &&
+           migratable_section[section] != 0;
+  }
 
   /// Shard of the section a driver/member belongs to; -1 for components
   /// outside every section (boundaries).
@@ -137,5 +148,14 @@ struct Partition {
     const Plan& plan, int n_shards,
     const std::vector<std::pair<const Component*, const Component*>>&
         colocate = {});
+
+/// The cut set induced by an arbitrary section→shard assignment: every
+/// boundary component (buffer) whose upstream and downstream sections sit on
+/// different shards, ordered deterministically by section index. partition()
+/// uses this for its initial placement; live migration recomputes it after
+/// every assignment change to decide which channels to create, rebind or
+/// collapse.
+[[nodiscard]] std::vector<Partition::Cut> cuts_for(
+    const Plan& plan, const std::vector<int>& shard_of_section);
 
 }  // namespace infopipe

@@ -222,6 +222,12 @@ class Realization {
   [[nodiscard]] Component* find_component(std::string_view name) const;
 
   [[nodiscard]] rt::ThreadId host_thread(const Component& c) const;
+  /// Whether this realization hosts the component (a sharded flow has one
+  /// realization per shard; the balancer uses this to find which one a
+  /// component lives on after migrations).
+  [[nodiscard]] bool hosts(const Component& c) const noexcept {
+    return host_of_comp_.count(&c) != 0;
+  }
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return all_threads_.size();
   }

@@ -1,7 +1,9 @@
 #include "feedback/endpoint.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace infopipe::fb {
 
@@ -57,16 +59,83 @@ FeedbackLoop::Reading windowed_rate(std::function<std::uint64_t()> count,
   };
 }
 
-/// Runs `sample` on the owning shard while the group has kernel threads;
-/// when parked or manual the direct call is race-free.
-template <typename T>
-std::function<T()> on_owner(shard::ShardGroup* grp, int owner,
-                            std::function<T()> sample) {
-  return [grp, owner, sample = std::move(sample)]() {
-    if (grp->running()) return grp->call_on(owner, sample);
-    return sample();
+/// Samples a component by name through the migration-safe path: the sample
+/// runs on whichever shard hosts the component NOW, and when a structural
+/// operation (a migration, a snapshot) is in flight the previous value is
+/// returned instead of blocking behind it. Exactly one such cross-shard
+/// sample is in flight at a time (the structural lock serializes them),
+/// which is what makes opposite-direction component loops between one shard
+/// pair deadlock-free.
+std::function<double()> sampled(shard::ShardedRealization* sr,
+                                std::string name,
+                                std::function<double(Component&)> fn) {
+  auto last = std::make_shared<double>(0.0);
+  return [sr, name = std::move(name), fn = std::move(fn), last]() {
+    if (const std::optional<double> v = sr->try_sample_component(name, fn)) {
+      *last = *v;
+    }
+    return *last;
   };
 }
+
+/// The shard-side cache of a remote probe (satellite of §13): instead of a
+/// blocking round trip per loop step, a PeriodicTask on the probed
+/// component's shard samples it locally, stores the value here, and
+/// broadcasts it as a kEventSensorReport. The loop's Reading is then one
+/// atomic load. After a migration moves the component, the task keeps
+/// sampling through the migration-safe path (it re-resolves the owner), so
+/// the cache stays fresh — at worst one period stale.
+class RemoteProbe {
+ public:
+  RemoteProbe(shard::ShardedRealization& sr, std::string name, int owner,
+              rt::Time period)
+      : sr_(&sr), owner_(owner) {
+    const auto make = [this, name = std::move(name), period]() {
+      task_ = std::make_unique<PeriodicTask>(
+          sr_->group().runtime(owner_), "fb.probe." + name, period,
+          [sr = sr_, name, this](rt::Time) {
+            const std::optional<double> v = sr->try_sample_component(
+                name, [](Component& c) { return probe(&c); });
+            if (!v) return;
+            value_.store(*v, std::memory_order_release);
+            valid_.store(true, std::memory_order_release);
+            sr->post_event(Event{kEventSensorReport, SensorReport{name, *v}});
+          });
+      task_->start();
+    };
+    run_on_owner(make);
+  }
+
+  ~RemoteProbe() {
+    // Destroy the task where it lives. Must not run on a shard's kernel
+    // thread — the same rule as destroying the owning FeedbackLoop.
+    run_on_owner([this]() { task_.reset(); });
+  }
+
+  RemoteProbe(const RemoteProbe&) = delete;
+  RemoteProbe& operator=(const RemoteProbe&) = delete;
+
+  [[nodiscard]] double read() const {
+    return valid_.load(std::memory_order_acquire)
+               ? value_.load(std::memory_order_acquire)
+               : 0.0;
+  }
+
+ private:
+  void run_on_owner(const std::function<void()>& fn) {
+    if (sr_->group().running()) {
+      sr_->group().run_on(owner_, fn);
+    } else {
+      fn();
+    }
+  }
+
+  shard::ShardedRealization* sr_;
+  int owner_;  ///< shard whose runtime hosts the task (fixed at bind time)
+  std::unique_ptr<PeriodicTask> task_;
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> valid_{false};
+};
 
 FeedbackLoop::Actuate event_actuator(std::function<void(const Event&)> post,
                                      ActuatorKind kind) {
@@ -120,7 +189,8 @@ FeedbackLoop::Actuate resolve_actuate(Realization& real,
 }
 
 FeedbackLoop::Reading resolve_reading(shard::ShardedRealization& sr,
-                                      const SensorRef& s, int home_shard) {
+                                      const SensorRef& s, int home_shard,
+                                      rt::Time probe_period) {
   rt::Runtime* home = &sr.group().runtime(home_shard);
   // A channel carries the name of the buffer it replaced, so the same
   // SensorRef works before and after a cut lands on its target.
@@ -143,37 +213,48 @@ FeedbackLoop::Reading resolve_reading(shard::ShardedRealization& sr,
   }
   const shard::ShardedRealization::Located loc = sr.find_component(s.target);
   if (loc.comp == nullptr) unknown(s.target);
-  shard::ShardGroup* grp = &sr.group();
-  const bool local = loc.shard == home_shard;
+  shard::ShardedRealization* srp = &sr;
   switch (s.kind) {
     case SensorKind::kFillFraction: {
-      Buffer* b = need_buffer(loc.comp);
-      std::function<double()> sample = [b]() {
+      (void)need_buffer(loc.comp);  // type-check at bind time
+      return sampled(srp, s.target, [](Component& c) {
+        Buffer* b = need_buffer(&c);
         return static_cast<double>(b->fill()) /
                static_cast<double>(b->capacity());
-      };
-      return local ? FeedbackLoop::Reading(std::move(sample))
-                   : FeedbackLoop::Reading(
-                         on_owner(grp, loc.shard, std::move(sample)));
+      });
     }
     case SensorKind::kProducerStallRate:
     case SensorKind::kConsumerStallRate: {
-      Buffer* b = need_buffer(loc.comp);
+      (void)need_buffer(loc.comp);
       const bool producer = s.kind == SensorKind::kProducerStallRate;
-      std::function<std::uint64_t()> count = [b, producer]() {
-        const Buffer::Stats& st = b->stats();
-        return producer ? st.put_blocks : st.take_blocks;
-      };
-      if (!local) count = on_owner(grp, loc.shard, std::move(count));
-      return windowed_rate(std::move(count), home);
+      // The count reading tolerates a skipped sample (last value repeats,
+      // the rate window just stretches over the gap).
+      std::function<double()> count =
+          sampled(srp, s.target, [producer](Component& c) {
+            const Buffer::Stats& st = need_buffer(&c)->stats();
+            return static_cast<double>(producer ? st.put_blocks
+                                                : st.take_blocks);
+          });
+      return windowed_rate(
+          [count = std::move(count)]() {
+            return static_cast<std::uint64_t>(count());
+          },
+          home);
     }
     case SensorKind::kProbeValue: {
       (void)probe(loc.comp);  // type-check at bind time
-      Component* c = loc.comp;
-      std::function<double()> sample = [c]() { return probe(c); };
-      return local ? FeedbackLoop::Reading(std::move(sample))
-                   : FeedbackLoop::Reading(
-                         on_owner(grp, loc.shard, std::move(sample)));
+      if (loc.shard == home_shard) {
+        // Local probe: the migration-safe path degenerates to a direct read
+        // when the component is on the calling shard.
+        return sampled(srp, s.target,
+                       [](Component& c) { return probe(&c); });
+      }
+      // Foreign probe: no blocking round trip per step — a shard-side task
+      // pushes samples into a cache the Reading loads.
+      if (probe_period <= 0) probe_period = rt::milliseconds(25);
+      auto remote = std::make_shared<RemoteProbe>(sr, s.target, loc.shard,
+                                                  probe_period);
+      return [remote]() { return remote->read(); };
     }
   }
   unknown(s.target);
@@ -189,11 +270,14 @@ FeedbackLoop::Actuate resolve_actuate(shard::ShardedRealization& sr,
   }
   // The hint crosses shards as a control event through the one thread-safe
   // runtime entry point: delivered at the target's dispatch points, even
-  // while the target is blocked in a push/pull (§3.2 across cores).
-  Realization* r = loc.real;
+  // while the target is blocked in a push/pull (§3.2 across cores). Routed
+  // through the sharded realization — NOT a cached per-shard Realization —
+  // so the hint keeps finding the component after migrations move it.
+  shard::ShardedRealization* srp = &sr;
   Component* c = loc.comp;
   return event_actuator(
-      [r, c](const Event& e) { r->post_event_to_external(*c, e); }, a.kind);
+      [srp, c](const Event& e) { srp->post_event_to_component(*c, e); },
+      a.kind);
 }
 
 std::unique_ptr<FeedbackLoop> make_loop(Realization& real, LoopSpec spec) {
@@ -215,7 +299,8 @@ std::unique_ptr<FeedbackLoop> make_loop(shard::ShardedRealization& sr,
       home = loc.shard;
     }
   }
-  FeedbackLoop::Reading read = resolve_reading(sr, spec.sensor, home);
+  FeedbackLoop::Reading read =
+      resolve_reading(sr, spec.sensor, home, spec.period);
   FeedbackLoop::Actuate act = resolve_actuate(sr, spec.actuator);
   shard::ShardGroup* grp = &sr.group();
   FeedbackLoop::Exec exec = [grp, home](const std::function<void()>& f) {

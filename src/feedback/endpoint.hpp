@@ -9,22 +9,32 @@
 //   * against a Realization, refs resolve to direct probes and local
 //     control events — everything is on one runtime;
 //   * against a shard::ShardedRealization, channel sensors read the ring's
-//     atomics from anywhere, component sensors are sampled on the owning
-//     shard (ShardGroup::call_on while the group runs, direct reads when it
-//     is parked or manual), and actuations travel as kEventQualityHint
-//     control events through Realization::post_event_to_external — the same
+//     atomics from anywhere; component sensors go through
+//     ShardedRealization::try_sample_component, which samples on whichever
+//     shard hosts the component NOW — so a reading keeps working after the
+//     rebalancer migrates its target, and never blocks behind a structural
+//     operation (it repeats the last value instead); actuations travel as
+//     kEventQualityHint control events through
+//     ShardedRealization::post_event_to_component — the same
 //     deliver-while-blocked event service that carries them within one
-//     runtime, now hopping kernel threads.
+//     runtime, now hopping kernel threads and surviving migrations.
+//
+// Foreign probe values (a RateSensor on another shard, say) are not sampled
+// by round trip at all: resolution plants a small PeriodicTask on the
+// probed component's shard that samples locally, pushes the value into an
+// atomic cache and broadcasts it as kEventSensorReport; the loop's Reading
+// is then one atomic load, at worst one probe period stale.
 //
 // make_loop() binds a whole loop from a LoopSpec: on a sharded realization
 // the loop is homed on a shard (by default the sensor channel's consumer
 // shard — congestion is observed where it hurts) and its lifecycle is
 // routed there via run_on, so the caller never touches a foreign runtime.
 //
-// Caveat: sampling a foreign component while the group runs blocks the
-// loop's shard for the round trip. Prefer channel sensors (pure atomics)
-// across cuts; do not close two component-sampling loops in opposite
-// directions between the same pair of shards.
+// Cross-shard component samples are serialized by the realization's
+// structural lock (one in flight at a time, others reuse their last value),
+// so two component-sampling loops closed in opposite directions between the
+// same pair of shards no longer deadlock. Channel sensors (pure atomics)
+// remain the cheapest way to observe a cut.
 #pragma once
 
 #include <memory>
@@ -103,10 +113,13 @@ struct ActuatorRef {
                                                     const ActuatorRef& a);
 
 /// Resolve against a sharded realization for a loop homed on `home_shard`:
-/// channel refs read the ring atomics, component refs on the home shard read
-/// directly, foreign component refs are sampled on their owning shard.
+/// channel refs read the ring atomics, component refs sample through the
+/// migration-safe try_sample_component path, and foreign probe values are
+/// served from a shard-side cache refreshed every `probe_period` (<= 0
+/// picks a 25ms default; make_loop passes the loop period).
 [[nodiscard]] FeedbackLoop::Reading resolve_reading(
-    shard::ShardedRealization& sr, const SensorRef& s, int home_shard);
+    shard::ShardedRealization& sr, const SensorRef& s, int home_shard,
+    rt::Time probe_period = 0);
 /// Actuations are location-transparent by construction: the event enqueues
 /// onto the target's shard through the thread-safe external path.
 [[nodiscard]] FeedbackLoop::Actuate resolve_actuate(

@@ -132,6 +132,9 @@ class AudioDevice : public ClockedSinkBase {
     return played_media_ns_;
   }
 
+  /// Models a hardware device with its own crystal: pinned to its shard.
+  [[nodiscard]] bool migratable() const override { return false; }
+
  protected:
   void consume(Item x) override {
     if (x.is_nil()) {

@@ -43,6 +43,9 @@ class NetSender : public PassiveSink {
     return Typespec{{props::kItemType, std::string("bytes")}};
   }
 
+  /// Bound to a transport on this node: pins its section under rebalancing.
+  [[nodiscard]] bool migratable() const override { return false; }
+
  protected:
   void consume(Item x) override { link_->send(realization()->runtime(), std::move(x)); }
   void on_eos() override { link_->send(realization()->runtime(), Item::eos()); }
@@ -72,6 +75,10 @@ class NetReceiver : public ActiveSource {
   void on_realized() override {
     link_->attach_receiver(realization()->host_thread(*this));
   }
+
+  /// The transport delivers to this receiver's thread: pinned, like every
+  /// component attached to an external I/O path.
+  [[nodiscard]] bool migratable() const override { return false; }
 
  protected:
   /// Fire as soon as a packet is available; block (control-responsively)

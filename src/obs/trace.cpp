@@ -22,6 +22,8 @@ const char* to_string(Hop h) {
       return "drop";
     case Hop::kShardHop:
       return "shard-hop";
+    case Hop::kMigration:
+      return "migration";
   }
   return "?";
 }

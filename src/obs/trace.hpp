@@ -39,6 +39,7 @@ enum class Hop : std::uint8_t {
   kTimerFire,        ///< runtime timer fired
   kDrop,             ///< item dropped (full buffer / switch misroute / link)
   kShardHop,         ///< item crossed shards via a ShardChannel (a=from, b=to)
+  kMigration,        ///< a section was migrated between shards (a=from, b=to)
 };
 
 [[nodiscard]] const char* to_string(Hop h);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace infopipe::rt {
@@ -458,13 +459,28 @@ void Runtime::run_until(Time t) {
 }
 
 void Runtime::run_service(Doorbell& bell) {
+  using SteadyClock = std::chrono::steady_clock;
   while (!halted()) {
+    // Wall-clock busy/idle split for the load accountant (ip_balance): time
+    // inside run() is busy, time parked on the bell is idle. Measured with
+    // the OS steady clock — NOT this runtime's (possibly virtual) clock —
+    // because the question is how loaded the hosting kernel thread is.
+    const auto t0 = SteadyClock::now();
     run();
+    const auto t1 = SteadyClock::now();
+    service_busy_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count(),
+        std::memory_order_relaxed);
     if (halted()) break;
     // Quiescent. Work injected between run() returning and wait() parks is
     // not lost: post_external rings the bell (sticky counter), and
     // request_halt() is followed by a ring from the caller.
     bell.wait();
+    service_idle_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - t1)
+            .count(),
+        std::memory_order_relaxed);
   }
 }
 

@@ -242,6 +242,18 @@ class Runtime {
   /// Number of live (not yet terminated) threads.
   [[nodiscard]] std::size_t live_threads() const noexcept;
 
+  /// Cumulative wall-clock time run_service() spent stepping (busy) vs
+  /// parked on its doorbell (idle), in nanoseconds of the OS steady clock.
+  /// Thread-safe reads; the load accountant (ip_balance) differences
+  /// successive samples into a busy fraction per shard. Zero until the
+  /// runtime is hosted via run_service().
+  [[nodiscard]] std::uint64_t service_busy_ns() const noexcept {
+    return service_busy_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t service_idle_ns() const noexcept {
+    return service_idle_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct TimerEntry {
     Time when;
@@ -293,6 +305,8 @@ class Runtime {
   std::vector<std::pair<ThreadId, Message>> external_;
   std::atomic<bool> external_pending_{false};
   std::atomic<bool> halt_{false};
+  std::atomic<std::uint64_t> service_busy_ns_{0};
+  std::atomic<std::uint64_t> service_idle_ns_{0};
   std::function<void()> notifier_;  ///< see set_external_notifier()
   std::unordered_map<ThreadId, std::unique_ptr<UThread>> threads_;
   std::vector<TimerEntry> timers_;  // min-heap via TimerLater

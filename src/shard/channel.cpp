@@ -52,21 +52,23 @@ std::optional<Item> ShardChannel::try_pop() {
 void ShardChannel::wake_producer() {
   const rt::ThreadId w =
       producer_waiter_.exchange(rt::kNoThread, std::memory_order_seq_cst);
-  if (w == rt::kNoThread || producer_rt_ == nullptr) return;
+  rt::Runtime* rtm = producer_rt_.load(std::memory_order_acquire);
+  if (w == rt::kNoThread || rtm == nullptr) return;
   wakeups_.fetch_add(1, std::memory_order_relaxed);
   rt::Message m{detail::kMsgChanSpace, rt::MsgClass::kData};
   m.payload = static_cast<ShardChannel*>(this);
-  producer_rt_->post_external(w, std::move(m));
+  rtm->post_external(w, std::move(m));
 }
 
 void ShardChannel::wake_consumer() {
   const rt::ThreadId w =
       consumer_waiter_.exchange(rt::kNoThread, std::memory_order_seq_cst);
-  if (w == rt::kNoThread || consumer_rt_ == nullptr) return;
+  rt::Runtime* rtm = consumer_rt_.load(std::memory_order_acquire);
+  if (w == rt::kNoThread || rtm == nullptr) return;
   wakeups_.fetch_add(1, std::memory_order_relaxed);
   rt::Message m{detail::kMsgChanData, rt::MsgClass::kData};
   m.payload = static_cast<ShardChannel*>(this);
-  consumer_rt_->post_external(w, std::move(m));
+  rtm->post_external(w, std::move(m));
 }
 
 ChannelStats ShardChannel::stats() const {
@@ -82,8 +84,8 @@ ChannelStats ShardChannel::stats() const {
   s.flow.nil_returns = nils_.load(std::memory_order_relaxed);
   s.flow.put_blocks = producer_stalls_.load(std::memory_order_relaxed);
   s.flow.take_blocks = consumer_stalls_.load(std::memory_order_relaxed);
-  s.from_shard = producer_shard_;
-  s.to_shard = consumer_shard_;
+  s.from_shard = producer_shard_.load(std::memory_order_acquire);
+  s.to_shard = consumer_shard_.load(std::memory_order_acquire);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
   return s;
 }

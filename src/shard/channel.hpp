@@ -70,17 +70,27 @@ class ShardChannel {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] FullPolicy full_policy() const noexcept { return full_; }
   [[nodiscard]] EmptyPolicy empty_policy() const noexcept { return empty_; }
-  [[nodiscard]] int from_shard() const noexcept { return producer_shard_; }
-  [[nodiscard]] int to_shard() const noexcept { return consumer_shard_; }
+  [[nodiscard]] int from_shard() const noexcept {
+    return producer_shard_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int to_shard() const noexcept {
+    return consumer_shard_.load(std::memory_order_acquire);
+  }
 
-  /// Wiring (before any data flows): which runtime/shard hosts each side.
+  /// Wiring: which runtime/shard hosts each side. Atomic stores because live
+  /// migration re-binds one side of a persisting cut while the FAR side may
+  /// be mid-push/pop: the far side only dereferences the rebound pointer in
+  /// wake_*(), and the moved side's section is quiesced (its waiter slot is
+  /// kNoThread), so the worst case is a wakeup posted to the new runtime for
+  /// a thread id that no longer exists there — rt::Runtime::send drops sends
+  /// to unknown threads by design.
   void bind_producer(rt::Runtime& rtm, int shard) {
-    producer_rt_ = &rtm;
-    producer_shard_ = shard;
+    producer_rt_.store(&rtm, std::memory_order_release);
+    producer_shard_.store(shard, std::memory_order_release);
   }
   void bind_consumer(rt::Runtime& rtm, int shard) {
-    consumer_rt_ = &rtm;
-    consumer_shard_ = shard;
+    consumer_rt_.store(&rtm, std::memory_order_release);
+    consumer_shard_.store(shard, std::memory_order_release);
   }
 
   // -- ring (producer side: try_push/force_push; consumer side: try_pop) -----
@@ -174,10 +184,10 @@ class ShardChannel {
     }
   }
 
-  rt::Runtime* producer_rt_ = nullptr;
-  rt::Runtime* consumer_rt_ = nullptr;
-  int producer_shard_ = 0;
-  int consumer_shard_ = 0;
+  std::atomic<rt::Runtime*> producer_rt_{nullptr};
+  std::atomic<rt::Runtime*> consumer_rt_{nullptr};
+  std::atomic<int> producer_shard_{0};
+  std::atomic<int> consumer_shard_{0};
   std::atomic<rt::ThreadId> producer_waiter_{rt::kNoThread};
   std::atomic<rt::ThreadId> consumer_waiter_{rt::kNoThread};
 

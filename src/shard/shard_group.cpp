@@ -41,7 +41,15 @@ void pin_to_core(int shard) {
 #endif
 }
 
+/// (group, shard) hosted by the calling kernel thread; see on_shard_thread.
+thread_local const ShardGroup* g_host_group = nullptr;
+thread_local int g_host_shard = -1;
+
 }  // namespace
+
+bool ShardGroup::on_shard_thread(int shard) const noexcept {
+  return g_host_group == this && g_host_shard == shard;
+}
 
 ShardGroup::ShardGroup(int n_shards, rt::RuntimeOptions options)
     : ShardGroup(n_shards, GroupOptions{std::move(options), {}, false}) {}
@@ -107,6 +115,8 @@ void ShardGroup::launch() {
 void ShardGroup::host_loop(int shard) {
   Shard& s = *shards_[static_cast<std::size_t>(shard)];
   pin_to_core(shard);
+  g_host_group = this;
+  g_host_shard = shard;
   try {
     s.rtm->run_service(s.bell);
   } catch (...) {

@@ -109,6 +109,14 @@ class ShardGroup {
     return std::move(*out);
   }
 
+  /// True when the calling kernel thread IS the shard's host thread (set
+  /// thread-locally by host_loop). Lets code that may run either from
+  /// outside or from a run_on() payload pick direct access over a nested
+  /// run_on() — which would deadlock, since the service thread executing the
+  /// payload is the one that would have to serve the nested request. Always
+  /// false in manual mode (no host threads exist; run_on is inline anyway).
+  [[nodiscard]] bool on_shard_thread(int shard) const noexcept;
+
   /// Aggregates every shard's registry snapshot, each row prefixed
   /// `shard<i>.`; `when` is the latest shard timestamp. Snapshots are taken
   /// on the owning shard threads (run_on) while running, directly when not.

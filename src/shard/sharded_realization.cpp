@@ -1,7 +1,9 @@
 #include "shard/sharded_realization.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <map>
+#include <deque>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -22,25 +24,65 @@ ShardedRealization::ShardedRealization(ShardGroup& group, const Pipeline& p)
     }
   }
   part_ = infopipe::partition(plan_, group.size(), colo);
+  assign_ = part_.shard_of_section;
 
-  // Component -> shard. Section members and drivers come straight from the
-  // partition; boundary components (not cut) inherit the shard of any
-  // mapped neighbour (all neighbours agree, else the boundary were a cut).
-  std::map<const Component*, std::size_t> section_of;
   for (std::size_t i = 0; i < plan_.sections.size(); ++i) {
     const Plan::Section& sec = plan_.sections[i];
-    section_of.emplace(sec.driver, i);
-    for (const Plan::Hosted& h : sec.members) section_of.emplace(h.comp, i);
+    section_of_.emplace(sec.driver, i);
+    for (const Plan::Hosted& h : sec.members) section_of_.emplace(h.comp, i);
   }
+
+  // One channel + endpoint pair per cut, semantics copied from the buffer.
+  for (const Partition::Cut& cut : part_.cuts) {
+    auto* b = dynamic_cast<Buffer*>(cut.buffer);
+    if (b == nullptr) {
+      throw CompositionError("partition cut at '" + cut.buffer->name() +
+                             "' which is not a buffer");
+    }
+    auto link = std::make_unique<CutLink>();
+    link->buffer = cut.buffer;
+    link->up_sec = cut.upstream_section;
+    link->down_sec = cut.downstream_section;
+    const int up = assign_[cut.upstream_section];
+    const int down = assign_[cut.downstream_section];
+    link->chan = std::make_unique<ShardChannel>(
+        b->name(), b->capacity(), b->full_policy(), b->empty_policy());
+    link->chan->bind_producer(group.runtime(up), up);
+    link->chan->bind_consumer(group.runtime(down), down);
+    link->sink = std::make_unique<ChannelSink>(*link->chan);
+    link->source =
+        std::make_unique<ChannelSource>(*link->chan, cut_spec(*cut.buffer));
+    cuts_.push_back(std::move(link));
+  }
+
+  sub_pipes_.resize(static_cast<std::size_t>(group.size()));
+  std::vector<int> all_shards;
+  for (int s = 0; s < group.size(); ++s) all_shards.push_back(s);
+  build_sub_pipes(all_shards);
+
+  // Realize each non-empty shard on its own kernel thread, and wire the
+  // cross-shard control-event forwarding.
+  group.launch();
+  reals_.resize(static_cast<std::size_t>(group.size()));
+  try {
+    for (int s = 0; s < group.size(); ++s) realize_shard(s);
+    for (const auto& link : cuts_) add_cut_collector(*link);
+  } catch (...) {
+    teardown();
+    throw;
+  }
+}
+
+ShardedRealization::~ShardedRealization() { teardown(); }
+
+// ============================ construction helpers ==========================
+
+std::map<const Component*, int> ShardedRealization::compute_shard_of_comp()
+    const {
   std::map<const Component*, int> shard_of_comp;
-  for (const auto& [c, sec] : section_of) {
-    shard_of_comp[c] = part_.shard_of_section[sec];
-  }
-  std::map<const Component*, std::size_t> cut_of;  // cut buffer -> cut index
-  for (std::size_t i = 0; i < part_.cuts.size(); ++i) {
-    cut_of[part_.cuts[i].buffer] = i;
-  }
-  for (const Edge& e : p.edges()) {
+  for (const auto& [c, sec] : section_of_) shard_of_comp[c] = assign_[sec];
+  const std::map<const Component*, std::size_t> cut_of = live_cut_of();
+  for (const Edge& e : pipe_->edges()) {
     const auto fu = shard_of_comp.find(e.from);
     const auto tu = shard_of_comp.find(e.to);
     if (fu != shard_of_comp.end() && tu == shard_of_comp.end() &&
@@ -51,142 +93,158 @@ ShardedRealization::ShardedRealization(ShardGroup& group, const Pipeline& p)
       shard_of_comp[e.from] = tu->second;
     }
   }
+  return shard_of_comp;
+}
 
-  // One channel + endpoint pair per cut, semantics copied from the buffer.
-  for (const Partition::Cut& cut : part_.cuts) {
-    auto* b = dynamic_cast<Buffer*>(cut.buffer);
-    if (b == nullptr) {
-      throw CompositionError("partition cut at '" + cut.buffer->name() +
-                             "' which is not a buffer");
-    }
-    const int up = part_.shard_of_section[cut.upstream_section];
-    const int down = part_.shard_of_section[cut.downstream_section];
-    auto ch = std::make_unique<ShardChannel>(b->name(), b->capacity(),
-                                             b->full_policy(),
-                                             b->empty_policy());
-    ch->bind_producer(group.runtime(up), up);
-    ch->bind_consumer(group.runtime(down), down);
-    Typespec spec;
-    if (const Edge* out_e = p.edge_from(*b, 0)) {
-      const auto it = plan_.edge_spec.find(out_e);
-      if (it != plan_.edge_spec.end()) spec = it->second;
-    }
-    sinks_.push_back(std::make_unique<ChannelSink>(*ch));
-    sources_.push_back(std::make_unique<ChannelSource>(*ch, std::move(spec)));
-    channels_.push_back(std::move(ch));
+std::map<const Component*, std::size_t> ShardedRealization::live_cut_of()
+    const {
+  std::map<const Component*, std::size_t> cut_of;
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    if (!cuts_[i]->retired) cut_of[cuts_[i]->buffer] = i;
   }
+  return cut_of;
+}
 
-  // Per-shard sub-pipelines: every edge lands on exactly one shard; edges
-  // touching a cut buffer are rerouted to the channel endpoints.
-  sub_pipes_.resize(static_cast<std::size_t>(group.size()));
-  for (auto& sp : sub_pipes_) sp = std::make_unique<Pipeline>();
-  for (const Edge& e : p.edges()) {
+Typespec ShardedRealization::cut_spec(const Component& buffer) const {
+  if (const Edge* out_e = pipe_->edge_from(buffer, 0)) {
+    const auto it = plan_.edge_spec.find(out_e);
+    if (it != plan_.edge_spec.end()) return it->second;
+  }
+  return Typespec{};
+}
+
+void ShardedRealization::build_sub_pipes(const std::vector<int>& shards) {
+  const std::set<int> wanted(shards.begin(), shards.end());
+  for (int s : wanted) {
+    sub_pipes_[static_cast<std::size_t>(s)] = std::make_unique<Pipeline>();
+  }
+  const std::map<const Component*, int> shard_of_comp = compute_shard_of_comp();
+  const std::map<const Component*, std::size_t> cut_of = live_cut_of();
+  // Every edge lands on exactly one shard; edges touching a cut buffer are
+  // rerouted to the channel endpoints.
+  for (const Edge& e : pipe_->edges()) {
     Component* from = e.from;
     Component* to = e.to;
     int s = 0;
     if (const auto c = cut_of.find(e.to); c != cut_of.end()) {
-      to = sinks_[c->second].get();
-      s = channels_[c->second]->from_shard();
+      to = cuts_[c->second]->sink.get();
+      s = cuts_[c->second]->chan->from_shard();
     } else if (const auto c2 = cut_of.find(e.from); c2 != cut_of.end()) {
-      from = sources_[c2->second].get();
-      s = channels_[c2->second]->to_shard();
+      from = cuts_[c2->second]->source.get();
+      s = cuts_[c2->second]->chan->to_shard();
     } else if (const auto f = shard_of_comp.find(e.from);
                f != shard_of_comp.end()) {
       s = f->second;
     } else {
       s = shard_of_comp.at(e.to);
     }
+    if (wanted.count(s) == 0) continue;
     sub_pipes_[static_cast<std::size_t>(s)]->connect(*from, e.out_port, *to,
                                                      e.in_port);
   }
   // Carry user preferences over (cut buffers excepted: their typespec was
   // already resolved in the full plan and travels via the source's offer).
-  for (Component* c : p.components()) {
+  for (Component* c : pipe_->components()) {
     const auto s = shard_of_comp.find(c);
-    if (s == shard_of_comp.end()) continue;
+    if (s == shard_of_comp.end() || wanted.count(s->second) == 0) continue;
     for (int port = 0; port < c->in_port_count(); ++port) {
-      if (const Typespec* r = p.restriction(*c, port)) {
-        sub_pipes_[static_cast<std::size_t>(s->second)]->restrict(*c, port, *r);
+      if (const Typespec* r = pipe_->restriction(*c, port)) {
+        sub_pipes_[static_cast<std::size_t>(s->second)]->restrict(*c, port,
+                                                                  *r);
       }
     }
   }
+}
 
-  // Realize each non-empty shard on its own kernel thread, and wire the
-  // cross-shard control-event forwarding.
-  group.launch();
-  reals_.resize(static_cast<std::size_t>(group.size()));
-  try {
-    for (int s = 0; s < group.size(); ++s) {
-      Pipeline& sp = *sub_pipes_[static_cast<std::size_t>(s)];
-      if (sp.components().empty()) continue;
-      group.run_on(s, [this, s, &sp] {
-        auto r = std::make_unique<Realization>(group_->runtime(s), sp);
-        r->set_event_listener(
-            [this, s](const Event& e) { forward_event(s, e); });
-        reals_[static_cast<std::size_t>(s)] = std::move(r);
-      });
-    }
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-      const int cs = channels_[i]->to_shard();
-      group.run_on(cs, [this, i, cs] {
-        ShardChannel* ch = channels_[i].get();
-        const auto id = group_->runtime(cs).metrics().add_collector(
-            [ch](obs::MetricsSnapshot& out) {
-              StatsSnapshot tmp;
-              tmp.channels.push_back(ch->stats());
-              publish(tmp, out);
-            });
-        collectors_.emplace_back(cs, id);
-      });
-    }
-  } catch (...) {
-    teardown();
-    throw;
+void ShardedRealization::run_on_shard(int shard,
+                                      const std::function<void()>& fn) {
+  if (group_->running()) {
+    group_->run_on(shard, fn);
+  } else {
+    fn();
   }
 }
 
-ShardedRealization::~ShardedRealization() { teardown(); }
+void ShardedRealization::realize_shard(int shard) {
+  Pipeline& sp = *sub_pipes_[static_cast<std::size_t>(shard)];
+  if (sp.components().empty()) return;
+  run_on_shard(shard, [this, shard, &sp] {
+    auto r = std::make_unique<Realization>(group_->runtime(shard), sp);
+    r->set_event_listener(
+        [this, shard](const Event& e) { forward_event(shard, e); });
+    const std::lock_guard<std::mutex> lk(ev_mu_);
+    reals_[static_cast<std::size_t>(shard)] = std::move(r);
+  });
+}
+
+void ShardedRealization::add_cut_collector(CutLink& link) {
+  const int cs = link.chan->to_shard();
+  ShardChannel* ch = link.chan.get();
+  run_on_shard(cs, [this, &link, ch, cs] {
+    link.collector = group_->runtime(cs).metrics().add_collector(
+        [ch](obs::MetricsSnapshot& out) {
+          StatsSnapshot tmp;
+          tmp.channels.push_back(ch->stats());
+          publish(tmp, out);
+        });
+    link.collector_shard = cs;
+  });
+}
+
+void ShardedRealization::remove_cut_collector(CutLink& link) noexcept {
+  if (link.collector_shard < 0) return;
+  const int shard = link.collector_shard;
+  const auto coll = link.collector;
+  const auto remove = [this, shard, coll] {
+    group_->runtime(shard).metrics().remove_collector(coll);
+  };
+  try {
+    run_on_shard(shard, remove);
+  } catch (...) {
+    try {
+      remove();
+    } catch (...) {
+    }
+  }
+  link.collector_shard = -1;
+  link.collector = 0;
+}
 
 void ShardedRealization::teardown() noexcept {
+  // Serialize against a concurrent migration; after this, nothing else
+  // mutates the structure.
+  std::unique_lock<std::mutex> op_lk(op_mu_, std::defer_lock);
+  try {
+    op_lk.lock();
+  } catch (...) {
+  }
   // Channel collectors first (they capture channel pointers), then the
   // realizations — each on its own shard thread so nothing races the
   // scheduler there. If a shard thread is gone, the runtime is parked and a
   // direct call is race-free.
-  for (const auto& [cs, id] : collectors_) {
-    const int shard = cs;
-    const auto coll = id;
-    const auto remove = [this, shard, coll] {
-      group_->runtime(shard).metrics().remove_collector(coll);
-    };
-    try {
-      if (group_->running()) {
-        group_->run_on(shard, remove);
-      } else {
-        remove();
-      }
-    } catch (...) {
-      try {
-        remove();
-      } catch (...) {
-      }
-    }
-  }
-  collectors_.clear();
+  for (const auto& link : cuts_) remove_cut_collector(*link);
   for (std::size_t s = 0; s < reals_.size(); ++s) {
     if (!reals_[s]) continue;
     const auto destroy = [this, s] { reals_[s].reset(); };
     try {
-      if (group_->running()) {
-        group_->run_on(static_cast<int>(s), destroy);
-      } else {
-        destroy();
-      }
+      run_on_shard(static_cast<int>(s), destroy);
     } catch (...) {
       try {
         destroy();
       } catch (...) {
       }
     }
+  }
+}
+
+// ============================ control events ================================
+
+void ShardedRealization::record_started(const Event& e) {
+  // Caller holds ev_mu_.
+  if (e.type == kEventStart) {
+    started_ = true;
+  } else if (e.type == kEventStop || e.type == kEventShutdown) {
+    started_ = false;
   }
 }
 
@@ -194,37 +252,94 @@ void ShardedRealization::forward_event(int from_shard, const Event& e) {
   // Runs on the originating shard's kernel thread. post_event_external
   // enqueues without invoking the remote listener, so forwarding cannot
   // loop.
-  for (std::size_t t = 0; t < reals_.size(); ++t) {
-    if (static_cast<int>(t) == from_shard || !reals_[t]) continue;
-    reals_[t]->post_event_external(e);
+  std::function<void(const Event&)> listener;
+  {
+    const std::lock_guard<std::mutex> lk(ev_mu_);
+    record_started(e);
+    for (std::size_t t = 0; t < reals_.size(); ++t) {
+      if (static_cast<int>(t) == from_shard) continue;
+      if (reals_[t]) {
+        reals_[t]->post_event_external(e);
+      } else if (migrating_) {
+        pending_.push_back(PendingEvent{static_cast<int>(t), nullptr, e});
+      }
+    }
+    listener = listener_;
   }
-  if (listener_) listener_(e);
+  if (listener) listener(e);
+}
+
+void ShardedRealization::post_event(const Event& e) {
+  std::function<void(const Event&)> listener;
+  {
+    const std::lock_guard<std::mutex> lk(ev_mu_);
+    record_started(e);
+    for (std::size_t t = 0; t < reals_.size(); ++t) {
+      if (reals_[t]) {
+        reals_[t]->post_event_external(e);
+      } else if (migrating_) {
+        pending_.push_back(PendingEvent{static_cast<int>(t), nullptr, e});
+      }
+    }
+    listener = listener_;
+  }
+  if (listener) listener(e);
+}
+
+void ShardedRealization::post_event_to_component(Component& c,
+                                                 const Event& e) {
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  Realization* real = nullptr;
+  if (const auto it = section_of_.find(&c); it != section_of_.end()) {
+    real = reals_[static_cast<std::size_t>(assign_[it->second])].get();
+  } else {
+    for (const auto& r : reals_) {
+      if (r && r->hosts(c)) {
+        real = r.get();
+        break;
+      }
+    }
+  }
+  if (real != nullptr) {
+    real->post_event_to_external(c, e);
+  } else if (migrating_) {
+    pending_.push_back(PendingEvent{-1, &c, e});
+  }
+  // Else: no shard hosts the component (e.g. it was never realized); drop,
+  // mirroring rt::Runtime::send to a dead thread.
 }
 
 void ShardedRealization::start() {
   post_event(Event{kEventStart});
   if (!group_->running()) return;
   for (std::size_t s = 0; s < reals_.size(); ++s) {
-    if (reals_[s]) group_->run_on(static_cast<int>(s), [] {});
+    bool live = false;
+    {
+      const std::lock_guard<std::mutex> lk(ev_mu_);
+      live = reals_[s] != nullptr;
+    }
+    if (live) group_->run_on(static_cast<int>(s), [] {});
   }
 }
 
-void ShardedRealization::post_event(const Event& e) {
-  for (const auto& r : reals_) {
-    if (r) r->post_event_external(e);
+// ============================ introspection =================================
+
+bool ShardedRealization::shard_finished(int shard) {
+  Realization* r = nullptr;
+  {
+    const std::lock_guard<std::mutex> lk(ev_mu_);
+    r = reals_[static_cast<std::size_t>(shard)].get();
   }
-  if (listener_) listener_(e);
+  if (r == nullptr) return true;
+  return group_->running()
+             ? group_->call_on(shard, [r] { return r->finished(); })
+             : r->finished();
 }
 
 bool ShardedRealization::finished() {
-  for (std::size_t s = 0; s < reals_.size(); ++s) {
-    if (!reals_[s]) continue;
-    Realization* r = reals_[s].get();
-    const bool f =
-        group_->running()
-            ? group_->call_on(static_cast<int>(s), [r] { return r->finished(); })
-            : r->finished();
-    if (!f) return false;
+  const std::lock_guard<std::mutex> lk(op_mu_);
+  for (int s = 0; s < group_->size(); ++s) {
+    if (!shard_finished(s)) return false;
   }
   return true;
 }
@@ -240,9 +355,7 @@ bool ShardedRealization::wait_finished(std::chrono::milliseconds timeout) {
 
 ShardedRealization::Located ShardedRealization::find_component(
     std::string_view name) {
-  // reals_ and each realization's component set are immutable after
-  // construction, so resolving a name from any thread is safe; SAMPLING the
-  // found component's state is the caller's problem (owning shard only).
+  const std::lock_guard<std::mutex> lk(ev_mu_);
   for (std::size_t s = 0; s < reals_.size(); ++s) {
     if (!reals_[s]) continue;
     if (Component* c = reals_[s]->find_component(name)) {
@@ -253,17 +366,40 @@ ShardedRealization::Located ShardedRealization::find_component(
 }
 
 ShardChannel* ShardedRealization::find_channel(std::string_view name) {
-  for (const auto& ch : channels_) {
-    if (ch->name() == name) return ch.get();
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  ShardChannel* retired = nullptr;
+  for (const auto& link : cuts_) {
+    if (link->chan->name() != name) continue;
+    if (!link->retired) return link->chan.get();
+    retired = link->chan.get();
   }
-  return nullptr;
+  return retired;
+}
+
+std::vector<ShardChannel*> ShardedRealization::live_channels() {
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  std::vector<ShardChannel*> out;
+  for (const auto& link : cuts_) {
+    if (!link->retired) out.push_back(link->chan.get());
+  }
+  return out;
+}
+
+int ShardedRealization::shard_of_section(std::size_t section) {
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  return assign_.at(section);
 }
 
 StatsSnapshot ShardedRealization::stats_snapshot() {
+  const std::lock_guard<std::mutex> lk(op_mu_);
   StatsSnapshot out;
   for (std::size_t s = 0; s < reals_.size(); ++s) {
-    if (!reals_[s]) continue;
-    Realization* r = reals_[s].get();
+    Realization* r = nullptr;
+    {
+      const std::lock_guard<std::mutex> ev_lk(ev_mu_);
+      r = reals_[s].get();
+    }
+    if (r == nullptr) continue;
     StatsSnapshot part =
         group_->running()
             ? group_->call_on(static_cast<int>(s),
@@ -273,24 +409,56 @@ StatsSnapshot ShardedRealization::stats_snapshot() {
     for (DriverStats& d : part.drivers) out.drivers.push_back(std::move(d));
     for (BufferStats& b : part.buffers) out.buffers.push_back(std::move(b));
   }
-  for (const auto& ch : channels_) out.channels.push_back(ch->stats());
+  for (ShardChannel* ch : live_channels()) out.channels.push_back(ch->stats());
   return out;
 }
 
 obs::MetricsSnapshot ShardedRealization::metrics_snapshot() {
+  const std::lock_guard<std::mutex> lk(op_mu_);
   return group_->metrics_snapshot();
 }
 
+std::optional<double> ShardedRealization::try_sample_component(
+    std::string_view name, const std::function<double(Component&)>& fn) {
+  const std::unique_lock<std::mutex> lk(op_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return std::nullopt;  // structural op in flight
+  Component* comp = nullptr;
+  Realization* real = nullptr;
+  int shard = -1;
+  {
+    const std::lock_guard<std::mutex> ev_lk(ev_mu_);
+    for (std::size_t s = 0; s < reals_.size(); ++s) {
+      if (!reals_[s]) continue;
+      if (Component* c = reals_[s]->find_component(name)) {
+        comp = c;
+        real = reals_[s].get();
+        shard = static_cast<int>(s);
+        break;
+      }
+    }
+  }
+  (void)real;
+  if (comp == nullptr) return std::nullopt;
+  if (!group_->running() || group_->on_shard_thread(shard)) {
+    return fn(*comp);
+  }
+  return group_->call_on(shard, [&fn, comp] { return fn(*comp); });
+}
+
 std::string ShardedRealization::describe() const {
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  std::size_t live = 0;
+  for (const auto& link : cuts_) live += link->retired ? 0 : 1;
   std::string out = "sharded over " + std::to_string(group_->size()) +
-                    " shards, " + std::to_string(channels_.size()) +
-                    " cross-shard channel" +
-                    (channels_.size() == 1 ? "" : "s") + "\n";
-  for (const auto& ch : channels_) {
-    out += "  channel '" + ch->name() + "': shard " +
-           std::to_string(ch->from_shard()) + " -> shard " +
-           std::to_string(ch->to_shard()) + ", capacity " +
-           std::to_string(ch->capacity()) + "\n";
+                    " shards, " + std::to_string(live) +
+                    " cross-shard channel" + (live == 1 ? "" : "s") + "\n";
+  for (const auto& link : cuts_) {
+    if (link->retired) continue;
+    const ShardChannel& ch = *link->chan;
+    out += "  channel '" + ch.name() + "': shard " +
+           std::to_string(ch.from_shard()) + " -> shard " +
+           std::to_string(ch.to_shard()) + ", capacity " +
+           std::to_string(ch.capacity()) + "\n";
   }
   for (std::size_t s = 0; s < reals_.size(); ++s) {
     out += "shard " + std::to_string(s) + ":";
@@ -301,6 +469,301 @@ std::string ShardedRealization::describe() const {
     out += "\n" + reals_[s]->describe();
   }
   return out;
+}
+
+// ============================ migration =====================================
+
+ShardedRealization::Migration ShardedRealization::begin_migration(
+    std::size_t section, int to) {
+  return Migration(*this, section, to);
+}
+
+MigrationOutcome ShardedRealization::migrate_section(
+    std::size_t section, int to, std::chrono::milliseconds quiesce_timeout) {
+  Migration m = begin_migration(section, to);
+  m.quiesce(quiesce_timeout);
+  m.transfer();
+  m.resume();
+  return m.outcome();
+}
+
+ShardedRealization::Migration::Migration(ShardedRealization& sr,
+                                         std::size_t section, int to)
+    : sr_(&sr), lock_(sr.op_mu_), section_(section), to_(to) {
+  if (section >= sr.plan_.sections.size()) {
+    throw CompositionError("migrate: section index out of range");
+  }
+  if (to < 0 || to >= sr.group_->size()) {
+    throw CompositionError("migrate: target shard out of range");
+  }
+  if (!sr.part_.migratable(section)) {
+    throw CompositionError("migrate: section '" + sr.section_name(section) +
+                           "' is pinned (clustered or hosts a non-migratable "
+                           "component)");
+  }
+  {
+    const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+    from_ = sr.assign_[section];
+  }
+  if (from_ == to_) {
+    throw CompositionError("migrate: shard " + std::to_string(to_) +
+                           " already hosts section '" +
+                           sr.section_name(section) + "'");
+  }
+  out_.section = section_;
+  out_.from = from_;
+  out_.to = to_;
+}
+
+ShardedRealization::Migration::Migration(Migration&& o) noexcept
+    : sr_(o.sr_),
+      lock_(std::move(o.lock_)),
+      section_(o.section_),
+      from_(o.from_),
+      to_(o.to_),
+      phase_(o.phase_),
+      was_started_(o.was_started_),
+      out_(o.out_) {
+  o.sr_ = nullptr;
+}
+
+ShardedRealization::Migration::~Migration() {
+  if (sr_ == nullptr) return;
+  // Never leave the flow stopped: a part-way abandoned migration restarts
+  // whatever exists.
+  try {
+    if (phase_ == 1) {
+      // Quiesced but never torn down: just restart the affected shards.
+      if (was_started_) {
+        const std::lock_guard<std::mutex> lk(sr_->ev_mu_);
+        for (int s : {from_, to_}) {
+          if (Realization* r = sr_->reals_[static_cast<std::size_t>(s)].get())
+            r->post_event_external(Event{kEventStart});
+        }
+      }
+    } else if (phase_ == 2) {
+      resume();
+    }
+  } catch (...) {
+  }
+}
+
+void ShardedRealization::Migration::quiesce(std::chrono::milliseconds timeout) {
+  if (phase_ != 0) throw rt::RuntimeError("Migration::quiesce: wrong phase");
+  ShardedRealization& sr = *sr_;
+  {
+    const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+    was_started_ = sr.started_;
+    for (int s : {from_, to_}) {
+      if (Realization* r = sr.reals_[static_cast<std::size_t>(s)].get())
+        r->post_event_external(Event{kEventStop});
+    }
+  }
+  const auto both_parked = [&] {
+    return sr.shard_finished(from_) && sr.shard_finished(to_);
+  };
+  if (sr.group_->manual()) {
+    // Deterministic drive: step every shard in lockstep at the current
+    // (virtual) time until the stop has propagated. One step_until round
+    // runs to quiescence, so a handful of rounds always suffices.
+    for (int i = 0; i < 64 && !both_parked(); ++i) {
+      rt::Time t = 0;
+      for (int s = 0; s < sr.group_->size(); ++s) {
+        t = std::max(t, sr.group_->runtime(s).now());
+      }
+      sr.group_->step_until(t);
+    }
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!both_parked()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw rt::RuntimeError(
+            "Migration::quiesce: shards did not park within the timeout");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (!both_parked()) {
+    throw rt::RuntimeError("Migration::quiesce: shards did not park");
+  }
+  phase_ = 1;
+}
+
+void ShardedRealization::Migration::transfer() {
+  if (phase_ != 1) throw rt::RuntimeError("Migration::transfer: wrong phase");
+  ShardedRealization& sr = *sr_;
+
+  // 1. Detach the affected realizations. From this point events for these
+  // shards queue in pending_.
+  std::unique_ptr<Realization> old_from;
+  std::unique_ptr<Realization> old_to;
+  {
+    const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+    sr.migrating_ = true;
+    old_from = std::move(sr.reals_[static_cast<std::size_t>(from_)]);
+    old_to = std::move(sr.reals_[static_cast<std::size_t>(to_)]);
+  }
+  // Destroy each on its own shard thread: the dtor kills parked ULTs (which
+  // hold no items after the quiesce — everything sits in passive storage)
+  // and unbinds the components so they can be realized again.
+  if (old_from) {
+    sr.run_on_shard(from_, [&old_from] { old_from.reset(); });
+  }
+  if (old_to) {
+    sr.run_on_shard(to_, [&old_to] { old_to.reset(); });
+  }
+
+  // 2. Re-assign and re-cut.
+  std::vector<int> assign;
+  {
+    const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+    sr.assign_[section_] = to_;
+    assign = sr.assign_;
+  }
+  const std::vector<Partition::Cut> new_cuts = cuts_for(sr.plan_, assign);
+  std::map<const Component*, const Partition::Cut*> new_by_buffer;
+  for (const Partition::Cut& c : new_cuts) new_by_buffer[c.buffer] = &c;
+
+  // 2a. Persisting and collapsing cuts. Because only one section moved,
+  // every changed cut touches the {from,to} pair — far sides keep flowing
+  // and never notice (their endpoint objects and waiter slots are
+  // untouched).
+  std::set<const Component*> kept;
+  for (const auto& link : sr.cuts_) {
+    if (link->retired) continue;
+    const auto it = new_by_buffer.find(link->buffer);
+    if (it != new_by_buffer.end()) {
+      kept.insert(link->buffer);
+      const int up = assign[link->up_sec];
+      const int down = assign[link->down_sec];
+      bool rebound = false;
+      if (link->chan->from_shard() != up) {
+        link->chan->bind_producer(sr.group_->runtime(up), up);
+        link->chan->clear_producer_waiter();
+        rebound = true;
+      }
+      if (link->chan->to_shard() != down) {
+        sr.remove_cut_collector(*link);
+        link->chan->bind_consumer(sr.group_->runtime(down), down);
+        link->chan->clear_consumer_waiter();
+        sr.add_cut_collector(*link);
+        rebound = true;
+      }
+      if (rebound) ++out_.cuts_rebound;
+      continue;
+    }
+    // Collapse: both sections landed on `to_`; fold the ring back into the
+    // original buffer. The endpoints' waiter slots are clear (every wait
+    // return clears them) and both sides are quiesced, so a plain drain is
+    // race-free.
+    auto* b = dynamic_cast<Buffer*>(link->buffer);
+    while (std::optional<Item> x = link->chan->try_pop()) {
+      b->preload(std::move(*x));
+      ++out_.items_moved;
+    }
+    if (link->chan->eos()) b->mark_eos();
+    sr.remove_cut_collector(*link);
+    {
+      const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+      link->retired = true;
+    }
+    ++out_.cuts_collapsed;
+  }
+
+  // 2b. Created cuts: a buffer between two sections that used to share
+  // `from_` and are now split. Its queued items move into the fresh ring;
+  // the channel is sized to hold them all (a collapse may have left the
+  // buffer transiently over capacity).
+  for (const Partition::Cut& cut : new_cuts) {
+    if (kept.count(cut.buffer) != 0) continue;
+    bool already_live = false;
+    for (const auto& link : sr.cuts_) {
+      if (!link->retired && link->buffer == cut.buffer) already_live = true;
+    }
+    if (already_live) continue;
+    auto* b = dynamic_cast<Buffer*>(cut.buffer);
+    if (b == nullptr) {
+      throw CompositionError("migrate: cut at '" + cut.buffer->name() +
+                             "' which is not a buffer");
+    }
+    auto link = std::make_unique<CutLink>();
+    link->buffer = cut.buffer;
+    link->up_sec = cut.upstream_section;
+    link->down_sec = cut.downstream_section;
+    const int up = assign[cut.upstream_section];
+    const int down = assign[cut.downstream_section];
+    link->chan = std::make_unique<ShardChannel>(
+        b->name(), std::max(b->capacity(), b->fill()), b->full_policy(),
+        b->empty_policy());
+    link->chan->bind_producer(sr.group_->runtime(up), up);
+    link->chan->bind_consumer(sr.group_->runtime(down), down);
+    link->sink = std::make_unique<ChannelSink>(*link->chan);
+    link->source =
+        std::make_unique<ChannelSource>(*link->chan, sr.cut_spec(*b));
+    std::deque<Item> carried = b->drain_for_migration();
+    for (Item& x : carried) {
+      (void)link->chan->force_push(x);
+      ++out_.items_moved;
+    }
+    if (b->saw_eos()) link->chan->set_eos();
+    CutLink* raw = link.get();
+    {
+      const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+      sr.cuts_.push_back(std::move(link));
+    }
+    sr.add_cut_collector(*raw);
+    ++out_.cuts_created;
+  }
+
+  // 3. Rebuild and re-realize exactly the affected shards (the cut-set
+  // delta property above is what makes touching only two shards sound).
+  sr.build_sub_pipes({from_, to_});
+  sr.realize_shard(from_);
+  sr.realize_shard(to_);
+  sr.run_on_shard(to_, [this, &sr] {
+    IP_OBS_TRACE(sr.group_->runtime(to_).tracer(), obs::Hop::kMigration,
+                 sr.section_name(section_).c_str(), from_, to_);
+  });
+
+  // 4. Keep the published partition truthful for introspection.
+  sr.part_.shard_of_section = assign;
+  sr.part_.cuts = new_cuts;
+  phase_ = 2;
+}
+
+void ShardedRealization::Migration::resume() {
+  if (phase_ != 2) throw rt::RuntimeError("Migration::resume: wrong phase");
+  ShardedRealization& sr = *sr_;
+  std::vector<PendingEvent> replay;
+  {
+    const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+    sr.migrating_ = false;
+    replay.swap(sr.pending_);
+    // Restart first, then replay: a queued event must observe the same
+    // running flow it would have found had there been no migration.
+    if (was_started_) {
+      for (int s : {from_, to_}) {
+        if (Realization* r = sr.reals_[static_cast<std::size_t>(s)].get())
+          r->post_event_external(Event{kEventStart});
+      }
+    }
+  }
+  for (PendingEvent& pe : replay) {
+    if (pe.target != nullptr) {
+      sr.post_event_to_component(*pe.target, pe.event);
+      continue;
+    }
+    const std::lock_guard<std::mutex> lk(sr.ev_mu_);
+    if (Realization* r = sr.reals_[static_cast<std::size_t>(pe.shard)].get())
+      r->post_event_external(pe.event);
+  }
+  // Barrier like start(): when resume() returns, the affected drivers have
+  // dispatched their restart.
+  if (sr.group_->running()) {
+    for (int s : {from_, to_}) sr.group_->run_on(s, [] {});
+  }
+  sr.migrations_.fetch_add(1, std::memory_order_acq_rel);
+  phase_ = 3;
 }
 
 }  // namespace infopipe::shard

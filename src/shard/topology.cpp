@@ -1,0 +1,82 @@
+#include "shard/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace infopipe::shard {
+
+std::vector<int> Topology::parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::istringstream in(s);
+  std::string chunk;
+  while (std::getline(in, chunk, ',')) {
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(chunk.c_str(), &end, 10);
+      if (end != chunk.c_str() && v >= 0) cpus.push_back(static_cast<int>(v));
+      continue;
+    }
+    const long lo = std::strtol(chunk.c_str(), &end, 10);
+    const long hi = std::strtol(chunk.c_str() + dash + 1, &end, 10);
+    if (lo < 0 || hi < lo || hi - lo > 4096) continue;  // skip garbage
+    for (long v = lo; v <= hi; ++v) cpus.push_back(static_cast<int>(v));
+  }
+  return cpus;
+}
+
+Topology Topology::detect() {
+  std::vector<int> node_of_cpu;
+  bool any = false;
+  for (int node = 0; node < 1024; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) +
+                    "/cpulist");
+    if (!f.is_open()) break;
+    std::string line;
+    std::getline(f, line);
+    for (int cpu : parse_cpulist(line)) {
+      if (cpu >= static_cast<int>(node_of_cpu.size())) {
+        node_of_cpu.resize(static_cast<std::size_t>(cpu) + 1, 0);
+      }
+      node_of_cpu[static_cast<std::size_t>(cpu)] = node;
+      any = true;
+    }
+  }
+  if (!any) return Topology{};  // no sysfs NUMA info: flat
+  return Topology{std::move(node_of_cpu)};
+}
+
+int Topology::nodes() const {
+  int max_node = 0;
+  for (int n : node_of_cpu_) max_node = std::max(max_node, n);
+  return max_node + 1;
+}
+
+int Topology::node_of_cpu(int cpu) const {
+  if (cpu < 0 || cpu >= static_cast<int>(node_of_cpu_.size())) return 0;
+  return node_of_cpu_[static_cast<std::size_t>(cpu)];
+}
+
+int Topology::node_of_shard(int shard, int n_cpus) const {
+  if (n_cpus <= 0) n_cpus = static_cast<int>(node_of_cpu_.size());
+  if (n_cpus <= 0) return 0;
+  return node_of_cpu(shard % n_cpus);
+}
+
+std::string Topology::describe() const {
+  std::string out =
+      "topology: " + std::to_string(nodes()) + " node(s), " +
+      std::to_string(node_of_cpu_.size()) + " cpu(s)";
+  if (flat()) return out + " (flat)";
+  out += " [";
+  for (std::size_t i = 0; i < node_of_cpu_.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += "cpu" + std::to_string(i) + ":n" + std::to_string(node_of_cpu_[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace infopipe::shard

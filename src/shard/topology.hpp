@@ -1,0 +1,62 @@
+// Minimal NUMA/topology probe (ip_shard).
+//
+// The rebalance policy prefers migration targets on the same NUMA node as
+// the overloaded shard: moving a section across nodes invalidates its cache
+// footprint and turns every cross-cut item into a remote-memory hop, so a
+// same-node target at slightly higher load usually beats a cross-node one at
+// the minimum. This probe answers exactly one question — which node does
+// each CPU (and hence each pinned shard) live on — reading the sysfs NUMA
+// layout on Linux and degrading to a flat single-node answer everywhere
+// else. No libnuma dependency; parsing "0-3,8,10-11" cpulists is all that
+// is needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace infopipe::shard {
+
+class Topology {
+ public:
+  /// Flat topology: every CPU on node 0 (the fallback, and the correct
+  /// answer on non-NUMA machines).
+  Topology() = default;
+
+  /// Injected mapping for tests and for policy experiments: node_of_cpu[i]
+  /// is the NUMA node of CPU i.
+  explicit Topology(std::vector<int> node_of_cpu)
+      : node_of_cpu_(std::move(node_of_cpu)) {}
+
+  /// Probes /sys/devices/system/node/node<i>/cpulist. Returns the flat
+  /// topology when sysfs is unavailable (non-Linux, containers without
+  /// /sys).
+  [[nodiscard]] static Topology detect();
+
+  /// Number of NUMA nodes (>= 1; 1 for the flat topology).
+  [[nodiscard]] int nodes() const;
+
+  /// Node of a CPU; 0 for CPUs beyond the probed set (hotplug, flat).
+  [[nodiscard]] int node_of_cpu(int cpu) const;
+
+  /// Node of a shard, given ShardGroup's pinning rule (host_loop pins shard
+  /// i to core `i % hardware_concurrency`). `n_cpus` defaults to the probed
+  /// CPU count; pass std::thread::hardware_concurrency() explicitly when the
+  /// probe was injected.
+  [[nodiscard]] int node_of_shard(int shard, int n_cpus = 0) const;
+
+  /// True when every CPU maps to one node (no placement preference exists).
+  [[nodiscard]] bool flat() const { return nodes() <= 1; }
+
+  [[nodiscard]] std::string describe() const;
+
+  /// Parses a sysfs cpulist ("0-3,8,10-11") into CPU numbers. Exposed for
+  /// tests; malformed chunks are skipped rather than thrown on (sysfs is
+  /// not adversarial, but a probe must never take the platform down).
+  [[nodiscard]] static std::vector<int> parse_cpulist(const std::string& s);
+
+ private:
+  /// Empty = flat: every lookup answers node 0.
+  std::vector<int> node_of_cpu_;
+};
+
+}  // namespace infopipe::shard

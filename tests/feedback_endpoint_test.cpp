@@ -204,6 +204,53 @@ TEST(FeedbackEndpoint, CrossShardResolutionErrors) {
   EXPECT_NO_THROW((void)resolve_reading(sr, probe_value("fill"), 1));
 }
 
+TEST(FeedbackEndpoint, ForeignProbeIsCachedAndPushedAsSensorReports) {
+  // A probe of a component on ANOTHER shard must not round-trip per sample:
+  // resolution plants a PeriodicTask on the owner shard that caches the
+  // value and broadcasts it as kEventSensorReport; the Reading is then just
+  // a cache load.
+  shard::ShardGroup::GroupOptions opt;
+  opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+  opt.manual = true;
+  shard::ShardGroup group(2, std::move(opt));
+
+  CountingSource src("src", 1000000);
+  AdaptivePump fill("fill", 200.0);
+  Buffer buf("buf", 64);
+  ClockedPump drain("drain", 100.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+  shard::ShardedRealization sr(group, ch.pipeline());
+  shard::ShardChannel* chan = sr.find_channel("buf");
+  ASSERT_NE(chan, nullptr);
+  const int consumer = chan->to_shard();  // foreign to the pump
+
+  std::atomic<int> reports{0};
+  sr.set_event_listener([&reports](const Event& e) {
+    if (e.type != kEventSensorReport) return;
+    const auto* r = e.get<SensorReport>();
+    if (r != nullptr && r->sensor == "fill") reports.fetch_add(1);
+  });
+
+  auto reading =
+      resolve_reading(sr, probe_value("fill"), consumer, rt::milliseconds(50));
+  EXPECT_EQ(reading(), 0.0);  // nothing cached before the flow steps
+
+  sr.start();
+  for (rt::Time t = rt::milliseconds(100); t <= rt::seconds(2);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  // ~2s at a 50ms probe period: the shard-side sampler pushed many reports,
+  // and the cache holds the pump's actual rate.
+  EXPECT_GT(reports.load(), 10);
+  EXPECT_EQ(reading(), fill.rate_hz());
+
+  sr.shutdown();
+  group.step_until(rt::seconds(3));
+  EXPECT_TRUE(sr.finished());
+}
+
 TEST(FeedbackEndpoint, LaunchedGroupStillConvergesLoosely) {
   // The same loop over real kernel threads: no lockstep, real clocks, TSan
   // exercises the cross-shard sampling (channel atomics) and actuation

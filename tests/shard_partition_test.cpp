@@ -243,6 +243,89 @@ TEST(ShardPartition, DeterministicAcrossCalls) {
   }
 }
 
+// --- per-section migratability ----------------------------------------------
+
+/// Function stage standing in for a device-bound component.
+class NonMigratableStage : public FunctionComponent {
+ public:
+  using FunctionComponent::FunctionComponent;
+  [[nodiscard]] bool migratable() const override { return false; }
+
+ protected:
+  Item convert(Item x) override { return x; }
+};
+
+TEST(ShardPartition, FreeSectionsAreMigratable) {
+  Fixture f;
+  Buffer b1{"b1", 8};
+  Buffer b2{"b2", 8};
+  FreeRunningPump pump2{"pump2"};
+  FreeRunningPump pump3{"pump3"};
+  auto ch = f.src >> f.pump >> b1 >> pump2 >> b2 >> pump3 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  const Partition part = partition(p, 2);
+  ASSERT_EQ(part.migratable_section.size(), p.sections.size());
+  for (std::size_t i = 0; i < p.sections.size(); ++i) {
+    EXPECT_TRUE(part.migratable(i)) << "section " << i;
+  }
+  EXPECT_FALSE(part.migratable(99));  // out of range is just "no"
+}
+
+TEST(ShardPartition, ColocationClustersArePinned) {
+  Fixture f;
+  Buffer drop{"drop", 8, FullPolicy::kDropOldest};  // forces colocation
+  Buffer b2{"b2", 8};
+  FreeRunningPump pump2{"pump2"};
+  FreeRunningPump pump3{"pump3"};
+  auto ch = f.src >> f.pump >> drop >> pump2 >> b2 >> pump3 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 3u);
+  const Partition part =
+      partition(p, 2, {{p.sections[0].driver, p.sections[1].driver}});
+  // Sections 0 and 1 move only as a unit (the kDropOldest buffer between
+  // them cannot become a channel); section 2 is free.
+  EXPECT_FALSE(part.migratable(0));
+  EXPECT_FALSE(part.migratable(1));
+  EXPECT_TRUE(part.migratable(2));
+}
+
+TEST(ShardPartition, NonMigratableMemberPinsItsSection) {
+  Fixture f;
+  NonMigratableStage dev{"dev"};
+  Buffer b1{"b1", 8};
+  FreeRunningPump pump2{"pump2"};
+  auto ch = f.src >> dev >> f.pump >> b1 >> pump2 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 2u);
+  const Partition part = partition(p, 2);
+  EXPECT_FALSE(part.migratable(0));  // hosts the device stand-in
+  EXPECT_TRUE(part.migratable(1));
+}
+
+TEST(ShardPartition, CutsForRecomputesAfterReassignment) {
+  Fixture f;
+  Buffer b1{"b1", 8};
+  Buffer b2{"b2", 8};
+  FreeRunningPump pump2{"pump2"};
+  FreeRunningPump pump3{"pump3"};
+  auto ch = f.src >> f.pump >> b1 >> pump2 >> b2 >> pump3 >> f.sink;
+  const Plan p = plan(ch.pipeline());
+  ASSERT_EQ(p.sections.size(), 3u);
+
+  // All together: no cuts. Middle section alone: both buffers cut.
+  EXPECT_TRUE(cuts_for(p, {0, 0, 0}).empty());
+  const std::vector<Partition::Cut> both = cuts_for(p, {0, 1, 0});
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].buffer, &b1);
+  EXPECT_EQ(both[1].buffer, &b2);
+  // A chain split: one cut, at the moved boundary only.
+  const std::vector<Partition::Cut> tail = cuts_for(p, {0, 0, 1});
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].buffer, &b2);
+  EXPECT_EQ(tail[0].upstream_section, 1u);
+  EXPECT_EQ(tail[0].downstream_section, 2u);
+}
+
 TEST(ShardPartition, MoreShardsThanSectionsLeavesShardsEmpty) {
   Fixture f;
   auto ch = f.src >> f.pump >> f.sink;
