@@ -51,16 +51,20 @@ std::optional<MigrationDecision> RebalancePolicy::decide(
   // on the source's NUMA node.
   int to = global_min;
   if (opts_.prefer_same_node && !topo_.flat()) {
+    // node_of_shard's second argument is the CPU count behind the pin rule
+    // (shard i -> core i % n_cpus), NOT the shard count: defaulting to the
+    // probed CPU set keeps the mapping right when shards oversubscribe the
+    // cores.
     const int n = static_cast<int>(load.busy.size());
-    const int from_node = topo_.node_of_shard(from, n);
+    const int from_node = topo_.node_of_shard(from);
     const double floor = load.busy[static_cast<std::size_t>(global_min)];
     double to_busy = load.busy[static_cast<std::size_t>(to)];
-    bool to_local = topo_.node_of_shard(to, n) == from_node;
+    bool to_local = topo_.node_of_shard(to) == from_node;
     for (int s = 0; s < n; ++s) {
       if (s == from) continue;
       const double b = load.busy[static_cast<std::size_t>(s)];
       if (b > floor + opts_.target_slack) continue;
-      const bool local = topo_.node_of_shard(s, n) == from_node;
+      const bool local = topo_.node_of_shard(s) == from_node;
       if ((local && !to_local) || (local == to_local && b < to_busy)) {
         to = s;
         to_busy = b;

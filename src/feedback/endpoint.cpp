@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 
 namespace infopipe::fb {
 
@@ -34,11 +35,18 @@ Buffer* need_buffer(Component* c) {
 }
 
 /// Turns a cumulative event count into a smoothed events-per-second reading,
-/// differenced over the home runtime's clock between samples. First sample
-/// primes the window and reads 0.
-FeedbackLoop::Reading windowed_rate(std::function<std::uint64_t()> count,
-                                    rt::Runtime* home) {
+/// differenced over the home runtime's clock between samples. The counter's
+/// SOURCE can change between samples (a cut channel collapsing into its
+/// buffer, or a fresh channel after a later split): `count` returns an
+/// opaque source tag alongside the value, and a tag change — or a counter
+/// that went backwards — re-primes the window (that sample repeats the last
+/// rate) instead of differencing incompatible counters. First sample primes
+/// the window and reads 0.
+FeedbackLoop::Reading windowed_rate_over(
+    std::function<std::pair<const void*, std::uint64_t>()> count,
+    rt::Runtime* home) {
   struct State {
+    const void* src = nullptr;
     std::uint64_t n = 0;
     rt::Time t = 0;
     double rate = 0.0;
@@ -46,17 +54,28 @@ FeedbackLoop::Reading windowed_rate(std::function<std::uint64_t()> count,
   };
   auto st = std::make_shared<State>();
   return [count = std::move(count), home, st]() {
-    const std::uint64_t n = count();
+    const std::pair<const void*, std::uint64_t> s = count();
     const rt::Time now = home->now();
-    if (st->primed && now > st->t) {
-      st->rate = static_cast<double>(n - st->n) * 1e9 /
+    if (st->primed && s.first == st->src && s.second >= st->n &&
+        now > st->t) {
+      st->rate = static_cast<double>(s.second - st->n) * 1e9 /
                  static_cast<double>(now - st->t);
     }
-    st->n = n;
+    st->src = s.first;
+    st->n = s.second;
     st->t = now;
     st->primed = true;
     return st->rate;
   };
+}
+
+FeedbackLoop::Reading windowed_rate(std::function<std::uint64_t()> count,
+                                    rt::Runtime* home) {
+  return windowed_rate_over(
+      [count = std::move(count)]() {
+        return std::pair<const void*, std::uint64_t>{nullptr, count()};
+      },
+      home);
 }
 
 /// Samples a component by name through the migration-safe path: the sample
@@ -82,28 +101,21 @@ std::function<double()> sampled(shard::ShardedRealization* sr,
 /// blocking round trip per loop step, a PeriodicTask on the probed
 /// component's shard samples it locally, stores the value here, and
 /// broadcasts it as a kEventSensorReport. The loop's Reading is then one
-/// atomic load. After a migration moves the component, the task keeps
-/// sampling through the migration-safe path (it re-resolves the owner), so
-/// the cache stays fresh — at worst one period stale.
+/// atomic load. The task FOLLOWS the component: when a migration moves it
+/// to another shard, the tick notices (migrations() epoch change), stops
+/// sampling — a tick on the old shard would otherwise be exactly the
+/// blocking cross-shard round trip this cache exists to remove — and the
+/// next read() re-homes the task onto the new owner shard.
 class RemoteProbe {
  public:
   RemoteProbe(shard::ShardedRealization& sr, std::string name, int owner,
               rt::Time period)
-      : sr_(&sr), owner_(owner) {
-    const auto make = [this, name = std::move(name), period]() {
-      task_ = std::make_unique<PeriodicTask>(
-          sr_->group().runtime(owner_), "fb.probe." + name, period,
-          [sr = sr_, name, this](rt::Time) {
-            const std::optional<double> v = sr->try_sample_component(
-                name, [](Component& c) { return probe(&c); });
-            if (!v) return;
-            value_.store(*v, std::memory_order_release);
-            valid_.store(true, std::memory_order_release);
-            sr->post_event(Event{kEventSensorReport, SensorReport{name, *v}});
-          });
-      task_->start();
-    };
-    run_on_owner(make);
+      : sr_(&sr),
+        name_(std::move(name)),
+        period_(period),
+        owner_(owner),
+        epoch_(sr.migrations()) {
+    run_on_owner([this] { make_task(); });
   }
 
   ~RemoteProbe() {
@@ -115,15 +127,60 @@ class RemoteProbe {
   RemoteProbe(const RemoteProbe&) = delete;
   RemoteProbe& operator=(const RemoteProbe&) = delete;
 
-  [[nodiscard]] double read() const {
+  /// One atomic load — plus, when the probed component migrated since the
+  /// last read, a one-time re-home of the sampling task (the task cannot
+  /// destroy itself from its own tick). read() only ever runs from the
+  /// loop's step on its home shard, so the re-home is single-threaded; the
+  /// old-task teardown and new-task spawn each synchronize through run_on.
+  [[nodiscard]] double read() {
+    const int to = moved_to_.load(std::memory_order_acquire);
+    if (to >= 0 && to != owner_) {
+      run_on_owner([this] { task_.reset(); });
+      owner_ = to;
+      moved_to_.store(-1, std::memory_order_release);
+      run_on_owner([this] { make_task(); });
+    }
     return valid_.load(std::memory_order_acquire)
                ? value_.load(std::memory_order_acquire)
                : 0.0;
   }
 
  private:
+  /// Runs on owner_'s kernel thread. Each tick first re-resolves the
+  /// component when a migration completed since the last look; once it has
+  /// left this shard, the tick flags the new owner and goes dormant until
+  /// read() re-homes the task.
+  void make_task() {
+    task_ = std::make_unique<PeriodicTask>(
+        sr_->group().runtime(owner_), "fb.probe." + name_, period_,
+        [this](rt::Time) {
+          if (moved_to_.load(std::memory_order_relaxed) >= 0) return;
+          const std::uint64_t ep = sr_->migrations();
+          if (ep != epoch_) {
+            epoch_ = ep;
+            const shard::ShardedRealization::Located loc =
+                sr_->find_component(name_);
+            if (loc.shard >= 0 && loc.shard != owner_) {
+              moved_to_.store(loc.shard, std::memory_order_release);
+              return;
+            }
+          }
+          const std::optional<double> v = sr_->try_sample_component(
+              name_, [](Component& c) { return probe(&c); });
+          if (!v) return;
+          value_.store(*v, std::memory_order_release);
+          valid_.store(true, std::memory_order_release);
+          sr_->post_event(
+              Event{kEventSensorReport, SensorReport{name_, *v}});
+        });
+    task_->start();
+  }
+
   void run_on_owner(const std::function<void()>& fn) {
-    if (sr_->group().running()) {
+    // Inline when the group is not running — and when already ON the
+    // owner's kernel thread, where a nested run_on would deadlock (a
+    // re-home can land the task on the loop's own home shard).
+    if (sr_->group().running() && !sr_->group().on_shard_thread(owner_)) {
       sr_->group().run_on(owner_, fn);
     } else {
       fn();
@@ -131,8 +188,12 @@ class RemoteProbe {
   }
 
   shard::ShardedRealization* sr_;
-  int owner_;  ///< shard whose runtime hosts the task (fixed at bind time)
+  const std::string name_;
+  const rt::Time period_;
+  int owner_;           ///< shard whose runtime currently hosts the task
+  std::uint64_t epoch_; ///< last migrations() seen; touched by the task only
   std::unique_ptr<PeriodicTask> task_;
+  std::atomic<int> moved_to_{-1};  ///< task -> read(): component moved here
   std::atomic<double> value_{0.0};
   std::atomic<bool> valid_{false};
 };
@@ -192,56 +253,67 @@ FeedbackLoop::Reading resolve_reading(shard::ShardedRealization& sr,
                                       const SensorRef& s, int home_shard,
                                       rt::Time probe_period) {
   rt::Runtime* home = &sr.group().runtime(home_shard);
-  // A channel carries the name of the buffer it replaced, so the same
-  // SensorRef works before and after a cut lands on its target.
-  if (shard::ShardChannel* ch = sr.find_channel(s.target)) {
-    switch (s.kind) {
-      case SensorKind::kFillFraction:
-        return [ch]() {
-          return static_cast<double>(ch->depth()) /
-                 static_cast<double>(ch->capacity());
-        };
-      case SensorKind::kProducerStallRate:
-        return windowed_rate([ch]() { return ch->producer_stalls(); }, home);
-      case SensorKind::kConsumerStallRate:
-        return windowed_rate([ch]() { return ch->consumer_stalls(); }, home);
-      case SensorKind::kProbeValue:
-        throw CompositionError("channel '" + s.target +
-                               "' has no probe value; use fill_fraction or "
-                               "a stall rate");
-    }
-  }
-  const shard::ShardedRealization::Located loc = sr.find_component(s.target);
-  if (loc.comp == nullptr) unknown(s.target);
   shard::ShardedRealization* srp = &sr;
+  // A channel carries the name of the buffer it replaced, so the same
+  // SensorRef works before and after a cut lands on its target — and the
+  // congestion kinds re-resolve the name on EVERY read, so the sensor keeps
+  // tracking as migrations restructure the flow: the live channel's ring
+  // atomics while the cut exists, the underlying buffer (through the
+  // migration-safe sampler) after a collapse folds it away, and the fresh
+  // channel object if a later move re-creates the cut.
+  const bool was_cut = sr.find_channel(s.target) != nullptr;
+  const shard::ShardedRealization::Located loc = sr.find_component(s.target);
+  if (!was_cut && loc.comp == nullptr) unknown(s.target);
   switch (s.kind) {
     case SensorKind::kFillFraction: {
-      (void)need_buffer(loc.comp);  // type-check at bind time
-      return sampled(srp, s.target, [](Component& c) {
-        Buffer* b = need_buffer(&c);
-        return static_cast<double>(b->fill()) /
-               static_cast<double>(b->capacity());
-      });
+      if (!was_cut) (void)need_buffer(loc.comp);  // type-check at bind time
+      std::function<double()> fallback =
+          sampled(srp, s.target, [](Component& c) {
+            Buffer* b = need_buffer(&c);
+            return static_cast<double>(b->fill()) /
+                   static_cast<double>(b->capacity());
+          });
+      return [srp, name = s.target, fallback = std::move(fallback)]() {
+        if (shard::ShardChannel* ch = srp->find_live_channel(name)) {
+          return static_cast<double>(ch->depth()) /
+                 static_cast<double>(ch->capacity());
+        }
+        return fallback();
+      };
     }
     case SensorKind::kProducerStallRate:
     case SensorKind::kConsumerStallRate: {
-      (void)need_buffer(loc.comp);
+      if (!was_cut) (void)need_buffer(loc.comp);
       const bool producer = s.kind == SensorKind::kProducerStallRate;
-      // The count reading tolerates a skipped sample (last value repeats,
-      // the rate window just stretches over the gap).
-      std::function<double()> count =
+      // The buffer-side count tolerates a skipped sample (last value
+      // repeats, the rate window just stretches over the gap). The channel
+      // pointer doubles as the window's source tag: a collapse or re-split
+      // re-primes instead of differencing unrelated counters.
+      std::function<double()> fallback =
           sampled(srp, s.target, [producer](Component& c) {
             const Buffer::Stats& st = need_buffer(&c)->stats();
             return static_cast<double>(producer ? st.put_blocks
                                                 : st.take_blocks);
           });
-      return windowed_rate(
-          [count = std::move(count)]() {
-            return static_cast<std::uint64_t>(count());
+      return windowed_rate_over(
+          [srp, name = s.target, producer,
+           fallback = std::move(fallback)]() {
+            if (shard::ShardChannel* ch = srp->find_live_channel(name)) {
+              return std::pair<const void*, std::uint64_t>{
+                  ch, producer ? ch->producer_stalls()
+                               : ch->consumer_stalls()};
+            }
+            return std::pair<const void*, std::uint64_t>{
+                nullptr, static_cast<std::uint64_t>(fallback())};
           },
           home);
     }
     case SensorKind::kProbeValue: {
+      if (loc.comp == nullptr) {
+        throw CompositionError("channel '" + s.target +
+                               "' has no probe value; use fill_fraction or "
+                               "a stall rate");
+      }
       (void)probe(loc.comp);  // type-check at bind time
       if (loc.shard == home_shard) {
         // Local probe: the migration-safe path degenerates to a direct read

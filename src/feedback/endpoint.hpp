@@ -8,12 +8,17 @@
 //
 //   * against a Realization, refs resolve to direct probes and local
 //     control events — everything is on one runtime;
-//   * against a shard::ShardedRealization, channel sensors read the ring's
-//     atomics from anywhere; component sensors go through
-//     ShardedRealization::try_sample_component, which samples on whichever
-//     shard hosts the component NOW — so a reading keeps working after the
-//     rebalancer migrates its target, and never blocks behind a structural
-//     operation (it repeats the last value instead); actuations travel as
+//   * against a shard::ShardedRealization, congestion sensors (fill and
+//     stall kinds) re-resolve their name on every read: the live cross-shard
+//     channel's ring atomics while the cut exists, the underlying buffer
+//     (through the migration-safe sampler) after the rebalancer collapses
+//     the cut, and the fresh channel object if a later migration re-creates
+//     it — the rate window re-primes across each such switch; component
+//     sensors go through ShardedRealization::try_sample_component, which
+//     samples on whichever shard hosts the component NOW — so a reading
+//     keeps working after the rebalancer migrates its target, and never
+//     blocks behind a structural operation (it repeats the last value
+//     instead); actuations travel as
 //     kEventQualityHint control events through
 //     ShardedRealization::post_event_to_component — the same
 //     deliver-while-blocked event service that carries them within one
@@ -23,7 +28,9 @@
 // by round trip at all: resolution plants a small PeriodicTask on the
 // probed component's shard that samples locally, pushes the value into an
 // atomic cache and broadcasts it as kEventSensorReport; the loop's Reading
-// is then one atomic load, at worst one probe period stale.
+// is then one atomic load, at worst one probe period stale. The task
+// follows its component: after a migration moves it, the task goes dormant
+// and the next Reading re-homes it onto the new owner shard.
 //
 // make_loop() binds a whole loop from a LoopSpec: on a sharded realization
 // the loop is homed on a shard (by default the sensor channel's consumer
@@ -113,8 +120,9 @@ struct ActuatorRef {
                                                     const ActuatorRef& a);
 
 /// Resolve against a sharded realization for a loop homed on `home_shard`:
-/// channel refs read the ring atomics, component refs sample through the
-/// migration-safe try_sample_component path, and foreign probe values are
+/// congestion refs re-resolve their name per read (live channel atomics,
+/// else the underlying buffer via the migration-safe sampler), component
+/// refs sample through try_sample_component, and foreign probe values are
 /// served from a shard-side cache refreshed every `probe_period` (<= 0
 /// picks a 25ms default; make_loop passes the loop period).
 [[nodiscard]] FeedbackLoop::Reading resolve_reading(

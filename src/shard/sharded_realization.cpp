@@ -376,6 +376,14 @@ ShardChannel* ShardedRealization::find_channel(std::string_view name) {
   return retired;
 }
 
+ShardChannel* ShardedRealization::find_live_channel(std::string_view name) {
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  for (const auto& link : cuts_) {
+    if (!link->retired && link->chan->name() == name) return link->chan.get();
+  }
+  return nullptr;
+}
+
 std::vector<ShardChannel*> ShardedRealization::live_channels() {
   const std::lock_guard<std::mutex> lk(ev_mu_);
   std::vector<ShardChannel*> out;
@@ -522,7 +530,7 @@ ShardedRealization::Migration::Migration(Migration&& o) noexcept
       from_(o.from_),
       to_(o.to_),
       phase_(o.phase_),
-      was_started_(o.was_started_),
+      stop_posted_(o.stop_posted_),
       out_(o.out_) {
   o.sr_ = nullptr;
 }
@@ -530,19 +538,36 @@ ShardedRealization::Migration::Migration(Migration&& o) noexcept
 ShardedRealization::Migration::~Migration() {
   if (sr_ == nullptr) return;
   // Never leave the flow stopped: a part-way abandoned migration restarts
-  // whatever exists.
+  // whatever exists. That includes a quiesce() that threw on timeout —
+  // stops were already posted even though phase_ never advanced. The
+  // restart decision re-reads started_ under the lock (not a value latched
+  // at quiesce entry): a user stop()/shutdown() broadcast that landed
+  // during the move must win, or the two affected shards would come back up
+  // while every other shard obeys the stop.
   try {
-    if (phase_ == 1) {
-      // Quiesced but never torn down: just restart the affected shards.
-      if (was_started_) {
+    if (phase_ == 2) {
+      resume();
+    } else if (phase_ < 2 && stop_posted_) {
+      // Quiesced (or quiesce failed part-way) but never torn down: just
+      // restart the affected shards in place.
+      bool restarted = false;
+      {
         const std::lock_guard<std::mutex> lk(sr_->ev_mu_);
-        for (int s : {from_, to_}) {
-          if (Realization* r = sr_->reals_[static_cast<std::size_t>(s)].get())
-            r->post_event_external(Event{kEventStart});
+        if (sr_->started_) {
+          for (int s : {from_, to_}) {
+            if (Realization* r =
+                    sr_->reals_[static_cast<std::size_t>(s)].get())
+              r->post_event_external(Event{kEventStart});
+          }
+          restarted = true;
         }
       }
-    } else if (phase_ == 2) {
-      resume();
+      // Barrier like resume(): when the destructor returns, the affected
+      // drivers have dispatched their restart, so a finished() poll cannot
+      // mistake the not-yet-restarted flow for "done".
+      if (restarted && sr_->group_->running()) {
+        for (int s : {from_, to_}) sr_->group_->run_on(s, [] {});
+      }
     }
   } catch (...) {
   }
@@ -553,7 +578,7 @@ void ShardedRealization::Migration::quiesce(std::chrono::milliseconds timeout) {
   ShardedRealization& sr = *sr_;
   {
     const std::lock_guard<std::mutex> lk(sr.ev_mu_);
-    was_started_ = sr.started_;
+    stop_posted_ = true;
     for (int s : {from_, to_}) {
       if (Realization* r = sr.reals_[static_cast<std::size_t>(s)].get())
         r->post_event_external(Event{kEventStop});
@@ -740,8 +765,11 @@ void ShardedRealization::Migration::resume() {
     sr.migrating_ = false;
     replay.swap(sr.pending_);
     // Restart first, then replay: a queued event must observe the same
-    // running flow it would have found had there been no migration.
-    if (was_started_) {
+    // running flow it would have found had there been no migration. The
+    // restart condition is the CURRENT started_, read under the lock — a
+    // user stop() that arrived during the move already stopped the other
+    // shards directly, and restarting these two would split the flow.
+    if (sr.started_) {
       for (int s : {from_, to_}) {
         if (Realization* r = sr.reals_[static_cast<std::size_t>(s)].get())
           r->post_event_external(Event{kEventStart});

@@ -110,6 +110,12 @@ class ShardedRealization {
   /// back to a retired one so stats of a collapsed cut remain readable.
   [[nodiscard]] ShardChannel* find_channel(std::string_view name);
 
+  /// Like find_channel(), but only a channel currently carrying the flow:
+  /// nullptr when no live cut has that name (never a retired channel).
+  /// Sensors re-resolve through this on every read so they keep tracking
+  /// the cut as migrations collapse and re-create it.
+  [[nodiscard]] ShardChannel* find_live_channel(std::string_view name);
+
   // -- lifecycle (thread-safe: events enqueue onto every shard) ---------------
 
   /// Broadcasts kEventStart, then barriers on every shard's service thread:
@@ -157,8 +163,9 @@ class ShardedRealization {
     Migration& operator=(Migration&&) = delete;
 
     /// Stops the two affected shards and waits until every driver on them
-    /// parked at a passive boundary. Throws rt::RuntimeError on timeout
-    /// (the flow is restarted by the destructor in that case).
+    /// parked at a passive boundary. Throws rt::RuntimeError on timeout;
+    /// the destructor then restarts the affected shards, so a failed move
+    /// leaves the flow running in its old placement.
     void quiesce(std::chrono::milliseconds timeout);
     /// Tears down the affected realizations, re-cuts, moves storage, and
     /// re-realizes. No data flows on the affected shards until resume().
@@ -181,7 +188,7 @@ class ShardedRealization {
     int from_;
     int to_;
     int phase_ = 0;  ///< 0 idle, 1 quiesced, 2 transferred, 3 resumed
-    bool was_started_ = false;
+    bool stop_posted_ = false;  ///< quiesce() reached the shards with a stop
     MigrationOutcome out_;
   };
 

@@ -179,6 +179,90 @@ TEST(Migration, CollapsesAndRecreatesCutsAcrossThreeShards) {
   EXPECT_TRUE(sink.eos_seen());
 }
 
+// --- abandoned / interrupted moves -------------------------------------------
+
+TEST(Migration, UserStopDuringMoveIsNotUndoneByResume) {
+  shard::ShardGroup group(2, manual_opts());
+
+  CountingSource src("src", 100000);
+  ClockedPump p1("p1", 200.0);
+  Buffer b1("b1", 32);
+  ClockedPump p2("p2", 200.0);
+  Buffer b2("b2", 32);
+  ClockedPump p3("p3", 200.0);
+  CollectorSink sink("sink");
+  auto ch = src >> p1 >> b1 >> p2 >> b2 >> p3 >> sink;
+
+  shard::ShardedRealization sr(group, ch.pipeline());
+  const int home = sr.shard_of_section(1);
+  const int away = 1 - home;
+
+  sr.start();
+  for (rt::Time t = rt::milliseconds(100); t <= rt::seconds(1);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+
+  // A user stop() lands in the middle of the move: resume() must honour it
+  // instead of restarting the affected shards from state latched before the
+  // quiesce — that would leave part of the flow running against the stop.
+  {
+    shard::ShardedRealization::Migration m = sr.begin_migration(1, away);
+    m.quiesce(std::chrono::milliseconds(1000));
+    sr.stop();
+    m.transfer();
+    m.resume();
+  }
+  EXPECT_EQ(sr.shard_of_section(1), away);
+
+  group.step_until(rt::seconds(2));
+  EXPECT_TRUE(sr.finished());
+  const std::size_t at_stop = sink.seqs().size();
+  group.step_until(rt::seconds(3));
+  EXPECT_EQ(sink.seqs().size(), at_stop);  // nothing kept flowing
+
+  // start() resumes the whole flow in the new placement.
+  sr.start();
+  for (rt::Time t = rt::seconds(3); t <= rt::seconds(5);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  EXPECT_GT(sink.seqs().size(), at_stop);
+}
+
+TEST(Migration, QuiesceTimeoutRestartsTheFlow) {
+  constexpr std::uint64_t kN = 30000;
+  CountingSource src("src", kN);
+  FreeRunningPump p1("p1");
+  Buffer b1("b1", 16);
+  FreeRunningPump p2("p2");
+  CollectorSink sink("sink");
+  auto ch = src >> p1 >> b1 >> p2 >> sink;
+
+  shard::ShardGroup group(2);
+  shard::ShardedRealization sr(group, ch.pipeline());
+  sr.start();
+
+  // A hopeless deadline: quiesce() posts the stops and then (almost
+  // certainly) throws before the shards have parked. The destructor must
+  // restart them even though the migration never reached phase 1; if the
+  // shards happened to park in time, the abandoned phase-1 move restarts
+  // them all the same. Either way the finite flow must still complete.
+  try {
+    shard::ShardedRealization::Migration m =
+        sr.begin_migration(1, 1 - sr.shard_of_section(1));
+    m.quiesce(std::chrono::milliseconds(0));
+  } catch (const rt::RuntimeError&) {
+  }
+
+  ASSERT_TRUE(sr.wait_finished(60000ms));
+  group.stop();  // joins host threads: direct reads below are race-free
+  const std::vector<std::uint64_t> seqs = sink.seqs();
+  ASSERT_EQ(seqs.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) ASSERT_EQ(seqs[i], i);
+  EXPECT_TRUE(sink.eos_seen());
+}
+
 // --- pinning -----------------------------------------------------------------
 
 TEST(Migration, PinnedSectionsAreRejected) {

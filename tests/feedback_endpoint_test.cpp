@@ -251,6 +251,149 @@ TEST(FeedbackEndpoint, ForeignProbeIsCachedAndPushedAsSensorReports) {
   EXPECT_TRUE(sr.finished());
 }
 
+TEST(FeedbackEndpoint, ChannelSensorFollowsCutCollapseAndResplit) {
+  // A channel sensor must not latch the channel OBJECT: when a migration
+  // collapses the cut, the retired channel's stats freeze (depth drains to
+  // zero) and a loop steering on them would steer on dead data. The sensor
+  // re-resolves per read — live channel, then the underlying buffer, then
+  // the fresh channel of a re-created cut.
+  shard::ShardGroup::GroupOptions opt;
+  opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+  opt.manual = true;
+  shard::ShardGroup group(2, std::move(opt));
+
+  CountingSource src("src", 1000000);
+  ClockedPump fill("fill", 300.0);
+  Buffer buf("buf", 64);
+  ClockedPump drain("drain", 100.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+
+  shard::ShardedRealization sr(group, ch.pipeline());
+  shard::ShardChannel* chan = sr.find_channel("buf");
+  ASSERT_NE(chan, nullptr);
+  const int prod = chan->from_shard();
+  const int cons = chan->to_shard();
+  std::size_t cons_sec = sr.section_count();
+  for (std::size_t i = 0; i < sr.section_count(); ++i) {
+    if (sr.section_name(i) == "drain") cons_sec = i;
+  }
+  ASSERT_LT(cons_sec, sr.section_count());
+
+  auto fill_read = resolve_reading(sr, fill_fraction("buf"), cons);
+  auto stall_read = resolve_reading(sr, producer_stall_rate("buf"), cons);
+  (void)stall_read();  // primes the rate window at t = 0
+
+  sr.start();
+  for (rt::Time t = rt::milliseconds(100); t <= rt::seconds(2);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  // 300 Hz into a 100 Hz drain congests the cut; the sensor sees it.
+  EXPECT_GT(fill_read(), 0.5);
+  EXPECT_GT(stall_read(), 0.0);
+
+  // Collapse: the consumer section joins the producer shard, the channel
+  // retires and its queued items land back in the buffer. The sensor must
+  // read the buffer now, not the retired channel's drained ring.
+  (void)sr.migrate_section(cons_sec, prod);
+  ASSERT_EQ(sr.find_live_channel("buf"), nullptr);
+  EXPECT_GT(fill_read(), 0.3);
+  // The rate window re-primes across the counter-source switch instead of
+  // differencing unrelated counters into a nonsense spike.
+  double r = stall_read();
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1e9);
+  for (rt::Time t = rt::seconds(2); t <= rt::seconds(3);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  EXPECT_GT(fill_read(), 0.3);
+
+  // Re-split: a FRESH channel object carries the cut; the sensor follows.
+  (void)sr.migrate_section(cons_sec, cons);
+  shard::ShardChannel* fresh = sr.find_live_channel("buf");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh, chan);
+  EXPECT_GT(fill_read(), 0.3);
+  for (rt::Time t = rt::seconds(3); t <= rt::seconds(4);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  EXPECT_GT(fill_read(), 0.5);
+  r = stall_read();
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1e9);
+
+  sr.shutdown();
+  group.step_until(rt::seconds(5));
+  EXPECT_TRUE(sr.finished());
+}
+
+TEST(FeedbackEndpoint, RemoteProbeRehomesAfterMigration) {
+  // The shard-side probe task must follow its component: after a migration
+  // moves the probed pump, the old shard's task goes dormant and the next
+  // Reading re-homes it, so the cache keeps refreshing without per-period
+  // cross-shard round trips.
+  shard::ShardGroup::GroupOptions opt;
+  opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+  opt.manual = true;
+  shard::ShardGroup group(2, std::move(opt));
+
+  CountingSource src("src", 1000000);
+  AdaptivePump fill("fill", 200.0);
+  Buffer buf("buf", 64);
+  ClockedPump drain("drain", 100.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+
+  shard::ShardedRealization sr(group, ch.pipeline());
+  shard::ShardChannel* chan = sr.find_channel("buf");
+  ASSERT_NE(chan, nullptr);
+  const int consumer = chan->to_shard();
+  std::size_t pump_sec = sr.section_count();
+  for (std::size_t i = 0; i < sr.section_count(); ++i) {
+    if (sr.section_name(i) == "fill") pump_sec = i;  // sections go by driver
+  }
+  ASSERT_LT(pump_sec, sr.section_count());
+  ASSERT_TRUE(sr.section_migratable(pump_sec));
+
+  std::atomic<int> reports{0};
+  sr.set_event_listener([&reports](const Event& e) {
+    if (e.type != kEventSensorReport) return;
+    const auto* rep = e.get<SensorReport>();
+    if (rep != nullptr && rep->sensor == "fill") reports.fetch_add(1);
+  });
+
+  auto reading =
+      resolve_reading(sr, probe_value("fill"), consumer, rt::milliseconds(50));
+
+  sr.start();
+  for (rt::Time t = rt::milliseconds(100); t <= rt::seconds(1);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  EXPECT_EQ(reading(), fill.rate_hz());
+  const int before = reports.load();
+  EXPECT_GT(before, 5);
+
+  // Move the pump's section onto the consumer shard (the cut collapses).
+  (void)sr.migrate_section(pump_sec, consumer);
+  // One tick on the old owner notices the move and flags it; the next
+  // read re-homes the task; subsequent ticks refresh the cache again.
+  for (rt::Time t = rt::seconds(1); t <= rt::seconds(3);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+    (void)reading();
+  }
+  EXPECT_EQ(reading(), fill.rate_hz());
+  EXPECT_GT(reports.load(), before + 5);
+
+  sr.shutdown();
+  group.step_until(rt::seconds(4));
+  EXPECT_TRUE(sr.finished());
+}
+
 TEST(FeedbackEndpoint, LaunchedGroupStillConvergesLoosely) {
   // The same loop over real kernel threads: no lockstep, real clocks, TSan
   // exercises the cross-shard sampling (channel atomics) and actuation
