@@ -19,6 +19,12 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
 
+echo "== pooling=off pass (legacy shared_ptr item path) =="
+# The escape hatch must stay a working configuration: the whole suite runs
+# again with pooled payload blocks disabled (INFOPIPE_POOLING=off), so both
+# item representations keep their identical observable behaviour.
+INFOPIPE_POOLING=off ctest --test-dir build --output-on-failure
+
 echo "== ASan+UBSan build + tests =="
 cmake -B build-sanitize -G Ninja -DCMAKE_BUILD_TYPE=Sanitize
 cmake --build build-sanitize
@@ -31,11 +37,13 @@ echo "== TSan build + multi-runtime suites =="
 # channels/groups, the io_bridge poller, the rt substrate they build on,
 # the feedback suites (cross-shard loops sample channel atomics and
 # post control events between kernel threads), and the ip_balance suite
-# (live migration re-binds channels while the far shard runs). The
+# (live migration re-binds channels while the far shard runs), and the
+# ip_mem suite (payload blocks allocated on one shard are released on
+# another through the pool's lock-free foreign-return/adoption path). The
 # remaining suites are single-threaded by construction (one ULT scheduler
 # on one kernel thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test' \
     --output-on-failure

@@ -1,0 +1,20 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace infopipe {
+
+InfopipeConfig& config() noexcept {
+  static InfopipeConfig cfg = [] {
+    InfopipeConfig c;
+    if (const char* e = std::getenv("INFOPIPE_POOLING")) {
+      const std::string v(e);
+      c.pooling = !(v == "0" || v == "off" || v == "false");
+    }
+    return c;
+  }();
+  return cfg;
+}
+
+}  // namespace infopipe

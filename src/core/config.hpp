@@ -1,0 +1,24 @@
+// Process-wide platform configuration (ipcore).
+//
+// One knob today: whether the item path uses the pooled block allocator
+// (src/mem/) or the legacy shared_ptr<const any> representation. The legacy
+// path is kept alive deliberately — lockstep tests run the same pipeline
+// both ways and assert bit-identical item sequences, which is the strongest
+// statement we can make that pooling is a pure representation change.
+#pragma once
+
+namespace infopipe {
+
+struct InfopipeConfig {
+  /// Pooled payload blocks (mem::Pool) vs. per-item shared_ptr allocation.
+  /// Initialized from the INFOPIPE_POOLING environment variable ("0", "off"
+  /// or "false" disable it); tests may flip it directly between pipelines.
+  /// Flipping mid-flow is safe — accessors understand both representations —
+  /// but items already allocated keep the representation they started with.
+  bool pooling = true;
+};
+
+/// The mutable singleton. First use reads the environment.
+[[nodiscard]] InfopipeConfig& config() noexcept;
+
+}  // namespace infopipe

@@ -5,13 +5,31 @@
 // (§2.2), which passes decoded frames downstream while still holding them as
 // reference frames; the control protocol decides when a shared frame dies,
 // and shared ownership here makes that safe by construction.
+//
+// Two payload representations coexist (config().pooling picks at creation):
+//   * pooled (default): one intrusive-refcounted block from the current
+//     runtime's mem::Pool — one allocation, usually a free-list hit, and
+//     the block is recycled when the last Item drops it;
+//   * legacy: shared_ptr<const std::any>, two general-allocator hits per
+//     item — kept alive so lockstep tests can assert the pooled path is a
+//     pure representation change.
+// All accessors understand both, so items of either kind can meet in one
+// pipeline (e.g. when a test flips the config between stages).
+//
+// Items MOVE along the hot path — buffer deques, channel rings, pump
+// forwarding — and both representations have noexcept moves, which the
+// static_asserts at the bottom pin down.
 #pragma once
 
 #include <any>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "core/config.hpp"
+#include "mem/pool.hpp"
 #include "rt/types.hpp"
 
 namespace infopipe {
@@ -36,12 +54,42 @@ class Item {
   /// Default-constructed items are nil.
   Item() noexcept : special_(ItemSpecial::kNil) {}
 
-  /// A data item with a shared, immutable payload.
+  Item(const Item&) = default;
+  Item& operator=(const Item&) = default;
+  Item(Item&&) noexcept = default;
+  Item& operator=(Item&&) noexcept = default;
+  ~Item() = default;
+
+  /// A data item with a shared, immutable payload. Pooled path: allocated
+  /// from the pool of the runtime hosting the calling thread (the global
+  /// pool off-runtime).
   template <typename T>
   static Item of(T payload) {
     Item it(ItemSpecial::kNone);
-    it.data_ = std::make_shared<const std::any>(std::in_place_type<T>,
-                                                std::move(payload));
+    if (config().pooling) {
+      it.block_ = mem::make_typed<T>(std::move(payload));
+    } else {
+      it.data_ = std::make_shared<const std::any>(std::in_place_type<T>,
+                                                  std::move(payload));
+    }
+    return it;
+  }
+
+  /// A data item carrying a raw byte payload (wire messages, serialization
+  /// scratch). Pooled path: the bytes live inline in a class-rounded pool
+  /// block, so successive messages of similar size reuse storage; legacy
+  /// path: stored as a std::vector payload, so either representation
+  /// answers both bytes_data() and payload<vector<uint8_t>>() consumers.
+  static Item of_bytes(const void* data, std::size_t n) {
+    Item it(ItemSpecial::kNone);
+    if (config().pooling) {
+      it.block_ = mem::make_bytes(data, n);
+    } else {
+      const auto* p = static_cast<const std::uint8_t*>(data);
+      it.data_ = std::make_shared<const std::any>(
+          std::in_place_type<std::vector<std::uint8_t>>, p, p + n);
+    }
+    it.size_bytes = n;
     return it;
   }
 
@@ -68,7 +116,8 @@ class Item {
   /// non-data items.
   template <typename T>
   [[nodiscard]] const T* payload() const noexcept {
-    return data_ ? std::any_cast<T>(data_.get()) : nullptr;
+    if (data_) return std::any_cast<T>(data_.get());
+    return block_.get_if<T>();
   }
 
   /// Typed payload access; throws std::bad_any_cast on mismatch.
@@ -79,9 +128,38 @@ class Item {
     return *p;
   }
 
+  /// Raw-bytes payload access: valid for of_bytes() items of either
+  /// representation, and for legacy vector<uint8_t> payloads. nullptr/0
+  /// otherwise.
+  [[nodiscard]] const std::uint8_t* bytes_data() const noexcept {
+    if (block_.is_bytes()) return block_.bytes();
+    if (const auto* v = payload<std::vector<std::uint8_t>>()) {
+      return v->data();
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::size_t bytes_size() const noexcept {
+    if (block_.is_bytes()) return block_.size();
+    if (const auto* v = payload<std::vector<std::uint8_t>>()) {
+      return v->size();
+    }
+    return 0;
+  }
+  [[nodiscard]] bool has_bytes() const noexcept {
+    return block_.is_bytes() ||
+           payload<std::vector<std::uint8_t>>() != nullptr;
+  }
+
   /// How many Items currently share this payload (0 for payload-less items).
   /// Used by reference-frame lifetime tests.
-  [[nodiscard]] long use_count() const noexcept { return data_.use_count(); }
+  [[nodiscard]] long use_count() const noexcept {
+    return data_ ? data_.use_count() : block_.use_count();
+  }
+
+  /// True when the payload is a pooled block (diagnostics/tests).
+  [[nodiscard]] bool pooled() const noexcept {
+    return static_cast<bool>(block_);
+  }
 
   // Flow metadata. Each Item copy carries its own metadata; the payload
   // stays shared.
@@ -94,8 +172,15 @@ class Item {
   explicit Item(ItemSpecial s) noexcept : special_(s) {}
 
   ItemSpecial special_;
-  std::shared_ptr<const std::any> data_;
+  std::shared_ptr<const std::any> data_;  ///< legacy representation
+  mem::PayloadRef block_;                 ///< pooled representation
 };
+
+// The hot path (buffer deques, channel ring slots, pump forwarding) relies
+// on items moving without throwing; a copy sneaking in would be a refcount
+// round trip per hop.
+static_assert(std::is_nothrow_move_constructible_v<Item>);
+static_assert(std::is_nothrow_move_assignable_v<Item>);
 
 /// Thrown by pull links when the upstream flow has ended; caught by the
 /// middleware glue, never by component code. This is what lets component

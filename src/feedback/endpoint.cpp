@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 
 namespace infopipe::fb {
@@ -359,6 +360,23 @@ std::unique_ptr<FeedbackLoop> make_loop(Realization& real, LoopSpec spec) {
       resolve_actuate(real, spec.actuator));
 }
 
+namespace {
+
+/// The Exec that reaches `home`'s kernel thread from anywhere — including
+/// from that very thread (re-homing runs loop plumbing from shard ticks,
+/// where a nested run_on would deadlock).
+FeedbackLoop::Exec exec_for(shard::ShardGroup* grp, int home) {
+  return [grp, home](const std::function<void()>& f) {
+    if (grp->running() && !grp->on_shard_thread(home)) {
+      grp->run_on(home, f);
+    } else {
+      f();
+    }
+  };
+}
+
+}  // namespace
+
 std::unique_ptr<FeedbackLoop> make_loop(shard::ShardedRealization& sr,
                                         LoopSpec spec, int home_shard) {
   int home = home_shard;
@@ -375,13 +393,7 @@ std::unique_ptr<FeedbackLoop> make_loop(shard::ShardedRealization& sr,
       resolve_reading(sr, spec.sensor, home, spec.period);
   FeedbackLoop::Actuate act = resolve_actuate(sr, spec.actuator);
   shard::ShardGroup* grp = &sr.group();
-  FeedbackLoop::Exec exec = [grp, home](const std::function<void()>& f) {
-    if (grp->running()) {
-      grp->run_on(home, f);
-    } else {
-      f();
-    }
-  };
+  FeedbackLoop::Exec exec = exec_for(grp, home);
   // Construct ON the home shard: the loop's task thread spawns there and
   // its metric handles resolve against that shard's registry (rows appear
   // as shard<home>.fb.loop.<name>.* in the group snapshot).
@@ -392,6 +404,38 @@ std::unique_ptr<FeedbackLoop> make_loop(shard::ShardedRealization& sr,
         std::move(read), spec.setpoint, spec.controller, std::move(act),
         exec);
   });
+  // A naturally-homed loop FOLLOWS its sensor: when a migration moves the
+  // observed section, the next step notices (one relaxed epoch load per
+  // step otherwise), recomputes the natural home and — if it changed —
+  // hands the loop a Rebind with the endpoints re-resolved for the new
+  // vantage point. An explicit home_shard pins the loop: the caller chose a
+  // placement, so no check is installed.
+  if (home_shard < 0) {
+    shard::ShardedRealization* srp = &sr;
+    loop->set_home_check(
+        [srp, grp, sensor = spec.sensor, actuator = spec.actuator,
+         period = spec.period, home, epoch = sr.migrations()]() mutable
+        -> std::optional<FeedbackLoop::Rebind> {
+          const std::uint64_t ep = srp->migrations();
+          if (ep == epoch) return std::nullopt;
+          epoch = ep;
+          int nh = -1;
+          if (shard::ShardChannel* ch =
+                  srp->find_live_channel(sensor.target)) {
+            nh = ch->to_shard();
+          } else {
+            nh = srp->find_component(sensor.target).shard;
+          }
+          if (nh < 0 || nh == home) return std::nullopt;
+          home = nh;
+          FeedbackLoop::Rebind rb;
+          rb.rt = &grp->runtime(nh);
+          rb.read = resolve_reading(*srp, sensor, nh, period);
+          rb.act = resolve_actuate(*srp, actuator);
+          rb.exec = exec_for(grp, nh);
+          return rb;
+        });
+  }
   return loop;
 }
 

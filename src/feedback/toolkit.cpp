@@ -19,7 +19,10 @@ PeriodicTask::PeriodicTask(rt::Runtime& rt, std::string name, rt::Time period,
                         body_(r.now());
                       }
                       active_ = false;
-                      return rt::CodeResult::kContinue;
+                      // A retired task tears itself down: its owner flagged
+                      // it from inside this very tick and cannot kill() it.
+                      return retired_ ? rt::CodeResult::kTerminate
+                                      : rt::CodeResult::kContinue;
                     });
 }
 
@@ -39,6 +42,11 @@ void PeriodicTask::start() {
 
 void PeriodicTask::stop() { stop_requested_ = true; }
 
+void PeriodicTask::retire() {
+  stop_requested_ = true;
+  retired_ = true;
+}
+
 // ============================ FeedbackLoop ==================================
 
 FeedbackLoop::FeedbackLoop(rt::Runtime& rt, std::string name, rt::Time period,
@@ -53,18 +61,30 @@ FeedbackLoop::FeedbackLoop(rt::Runtime& rt, std::string name, rt::Time period,
       exec_(std::move(exec)) {
   if (!exec_) exec_ = [](const std::function<void()>& f) { f(); };
   // Handles resolve once against the home runtime's registry; step() runs on
-  // that runtime, so the plain handle updates stay single-threaded.
+  // that runtime, so the plain handle updates stay single-threaded. (A
+  // rebind re-resolves them against the new home.)
+  bind_metrics(rt);
+  task_ = std::make_unique<PeriodicTask>(rt, name_, period,
+                                         [this](rt::Time) { step(); });
+}
+
+void FeedbackLoop::bind_metrics(rt::Runtime& rt) {
   const std::string p = "fb.loop." + name_;
   out_gauge_ = &rt.metrics().gauge(p + ".output");
   err_gauge_ = &rt.metrics().gauge(p + ".error");
   steps_ctr_ = &rt.metrics().counter(p + ".steps");
   act_ctr_ = &rt.metrics().counter(p + ".actuations");
-  task_ = std::make_unique<PeriodicTask>(rt, name_, period,
-                                         [this](rt::Time) { step(); });
 }
 
 FeedbackLoop::~FeedbackLoop() {
   exec_([this] { task_.reset(); });
+  // Retired tasks died on shards the loop since moved away from; each is
+  // destroyed back where it lived (the kill degrades to a no-op when the
+  // thread already self-terminated, but a retired task caught mid-tick by a
+  // fast teardown may still be winding down there).
+  for (auto& [task, exec] : retired_) {
+    exec([&t = task] { t.reset(); });
+  }
 }
 
 void FeedbackLoop::start() {
@@ -75,7 +95,36 @@ void FeedbackLoop::stop() {
   exec_([this] { task_->stop(); });
 }
 
+void FeedbackLoop::apply_rebind(Rebind rb) {
+  // Running inside the current task's tick, on the OLD home thread. Retire
+  // the task (it self-terminates after this tick; destroying it here would
+  // pull its stack out from under us) and park it until the loop dies.
+  task_->retire();
+  retired_.emplace_back(std::move(task_), std::move(exec_));
+  read_ = std::move(rb.read);
+  actuate_ = std::move(rb.act);
+  exec_ = std::move(rb.exec);
+  if (!exec_) exec_ = [](const std::function<void()>& f) { f(); };
+  // Registry handles and the fresh task must be touched on the NEW home's
+  // kernel thread; the new Exec routes there (run_on from this tick is safe:
+  // the new shard's service thread is idle, we hold no locks).
+  rt::Runtime* dest = rb.rt;
+  exec_([this, dest] {
+    bind_metrics(*dest);
+    task_ = std::make_unique<PeriodicTask>(*dest, name_, period_,
+                                           [this](rt::Time) { step(); });
+    task_->start();
+  });
+  rehomes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void FeedbackLoop::step() {
+  if (home_check_) {
+    if (std::optional<Rebind> rb = home_check_()) {
+      apply_rebind(std::move(*rb));
+      return;  // next step runs on the new home, against the new reading
+    }
+  }
   const double error = setpoint_.load(std::memory_order_relaxed) - read_();
   const double out =
       controller_.update(error, static_cast<double>(period_) / 1e9);

@@ -11,8 +11,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/buffer.hpp"
 #include "core/component.hpp"
@@ -45,6 +47,14 @@ class PeriodicTask {
 
   void start();
   void stop();
+  /// Like stop(), but additionally makes the ticking thread destroy ITSELF
+  /// when it notices (returning kTerminate from its code function instead of
+  /// parking). For a task that must be torn down from inside its own tick —
+  /// re-homing a feedback loop onto another shard, say — where kill() is
+  /// impossible: a thread cannot kill itself mid-dispatch. After retire()
+  /// the task must not be start()ed again; destroy it once convenient (the
+  /// destructor's kill degrades to a no-op when the thread already exited).
+  void retire();
   [[nodiscard]] bool active() const noexcept { return active_; }
 
  private:
@@ -54,6 +64,7 @@ class PeriodicTask {
   std::function<void(rt::Time)> body_;
   bool active_ = false;
   bool stop_requested_ = false;
+  bool retired_ = false;
 };
 
 /// Pass-through pipeline component measuring the flow rate. Arrivals are
@@ -167,6 +178,25 @@ class FeedbackLoop {
   using Actuate = std::function<void(double)>;
   using Exec = std::function<void(const std::function<void()>&)>;
 
+  /// A new home for the loop, produced by a HomeCheck: the runtime to move
+  /// to plus the endpoint functions re-resolved for it (readings that cache
+  /// per-shard state — rate windows, remote-probe tasks — must be rebuilt
+  /// for the new vantage point) and the Exec that routes onto it.
+  struct Rebind {
+    rt::Runtime* rt = nullptr;
+    Reading read;
+    Actuate act;
+    Exec exec;
+  };
+  /// Consulted at the top of every step (i.e. on the loop's current home
+  /// thread). Returning a Rebind moves the loop there: the current periodic
+  /// task retires (it cannot be destroyed from its own tick), a fresh task
+  /// spawns on the new runtime — through the new Exec — and the metric
+  /// handles re-resolve against the new registry. The binder installs an
+  /// epoch check against ShardedRealization::migrations() here so a loop
+  /// follows its sensor when the rebalancer moves the observed section.
+  using HomeCheck = std::function<std::optional<Rebind>()>;
+
   /// The controller maps (setpoint - reading) to an absolute actuation
   /// value via a PI controller bounded to [out_min, out_max].
   FeedbackLoop(rt::Runtime& rt, std::string name, rt::Time period,
@@ -181,6 +211,14 @@ class FeedbackLoop {
   void stop();
   void set_setpoint(double s) noexcept {
     setpoint_.store(s, std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears) the migration-aware homing hook. Call before
+  /// start(), or from the loop's own home thread.
+  void set_home_check(HomeCheck hc) { home_check_ = std::move(hc); }
+  /// Homes the loop has moved through (0 until the first rebind).
+  [[nodiscard]] int rehomes() const noexcept {
+    return rehomes_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -199,6 +237,15 @@ class FeedbackLoop {
 
  private:
   void step();
+  /// Re-resolves the fb.loop.* metric handles against `rt`'s registry. Must
+  /// run on `rt`'s kernel thread.
+  void bind_metrics(rt::Runtime& rt);
+  /// Moves the loop to `rb`. Runs from step(), i.e. inside the current
+  /// task's own tick — which is why the old task retires (self-terminates)
+  /// instead of being destroyed, and is kept in retired_ until the loop
+  /// dies: its code function (and captured `this`) is still on the old
+  /// shard's stack when this returns.
+  void apply_rebind(Rebind rb);
 
   std::string name_;
   PIController controller_;
@@ -210,12 +257,17 @@ class FeedbackLoop {
   std::atomic<double> last_err_{0.0};
   std::atomic<int> steps_{0};
   std::atomic<int> actuations_{0};
+  std::atomic<int> rehomes_{0};
   obs::Gauge* out_gauge_ = nullptr;
   obs::Gauge* err_gauge_ = nullptr;
   obs::Counter* steps_ctr_ = nullptr;
   obs::Counter* act_ctr_ = nullptr;
   Exec exec_;
   std::unique_ptr<PeriodicTask> task_;
+  HomeCheck home_check_;
+  /// Retired tasks with the Exec that reaches their home runtime; destroyed
+  /// at loop teardown, each on its own shard.
+  std::vector<std::pair<std::unique_ptr<PeriodicTask>, Exec>> retired_;
 };
 
 /// Reading helper: a buffer's fill level as a fraction of capacity.

@@ -1,0 +1,137 @@
+// Pooled payload blocks (ip_mem).
+//
+// The unit the item path allocates is a Block: one contiguous extent holding
+// a small header (intrusive refcount, capacity, type identity, destructor)
+// followed immediately by the payload bytes. One block == one allocation ==
+// one cache-line-friendly object that can be recycled through a free list
+// without ever touching the general-purpose allocator again — the
+// counterpart of the two-allocation shared_ptr<const any> representation it
+// replaces (control block + any box, each type-erased one hop apart).
+//
+// Ownership is an intrusive refcount manipulated only through PayloadRef
+// (copy = acquire, move = steal, all noexcept). The LAST release returns the
+// block to its home pool — from any thread; pool.hpp documents the
+// return-to-owner / adopt protocol that keeps that safe and bounded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <typeinfo>
+
+namespace infopipe::mem {
+
+class Pool;
+struct BlockHeader;
+
+/// Runs the payload destructor (if any) and returns the block to its home
+/// pool — or frees it, for unpooled blocks. Thread-safe; defined in pool.cpp.
+void release_block(BlockHeader* h) noexcept;
+
+/// Tag type identifying raw-byte payloads (serialization scratch); their
+/// length lives in BlockHeader::used rather than in a typed object.
+struct Bytes {};
+
+/// The in-band header preceding every pooled payload. kept to 48 bytes (one
+/// cache line covers header + a small payload) and aligned so the payload
+/// that follows is suitably aligned for any standard type.
+struct alignas(alignof(std::max_align_t)) BlockHeader {
+  std::atomic<std::uint32_t> refs{0};  ///< PayloadRef owners
+  std::uint32_t capacity = 0;          ///< payload bytes following the header
+  std::uint32_t used = 0;              ///< live payload bytes (Bytes blocks)
+  std::uint32_t size_class = 0;        ///< pool class index; pool.cpp's table
+  Pool* home = nullptr;                ///< owning pool; nullptr = plain heap
+  void (*destroy)(void*) noexcept = nullptr;  ///< payload dtor; may be null
+  union {
+    const std::type_info* type = nullptr;  ///< live block: payload identity
+    BlockHeader* next_free;                ///< parked block: free-list link
+  };
+};
+
+[[nodiscard]] inline void* block_payload(BlockHeader* h) noexcept {
+  return h + 1;
+}
+[[nodiscard]] inline const void* block_payload(const BlockHeader* h) noexcept {
+  return h + 1;
+}
+
+/// Intrusive smart pointer over a payload block. Copy bumps the refcount,
+/// move steals it; both are noexcept, which is what lets Item's move ops be
+/// noexcept and every ring/deque hop along the item path move instead of
+/// copy.
+class PayloadRef {
+ public:
+  constexpr PayloadRef() noexcept = default;
+
+  /// Takes ownership of one already-counted reference.
+  [[nodiscard]] static PayloadRef adopt(BlockHeader* h) noexcept {
+    PayloadRef r;
+    r.h_ = h;
+    return r;
+  }
+
+  PayloadRef(const PayloadRef& o) noexcept : h_(o.h_) {
+    if (h_ != nullptr) h_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  PayloadRef(PayloadRef&& o) noexcept : h_(o.h_) { o.h_ = nullptr; }
+  PayloadRef& operator=(const PayloadRef& o) noexcept {
+    PayloadRef(o).swap(*this);
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    PayloadRef(static_cast<PayloadRef&&>(o)).swap(*this);
+    return *this;
+  }
+  ~PayloadRef() { reset(); }
+
+  void swap(PayloadRef& o) noexcept {
+    BlockHeader* t = h_;
+    h_ = o.h_;
+    o.h_ = t;
+  }
+
+  void reset() noexcept {
+    if (h_ != nullptr &&
+        h_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      release_block(h_);
+    }
+    h_ = nullptr;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return h_ != nullptr;
+  }
+  [[nodiscard]] BlockHeader* header() const noexcept { return h_; }
+
+  /// Owners of this payload right now (approximate under concurrency, exact
+  /// once a flow is quiescent — same contract shared_ptr::use_count gives).
+  [[nodiscard]] long use_count() const noexcept {
+    return h_ == nullptr
+               ? 0
+               : static_cast<long>(h_->refs.load(std::memory_order_relaxed));
+  }
+
+  /// Typed access; nullptr on empty ref, raw-bytes block or type mismatch.
+  template <typename T>
+  [[nodiscard]] const T* get_if() const noexcept {
+    if (h_ == nullptr || h_->type == nullptr || *h_->type != typeid(T)) {
+      return nullptr;
+    }
+    return static_cast<const T*>(block_payload(h_));
+  }
+
+  [[nodiscard]] bool is_bytes() const noexcept {
+    return h_ != nullptr && h_->type != nullptr && *h_->type == typeid(Bytes);
+  }
+  [[nodiscard]] const std::uint8_t* bytes() const noexcept {
+    return static_cast<const std::uint8_t*>(block_payload(h_));
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return h_ == nullptr ? 0 : h_->used;
+  }
+
+ private:
+  BlockHeader* h_ = nullptr;
+};
+
+}  // namespace infopipe::mem

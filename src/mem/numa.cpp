@@ -1,0 +1,70 @@
+#include "mem/numa.hpp"
+
+#include <new>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace infopipe::mem {
+
+namespace {
+
+#ifdef __linux__
+constexpr int kMpolPreferred = 1;  // MPOL_PREFERRED from <linux/mempolicy.h>
+
+std::size_t page_round(std::size_t bytes) {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return (bytes + page - 1) / page * page;
+}
+#endif
+
+}  // namespace
+
+NumaBlock numa_alloc(std::size_t bytes, int node) {
+  NumaBlock b;
+  if (bytes == 0) return b;
+  b.node = node;
+#ifdef __linux__
+  const std::size_t len = page_round(bytes);
+  void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p != MAP_FAILED) {
+    b.ptr = p;
+    b.bytes = len;
+    b.mapped = true;
+#ifdef SYS_mbind
+    if (node >= 0 && node < 64) {
+      // Best effort: a machine with one node (or a kernel without NUMA)
+      // rejects or ignores this, and that is fine — the preference is an
+      // optimization, never a requirement.
+      const unsigned long mask = 1UL << node;
+      (void)::syscall(SYS_mbind, p, len, kMpolPreferred, &mask,
+                      sizeof(mask) * 8 + 1, 0U);
+    }
+#endif
+    return b;
+  }
+#endif
+  b.ptr = ::operator new(bytes);
+  b.bytes = bytes;
+  b.mapped = false;
+  return b;
+}
+
+void numa_free(NumaBlock& b) noexcept {
+  if (b.ptr == nullptr) return;
+#ifdef __linux__
+  if (b.mapped) {
+    (void)::munmap(b.ptr, b.bytes);
+    b = NumaBlock{};
+    return;
+  }
+#endif
+  ::operator delete(b.ptr);
+  b = NumaBlock{};
+}
+
+}  // namespace infopipe::mem

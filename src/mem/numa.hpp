@@ -1,0 +1,35 @@
+// NUMA-aware raw storage (ip_mem).
+//
+// One primitive: "give me `bytes` of zeroed storage, preferably resident on
+// NUMA node `node`". On Linux the storage is mmap'd and bound with a raw
+// mbind(2) syscall (MPOL_PREFERRED — a binding must never make an
+// allocation fail, only steer it), so neither libnuma nor any new package is
+// required; everywhere else — and whenever the syscall is unavailable — it
+// degrades to plain operator new. The *decision* (which node was requested)
+// is recorded in the returned descriptor regardless of whether the kernel
+// honoured it, because tests with an injected shard::Topology must be able
+// to verify placement policy on machines with one physical node.
+#pragma once
+
+#include <cstddef>
+
+namespace infopipe::mem {
+
+/// A raw storage extent plus how it was obtained and where it was aimed.
+struct NumaBlock {
+  void* ptr = nullptr;
+  std::size_t bytes = 0;
+  bool mapped = false;  ///< true: munmap on free; false: operator delete
+  int node = -1;        ///< requested NUMA node (-1 = no preference)
+};
+
+/// Allocates `bytes` (rounded up to the page size when mmap'd), requesting
+/// residency on `node` (< 0 for no preference). Never returns nullptr for
+/// bytes > 0 — failures fall back to the heap; throws std::bad_alloc only if
+/// even that fails.
+[[nodiscard]] NumaBlock numa_alloc(std::size_t bytes, int node);
+
+/// Releases storage from numa_alloc(); safe on a default-constructed block.
+void numa_free(NumaBlock& b) noexcept;
+
+}  // namespace infopipe::mem

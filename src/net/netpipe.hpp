@@ -122,12 +122,15 @@ class MarshalFilter : public FunctionComponent {
 
  protected:
   Item convert(Item x) override {
-    std::vector<std::uint8_t> bytes = enc_(x);
-    Item wire = Item::of<std::vector<std::uint8_t>>(std::move(bytes));
+    // The wire copy lives in a pooled byte block (class-rounded, so
+    // consecutive messages of similar size recycle the same storage) rather
+    // than a fresh vector boxed in a shared_ptr per message; under
+    // pooling=off, of_bytes falls back to the legacy vector payload.
+    const std::vector<std::uint8_t> bytes = enc_(x);
+    Item wire = Item::of_bytes(bytes.data(), bytes.size());
     wire.seq = x.seq;
     wire.timestamp = x.timestamp;
     wire.kind = x.kind;
-    wire.size_bytes = wire.payload<std::vector<std::uint8_t>>()->size();
     return wire;
   }
 
@@ -155,8 +158,17 @@ class UnmarshalFilter : public FunctionComponent {
 
  protected:
   Item convert(Item x) override {
-    const auto* bytes = x.payload<std::vector<std::uint8_t>>();
-    Item y = bytes != nullptr ? dec_(*bytes) : Item::nil();
+    Item y = Item::nil();
+    if (const auto* v = x.payload<std::vector<std::uint8_t>>()) {
+      // Legacy vector payload (pooling=off): hand it to the codec directly.
+      y = dec_(*v);
+    } else if (const std::uint8_t* p = x.bytes_data()) {
+      // Pooled byte block: the codec API speaks vectors, so stage through a
+      // member scratch whose capacity is reused across messages (assign
+      // does not reallocate once it has grown to the flow's packet size).
+      scratch_.assign(p, p + x.bytes_size());
+      y = dec_(scratch_);
+    }
     y.seq = x.seq;
     y.timestamp = x.timestamp;
     y.kind = x.kind;
@@ -166,6 +178,7 @@ class UnmarshalFilter : public FunctionComponent {
  private:
   Decode dec_;
   std::string item_type_;
+  std::vector<std::uint8_t> scratch_;  ///< reused decode staging buffer
 };
 
 }  // namespace infopipe::net

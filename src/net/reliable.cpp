@@ -40,16 +40,12 @@ void ReliableTransport::send(rt::Runtime& rt, Item packet) {
   rt.send(sender_agent_, std::move(m));
 }
 
-void ReliableTransport::transmit(rt::Runtime& rt, const ArqPacket& pkt) {
-  Item wire = Item::of<ArqPacket>(pkt);
-  wire.seq = pkt.seq;
-  wire.size_bytes =
-      (pkt.eos ? 0 : std::max<std::size_t>(pkt.item.size_bytes, 1)) +
-      kArqHeaderBytes;
+void ReliableTransport::transmit(rt::Runtime& rt, std::uint64_t seq,
+                                 Item wire) {
   ++stats_.transmissions;
   fwd_->send(rt, std::move(wire));
   rt::Message timer{kMsgArqTimer, rt::MsgClass::kTimer};
-  timer.payload = pkt.seq;
+  timer.payload = seq;
   rt.send_at(rt.now() + rto_, sender_agent_, std::move(timer));
 }
 
@@ -62,9 +58,17 @@ rt::CodeResult ReliableTransport::sender_code(rt::Runtime& rt,
       pkt.seq = next_seq_++;
       pkt.eos = x.is_eos();
       if (!pkt.eos) pkt.item = std::move(x);
-      in_flight_.emplace(pkt.seq, pkt);
+      const std::uint64_t seq = pkt.seq;
+      const std::size_t body =
+          pkt.eos ? 0 : std::max<std::size_t>(pkt.item.size_bytes, 1);
+      // Marshal ONCE: the wire item (and its pooled payload block) is held
+      // until acked; retransmissions re-send the same block.
+      Item wire = Item::of<ArqPacket>(std::move(pkt));
+      wire.seq = seq;
+      wire.size_bytes = body + kArqHeaderBytes;
+      in_flight_.emplace(seq, wire);
       ++stats_.submitted;
-      transmit(rt, pkt);
+      transmit(rt, seq, std::move(wire));
       return rt::CodeResult::kContinue;
     }
     case kMsgArqTimer: {
@@ -74,7 +78,7 @@ rt::CodeResult ReliableTransport::sender_code(rt::Runtime& rt,
       if (it != in_flight_.end()) {
         ++stats_.retransmissions;
         obs_retx_->inc();
-        transmit(rt, it->second);
+        transmit(rt, *seq, it->second);
       }
       return rt::CodeResult::kContinue;
     }

@@ -67,7 +67,10 @@ class ReliableTransport : public Transport {
 
   rt::CodeResult sender_code(rt::Runtime& rt, rt::Message m);
   rt::CodeResult receiver_code(rt::Runtime& rt, rt::Message m);
-  void transmit(rt::Runtime& rt, const ArqPacket& pkt);
+  /// Puts `wire` on the forward link and arms the retransmission timer for
+  /// `seq`. Callers pass a copy of the held wire item — a refcount bump on
+  /// the shared (pooled) packet block, so retransmissions allocate nothing.
+  void transmit(rt::Runtime& rt, std::uint64_t seq, Item wire);
 
   rt::Runtime* rt_;
   SimLink* fwd_;
@@ -77,9 +80,11 @@ class ReliableTransport : public Transport {
   rt::ThreadId receiver_agent_ = rt::kNoThread;
   rt::ThreadId consumer_ = rt::kNoThread;
 
-  // sender state
+  // sender state. In-flight packets are held as their marshalled wire item:
+  // one payload block built at submit time, shared by every (re)transmission
+  // until the ACK releases it.
   std::uint64_t next_seq_ = 0;
-  std::map<std::uint64_t, ArqPacket> in_flight_;
+  std::map<std::uint64_t, Item> in_flight_;
 
   // receiver state
   std::uint64_t next_deliver_ = 0;

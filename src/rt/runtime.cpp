@@ -23,11 +23,14 @@ struct ActiveRuntimeScope {
 
 Runtime::Runtime(std::unique_ptr<Clock> clock, Options options)
     : clock_(clock ? std::move(clock) : std::make_unique<VirtualClock>()),
-      options_(options) {
+      options_(options),
+      pool_(&mem::Pool::create("rt")) {
   metrics_.set_time_source([this] { return clock_->now(); });
   tracer_.set_time_source([this] { return clock_->now(); });
   // The scheduler's hot-path counters live in the plain Stats struct (an
   // increment costs one add); this collector publishes them into snapshots.
+  // The pool's counters ride along, so every --metrics-out dump shows the
+  // item path's allocation behaviour.
   metrics_.add_collector([this](obs::MetricsSnapshot& s) {
     s.add_counter("rt.context_switches", stats_.context_switches);
     s.add_counter("rt.messages_sent", stats_.messages_sent);
@@ -37,10 +40,23 @@ Runtime::Runtime(std::unique_ptr<Clock> clock, Options options)
     s.add_counter("rt.preemptions", stats_.preemptions);
     s.add_counter("rt.dispatches", stats_.dispatches);
     s.add_gauge("rt.live_threads", static_cast<double>(live_threads()));
+    const mem::Pool::Stats ps = pool_->stats();
+    s.add_counter("mem.pool.hits", ps.hits);
+    s.add_counter("mem.pool.misses", ps.misses);
+    s.add_counter("mem.pool.recycled", ps.recycled);
+    s.add_counter("mem.pool.foreign_returned", ps.foreign_returned);
+    s.add_counter("mem.pool.foreign_adopted", ps.foreign_adopted);
+    s.add_counter("mem.pool.oversize", ps.oversize);
+    s.add_gauge("mem.pool.slab_bytes", static_cast<double>(ps.slab_bytes));
+    s.add_gauge("mem.pool.numa_node", static_cast<double>(pool_->numa_node()));
   });
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // The pool is immortal (payloads may outlive this runtime), but its owner
+  // thread is gone: foreign returns must adopt from now on.
+  pool_->detach();
+}
 
 // ---- Thread management -----------------------------------------------------
 
@@ -431,6 +447,9 @@ void Runtime::run_until(Time t) {
   in_run_ = true;
   stop_requested_ = false;
   ActiveRuntimeScope scope(this);
+  // Item::of inside hosted threads allocates from this runtime's pool; the
+  // scope also marks this kernel thread as the pool's owner for recycling.
+  mem::PoolScope pool_scope(pool_);
   for (;;) {
     while (!stop_requested_ && !halted() && step(t)) {
     }

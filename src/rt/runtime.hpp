@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/clock.hpp"
@@ -234,6 +235,13 @@ class Runtime {
   /// Per-item hop tracer (disabled by default; see obs/trace.hpp).
   [[nodiscard]] obs::FlowTracer& tracer() noexcept { return tracer_; }
 
+  /// This runtime's payload pool (src/mem/): installed as the thread's
+  /// current pool while the scheduling loop runs, so Item::of inside any
+  /// hosted user-level thread allocates here. Immortal (detached, not
+  /// destroyed, when the runtime dies) so payloads may outlive the runtime.
+  /// Its counters appear as mem.pool.* rows in every metrics snapshot.
+  [[nodiscard]] mem::Pool& pool() noexcept { return *pool_; }
+
   /// CPU reservation table (admission control for pumps, §3.1).
   [[nodiscard]] ReservationManager& reservations() noexcept {
     return reservations_;
@@ -298,6 +306,7 @@ class Runtime {
 
   std::unique_ptr<Clock> clock_;
   Options options_;
+  mem::Pool* pool_;  ///< immortal; see pool()
   ReservationManager reservations_;
   obs::MetricsRegistry metrics_;
   obs::FlowTracer tracer_;

@@ -11,18 +11,45 @@ constexpr std::size_t kOverflowReserve = 4;
 }  // namespace
 
 ShardChannel::ShardChannel(std::string name, std::size_t capacity,
-                           FullPolicy full, EmptyPolicy empty)
+                           FullPolicy full, EmptyPolicy empty, int numa_node)
     : name_(std::move(name)),
       capacity_(capacity == 0 ? 1 : capacity),
       full_(full),
-      empty_(empty),
-      slots_(capacity_ + kOverflowReserve) {}
+      empty_(empty) {
+  alloc_slots(numa_node);
+}
+
+ShardChannel::~ShardChannel() { free_slots(); }
+
+void ShardChannel::alloc_slots(int node) {
+  n_slots_ = capacity_ + kOverflowReserve;
+  ring_mem_ = mem::numa_alloc(n_slots_ * sizeof(Item), node);
+  slots_ = static_cast<Item*>(ring_mem_.ptr);
+  for (std::size_t i = 0; i < n_slots_; ++i) ::new (&slots_[i]) Item();
+  ring_node_.store(node, std::memory_order_release);
+}
+
+void ShardChannel::free_slots() noexcept {
+  if (slots_ == nullptr) return;
+  for (std::size_t i = 0; i < n_slots_; ++i) slots_[i].~Item();
+  slots_ = nullptr;
+  n_slots_ = 0;
+  mem::numa_free(ring_mem_);
+}
+
+void ShardChannel::place_ring(int node) {
+  if (node == ring_node_.load(std::memory_order_acquire)) return;
+  // Precondition (documented in the header): ring empty, both sides quiet.
+  if (depth() != 0) return;
+  free_slots();
+  alloc_slots(node);
+}
 
 bool ShardChannel::try_push(Item& x) {
   const std::uint64_t t = tail_.load(std::memory_order_relaxed);
   const std::uint64_t h = head_.load(std::memory_order_seq_cst);
   if (t - h >= capacity_) return false;
-  slots_[t % slots_.size()] = std::move(x);
+  slots_[t % n_slots_] = std::move(x);
   tail_.store(t + 1, std::memory_order_seq_cst);
   pushes_.fetch_add(1, std::memory_order_relaxed);
   note_depth(t + 1 - h);
@@ -32,8 +59,8 @@ bool ShardChannel::try_push(Item& x) {
 bool ShardChannel::force_push(Item& x) {
   const std::uint64_t t = tail_.load(std::memory_order_relaxed);
   const std::uint64_t h = head_.load(std::memory_order_seq_cst);
-  if (t - h >= slots_.size()) return false;
-  slots_[t % slots_.size()] = std::move(x);
+  if (t - h >= n_slots_) return false;
+  slots_[t % n_slots_] = std::move(x);
   tail_.store(t + 1, std::memory_order_seq_cst);
   pushes_.fetch_add(1, std::memory_order_relaxed);
   note_depth(t + 1 - h);
@@ -43,7 +70,10 @@ bool ShardChannel::force_push(Item& x) {
 std::optional<Item> ShardChannel::try_pop() {
   const std::uint64_t h = head_.load(std::memory_order_relaxed);
   if (h == tail_.load(std::memory_order_seq_cst)) return std::nullopt;
-  Item x = std::move(slots_[h % slots_.size()]);
+  // A move, not a copy: the slot is left empty (no payload reference stays
+  // behind in the ring), so when the consumer side drops the item the block
+  // recycles to the CONSUMER's pool / the bounded return-to-owner stash.
+  Item x = std::move(slots_[h % n_slots_]);
   head_.store(h + 1, std::memory_order_seq_cst);
   pops_.fetch_add(1, std::memory_order_relaxed);
   return x;

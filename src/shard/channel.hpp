@@ -38,6 +38,7 @@
 #include "core/introspect.hpp"
 #include "core/item.hpp"
 #include "core/typespec.hpp"
+#include "mem/numa.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::shard {
@@ -59,9 +60,13 @@ enum ShardMsgType : int {
 /// downstream section).
 class ShardChannel {
  public:
+  /// `numa_node` >= 0 requests the ring storage on that NUMA node (the
+  /// consumer shard's node, normally — the consumer touches every slot
+  /// last); < 0 allocates without preference.
   ShardChannel(std::string name, std::size_t capacity,
                FullPolicy full = FullPolicy::kBlock,
-               EmptyPolicy empty = EmptyPolicy::kBlock);
+               EmptyPolicy empty = EmptyPolicy::kBlock, int numa_node = -1);
+  ~ShardChannel();
 
   ShardChannel(const ShardChannel&) = delete;
   ShardChannel& operator=(const ShardChannel&) = delete;
@@ -91,6 +96,20 @@ class ShardChannel {
   void bind_consumer(rt::Runtime& rtm, int shard) {
     consumer_rt_.store(&rtm, std::memory_order_release);
     consumer_shard_.store(shard, std::memory_order_release);
+  }
+
+  /// Re-allocates the ring storage on `node`. Only legal while the ring is
+  /// EMPTY and neither side is mid-push/pop — i.e. at construction/binding
+  /// time or under a migration quiesce. A no-op if the ring already sits on
+  /// `node`. (A re-bind of a NON-empty ring under migration keeps the old
+  /// placement: moving live slots would race the far side.)
+  void place_ring(int node);
+
+  /// The NUMA node the ring storage was REQUESTED on (-1: no preference).
+  /// This is the placement decision, recorded even where the kernel lacks
+  /// NUMA support — what the injected-topology tests verify.
+  [[nodiscard]] int ring_node() const noexcept {
+    return ring_node_.load(std::memory_order_acquire);
   }
 
   // -- ring (producer side: try_push/force_push; consumer side: try_pop) -----
@@ -164,11 +183,23 @@ class ShardChannel {
   [[nodiscard]] ChannelStats stats() const;
 
  private:
+  /// (Re)creates the slot array on `node`; ring must be empty.
+  void alloc_slots(int node);
+  void free_slots() noexcept;
+
   std::string name_;
   std::size_t capacity_;
   FullPolicy full_;
   EmptyPolicy empty_;
-  std::vector<Item> slots_;  ///< capacity_ + overflow reserve
+
+  // Ring storage: capacity_ + overflow reserve default-constructed Items in
+  // raw NUMA-aware storage (mem/numa.hpp) so the slot array — which every
+  // item crossing the cut is moved through — can live on the consumer
+  // shard's node.
+  Item* slots_ = nullptr;
+  std::size_t n_slots_ = 0;
+  mem::NumaBlock ring_mem_;
+  std::atomic<int> ring_node_{-1};
 
   // Monotonic positions; slot index = position % slots_.size(). 64-bit
   // counters make wraparound a non-issue at any realistic item rate.

@@ -55,7 +55,9 @@ ShardGroup::ShardGroup(int n_shards, rt::RuntimeOptions options)
     : ShardGroup(n_shards, GroupOptions{std::move(options), {}, false}) {}
 
 ShardGroup::ShardGroup(int n_shards, GroupOptions options)
-    : manual_(options.manual) {
+    : manual_(options.manual),
+      topo_(options.topology ? std::move(*options.topology)
+                             : Topology::detect()) {
   if (n_shards < 1) throw rt::RuntimeError("ShardGroup needs >= 1 shard");
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int i = 0; i < n_shards; ++i) {
@@ -89,8 +91,19 @@ ShardGroup::ShardGroup(int n_shards, GroupOptions options)
           }
           return rt::CodeResult::kContinue;
         });
+    // Slabs this shard's payload pool carves land on the node its kernel
+    // thread is pinned to; items created on the shard are then node-local.
+    s->rtm->pool().set_numa_node(node_of_shard(i));
     shards_.push_back(std::move(s));
   }
+}
+
+int ShardGroup::node_of_shard(int shard) const noexcept {
+  if (topo_.flat()) return -1;
+  // The topology's own probed CPU count models the pinning modulus — for a
+  // detected topology it IS hardware_concurrency; for an injected one it
+  // keeps tests deterministic regardless of the host machine.
+  return topo_.node_of_shard(shard);
 }
 
 ShardGroup::~ShardGroup() {

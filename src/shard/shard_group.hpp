@@ -31,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "rt/doorbell.hpp"
 #include "rt/runtime.hpp"
+#include "shard/topology.hpp"
 
 namespace infopipe::shard {
 
@@ -51,6 +52,10 @@ class ShardGroup {
     /// Clock for each shard runtime; default builds rt::RealClock.
     std::function<std::unique_ptr<rt::Clock>()> clock_factory;
     bool manual = false;
+    /// NUMA layout used for memory placement (each shard's payload pool and
+    /// each cross-shard channel ring land on the consumer shard's node).
+    /// Defaults to Topology::detect(); inject a synthetic mapping in tests.
+    std::optional<Topology> topology;
   };
 
   /// Builds n_shards runtimes over real-time clocks. Nothing runs until
@@ -71,6 +76,14 @@ class ShardGroup {
   [[nodiscard]] rt::Doorbell& doorbell(int shard) {
     return shards_.at(static_cast<std::size_t>(shard))->bell;
   }
+
+  /// The NUMA layout this group places memory by (injected or probed).
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// Node hosting a shard's pinned kernel thread under this group's pinning
+  /// rule (core `shard % hardware_concurrency`); -1 when the topology is
+  /// flat, i.e. no placement preference exists.
+  [[nodiscard]] int node_of_shard(int shard) const noexcept;
 
   /// Starts one kernel thread per shard (idempotent). Each thread pins
   /// itself to core `shard % hardware_concurrency` (best effort, Linux
@@ -137,6 +150,7 @@ class ShardGroup {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{false};
   bool manual_ = false;
+  Topology topo_;
   std::mutex err_mutex_;
 };
 

@@ -45,8 +45,12 @@ ShardedRealization::ShardedRealization(ShardGroup& group, const Pipeline& p)
     link->down_sec = cut.downstream_section;
     const int up = assign_[cut.upstream_section];
     const int down = assign_[cut.downstream_section];
+    // The ring lives on the consumer shard's NUMA node: the consumer is the
+    // side that touches every slot last (the pop move) and then walks the
+    // payload, so its node is where the slot array earns locality.
     link->chan = std::make_unique<ShardChannel>(
-        b->name(), b->capacity(), b->full_policy(), b->empty_policy());
+        b->name(), b->capacity(), b->full_policy(), b->empty_policy(),
+        group.node_of_shard(down));
     link->chan->bind_producer(group.runtime(up), up);
     link->chan->bind_consumer(group.runtime(down), down);
     link->sink = std::make_unique<ChannelSink>(*link->chan);
@@ -671,6 +675,10 @@ void ShardedRealization::Migration::transfer() {
         sr.remove_cut_collector(*link);
         link->chan->bind_consumer(sr.group_->runtime(down), down);
         link->chan->clear_consumer_waiter();
+        // Ring follows the consumer to its new node when possible —
+        // place_ring refuses (keeps the old storage) if items are queued,
+        // since moving live slots would race the far side.
+        link->chan->place_ring(sr.group_->node_of_shard(down));
         sr.add_cut_collector(*link);
         rebound = true;
       }
@@ -719,7 +727,7 @@ void ShardedRealization::Migration::transfer() {
     const int down = assign[cut.downstream_section];
     link->chan = std::make_unique<ShardChannel>(
         b->name(), std::max(b->capacity(), b->fill()), b->full_policy(),
-        b->empty_policy());
+        b->empty_policy(), sr.group_->node_of_shard(down));
     link->chan->bind_producer(sr.group_->runtime(up), up);
     link->chan->bind_consumer(sr.group_->runtime(down), down);
     link->sink = std::make_unique<ChannelSink>(*link->chan);

@@ -394,6 +394,88 @@ TEST(FeedbackEndpoint, RemoteProbeRehomesAfterMigration) {
   EXPECT_TRUE(sr.finished());
 }
 
+TEST(FeedbackEndpoint, LoopRehomesWhenConsumerSectionMigrates) {
+  // A naturally-homed loop lives where congestion is observed: the sensor
+  // channel's consumer shard. When the rebalancer migrates the consumer
+  // section, the channel's to_shard moves — and the loop must move with it:
+  // its periodic task retires on the old shard, a fresh one spawns on the
+  // new consumer shard, the metric rows continue under the new prefix, and
+  // steering never stops.
+  shard::ShardGroup::GroupOptions opt;
+  opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+  opt.manual = true;
+  shard::ShardGroup group(3, std::move(opt));
+
+  CountingSource src("src", 1000000);
+  CountingAdaptivePump fill("fill", 300.0);
+  Buffer buf("buf", 64, FullPolicy::kBlock, EmptyPolicy::kBlock);
+  ClockedPump drain("drain", 100.0);
+  CountingSink sink("sink");
+  auto ch = src >> fill >> buf >> drain >> sink;
+
+  shard::ShardedRealization sr(group, ch.pipeline());
+  shard::ShardChannel* chan = sr.find_channel("buf");
+  ASSERT_NE(chan, nullptr);
+  const int old_home = chan->to_shard();
+  std::size_t cons_sec = sr.section_count();
+  for (std::size_t i = 0; i < sr.section_count(); ++i) {
+    if (sr.section_name(i) == "drain") cons_sec = i;
+  }
+  ASSERT_LT(cons_sec, sr.section_count());
+  ASSERT_TRUE(sr.section_migratable(cons_sec));
+  int fresh = -1;  // a shard hosting neither side of the cut
+  for (int s = 0; s < group.size(); ++s) {
+    if (s != chan->from_shard() && s != old_home) fresh = s;
+  }
+  ASSERT_GE(fresh, 0);
+
+  auto loop = make_loop(
+      sr, LoopSpec{.name = "congestion",
+                   .period = rt::milliseconds(50),
+                   .sensor = fill_fraction("buf"),
+                   .setpoint = 0.5,
+                   .controller = PIController(200.0, 400.0, 1.0, 2000.0),
+                   .actuator = pump_rate("fill")});
+
+  sr.start();
+  loop->start();
+  for (rt::Time t = rt::milliseconds(100); t <= rt::seconds(2);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  EXPECT_EQ(loop->rehomes(), 0);
+  const int steps_before = loop->steps();
+  EXPECT_GT(steps_before, 10);
+
+  // Migrate the consumer section: the cut persists, rebound to `fresh`.
+  (void)sr.migrate_section(cons_sec, fresh);
+  shard::ShardChannel* live = sr.find_live_channel("buf");
+  ASSERT_NE(live, nullptr);
+  ASSERT_EQ(live->to_shard(), fresh);
+
+  for (rt::Time t = rt::seconds(2); t <= rt::seconds(6);
+       t += rt::milliseconds(100)) {
+    group.step_until(t);
+  }
+  // The loop noticed the epoch change, moved exactly once, and kept
+  // stepping from its new home.
+  EXPECT_EQ(loop->rehomes(), 1);
+  EXPECT_GT(loop->steps(), steps_before + 10);
+  EXPECT_EQ(fill.hints(), loop->steps());
+
+  // Telemetry continues under the NEW home shard's registry.
+  const obs::MetricsSnapshot ms = sr.metrics_snapshot();
+  const obs::MetricValue* steps_row = ms.find(
+      "shard" + std::to_string(fresh) + ".fb.loop.congestion.steps");
+  ASSERT_NE(steps_row, nullptr);
+  EXPECT_GT(steps_row->count, 10u);
+
+  loop->stop();
+  sr.shutdown();
+  group.step_until(rt::seconds(7));
+  EXPECT_TRUE(sr.finished());
+}
+
 TEST(FeedbackEndpoint, LaunchedGroupStillConvergesLoosely) {
   // The same loop over real kernel threads: no lockstep, real clocks, TSan
   // exercises the cross-shard sampling (channel atomics) and actuation
