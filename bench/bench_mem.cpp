@@ -12,7 +12,12 @@
 // Three workloads: a bare make/destroy loop (allocator cost in isolation),
 // a single-runtime pumped flow, and a 2-shard flow whose payloads cross a
 // ShardChannel cut — the case the consumer-side recycling protocol exists
-// for. Each runs with pooling on and off (`/pooled`, `/legacy`).
+// for. Each runs per representation (`mode`: 0 = legacy shared_ptr,
+// 1 = pooled block, 2 = inline-in-Item), pinned explicitly because the
+// small trivially-copyable payloads used here would otherwise all take the
+// default inline path and measure nothing. The batched rows
+// (BM_CrossShardFlowBatched) re-run the cut flow with span-moving pumps,
+// batch on vs off.
 //
 // On a 1-core host the cross-shard numbers measure overhead, not
 // parallelism — record the host's core count next to archived results
@@ -106,8 +111,9 @@ void report(benchmark::State& state, std::uint64_t items,
 // calls per item), the legacy path pays make_shared every time.
 
 void BM_ItemMakeDestroy(benchmark::State& state) {
-  const bool pooled = state.range(0) != 0;
-  config().pooling = pooled;
+  const int mode = static_cast<int>(state.range(0));
+  config().pooling = mode == 1;
+  config().inline_payloads = mode == 2;
   mem::Pool pool("bench");
   mem::PoolScope scope(&pool);
 
@@ -121,13 +127,14 @@ void BM_ItemMakeDestroy(benchmark::State& state) {
   const std::uint64_t allocs =
       g_allocs.load(std::memory_order_relaxed) - before;
   const mem::Pool::Stats s = pool.stats();
-  report(state, items, allocs, pooled ? &s : nullptr);
+  report(state, items, allocs, mode == 1 ? &s : nullptr);
   config().pooling = true;
+  config().inline_payloads = true;
 }
+// mode: 0 = legacy shared_ptr, 1 = pooled block, 2 = inline-in-Item.
 BENCHMARK(BM_ItemMakeDestroy)
-    ->Arg(1)
-    ->ArgName("pooled")
-    ->Arg(0)
+    ->DenseRange(0, 2)
+    ->ArgName("mode")
     ->Unit(benchmark::kNanosecond);
 
 // ---------------------------------------------------------------------------
@@ -137,13 +144,15 @@ BENCHMARK(BM_ItemMakeDestroy)
 
 struct PumpedChain {
   PayloadSource src{"src", kItems};
-  FreeRunningPump p1{"p1"};
+  FreeRunningPump p1;
   Buffer buf{"buf", 64};
-  FreeRunningPump p2{"p2"};
+  FreeRunningPump p2;
   CountingSink sink{"sink"};
   Pipeline pipe;
 
-  PumpedChain() {
+  explicit PumpedChain(std::size_t max_batch = 1)
+      : p1(PumpSpec{.name = "p1", .max_batch = max_batch}),
+        p2(PumpSpec{.name = "p2", .max_batch = max_batch}) {
     pipe.connect(src, 0, p1, 0);
     pipe.connect(p1, 0, buf, 0);
     pipe.connect(buf, 0, p2, 0);
@@ -152,8 +161,10 @@ struct PumpedChain {
 };
 
 void BM_SingleRuntimeFlow(benchmark::State& state) {
-  const bool pooled = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
+  const bool pooled = mode == 1;
   config().pooling = pooled;
+  config().inline_payloads = mode == 2;
   for (auto _ : state) {
     state.PauseTiming();
     PumpedChain c;
@@ -172,16 +183,18 @@ void BM_SingleRuntimeFlow(benchmark::State& state) {
     }
     const mem::Pool::Stats s = rtm.pool().stats();
     report(state, kItems, allocs, pooled ? &s : nullptr);
-    obsbench::capture(rtm, pooled ? "BM_SingleRuntimeFlow/pooled"
-                                  : "BM_SingleRuntimeFlow/legacy");
+    obsbench::capture(rtm, mode == 2   ? "BM_SingleRuntimeFlow/inline"
+                           : pooled    ? "BM_SingleRuntimeFlow/pooled"
+                                       : "BM_SingleRuntimeFlow/legacy");
     state.ResumeTiming();
   }
   config().pooling = true;
+  config().inline_payloads = true;
 }
+// mode: 0 = legacy shared_ptr, 1 = pooled block, 2 = inline-in-Item.
 BENCHMARK(BM_SingleRuntimeFlow)
-    ->Arg(1)
-    ->ArgName("pooled")
-    ->Arg(0)
+    ->DenseRange(0, 2)
+    ->ArgName("mode")
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -192,8 +205,10 @@ BENCHMARK(BM_SingleRuntimeFlow)
 // path, and the pooled run should STILL be allocator-quiet per item.
 
 void BM_CrossShardFlow(benchmark::State& state) {
-  const bool pooled = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
+  const bool pooled = mode == 1;
   config().pooling = pooled;
+  config().inline_payloads = mode == 2;
   for (auto _ : state) {
     state.PauseTiming();
     PumpedChain c;
@@ -225,19 +240,61 @@ void BM_CrossShardFlow(benchmark::State& state) {
           static_cast<double>(kItems));
     }
     if (obsbench::enabled()) {
-      obsbench::captured()[pooled ? "BM_CrossShardFlow/pooled"
-                                  : "BM_CrossShardFlow/legacy"] =
+      obsbench::captured()[mode == 2  ? "BM_CrossShardFlow/inline"
+                           : pooled   ? "BM_CrossShardFlow/pooled"
+                                      : "BM_CrossShardFlow/legacy"] =
           real.metrics_snapshot().to_json();
     }
     state.ResumeTiming();
   }
   config().pooling = true;
+  config().inline_payloads = true;
 }
 // Real time: the bench thread parks in wait_finished while shard threads
 // do the work.
+// mode: 0 = legacy shared_ptr, 1 = pooled block, 2 = inline-in-Item.
 BENCHMARK(BM_CrossShardFlow)
+    ->DenseRange(0, 2)
+    ->ArgName("mode")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// The same cut flow with span-moving pumps (max_batch = 32), batch on vs
+// off — inline + pooled both enabled, i.e. the full fast path. The off row
+// is the identical pipeline under the INFOPIPE_BATCH kill switch, so the
+// delta is the per-burst amortization alone.
+
+void BM_CrossShardFlowBatched(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  config().batching = batched;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PumpedChain c(32);
+    shard::ShardGroup group(2);
+    shard::ShardedRealization real(group, c.pipe);
+    real.start();
+    state.ResumeTiming();
+    real.wait_finished(std::chrono::seconds(120));
+    state.PauseTiming();
+    if (c.sink.count() != kItems) {
+      state.SkipWithError("sharded flow lost items");
+      return;
+    }
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    if (obsbench::enabled()) {
+      obsbench::captured()[batched ? "BM_CrossShardFlowBatched/on"
+                                   : "BM_CrossShardFlowBatched/off"] =
+          real.metrics_snapshot().to_json();
+    }
+    state.ResumeTiming();
+  }
+  config().batching = true;
+}
+BENCHMARK(BM_CrossShardFlowBatched)
     ->Arg(1)
-    ->ArgName("pooled")
+    ->ArgName("batch")
     ->Arg(0)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

@@ -138,6 +138,64 @@ BENCHMARK(BM_ShardThroughput)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Cross-shard item movement, batched vs per-item (ARCHITECTURE §15). No
+// spin work: token items through src -> pump -> [cut] -> pump -> sink on 2
+// shards, so items/sec measures the movement machinery itself — driver
+// cycles, buffer locks, channel pushes — which is exactly what spans
+// amortize. max_batch = 1 is the per-item baseline; max_batch = 0 encodes
+// "batched pumps (64) but INFOPIPE_BATCH=off", which must collapse onto
+// that baseline.
+
+constexpr std::uint64_t kFlowItems = 200000;
+
+void BM_CrossShardBatchedFlow(benchmark::State& state) {
+  const auto arg = static_cast<std::size_t>(state.range(0));
+  const std::size_t mb = arg == 0 ? 64 : arg;
+  config().batching = arg != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CountingSource src{"src", kFlowItems};
+    FreeRunningPump p1{PumpSpec{.name = "p1", .max_batch = mb}};
+    Buffer buf{"buf", 256};
+    FreeRunningPump p2{PumpSpec{.name = "p2", .max_batch = mb}};
+    CountingSink sink{"sink"};
+    Pipeline pipe;
+    pipe.connect(src, 0, p1, 0);
+    pipe.connect(p1, 0, buf, 0);
+    pipe.connect(buf, 0, p2, 0);
+    pipe.connect(p2, 0, sink, 0);
+    shard::ShardGroup group(2);
+    shard::ShardedRealization real(group, pipe);
+    real.start();
+    state.ResumeTiming();
+    real.wait_finished(std::chrono::seconds(120));
+    state.PauseTiming();
+    if (sink.count() != kFlowItems) {
+      state.SkipWithError("batched flow lost items");
+      return;
+    }
+    if (obsbench::enabled()) {
+      obsbench::captured()["BM_CrossShardBatchedFlow/" +
+                           std::to_string(arg)] =
+          real.metrics_snapshot().to_json();
+    }
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kFlowItems));
+    state.ResumeTiming();
+  }
+  state.counters["max_batch"] = static_cast<double>(mb);
+  state.counters["batching"] = arg != 0 ? 1 : 0;
+  config().batching = true;
+}
+BENCHMARK(BM_CrossShardBatchedFlow)
+    ->Arg(1)   // per-item baseline
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(0)   // max_batch=64 under the kill switch: must match Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 OBSBENCH_MAIN();

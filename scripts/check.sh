@@ -25,6 +25,12 @@ echo "== pooling=off pass (legacy shared_ptr item path) =="
 # item representations keep their identical observable behaviour.
 INFOPIPE_POOLING=off ctest --test-dir build --output-on-failure
 
+echo "== batch=off pass (per-item pump cycles) =="
+# Same discipline for the batched item path (ARCHITECTURE §15): the kill
+# switch must collapse every span-moving pump back to classic one-item
+# cycles with bit-identical delivery, across the whole suite.
+INFOPIPE_BATCH=off ctest --test-dir build --output-on-failure
+
 echo "== ASan+UBSan build + tests =="
 cmake -B build-sanitize -G Ninja -DCMAKE_BUILD_TYPE=Sanitize
 cmake --build build-sanitize
@@ -37,13 +43,15 @@ echo "== TSan build + multi-runtime suites =="
 # channels/groups, the io_bridge poller, the rt substrate they build on,
 # the feedback suites (cross-shard loops sample channel atomics and
 # post control events between kernel threads), and the ip_balance suite
-# (live migration re-binds channels while the far shard runs), and the
+# (live migration re-binds channels while the far shard runs), the
 # ip_mem suite (payload blocks allocated on one shard are released on
-# another through the pool's lock-free foreign-return/adoption path). The
-# remaining suites are single-threaded by construction (one ULT scheduler
-# on one kernel thread) and run under ASan above.
+# another through the pool's lock-free foreign-return/adoption path), and
+# the batch suite (span reservations publish across the shard channel's
+# SPSC indices with a single store each). The remaining suites are
+# single-threaded by construction (one ULT scheduler on one kernel
+# thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch' \
     --output-on-failure

@@ -3,6 +3,7 @@
 // "our framework provides a set of basic components").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -105,6 +106,20 @@ class CountingSource : public PassiveSource {
     x.seq = next_++;
     x.timestamp = pipeline_now();
     return x;
+  }
+
+  std::size_t generate_span(ItemSpan out) override {
+    if (next_ >= count_) return 0;  // exhausted: the glue raises EndOfStream
+    const std::size_t n =
+        std::min<std::uint64_t>(out.size(), count_ - next_);
+    const rt::Time now = pipeline_now();
+    for (std::size_t i = 0; i < n; ++i) {
+      Item x = Item::token();
+      x.seq = next_++;
+      x.timestamp = now;
+      out[i] = std::move(x);
+    }
+    return n;
   }
 
  private:

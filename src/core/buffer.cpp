@@ -123,6 +123,122 @@ Item Buffer::take(HostContext& host) {
   }
 }
 
+void Buffer::put_span(ItemSpan xs, HostContext& host) {
+  std::size_t i = 0;
+  const std::size_t n = xs.size();
+  std::size_t queued = 0;
+  bool saw_eos = false;
+  while (i < n) {
+    if (xs[i].is_eos()) {
+      // Defensive: pumps end bursts before EOS, but a hand-built span may
+      // carry one. Sticky flag, never a queue entry — and nothing follows
+      // an EOS in a well-formed flow.
+      eos_ = true;
+      saw_eos = true;
+      break;
+    }
+    if (q_.size() >= capacity_) {
+      if (full_ == FullPolicy::kDropNewest) {
+        // One decision for the whole remainder of the burst.
+        stats_.drops += n - i;
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kDrop, name().c_str(),
+                     0, static_cast<std::int64_t>(q_.size()));
+        break;
+      }
+      if (full_ == FullPolicy::kDropOldest) {
+        // Keep the newest `capacity_` items of (queue ++ remainder): evict
+        // from the queue front first, then drop the span's own prefix when
+        // the remainder alone exceeds capacity.
+        const std::size_t remainder = n - i;
+        std::size_t excess = q_.size() + remainder - capacity_;
+        while (excess > 0 && !q_.empty()) {
+          q_.pop_front();
+          ++stats_.drops;
+          --excess;
+        }
+        if (excess > 0) {  // remainder > capacity_: skip the span prefix
+          stats_.drops += excess;
+          i += excess;
+        }
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kDrop, name().c_str(),
+                     1, static_cast<std::int64_t>(q_.size()));
+        continue;
+      }
+      // FullPolicy::kBlock
+      if (host.flow_stopped()) {
+        // Same escape as put(): the burst is already in flight, so accept
+        // it past capacity rather than lose items across a stop/restart.
+        q_.push_back(std::move(xs[i]));
+        ++queued;
+        ++i;
+        continue;
+      }
+      ++stats_.put_blocks;
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                   name().c_str(), 0, static_cast<std::int64_t>(q_.size()));
+      const rt::Time t0 = host.runtime().now();
+      waiting_writers_.push_back(host.tid());
+      Buffer* self = this;
+      (void)host.wait_interruptible([self](const rt::Message& m) {
+        const auto* b = m.get<Buffer*>();
+        return m.type == detail::kMsgBufNotify && b != nullptr && *b == self;
+      });
+      erase_tid(waiting_writers_, host.tid());
+      block_hist(host)->record(host.runtime().now() - t0);
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                   name().c_str(), 0, static_cast<std::int64_t>(q_.size()));
+      continue;
+    }
+    q_.push_back(std::move(xs[i]));
+    ++queued;
+    ++i;
+  }
+  if (queued > 0 || saw_eos) {
+    stats_.puts += queued;
+    stats_.max_fill = std::max(stats_.max_fill, q_.size());
+    notify_one(waiting_readers_, host);
+  }
+}
+
+std::size_t Buffer::take_span(ItemSpan out, HostContext& host) {
+  for (;;) {
+    if (!q_.empty()) {
+      const std::size_t n = std::min(out.size(), q_.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = std::move(q_.front());
+        q_.pop_front();
+      }
+      stats_.takes += n;
+      notify_one(waiting_writers_, host);
+      return n;
+    }
+    if (eos_) {
+      out[0] = Item::eos();
+      return 1;
+    }
+    if (empty_ == EmptyPolicy::kNil) {
+      ++stats_.nil_returns;
+      out[0] = Item::nil();
+      return 1;
+    }
+    if (host.flow_stopped()) throw detail::StopFlow{};
+    ++stats_.take_blocks;
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                 name().c_str(), 1, 0);
+    const rt::Time t0 = host.runtime().now();
+    waiting_readers_.push_back(host.tid());
+    Buffer* self = this;
+    (void)host.wait_interruptible([self](const rt::Message& m) {
+      const auto* b = m.get<Buffer*>();
+      return m.type == detail::kMsgBufNotify && b != nullptr && *b == self;
+    });
+    erase_tid(waiting_readers_, host.tid());
+    block_hist(host)->record(host.runtime().now() - t0);
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                 name().c_str(), 1, static_cast<std::int64_t>(q_.size()));
+  }
+}
+
 std::deque<Item> Buffer::drain_for_migration() {
   std::deque<Item> out = std::move(q_);
   q_.clear();

@@ -72,6 +72,21 @@ class Buffer : public Component {
   /// drained past end-of-stream, Item::nil() on empty under the nil policy.
   [[nodiscard]] Item take(HostContext& host);
 
+  /// Batched put (PR 6): insert a burst with ONE policy/stats decision per
+  /// burst instead of one per item. The end state is sequential-equivalent
+  /// to per-item puts: kDropNewest drops the part that does not fit,
+  /// kDropOldest keeps the newest `capacity` items of (queue ++ xs) — which
+  /// may mean dropping a PREFIX of the span itself — and kBlock waits for
+  /// space (burst-wise: one put_blocks tick per wait, puts counted once).
+  void put_span(ItemSpan xs, HostContext& host);
+
+  /// Batched take (PR 6): move up to out.size() queued items into `out` and
+  /// return how many, with one stats decision per burst. A burst never
+  /// crosses the end of the queued data into a special: an empty buffer
+  /// yields a single Item::eos() (drained past end-of-stream) or
+  /// Item::nil() (nil policy) at out[0], exactly like take().
+  [[nodiscard]] std::size_t take_span(ItemSpan out, HostContext& host);
+
   /// Discard queued items (kEventFlush does this).
   void handle_event(const Event& e) override;
 

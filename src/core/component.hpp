@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -50,6 +51,19 @@ enum class Style {
 /// upstream. Pull links throw EndOfStream when the flow has ended.
 using PushFn = std::function<void(Item)>;
 using PullFn = std::function<Item()>;
+
+/// Batched twins of the links above (PR 6). A push span moves a burst of
+/// items downstream; the callee consumes (moves out of) every element. A
+/// pull span fills `out` and returns how many slots it used: either n >= 1
+/// data items, or exactly one nil at out[0] when the upstream is empty
+/// under the nil policy. End-of-stream is reported by throwing EndOfStream,
+/// exactly like PullFn — a span never mixes data with specials, so batch
+/// boundaries cannot hide an EOS mid-burst. The Wiring builds span links
+/// only for chains every member of which speaks spans natively (buffers,
+/// functions, passive endpoints); everywhere else the per-item links remain
+/// the only path and pumps fall back transparently.
+using PushSpanFn = std::function<void(ItemSpan)>;
+using PullSpanFn = std::function<std::size_t(ItemSpan)>;
 
 /// Thrown when component code uses a link the planner has not wired (e.g.
 /// calling push_next() on the last component of a pipeline).
@@ -241,6 +255,38 @@ class FunctionComponent : public Component {
  protected:
   friend class Wiring;
   [[nodiscard]] virtual Item convert(Item x) = 0;
+
+  /// Batched path: transform every data item of `xs` in place (1:1,
+  /// order-preserving); nils pass through untouched, exactly as the
+  /// per-item glue leaves them. The default is the automatic per-item
+  /// adapter — existing filters work unchanged under batching. Override
+  /// (or derive from BatchFilter) to amortize per-item overhead across the
+  /// burst.
+  virtual void convert_span(ItemSpan xs) {
+    for (Item& x : xs) {
+      if (x.is_data()) x = convert(std::move(x));
+    }
+  }
+};
+
+/// A function-style component whose NATIVE interface is the span: derive
+/// from this when the whole point of the component is burst processing
+/// (vectorized transforms, amortized encode scratch). The per-item
+/// convert() is the automatic adapter — a BatchFilter dropped into a
+/// non-batched chain (or with INFOPIPE_BATCH=off) behaves identically,
+/// one-item spans included.
+class BatchFilter : public FunctionComponent {
+ public:
+  using FunctionComponent::FunctionComponent;
+
+ protected:
+  friend class Wiring;
+  void convert_span(ItemSpan xs) override = 0;
+
+  [[nodiscard]] Item convert(Item x) final {
+    convert_span(ItemSpan(&x, 1));
+    return x;
+  }
 };
 
 // ---- Passive endpoints ----------------------------------------------------------
@@ -257,6 +303,45 @@ class PassiveSource : public Component {
  protected:
   friend class Wiring;
   [[nodiscard]] virtual Item generate() = 0;
+
+  /// Batched path: fill `out` with data items and return how many, or
+  /// report "no data" with a single special at out[0] (nil under a nil
+  /// policy) or a return of 0 / a single EOS (exhausted — the glue turns
+  /// either into EndOfStream). The default adapter loops generate() until
+  /// the burst is full or a special appears, so every source batches
+  /// without an override; a special hit mid-burst is stashed and returned
+  /// as its own one-item burst on the next call (a span never mixes data
+  /// and specials). Sources that can produce runs cheaper than a virtual
+  /// call per item (CountingSource, ChannelSource) override this.
+  virtual std::size_t generate_span(ItemSpan out) {
+    if (has_pending_) {
+      has_pending_ = false;
+      out[0] = std::move(pending_);
+      return 1;
+    }
+    std::size_t n = 0;
+    while (n < out.size()) {
+      Item x = generate();
+      if (!x.is_data()) {
+        if (n == 0) {
+          out[0] = std::move(x);
+          return 1;
+        }
+        pending_ = std::move(x);
+        has_pending_ = true;
+        break;
+      }
+      out[n++] = std::move(x);
+    }
+    return n;
+  }
+
+ private:
+  /// Special (nil/EOS) produced by generate() mid-burst, held for the next
+  /// generate_span call. Only the batched path touches it: the per-item
+  /// glue calls generate() directly.
+  Item pending_;
+  bool has_pending_ = false;
 };
 
 /// A sink that is pushed into by the upstream section's driver.
@@ -271,6 +356,20 @@ class PassiveSink : public Component {
   virtual void consume(Item x) = 0;
   /// Notified when end-of-stream reaches this sink.
   virtual void on_eos() {}
+
+  /// Batched path: consume a burst. The default per-item adapter mirrors
+  /// the per-item glue exactly — nils are skipped, EOS routes to on_eos().
+  /// Sinks with a bulk fast path (ChannelSink) override this.
+  virtual void consume_span(ItemSpan xs) {
+    for (Item& x : xs) {
+      if (x.is_eos()) {
+        on_eos();
+        continue;
+      }
+      if (x.is_nil()) continue;
+      consume(std::move(x));
+    }
+  }
 };
 
 }  // namespace infopipe

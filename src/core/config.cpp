@@ -8,10 +8,15 @@ namespace infopipe {
 InfopipeConfig& config() noexcept {
   static InfopipeConfig cfg = [] {
     InfopipeConfig c;
-    if (const char* e = std::getenv("INFOPIPE_POOLING")) {
+    const auto enabled = [](const char* name, bool dflt) {
+      const char* e = std::getenv(name);
+      if (e == nullptr) return dflt;
       const std::string v(e);
-      c.pooling = !(v == "0" || v == "off" || v == "false");
-    }
+      return !(v == "0" || v == "off" || v == "false");
+    };
+    c.pooling = enabled("INFOPIPE_POOLING", c.pooling);
+    c.batching = enabled("INFOPIPE_BATCH", c.batching);
+    c.inline_payloads = enabled("INFOPIPE_INLINE", c.inline_payloads);
     return c;
   }();
   return cfg;

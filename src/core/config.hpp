@@ -1,10 +1,10 @@
 // Process-wide platform configuration (ipcore).
 //
-// One knob today: whether the item path uses the pooled block allocator
-// (src/mem/) or the legacy shared_ptr<const any> representation. The legacy
-// path is kept alive deliberately — lockstep tests run the same pipeline
-// both ways and assert bit-identical item sequences, which is the strongest
-// statement we can make that pooling is a pure representation change.
+// Every knob here gates a pure representation or mechanism change: the same
+// pipeline must deliver the bit-identical item sequence with the knob on or
+// off. The off positions are kept alive deliberately — lockstep tests run
+// the same pipeline both ways and assert identical sink sequences, which is
+// the strongest statement we can make that the optimization is transparent.
 #pragma once
 
 namespace infopipe {
@@ -16,6 +16,18 @@ struct InfopipeConfig {
   /// Flipping mid-flow is safe — accessors understand both representations —
   /// but items already allocated keep the representation they started with.
   bool pooling = true;
+
+  /// Span-based batched item movement (Driver::max_batch > 1 drains bursts
+  /// per fire through put_span/take_span/try_push_span/try_pop_span).
+  /// INFOPIPE_BATCH=off forces every pump down the one-item-per-cycle path
+  /// regardless of its max_batch — the lockstep escape hatch.
+  bool batching = true;
+
+  /// Inline small-payload storage: trivially-copyable payloads no larger
+  /// than Item::kInlineCapacity (two cache lines) live inside the Item
+  /// itself — no refcount, no pool round trip, memcpy on copy. Disable with
+  /// INFOPIPE_INLINE=off; items already created keep their representation.
+  bool inline_payloads = true;
 };
 
 /// The mutable singleton. First use reads the environment.

@@ -6,25 +6,39 @@
 // reference frames; the control protocol decides when a shared frame dies,
 // and shared ownership here makes that safe by construction.
 //
-// Two payload representations coexist (config().pooling picks at creation):
-//   * pooled (default): one intrusive-refcounted block from the current
-//     runtime's mem::Pool — one allocation, usually a free-list hit, and
-//     the block is recycled when the last Item drops it;
+// Three payload representations coexist (config() picks at creation):
+//   * inline (default for small payloads): trivially-copyable payloads no
+//     larger than kInlineCapacity (two cache lines) live in a buffer inside
+//     the Item itself — no allocation, no refcount, a bounded memcpy on
+//     copy. A drained batch of small items is therefore a contiguous,
+//     memcpy-friendly run with no allocator traffic at all.
+//   * pooled (default otherwise): one intrusive-refcounted block from the
+//     current runtime's mem::Pool — one allocation, usually a free-list
+//     hit, and the block is recycled when the last Item drops it;
 //   * legacy: shared_ptr<const std::any>, two general-allocator hits per
 //     item — kept alive so lockstep tests can assert the pooled path is a
 //     pure representation change.
-// All accessors understand both, so items of either kind can meet in one
-// pipeline (e.g. when a test flips the config between stages).
+// All accessors understand all three, so items of any kind can meet in one
+// pipeline (e.g. when a test flips the config between stages). Inline items
+// trade the shared-payload property for allocation-freedom: each copy owns
+// its bytes (use_count() == 1), which is indistinguishable to consumers of
+// an immutable payload.
 //
 // Items MOVE along the hot path — buffer deques, channel rings, pump
-// forwarding — and both representations have noexcept moves, which the
-// static_asserts at the bottom pin down.
+// forwarding — and all representations have noexcept moves, which the
+// static_asserts at the bottom pin down. The hand-written copy/move
+// members exist only so the inline buffer is copied to its used length
+// instead of all kInlineCapacity bytes per hop.
 #pragma once
 
 #include <any>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <new>
+#include <span>
 #include <type_traits>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -43,6 +57,11 @@ enum class ItemSpecial : std::uint8_t {
 
 class Item {
  public:
+  /// Payloads up to this size (and trivially copyable) are stored inside
+  /// the Item itself when config().inline_payloads is set: two cache lines,
+  /// the crossover below which a memcpy beats even a pool free-list hit.
+  static constexpr std::size_t kInlineCapacity = 128;
+
   /// An invalid/nil item (what a non-blocking pull on an empty buffer
   /// returns).
   static Item nil() noexcept { return Item(ItemSpecial::kNil); }
@@ -54,18 +73,93 @@ class Item {
   /// Default-constructed items are nil.
   Item() noexcept : special_(ItemSpecial::kNil) {}
 
-  Item(const Item&) = default;
-  Item& operator=(const Item&) = default;
-  Item(Item&&) noexcept = default;
-  Item& operator=(Item&&) noexcept = default;
+  Item(const Item& o)
+      : seq(o.seq),
+        timestamp(o.timestamp),
+        kind(o.kind),
+        size_bytes(o.size_bytes),
+        special_(o.special_),
+        data_(o.data_),
+        block_(o.block_),
+        inline_type_(o.inline_type_),
+        inline_size_(o.inline_size_),
+        inline_bytes_(o.inline_bytes_) {
+    if (inline_size_ > 0) std::memcpy(inline_buf_, o.inline_buf_, inline_size_);
+  }
+  Item& operator=(const Item& o) {
+    if (this != &o) {
+      seq = o.seq;
+      timestamp = o.timestamp;
+      kind = o.kind;
+      size_bytes = o.size_bytes;
+      special_ = o.special_;
+      data_ = o.data_;
+      block_ = o.block_;
+      inline_type_ = o.inline_type_;
+      inline_size_ = o.inline_size_;
+      inline_bytes_ = o.inline_bytes_;
+      if (inline_size_ > 0) {
+        std::memcpy(inline_buf_, o.inline_buf_, inline_size_);
+      }
+    }
+    return *this;
+  }
+  Item(Item&& o) noexcept
+      : seq(o.seq),
+        timestamp(o.timestamp),
+        kind(o.kind),
+        size_bytes(o.size_bytes),
+        special_(o.special_),
+        data_(std::move(o.data_)),
+        block_(std::move(o.block_)),
+        inline_type_(o.inline_type_),
+        inline_size_(o.inline_size_),
+        inline_bytes_(o.inline_bytes_) {
+    if (inline_size_ > 0) std::memcpy(inline_buf_, o.inline_buf_, inline_size_);
+    o.inline_type_ = nullptr;
+    o.inline_size_ = 0;
+    o.inline_bytes_ = false;
+  }
+  Item& operator=(Item&& o) noexcept {
+    if (this != &o) {
+      seq = o.seq;
+      timestamp = o.timestamp;
+      kind = o.kind;
+      size_bytes = o.size_bytes;
+      special_ = o.special_;
+      data_ = std::move(o.data_);
+      block_ = std::move(o.block_);
+      inline_type_ = o.inline_type_;
+      inline_size_ = o.inline_size_;
+      inline_bytes_ = o.inline_bytes_;
+      if (inline_size_ > 0) {
+        std::memcpy(inline_buf_, o.inline_buf_, inline_size_);
+      }
+      o.inline_type_ = nullptr;
+      o.inline_size_ = 0;
+      o.inline_bytes_ = false;
+    }
+    return *this;
+  }
   ~Item() = default;
 
-  /// A data item with a shared, immutable payload. Pooled path: allocated
-  /// from the pool of the runtime hosting the calling thread (the global
-  /// pool off-runtime).
+  /// A data item with an immutable payload. Small trivially-copyable
+  /// payloads go inline (see kInlineCapacity); otherwise the pooled path
+  /// allocates from the pool of the runtime hosting the calling thread (the
+  /// global pool off-runtime).
   template <typename T>
   static Item of(T payload) {
     Item it(ItemSpecial::kNone);
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  sizeof(T) <= kInlineCapacity &&
+                  alignof(T) <= alignof(std::max_align_t)) {
+      if (config().inline_payloads) {
+        ::new (static_cast<void*>(it.inline_buf_)) T(std::move(payload));
+        it.inline_type_ = &typeid(T);
+        it.inline_size_ = static_cast<std::uint16_t>(sizeof(T));
+        return it;
+      }
+    }
     if (config().pooling) {
       it.block_ = mem::make_typed<T>(std::move(payload));
     } else {
@@ -76,12 +170,20 @@ class Item {
   }
 
   /// A data item carrying a raw byte payload (wire messages, serialization
-  /// scratch). Pooled path: the bytes live inline in a class-rounded pool
-  /// block, so successive messages of similar size reuse storage; legacy
-  /// path: stored as a std::vector payload, so either representation
-  /// answers both bytes_data() and payload<vector<uint8_t>>() consumers.
+  /// scratch). Payloads up to kInlineCapacity live inside the Item itself;
+  /// larger ones follow the pooled path (a class-rounded pool block, so
+  /// successive messages of similar size reuse storage) or, with pooling
+  /// off, the legacy path (a std::vector payload, so old-style
+  /// payload<vector<uint8_t>>() consumers still work).
   static Item of_bytes(const void* data, std::size_t n) {
     Item it(ItemSpecial::kNone);
+    if (n <= kInlineCapacity && config().inline_payloads) {
+      if (n > 0) std::memcpy(it.inline_buf_, data, n);
+      it.inline_size_ = static_cast<std::uint16_t>(n);
+      it.inline_bytes_ = true;
+      it.size_bytes = n;
+      return it;
+    }
     if (config().pooling) {
       it.block_ = mem::make_bytes(data, n);
     } else {
@@ -116,6 +218,12 @@ class Item {
   /// non-data items.
   template <typename T>
   [[nodiscard]] const T* payload() const noexcept {
+    if (inline_type_ != nullptr) {
+      if (*inline_type_ == typeid(T)) {
+        return std::launder(reinterpret_cast<const T*>(inline_buf_));
+      }
+      return nullptr;
+    }
     if (data_) return std::any_cast<T>(data_.get());
     return block_.get_if<T>();
   }
@@ -132,6 +240,9 @@ class Item {
   /// representation, and for legacy vector<uint8_t> payloads. nullptr/0
   /// otherwise.
   [[nodiscard]] const std::uint8_t* bytes_data() const noexcept {
+    if (inline_bytes_) {
+      return reinterpret_cast<const std::uint8_t*>(inline_buf_);
+    }
     if (block_.is_bytes()) return block_.bytes();
     if (const auto* v = payload<std::vector<std::uint8_t>>()) {
       return v->data();
@@ -139,6 +250,7 @@ class Item {
     return nullptr;
   }
   [[nodiscard]] std::size_t bytes_size() const noexcept {
+    if (inline_bytes_) return inline_size_;
     if (block_.is_bytes()) return block_.size();
     if (const auto* v = payload<std::vector<std::uint8_t>>()) {
       return v->size();
@@ -146,19 +258,26 @@ class Item {
     return 0;
   }
   [[nodiscard]] bool has_bytes() const noexcept {
-    return block_.is_bytes() ||
+    return inline_bytes_ || block_.is_bytes() ||
            payload<std::vector<std::uint8_t>>() != nullptr;
   }
 
   /// How many Items currently share this payload (0 for payload-less items).
+  /// Each copy of an inline item owns its bytes, so the count is 1.
   /// Used by reference-frame lifetime tests.
   [[nodiscard]] long use_count() const noexcept {
+    if (inlined()) return 1;
     return data_ ? data_.use_count() : block_.use_count();
   }
 
   /// True when the payload is a pooled block (diagnostics/tests).
   [[nodiscard]] bool pooled() const noexcept {
     return static_cast<bool>(block_);
+  }
+
+  /// True when the payload lives inside the Item (diagnostics/tests).
+  [[nodiscard]] bool inlined() const noexcept {
+    return inline_type_ != nullptr || inline_bytes_;
   }
 
   // Flow metadata. Each Item copy carries its own metadata; the payload
@@ -174,7 +293,19 @@ class Item {
   ItemSpecial special_;
   std::shared_ptr<const std::any> data_;  ///< legacy representation
   mem::PayloadRef block_;                 ///< pooled representation
+
+  // Inline representation: non-null inline_type_ (typed payload) or set
+  // inline_bytes_ (raw bytes) marks the buffer as live; only the first
+  // inline_size_ bytes are meaningful (and copied).
+  const std::type_info* inline_type_ = nullptr;
+  std::uint16_t inline_size_ = 0;
+  bool inline_bytes_ = false;
+  alignas(std::max_align_t) unsigned char inline_buf_[kInlineCapacity];
 };
+
+/// A run of items moving together through the batched path (span-based
+/// push/pop/consume APIs of PR 6).
+using ItemSpan = std::span<Item>;
 
 // The hot path (buffer deques, channel ring slots, pump forwarding) relies
 // on items moving without throwing; a copy sneaking in would be a refcount

@@ -18,6 +18,12 @@
 // The planner is pure: it inspects the graph and produces a Plan without
 // creating any threads, so allocation decisions are unit-testable (the
 // Figure 9 configurations a-h are checked in tests/core_planner_test.cpp).
+//
+// Batching (PumpSpec::max_batch, ARCHITECTURE §15) is orthogonal to
+// everything decided here: spans ride the same sections, drivers and
+// coroutine assignments, and whether a given edge actually moves bursts is
+// resolved at wiring/run time (span link present + config().batching), never
+// in the Plan. A batched pump plans identically to a per-item one.
 #pragma once
 
 #include <map>

@@ -20,11 +20,31 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/component.hpp"
 #include "rt/types.hpp"
 
 namespace infopipe {
+
+/// Everything that parameterizes a pump in one value (PR 6). The named
+/// constructors still exist; the spec form is how batch-aware pumps are
+/// declared:
+///
+///     FreeRunningPump mover(PumpSpec{.name = "mover", .max_batch = 32});
+///
+/// `max_batch` bounds how many items one fire may drain through the span
+/// path; 1 (the default) is the classic one-item-per-cycle pump, bit-
+/// identical to every pipeline built before batching existed. Clock-driven
+/// pumps default to 1 deliberately — bursting a clocked pump changes its
+/// rate semantics, so opting in is an explicit per-pump decision.
+/// INFOPIPE_BATCH=off forces every pump back to 1 at run time.
+struct PumpSpec {
+  std::string name;
+  double rate_hz = 0.0;  ///< required by clocked/adaptive pumps, else unused
+  rt::Priority priority = rt::kPriorityData;
+  std::size_t max_batch = 1;
+};
 
 /// Base for all components that own a thread and drive a pipeline section.
 class Driver : public Component {
@@ -66,9 +86,20 @@ class Driver : public Component {
   void set_nil_policy(NilPolicy p) noexcept { nil_policy_ = p; }
   [[nodiscard]] NilPolicy nil_policy() const noexcept { return nil_policy_; }
 
+  /// Upper bound on items moved per fire through the batched span path
+  /// (PumpSpec::max_batch). 1 = classic per-item cycling. The effective
+  /// value also honours the INFOPIPE_BATCH kill switch and falls back to 1
+  /// when the wiring found no span-capable chain on either side.
+  void set_max_batch(std::size_t n) noexcept { max_batch_ = n == 0 ? 1 : n; }
+  [[nodiscard]] std::size_t max_batch() const noexcept { return max_batch_; }
+
  protected:
   Driver(std::string name, rt::Priority priority)
       : Component(std::move(name)), priority_(priority) {}
+  explicit Driver(const PumpSpec& spec)
+      : Component(spec.name), priority_(spec.priority) {
+    set_max_batch(spec.max_batch);
+  }
 
   // -- the driver protocol, executed on the driver's thread -------------------
 
@@ -90,9 +121,24 @@ class Driver : public Component {
 
   [[nodiscard]] Item pull_prev();
   void push_next(Item x);
+  /// Batched twins: fill `out` from upstream / move a burst downstream.
+  /// Only callable when span_links_wired() — the driver cycle checks.
+  [[nodiscard]] std::size_t pull_prev_span(ItemSpan out);
+  void push_next_span(ItemSpan xs);
   [[nodiscard]] bool has_push_link() const noexcept {
     return static_cast<bool>(push_link_);
   }
+
+  /// How many items the next fire may move: max_batch(), clamped to 1 when
+  /// batching is off (INFOPIPE_BATCH) or the chain has no span glue.
+  [[nodiscard]] std::size_t effective_batch(bool need_pull,
+                                            bool need_push) const noexcept;
+
+  /// Scratch the batched cycle drains into; sized lazily to max_batch().
+  [[nodiscard]] ItemSpan batch_scratch();
+
+  /// Record one burst's size into the core.batch_items histogram.
+  void note_batch(std::size_t n);
 
   std::uint64_t items_pumped_ = 0;
   std::uint64_t deadline_misses_ = 0;
@@ -104,8 +150,12 @@ class Driver : public Component {
   rt::Priority priority_;
   NilPolicy nil_policy_ = NilPolicy::kSkipCycle;
   rt::Time cost_estimate_ = 0;
+  std::size_t max_batch_ = 1;
   PullFn pull_link_;
   PushFn push_link_;
+  PullSpanFn pull_span_link_;
+  PushSpanFn push_span_link_;
+  std::vector<Item> batch_;
 };
 
 // ---- Pumps (two active ends) ----------------------------------------------------
@@ -126,6 +176,10 @@ class ClockedPump : public Pump {
  public:
   ClockedPump(std::string name, double rate_hz,
               rt::Priority priority = rt::kPriorityTimer);
+  /// Spec form; spec.rate_hz must be positive. A clocked pump with
+  /// max_batch > 1 drains a burst per tick — an explicit trade of rate
+  /// smoothness for throughput (see PumpSpec).
+  explicit ClockedPump(const PumpSpec& spec);
 
   [[nodiscard]] double rate_hz() const noexcept { return rate_hz_; }
   [[nodiscard]] std::optional<rt::Time> nominal_period() const override {
@@ -148,6 +202,7 @@ class FreeRunningPump : public Pump {
  public:
   explicit FreeRunningPump(std::string name,
                            rt::Priority priority = rt::kPriorityData);
+  explicit FreeRunningPump(const PumpSpec& spec) : Pump(spec) {}
 
  protected:
   [[nodiscard]] rt::Time next_fire(rt::Time now) override { return now; }
@@ -161,6 +216,8 @@ class AdaptivePump : public Pump {
  public:
   AdaptivePump(std::string name, double initial_rate_hz,
                rt::Priority priority = rt::kPriorityTimer);
+  /// Spec form; spec.rate_hz is the initial rate and must be positive.
+  explicit AdaptivePump(const PumpSpec& spec);
 
   void set_rate(double rate_hz);
   [[nodiscard]] double rate_hz() const noexcept { return rate_hz_; }
@@ -222,6 +279,11 @@ class ActiveSink : public Driver {
   virtual void consume(Item x) = 0;
   /// Notified when end-of-stream reaches this sink.
   virtual void on_eos() {}
+  /// Batched path: consume a burst of data items (the cycle has already
+  /// applied the nil policy). Default: the per-item adapter.
+  virtual void consume_span(ItemSpan xs) {
+    for (Item& x : xs) consume(std::move(x));
+  }
   void cycle() override;
 
  private:

@@ -287,9 +287,11 @@ class Wiring {
       reg(*d, h, nullptr);
       if (d->out_port_count() > 0) {
         d->push_link_ = build_push(pipe.edge_from(*d, 0), h, nullptr);
+        d->push_span_link_ = build_push_span(pipe.edge_from(*d, 0));
       }
       if (d->in_port_count() > 0) {
         d->pull_link_ = build_pull(pipe.edge_into(*d, 0), h, nullptr);
+        d->pull_span_link_ = build_pull_span(pipe.edge_into(*d, 0));
       }
     }
   }
@@ -550,6 +552,81 @@ class Wiring {
     return {};
   }
 
+  // ---- span glue (PR 6) -------------------------------------------------------
+  //
+  // Built AFTER the per-item builders, which did all the registration and
+  // coroutine spawning; these walks are pure and return an empty function
+  // for any chain containing a member with no native span path (coroutines,
+  // tees, push-mode consumers, pull-mode producers). The driver then simply
+  // never uses the span path on that side — batching degrades to the
+  // per-item glue, it never partially applies.
+
+  PushSpanFn build_push_span(const Edge* e) {
+    Component& c = *e->to;
+    Realization* Rp = &R;
+    switch (c.style()) {
+      case Style::kPassiveSink: {
+        auto* s = static_cast<PassiveSink*>(&c);
+        return [s](ItemSpan xs) { s->consume_span(xs); };
+      }
+      case Style::kBuffer: {
+        auto* b = static_cast<Buffer*>(&c);
+        return [b, Rp](ItemSpan xs) { b->put_span(xs, Rp->current_host()); };
+      }
+      case Style::kFunction: {
+        auto* f = static_cast<FunctionComponent*>(&c);
+        PushSpanFn inner = build_push_span(pipe.edge_from(c, 0));
+        if (!inner) return {};
+        return [f, inner](ItemSpan xs) {
+          f->convert_span(xs);
+          inner(xs);
+        };
+      }
+      default:
+        return {};
+    }
+  }
+
+  PullSpanFn build_pull_span(const Edge* e) {
+    Component& c = *e->from;
+    Realization* Rp = &R;
+    switch (c.style()) {
+      case Style::kPassiveSource: {
+        auto* s = static_cast<PassiveSource*>(&c);
+        auto done = std::make_shared<bool>(false);
+        return [s, done](ItemSpan out) -> std::size_t {
+          if (*done) throw EndOfStream{};
+          const std::size_t n = s->generate_span(out);
+          if (n == 0 || (n == 1 && out[0].is_eos())) {
+            *done = true;
+            throw EndOfStream{};
+          }
+          return n;
+        };
+      }
+      case Style::kBuffer: {
+        auto* b = static_cast<Buffer*>(&c);
+        return [b, Rp](ItemSpan out) -> std::size_t {
+          const std::size_t n = b->take_span(out, Rp->current_host());
+          if (n == 1 && out[0].is_eos()) throw EndOfStream{};
+          return n;
+        };
+      }
+      case Style::kFunction: {
+        auto* f = static_cast<FunctionComponent*>(&c);
+        PullSpanFn inner = build_pull_span(pipe.edge_into(c, 0));
+        if (!inner) return {};
+        return [f, inner](ItemSpan out) -> std::size_t {
+          const std::size_t n = inner(out);
+          f->convert_span(out.first(n));
+          return n;
+        };
+      }
+      default:
+        return {};
+    }
+  }
+
   // ---- coroutine creation (the Figure 7 wrappers) ------------------------------
 
   struct SpawnedCoroutine {
@@ -738,6 +815,7 @@ Realization::Realization(rt::Runtime& rt, const Pipeline& p)
   obs_.control_dispatched = &mr.counter("core.control_dispatched");
   obs_.control_while_blocked = &mr.counter("core.control_while_blocked");
   obs_.driver_cycles = &mr.counter("core.driver_cycles");
+  obs_.batch_items = &mr.histogram("core.batch_items");
   obs_collector_ = mr.add_collector(
       [this](obs::MetricsSnapshot& s) { publish(stats_snapshot(), s); });
 }
@@ -781,6 +859,8 @@ void Realization::unbind_components() {
     } else if (auto* d = dynamic_cast<Driver*>(c)) {
       d->pull_link_ = {};
       d->push_link_ = {};
+      d->pull_span_link_ = {};
+      d->push_span_link_ = {};
     }
   }
 }

@@ -180,12 +180,24 @@ class Realization {
 
   // -- lifecycle (all of these just post events; drive with rt.run()) --------
 
-  /// Broadcasts kEventStart: pumps begin moving data.
-  void start() { post_event(Event{kEventStart}); }
+  /// THE lifecycle entry point: broadcasts one control event to every
+  /// component, in pipeline order per thread. Everything that starts,
+  /// stops or tears down a realized pipeline is a spelling of control():
+  /// the start()/stop()/shutdown() members below forward here, the paper-
+  /// verbatim `send_event(real, START)` shim (media/paper_api.hpp) forwards
+  /// here, and raw post_event(Event{...}) is the same call with the Event
+  /// spelled out. There is exactly one behaviour behind all of them.
+  void control(const Event& e) { post_event(e); }
+  /// Convenience spelling for payload-less lifecycle events
+  /// (kEventStart/kEventStop/kEventShutdown/...).
+  void control(int event_type) { control(Event{event_type}); }
+
+  /// Broadcasts kEventStart: pumps begin moving data. = control(kEventStart)
+  void start() { control(kEventStart); }
   /// Broadcasts kEventStop: pumps finish the current item and pause.
-  void stop() { post_event(Event{kEventStop}); }
+  void stop() { control(kEventStop); }
   /// Broadcasts kEventShutdown: all middleware threads terminate.
-  void shutdown() { post_event(Event{kEventShutdown}); }
+  void shutdown() { control(kEventShutdown); }
 
   // -- control events (§2.2) ---------------------------------------------------
 
@@ -270,6 +282,7 @@ class Realization {
     obs::Counter* control_dispatched = nullptr;    ///< core.control_dispatched
     obs::Counter* control_while_blocked = nullptr; ///< core.control_while_blocked
     obs::Counter* driver_cycles = nullptr;     ///< core.driver_cycles
+    obs::Histogram* batch_items = nullptr;     ///< core.batch_items (span bursts)
   };
   [[nodiscard]] ObsHooks& obs_hooks() noexcept { return obs_; }
 

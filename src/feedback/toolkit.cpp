@@ -139,13 +139,4 @@ void FeedbackLoop::step() {
   actuations_.fetch_add(1, std::memory_order_relaxed);
 }
 
-FeedbackLoop::Actuate pump_rate_actuator(Realization& real,
-                                         AdaptivePump& pump) {
-  Realization* r = &real;
-  AdaptivePump* p = &pump;
-  return [r, p](double rate_hz) {
-    if (rate_hz > 0.0) r->post_event_to(*p, Event{kEventQualityHint, rate_hz});
-  };
-}
-
 }  // namespace infopipe::fb

@@ -270,24 +270,11 @@ class FeedbackLoop {
   std::vector<std::pair<std::unique_ptr<PeriodicTask>, Exec>> retired_;
 };
 
-/// Reading helper: a buffer's fill level as a fraction of capacity.
-/// Deprecated: binds by C++ reference, so it cannot cross a shard cut and
-/// dangles if the buffer dies first. Use the named endpoint instead:
-/// `resolve_reading(real, fill_fraction("buf"))` (endpoint.hpp).
-[[deprecated(
-    "bind by name: resolve_reading(real, fill_fraction(\"<buffer>\"))")]]
-[[nodiscard]] inline FeedbackLoop::Reading fill_fraction(const Buffer& b) {
-  return [&b]() {
-    return static_cast<double>(b.fill()) / static_cast<double>(b.capacity());
-  };
-}
-
-/// Actuation helper: set an adaptive pump's rate through the event service
-/// (kEventQualityHint), i.e. via the platform rather than a direct call.
-/// Deprecated: binds by C++ reference. Use the named endpoint instead:
-/// `resolve_actuate(real, pump_rate("<pump>"))` (endpoint.hpp).
-[[deprecated("bind by name: resolve_actuate(real, pump_rate(\"<pump>\"))")]]
-[[nodiscard]] FeedbackLoop::Actuate pump_rate_actuator(Realization& real,
-                                                       AdaptivePump& pump);
+// The old by-reference helpers fill_fraction(const Buffer&) and
+// pump_rate_actuator(Realization&, AdaptivePump&) are gone: they bound by
+// C++ reference, so they could not cross a shard cut and dangled if the
+// component died first. Bind by name instead (endpoint.hpp):
+//   resolve_reading(real, fill_fraction("<buffer>"))
+//   resolve_actuate(real, pump_rate("<pump>"))
 
 }  // namespace infopipe::fb

@@ -45,13 +45,11 @@ class video_display : public VideoDisplay {
 inline constexpr int START = kEventStart;
 inline constexpr int STOP = kEventStop;
 
-/// Paper-verbatim shim: `send_event(real, START)` is exactly
-/// `real.post_event(Event{START})`. The member API is the canonical
-/// event-sending surface (`real.start()` / `real.stop()` /
-/// `real.post_event(...)`); this free function exists only so the paper's
-/// setup code compiles as written.
-inline void send_event(Realization& real, int type) {
-  real.post_event(Event{type});
-}
+/// Paper-verbatim shim: `send_event(real, START)` forwards to
+/// `Realization::control(START)`, THE documented lifecycle entry point.
+/// `real.start()` / `real.stop()` / `real.shutdown()` are spellings of the
+/// same call; this free function exists only so the paper's setup code
+/// compiles as written.
+inline void send_event(Realization& real, int type) { real.control(type); }
 
 }  // namespace infopipe::media

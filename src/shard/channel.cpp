@@ -1,5 +1,7 @@
 #include "shard/channel.hpp"
 
+#include <algorithm>
+
 #include "core/realization.hpp"
 
 namespace infopipe::shard {
@@ -65,6 +67,39 @@ bool ShardChannel::force_push(Item& x) {
   pushes_.fetch_add(1, std::memory_order_relaxed);
   note_depth(t + 1 - h);
   return true;
+}
+
+std::size_t ShardChannel::try_push_span(ItemSpan xs) {
+  const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t h = head_.load(std::memory_order_seq_cst);
+  // depth may transiently exceed capacity_ after a stopped-flow force_push;
+  // the saturating subtraction keeps `space` at 0 until the drain catches up.
+  const std::uint64_t depth = t - h;
+  const std::uint64_t space = depth >= capacity_ ? 0 : capacity_ - depth;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(space, xs.size()));
+  if (n == 0) return 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[(t + i) % n_slots_] = std::move(xs[i]);
+  }
+  tail_.store(t + n, std::memory_order_seq_cst);
+  pushes_.fetch_add(n, std::memory_order_relaxed);
+  note_depth(t + n - h);
+  return n;
+}
+
+std::size_t ShardChannel::try_pop_span(ItemSpan out) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(t - h, out.size()));
+  if (n == 0) return 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::move(slots_[(h + i) % n_slots_]);
+  }
+  head_.store(h + n, std::memory_order_seq_cst);
+  pops_.fetch_add(n, std::memory_order_relaxed);
+  return n;
 }
 
 std::optional<Item> ShardChannel::try_pop() {
@@ -168,6 +203,75 @@ void ChannelSink::consume(Item x) {
   }
 }
 
+void ChannelSink::consume_span(ItemSpan xs) {
+  HostContext& host = realization()->current_host();
+  ShardChannel& ch = *chan_;
+  const std::size_t n = xs.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!xs[i].is_data()) {
+      // Specials never enter the ring: EOS is the sticky flag (set via
+      // on_eos so the wake goes out), nils are dropped exactly as the
+      // per-item sink glue drops them.
+      if (xs[i].is_eos()) on_eos();
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && xs[j].is_data()) ++j;
+    ItemSpan run = xs.subspan(i, j - i);
+    std::size_t done = 0;
+    while (done < run.size()) {
+      const std::size_t moved = ch.try_push_span(run.subspan(done));
+      if (moved > 0) {
+        // One doorbell per published chunk, not per item.
+        ch.wake_consumer();
+        done += moved;
+        continue;
+      }
+      // Ring full: ONE policy decision for the whole remainder of the run.
+      if (ch.full_policy() == FullPolicy::kDropNewest) {
+        ch.count_drops(run.size() - done);
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kDrop, name().c_str(),
+                     0, static_cast<std::int64_t>(ch.depth()));
+        break;
+      }
+      ch.count_producer_stall();
+      if (host.flow_stopped()) {
+        // Stopped mid-burst: the remainder is already in flight, so park it
+        // in the overflow reserve item by item (mirrors consume()).
+        while (done < run.size() && ch.force_push(run[done])) ++done;
+        if (done == run.size()) {
+          ch.wake_consumer();
+          break;
+        }
+      }
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                   name().c_str(), 0, static_cast<std::int64_t>(ch.depth()));
+      ch.register_producer_waiter(host.tid());
+      // Dekker recheck with the span op: the consumer may have popped (and
+      // missed our waiter registration) between the failed reserve and the
+      // store above.
+      const std::size_t again = ch.try_push_span(run.subspan(done));
+      if (again > 0) {
+        ch.clear_producer_waiter();
+        ch.wake_consumer();
+        done += again;
+        continue;
+      }
+      ShardChannel* self = &ch;
+      (void)host.wait_interruptible([self](const rt::Message& m) {
+        const auto* c = m.get<ShardChannel*>();
+        return m.type == detail::kMsgChanSpace && c != nullptr && *c == self;
+      });
+      ch.clear_producer_waiter();
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                   name().c_str(), 0, static_cast<std::int64_t>(ch.depth()));
+    }
+    i = j;
+  }
+}
+
 void ChannelSink::on_eos() {
   chan_->set_eos();
   chan_->wake_consumer();
@@ -185,7 +289,20 @@ Item ChannelSource::generate() {
                    name().c_str(), ch.from_shard(), ch.to_shard());
       return std::move(*x);
     }
-    if (ch.eos()) return Item::eos();
+    if (ch.eos()) {
+      // EOS-drain race: the producer may have pushed an item and THEN set
+      // the sticky flag after our failed try_pop loaded the tail. Observing
+      // eos_ (seq_cst) orders us after that push, so one re-pop is enough —
+      // returning EOS here without it would lose the final items and leave
+      // nil_returns/pops inconsistent with the producer's pushes.
+      if (std::optional<Item> x = ch.try_pop()) {
+        ch.wake_producer();
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                     name().c_str(), ch.from_shard(), ch.to_shard());
+        return std::move(*x);
+      }
+      return Item::eos();
+    }
     if (ch.empty_policy() == EmptyPolicy::kNil) {
       ch.count_nil();
       return Item::nil();
@@ -205,7 +322,77 @@ Item ChannelSource::generate() {
     }
     if (ch.eos()) {
       ch.clear_consumer_waiter();
+      // Same EOS-drain re-pop as above: the flag was observed after a
+      // failed pop, so drain once more before declaring the end.
+      if (std::optional<Item> x = ch.try_pop()) {
+        ch.wake_producer();
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                     name().c_str(), ch.from_shard(), ch.to_shard());
+        return std::move(*x);
+      }
       return Item::eos();
+    }
+    ShardChannel* self = &ch;
+    (void)host.wait_interruptible([self](const rt::Message& m) {
+      const auto* c = m.get<ShardChannel*>();
+      return m.type == detail::kMsgChanData && c != nullptr && *c == self;
+    });
+    ch.clear_consumer_waiter();
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferUnblock,
+                 name().c_str(), 1, static_cast<std::int64_t>(ch.depth()));
+  }
+}
+
+std::size_t ChannelSource::generate_span(ItemSpan out) {
+  HostContext& host = realization()->current_host();
+  ShardChannel& ch = *chan_;
+  for (;;) {
+    if (const std::size_t n = ch.try_pop_span(out)) {
+      ch.wake_producer();
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                   name().c_str(), ch.from_shard(), ch.to_shard());
+      return n;
+    }
+    if (ch.eos()) {
+      // EOS-drain re-pop (see generate()): observing the sticky flag orders
+      // us after any pre-EOS push, so drain once more before the end.
+      if (const std::size_t n = ch.try_pop_span(out)) {
+        ch.wake_producer();
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                     name().c_str(), ch.from_shard(), ch.to_shard());
+        return n;
+      }
+      out[0] = Item::eos();
+      return 1;
+    }
+    if (ch.empty_policy() == EmptyPolicy::kNil) {
+      ch.count_nil();
+      out[0] = Item::nil();
+      return 1;
+    }
+    ch.count_consumer_stall();
+    if (host.flow_stopped()) throw infopipe::detail::StopFlow{};
+    IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kBufferBlock,
+                 name().c_str(), 1, 0);
+    ch.register_consumer_waiter(host.tid());
+    // Dekker recheck with the span op (ring first, then the sticky flag).
+    if (const std::size_t n = ch.try_pop_span(out)) {
+      ch.clear_consumer_waiter();
+      ch.wake_producer();
+      IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                   name().c_str(), ch.from_shard(), ch.to_shard());
+      return n;
+    }
+    if (ch.eos()) {
+      ch.clear_consumer_waiter();
+      if (const std::size_t n = ch.try_pop_span(out)) {
+        ch.wake_producer();
+        IP_OBS_TRACE(host.runtime().tracer(), obs::Hop::kShardHop,
+                     name().c_str(), ch.from_shard(), ch.to_shard());
+        return n;
+      }
+      out[0] = Item::eos();
+      return 1;
     }
     ShardChannel* self = &ch;
     (void)host.wait_interruptible([self](const rt::Message& m) {

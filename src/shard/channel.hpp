@@ -123,6 +123,16 @@ class ShardChannel {
   /// Takes the oldest item, if any. Consumer shard only.
   std::optional<Item> try_pop();
 
+  /// Batched push (PR 6): claims min(space, xs.size()) slots and publishes
+  /// them with ONE tail store. SPSC makes the single store a full N-slot
+  /// reservation — the producer is the only tail writer, so the consumer
+  /// either sees none or all of the burst; no CAS loop is needed. Never
+  /// touches the overflow reserve. Returns how many items moved (0: full).
+  std::size_t try_push_span(ItemSpan xs);
+  /// Batched pop (PR 6): moves up to out.size() queued items out with ONE
+  /// head store. Returns how many (0: empty).
+  std::size_t try_pop_span(ItemSpan out);
+
   /// Sticky end-of-stream: queued items drain first, then the consumer
   /// observes EOS forever (exactly Buffer's eos_ flag).
   void set_eos() noexcept { eos_.store(true, std::memory_order_seq_cst); }
@@ -162,6 +172,9 @@ class ShardChannel {
   // -- stats (relaxed atomics, sampled by stats()) ----------------------------
 
   void count_drop() noexcept { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void count_drops(std::uint64_t n) noexcept {
+    drops_.fetch_add(n, std::memory_order_relaxed);
+  }
   void count_nil() noexcept { nils_.fetch_add(1, std::memory_order_relaxed); }
   void count_producer_stall() noexcept {
     producer_stalls_.fetch_add(1, std::memory_order_relaxed);
@@ -246,6 +259,9 @@ class ChannelSink : public PassiveSink {
 
  protected:
   void consume(Item x) override;
+  /// Batched path: publishes runs of data items through try_push_span — one
+  /// ring reservation and one doorbell per chunk instead of per item.
+  void consume_span(ItemSpan xs) override;
   void on_eos() override;
 
  private:
@@ -271,6 +287,8 @@ class ChannelSource : public PassiveSource {
 
  protected:
   Item generate() override;
+  /// Batched path: drains a whole run of queued items in one head move.
+  std::size_t generate_span(ItemSpan out) override;
 
  private:
   ShardChannel* chan_;

@@ -306,9 +306,10 @@ TEST(FeedbackLoop, StallRateSensorsReadBufferBlocks) {
   rtm.run();
 }
 
-TEST(FeedbackLoop, DeprecatedByReferenceHelpersStillWork) {
-  // Compatibility shims: the by-reference helpers keep their exact
-  // behaviour for existing callers while the repo moves to named endpoints.
+TEST(FeedbackLoop, ResolvedEndpointsDriveRawLoop) {
+  // The raw FeedbackLoop (no LoopSpec/make_loop) fed from resolved named
+  // endpoints — the migration target of the old by-reference helpers, with
+  // identical control behaviour.
   rt::Runtime rtm;
   CountingSource src("src", 1000000);
   ClockedPump fill("fill", 100.0);
@@ -317,13 +318,10 @@ TEST(FeedbackLoop, DeprecatedByReferenceHelpersStillWork) {
   CountingSink sink("sink");
   auto ch = src >> fill >> buf >> drain >> sink;
   Realization real(rtm, ch.pipeline());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   FeedbackLoop loop(rtm, "compat-ctl", rt::milliseconds(50),
-                    fill_fraction(buf), 0.5,
+                    resolve_reading(real, fill_fraction("buf")), 0.5,
                     PIController(-200.0, -400.0, 1.0, 1000.0),
-                    pump_rate_actuator(real, drain));
-#pragma GCC diagnostic pop
+                    resolve_actuate(real, pump_rate("drain")));
   real.start();
   loop.start();
   rtm.run_until(rt::seconds(20));

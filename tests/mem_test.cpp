@@ -41,6 +41,20 @@ class PoolingGuard {
   bool prev_;
 };
 
+/// Flips config().inline_payloads for one scope. The pool tests below
+/// exercise the POOLED representation, which small payloads skip entirely
+/// when inlining is on (the default), so they pin it off explicitly.
+class InlineGuard {
+ public:
+  explicit InlineGuard(bool on) : prev_(config().inline_payloads) {
+    config().inline_payloads = on;
+  }
+  ~InlineGuard() { config().inline_payloads = prev_; }
+
+ private:
+  bool prev_;
+};
+
 /// CountingSource's shape, but every item carries a pooled (or legacy)
 /// payload — tokens would never touch the allocator.
 class PayloadSource : public PassiveSource {
@@ -186,8 +200,24 @@ TEST(MemItem, PooledCopySharesMoveSteals) {
   EXPECT_EQ(s.hits + s.misses, 1u);  // ONE allocation for all three items
 }
 
-TEST(MemItem, BytesRoundTripInBothRepresentations) {
+TEST(MemItem, BytesRoundTripInAllRepresentations) {
   const std::uint8_t wire[] = {1, 2, 3, 4, 5};
+  {
+    // Inline (the default for a 5-byte payload): lives inside the Item.
+    InlineGuard inl(true);
+    const Item x = Item::of_bytes(wire, sizeof(wire));
+    EXPECT_TRUE(x.inlined());
+    EXPECT_FALSE(x.pooled());
+    ASSERT_TRUE(x.has_bytes());
+    EXPECT_EQ(x.bytes_size(), sizeof(wire));
+    EXPECT_EQ(x.bytes_data()[4], 5);
+    EXPECT_EQ(x.size_bytes, sizeof(wire));
+    // Copies own their bytes; mutating via metadata never aliases.
+    Item y = x;
+    EXPECT_EQ(y.bytes_data()[0], 1);
+    EXPECT_NE(y.bytes_data(), x.bytes_data());
+  }
+  InlineGuard no_inline(false);
   {
     PoolingGuard pooled(true);
     const Item x = Item::of_bytes(wire, sizeof(wire));
@@ -326,6 +356,9 @@ struct LockstepResult {
 
 LockstepResult run_lockstep_scenario(bool pooling) {
   PoolingGuard guard(pooling);
+  // The uint64_t payloads would go inline (and never touch either allocator
+  // path); this scenario is specifically about pooled vs legacy.
+  InlineGuard no_inline(false);
 
   shard::ShardGroup::GroupOptions opt;
   opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
@@ -403,6 +436,7 @@ TEST(MemStress, RecyclingAcrossShardsUnderLiveRebalancing) {
   // through. TSan runs this: the pooled release path (owner free list vs
   // foreign stash vs adoption) must be race-free under live rebalancing.
   PoolingGuard pooled(true);
+  InlineGuard no_inline(false);  // uint64_t payloads must exercise the pool
   shard::ShardGroup group(3);
 
   PayloadSource src("src", 1000000);
