@@ -47,11 +47,21 @@ echo "== TSan build + multi-runtime suites =="
 # ip_mem suite (payload blocks allocated on one shard are released on
 # another through the pool's lock-free foreign-return/adoption path), and
 # the batch suite (span reservations publish across the shard channel's
-# SPSC indices with a single store each). The remaining suites are
+# SPSC indices with a single store each), the net suite (SimLink's
+# set_bandwidth races a kernel-thread tuner against concurrent sends),
+# and the socket suite (SocketTransport runs against the io_bridge poller
+# thread and real kernel sockets). The remaining suites are
 # single-threaded by construction (one ULT scheduler on one kernel
 # thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch|net_test|socket_transport_test' \
     --output-on-failure
+
+echo "== multi-process smoke: distributed_player over loopback TCP =="
+# Two real OS processes exchange the stream over loopback TCP; the client
+# verifies a byte-identical digest against the in-process SimLink
+# reference, and the INFOPIPE_NET=sim kill switch must keep working.
+./build/examples/distributed_player
+INFOPIPE_NET=sim ./build/examples/distributed_player

@@ -28,6 +28,13 @@ struct InfopipeConfig {
   /// itself — no refcount, no pool round trip, memcpy on copy. Disable with
   /// INFOPIPE_INLINE=off; items already created keep their representation.
   bool inline_payloads = true;
+
+  /// Real-socket transports (net::SocketTransport) vs. the in-process
+  /// SimLink. INFOPIPE_NET=sim (or off/0/false) is the kill switch: tools
+  /// that would run multi-process over loopback TCP — examples/
+  /// distributed_player foremost — fall back to a single-process SimLink
+  /// run that delivers the byte-identical item stream.
+  bool real_net = true;
 };
 
 /// The mutable singleton. First use reads the environment.

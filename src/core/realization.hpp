@@ -29,21 +29,23 @@
 #include "core/planner.hpp"
 #include "core/pump.hpp"
 #include "obs/metrics.hpp"
+#include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe {
 
 namespace detail {
 
-/// rt message types used by the middleware glue.
+/// rt message types used by the middleware glue (values allotted in
+/// rt/msg_registry.hpp, the one place new subsystems claim ranges).
 enum CoreMsgType : int {
-  kMsgControl = 1,    ///< control event dispatch (class kControl)
-  kMsgCoPull = 2,     ///< request one item from a coroutine
-  kMsgCoItem = 3,     ///< item hand-off (either direction)
-  kMsgCoDone = 4,     ///< coroutine is ready for the next input
-  kMsgBufNotify = 5,  ///< buffer space/data became available
-  kMsgTick = 6,       ///< pump timer tick
-  kMsgLockGrant = 7,  ///< section lock ownership transferred
+  kMsgControl = rt::msg::kCoreControl,      ///< control event dispatch
+  kMsgCoPull = rt::msg::kCoreCoPull,        ///< request item from a coroutine
+  kMsgCoItem = rt::msg::kCoreCoItem,        ///< item hand-off (either way)
+  kMsgCoDone = rt::msg::kCoreCoDone,        ///< coroutine ready for next input
+  kMsgBufNotify = rt::msg::kCoreBufNotify,  ///< buffer space/data available
+  kMsgTick = rt::msg::kCoreTick,            ///< pump timer tick
+  kMsgLockGrant = rt::msg::kCoreLockGrant,  ///< section lock transferred
 };
 
 struct ControlDispatch {

@@ -63,6 +63,10 @@ inline constexpr const char* kControlIn = "control.accepts";   // StringSet
 inline constexpr const char* kControlOut = "control.emits";    // StringSet
 /// Changed only by netpipes (§2.4): lets type checking see where a flow is.
 inline constexpr const char* kLocation = "flow.location";      // string
+/// Set by netpipes whose link is real (ip_netreal): transport kind
+/// ("sim", "tcp", "udp") and peer endpoint ("host:port").
+inline constexpr const char* kTransport = "flow.transport";    // string
+inline constexpr const char* kEndpoint = "flow.endpoint";      // string
 }  // namespace props
 
 class Typespec {

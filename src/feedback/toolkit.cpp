@@ -1,9 +1,11 @@
 #include "feedback/toolkit.hpp"
 
+#include "rt/msg_registry.hpp"
+
 namespace infopipe::fb {
 
 namespace {
-constexpr int kMsgLoopTick = 200;
+constexpr int kMsgLoopTick = rt::msg::kFeedbackLoopTick;
 }
 
 PeriodicTask::PeriodicTask(rt::Runtime& rt, std::string name, rt::Time period,

@@ -3,6 +3,28 @@
 namespace infopipe::net {
 
 BindingResult negotiate(rt::Runtime& rt, const BindingRequest& req) {
+  if (req.producer_node == nullptr || req.consumer_node == nullptr) {
+    BindingResult out;
+    out.failure = "binding request missing a node";
+    return out;
+  }
+  // The legacy in-process form is the endpoint form with two local
+  // (query-only) endpoints.
+  LocalNodeEndpoint producer(rt, *req.producer_node);
+  LocalNodeEndpoint consumer(rt, *req.consumer_node);
+  EndpointBindingRequest ereq;
+  ereq.producer_node = &producer;
+  ereq.producer = req.producer;
+  ereq.out_port = req.out_port;
+  ereq.consumer_node = &consumer;
+  ereq.consumer = req.consumer;
+  ereq.in_port = req.in_port;
+  ereq.link = req.link;
+  return negotiate(rt, ereq);
+}
+
+BindingResult negotiate(rt::Runtime& rt, const EndpointBindingRequest& req) {
+  (void)rt;  // endpoints carry their runtime; kept for call-site symmetry
   BindingResult out;
   if (req.producer_node == nullptr || req.consumer_node == nullptr) {
     out.failure = "binding request missing a node";
@@ -10,11 +32,9 @@ BindingResult negotiate(rt::Runtime& rt, const BindingRequest& req) {
   }
 
   const Typespec offer =
-      remote_typespec_query(rt, *req.producer_node, req.producer,
-                            req.out_port);
+      req.producer_node->output_offer(req.producer, req.out_port);
   const Typespec need =
-      remote_input_requirement(rt, *req.consumer_node, req.consumer,
-                               req.in_port);
+      req.consumer_node->input_requirement(req.consumer, req.in_port);
 
   auto agreed = offer.intersect(need);
   if (!agreed) {

@@ -14,6 +14,7 @@
 
 #include "core/typespec.hpp"
 #include "net/node.hpp"
+#include "net/remote_node.hpp"
 #include "net/transport.hpp"
 
 namespace infopipe::net {
@@ -35,10 +36,29 @@ struct BindingResult {
   std::string failure;  ///< human-readable reason when !ok
 };
 
+/// Location-transparent variant: the nodes are NodeEndpoints, so producer
+/// and consumer may live in this process (LocalNodeEndpoint) or in another
+/// one behind a socket control link (RemoteNode) — the negotiation protocol
+/// is the same either way, and any Transport (SimLink or SocketTransport)
+/// contributes its bandwidth bound.
+struct EndpointBindingRequest {
+  NodeEndpoint* producer_node = nullptr;
+  std::string producer;  ///< component name on the producer node
+  int out_port = 0;
+  NodeEndpoint* consumer_node = nullptr;
+  std::string consumer;
+  int in_port = 0;
+  /// The link the flow would cross; its bandwidth becomes a QoS bound.
+  const Transport* link = nullptr;
+};
+
 /// Runs the negotiation protocol. Never throws for a plain mismatch (that
 /// is a negotiation outcome, not an error); throws RemoteError when a node
 /// or component cannot be reached at all.
 [[nodiscard]] BindingResult negotiate(rt::Runtime& rt,
                                       const BindingRequest& req);
+
+[[nodiscard]] BindingResult negotiate(rt::Runtime& rt,
+                                      const EndpointBindingRequest& req);
 
 }  // namespace infopipe::net

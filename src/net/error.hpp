@@ -1,0 +1,21 @@
+// The ip_net error type.
+//
+// Everything that can go wrong across a node boundary — an unknown remote
+// component, a factory without the requested type, a malformed or hostile
+// wire frame, a control call that timed out, a socket that could not be
+// established — surfaces as one exception type, RemoteError. Wire parsing
+// in particular (net/wire.cpp, net/typespec_wire.cpp) must throw this and
+// only this on bad input: once real sockets feed those parsers untrusted
+// bytes, "crash on garbage" is not an acceptable failure mode.
+#pragma once
+
+#include <stdexcept>
+
+namespace infopipe::net {
+
+class RemoteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace infopipe::net

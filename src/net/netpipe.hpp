@@ -83,6 +83,10 @@ class NetReceiver : public ActiveSource {
     Typespec t{{props::kItemType, std::string("bytes")},
                {props::kLocation, location_},
                {props::kBandwidthKbps, Range{0.0, link_->bandwidth() / 1e3}}};
+    // Let type checking see HOW the flow crossed, not just where it is:
+    // "sim" for SimLink, "tcp"/"udp" (+ peer endpoint) for real sockets.
+    t.set(props::kTransport, link_->kind());
+    if (!link_->endpoint().empty()) t.set(props::kEndpoint, link_->endpoint());
     return t;
   }
 

@@ -16,19 +16,15 @@
 #include <vector>
 
 #include "core/component.hpp"
+#include "net/error.hpp"
 #include "net/typespec_wire.hpp"
+#include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::net {
 
-inline constexpr int kMsgTypespecQuery = 101;
-inline constexpr int kMsgCreateComponent = 102;
-
-/// Thrown when a remote operation fails (unknown component, unknown type).
-class RemoteError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+inline constexpr int kMsgTypespecQuery = rt::msg::kNetTypespecQuery;
+inline constexpr int kMsgCreateComponent = rt::msg::kNetCreateComponent;
 
 class Node {
  public:

@@ -3,9 +3,10 @@
 namespace infopipe::net {
 
 namespace {
-/// Internal message types (sender/receiver agents only).
-constexpr int kMsgArqSubmit = 110;  ///< pipeline thread -> sender agent
-constexpr int kMsgArqTimer = 111;   ///< retransmission check (payload: seq)
+/// Internal message types (sender/receiver agents only); values allotted in
+/// rt/msg_registry.hpp.
+constexpr int kMsgArqSubmit = rt::msg::kNetArqSubmit;
+constexpr int kMsgArqTimer = rt::msg::kNetArqTimer;  ///< payload: seq
 constexpr std::size_t kAckBytes = 12;
 constexpr std::size_t kArqHeaderBytes = 12;
 }  // namespace

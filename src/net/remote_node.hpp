@@ -1,0 +1,140 @@
+// Location-transparent node access: the same factory and Typespec-query
+// protocol the in-process Node agents speak (net/node.hpp), carried over a
+// real socket control link between OS processes (§2.4: "the Infopipe
+// platform provides protocols and factories for the creation of remote
+// Infopipe components. Remote Typespec queries also require a middleware
+// protocol as well as a mechanism for property marshalling").
+//
+// Three layers:
+//   NodeEndpoint       — the abstract view setup code and the binder use:
+//                        query offers/requirements, create components.
+//   LocalNodeEndpoint  — wraps an in-process Node (the simulated-node path
+//                        that existed before ip_netreal).
+//   RemoteNode         — client side of a SocketTransport control link; its
+//                        queries travel as control frames, Typespecs cross
+//                        only in marshalled form (net/typespec_wire).
+//   NodeServer         — server side: answers control frames against a
+//                        local Node, so another process's RemoteNode can
+//                        create components here and query their specs.
+//
+// RemoteNode methods work from setup code outside the runtime: they spawn a
+// temporary user-level thread for the blocking call and drive the runtime
+// in run_until() slices until the reply (or the timeout) arrives — plain
+// run() is not enough, because socket replies enter through
+// Runtime::post_external after the runtime has gone quiescent.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/socket_transport.hpp"
+
+namespace infopipe::net {
+
+/// What the binder and distributed setup code need from "a node", local or
+/// on the far side of a socket.
+class NodeEndpoint {
+ public:
+  virtual ~NodeEndpoint() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output-offer Typespec of `component`'s port.
+  [[nodiscard]] virtual Typespec output_offer(const std::string& component,
+                                              int port) = 0;
+
+  /// Dual query: the input requirement.
+  [[nodiscard]] virtual Typespec input_requirement(
+      const std::string& component, int port) = 0;
+
+  /// Remote factory: create a component of a registered type on the node;
+  /// returns the name it can be looked up under. Throws RemoteError when
+  /// the node has no such factory (or the endpoint is read-only).
+  virtual std::string create(const std::string& type, const std::string& name,
+                             const std::string& args) = 0;
+};
+
+/// In-process endpoint over a Node's agent protocol.
+class LocalNodeEndpoint final : public NodeEndpoint {
+ public:
+  LocalNodeEndpoint(rt::Runtime& rt, Node& node)
+      : rt_(&rt), node_(&node), cnode_(&node) {}
+  /// Query-only view (create() throws): what the binder needs.
+  LocalNodeEndpoint(rt::Runtime& rt, const Node& node)
+      : rt_(&rt), node_(nullptr), cnode_(&node) {}
+
+  [[nodiscard]] std::string name() const override { return cnode_->name(); }
+  [[nodiscard]] Typespec output_offer(const std::string& component,
+                                      int port) override {
+    return remote_typespec_query(*rt_, *cnode_, component, port);
+  }
+  [[nodiscard]] Typespec input_requirement(const std::string& component,
+                                           int port) override {
+    return remote_input_requirement(*rt_, *cnode_, component, port);
+  }
+  std::string create(const std::string& type, const std::string& name,
+                     const std::string& args) override;
+
+ private:
+  rt::Runtime* rt_;
+  Node* node_;  ///< nullptr for the query-only view
+  const Node* cnode_;
+};
+
+/// Client side of a socket control link: a NodeEndpoint whose node lives in
+/// another OS process behind `link` (a TCP SocketTransport).
+class RemoteNode final : public NodeEndpoint {
+ public:
+  RemoteNode(rt::Runtime& rt, SocketTransport& link,
+             std::string name = "remote",
+             rt::Time timeout = rt::seconds(10));
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Typespec output_offer(const std::string& component,
+                                      int port) override;
+  [[nodiscard]] Typespec input_requirement(const std::string& component,
+                                           int port) override;
+  std::string create(const std::string& type, const std::string& name,
+                     const std::string& args) override;
+
+  /// Tell the server process to start its side of the flow (what it does is
+  /// the NodeServer's StartHandler); returns the handler's reply text.
+  std::string start_flow(const std::string& args = "");
+
+ private:
+  std::string call(wire::ControlOp op, const std::string& text);
+
+  rt::Runtime* rt_;
+  SocketTransport* link_;
+  std::string name_;
+  rt::Time timeout_;
+};
+
+/// Server side: answers a control link's requests against a local Node.
+/// Construct after the Node's factories are registered; requests arrive on
+/// the transport's agent thread and replies travel back as control frames.
+class NodeServer {
+ public:
+  /// Invoked on ControlOp::kStart; the returned string is the reply text.
+  using StartHandler = std::function<std::string(const std::string& args)>;
+
+  NodeServer(rt::Runtime& rt, Node& node, SocketTransport& link);
+
+  void on_start(StartHandler h) { on_start_ = std::move(h); }
+  [[nodiscard]] bool start_requested() const noexcept {
+    return start_requested_;
+  }
+
+ private:
+  void handle(std::uint64_t id, wire::ControlOp op, const std::string& text);
+
+  rt::Runtime* rt_;
+  Node* node_;
+  SocketTransport* link_;
+  StartHandler on_start_;
+  bool start_requested_ = false;
+};
+
+}  // namespace infopipe::net

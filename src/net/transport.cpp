@@ -8,7 +8,7 @@ namespace infopipe::net {
 std::size_t SimLink::queue_depth_bytes(rt::Time now) const {
   if (wire_free_at_ <= now) return 0;
   const double backlog_ns = static_cast<double>(wire_free_at_ - now);
-  return static_cast<std::size_t>(backlog_ns * cfg_.bandwidth_bps / 8e9);
+  return static_cast<std::size_t>(backlog_ns * bandwidth() / 8e9);
 }
 
 void SimLink::send(rt::Runtime& rt, Item packet) {
@@ -52,7 +52,7 @@ void SimLink::send(rt::Runtime& rt, Item packet) {
     }
   }
 
-  const double tx_ns = static_cast<double>(size) * 8e9 / cfg_.bandwidth_bps;
+  const double tx_ns = static_cast<double>(size) * 8e9 / bandwidth();
   const rt::Time start = std::max(now, wire_free_at_);
   wire_free_at_ = start + static_cast<rt::Time>(std::llround(tx_ns));
 

@@ -10,22 +10,26 @@
 // Figure 1 pipeline puts a feedback-controlled filter in front of it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <random>
+#include <string>
 
 #include "core/item.hpp"
+#include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::net {
 
-/// rt message type for packet delivery to a NetReceiver thread (out of the
-/// range used by core's glue).
-inline constexpr int kMsgNetDeliver = 100;
+/// rt message type for packet delivery to a NetReceiver thread (value
+/// allotted in rt/msg_registry.hpp).
+inline constexpr int kMsgNetDeliver = rt::msg::kNetDeliver;
 
 /// A transport protocol a netpipe can encapsulate (§2.4: "different
 /// transport protocols can be easily integrated into the Infopipe framework
-/// as netpipes"). Implementations: SimLink (best-effort) and
-/// ReliableTransport (ARQ over a lossy link).
+/// as netpipes"). Implementations: SimLink (simulated best-effort),
+/// ReliableTransport (ARQ over a lossy link), and SocketTransport (real
+/// nonblocking TCP/UDP sockets between OS processes, ip_netreal).
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -39,6 +43,15 @@ class Transport {
 
   /// Nominal capacity, for the netpipe's QoS mapping.
   [[nodiscard]] virtual double bandwidth() const = 0;
+
+  /// Transport kind for the flow's Typespec (props::kTransport): "sim",
+  /// "tcp", "udp". The netpipe ends publish it so type checking can see
+  /// not only WHERE a flow lives but HOW it travels.
+  [[nodiscard]] virtual std::string kind() const { return "sim"; }
+
+  /// Remote endpoint ("host:port") for props::kEndpoint; empty when the
+  /// transport has no address (in-process simulation).
+  [[nodiscard]] virtual std::string endpoint() const { return {}; }
 };
 
 struct LinkConfig {
@@ -65,11 +78,18 @@ class SimLink : public Transport {
   void send(rt::Runtime& rt, Item packet) override;
 
   /// Change the available bandwidth while running (congestion episodes for
-  /// the adaptation experiments).
-  void set_bandwidth(double bps) { cfg_.bandwidth_bps = bps; }
-  [[nodiscard]] double bandwidth() const noexcept override {
-    return cfg_.bandwidth_bps;
+  /// the adaptation experiments). Safe against a concurrent send() on the
+  /// link's runtime thread: the adaptation experiments mutate this live
+  /// from other kernel threads, so the field is atomic — a torn read of a
+  /// double would feed the serializer a garbage rate.
+  void set_bandwidth(double bps) {
+    bandwidth_bps_.store(bps, std::memory_order_relaxed);
   }
+  [[nodiscard]] double bandwidth() const noexcept override {
+    return bandwidth_bps_.load(std::memory_order_relaxed);
+  }
+  /// Static link parameters; bandwidth_bps holds the CONSTRUCTION value
+  /// (read the live one through bandwidth()).
   [[nodiscard]] const LinkConfig& config() const noexcept { return cfg_; }
 
   struct Stats {
@@ -87,6 +107,7 @@ class SimLink : public Transport {
 
  private:
   LinkConfig cfg_;
+  std::atomic<double> bandwidth_bps_{cfg_.bandwidth_bps};
   std::mt19937_64 rng_;
   rt::ThreadId rx_ = rt::kNoThread;
   rt::Time wire_free_at_ = 0;  ///< when the serializer finishes current work

@@ -2,8 +2,8 @@
 
 #include <cstdio>
 #include <sstream>
-#include <vector>
 #include <stdexcept>
+#include <vector>
 
 namespace infopipe::net {
 
@@ -37,6 +37,37 @@ std::string fmt_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
+}
+
+/// Numeric parses over hostile input: std::stoll/std::stod throw
+/// std::invalid_argument on garbage and std::out_of_range on oversized
+/// digit strings — both must surface as RemoteError, not leak through as
+/// unrelated exception types (or worse, as an uncaught crash in a server's
+/// control loop).
+std::int64_t parse_i64(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(s, &used);
+    if (used != s.size()) throw RemoteError("trailing bytes in integer");
+    return v;
+  } catch (const RemoteError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw RemoteError("malformed integer in typespec wire: " + s);
+  }
+}
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw RemoteError("trailing bytes in double");
+    return v;
+  } catch (const RemoteError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw RemoteError("malformed double in typespec wire: " + s);
+  }
 }
 
 std::vector<std::string> split_unescaped(const std::string& s, char sep) {
@@ -106,7 +137,7 @@ Typespec unmarshal_typespec(const std::string& wire) {
     if (record.empty()) continue;
     const auto kv = split_unescaped(record, kUnit);
     if (kv.size() != 2 || kv[1].size() < 2 || kv[1][1] != ':') {
-      throw std::invalid_argument("malformed typespec record");
+      throw RemoteError("malformed typespec record");
     }
     const std::string key = unescape(kv[0]);
     const char code = kv[1][0];
@@ -116,10 +147,10 @@ Typespec unmarshal_typespec(const std::string& wire) {
         t.set(key, val == "1");
         break;
       case 'i':
-        t.set(key, static_cast<std::int64_t>(std::stoll(val)));
+        t.set(key, parse_i64(val));
         break;
       case 'd':
-        t.set(key, std::stod(val));
+        t.set(key, parse_double(val));
         break;
       case 's':
         t.set(key, unescape(val));
@@ -127,10 +158,10 @@ Typespec unmarshal_typespec(const std::string& wire) {
       case 'r': {
         const auto comma = val.find(',');
         if (comma == std::string::npos) {
-          throw std::invalid_argument("malformed range");
+          throw RemoteError("malformed range");
         }
-        t.set(key, Range{std::stod(val.substr(0, comma)),
-                         std::stod(val.substr(comma + 1))});
+        t.set(key, Range{parse_double(val.substr(0, comma)),
+                         parse_double(val.substr(comma + 1))});
         break;
       }
       case 'S': {
@@ -142,7 +173,7 @@ Typespec unmarshal_typespec(const std::string& wire) {
         break;
       }
       default:
-        throw std::invalid_argument(std::string("unknown typecode ") + code);
+        throw RemoteError(std::string("unknown typecode ") + code);
     }
   }
   return t;

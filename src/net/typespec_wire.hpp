@@ -11,12 +11,15 @@
 #include <string>
 
 #include "core/typespec.hpp"
+#include "net/error.hpp"
 
 namespace infopipe::net {
 
 [[nodiscard]] std::string marshal_typespec(const Typespec& t);
 
-/// Throws std::invalid_argument on malformed input.
+/// Throws RemoteError on malformed input. This parser faces untrusted bytes
+/// once real sockets (net/socket_transport) feed it: truncated, oversized
+/// or bit-flipped records must fail cleanly — never crash, never over-read.
 [[nodiscard]] Typespec unmarshal_typespec(const std::string& wire);
 
 }  // namespace infopipe::net

@@ -84,6 +84,35 @@ void IoBridge::unwatch_fd(int fd) {
   [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
 }
 
+void IoBridge::watch_readable_once(int fd, ThreadId to) {
+  {
+    std::lock_guard lk(mutex_);
+    readable_once_[fd] = to;
+  }
+  const std::uint8_t kWake = 0;
+  [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
+}
+
+void IoBridge::watch_writable_once(int fd, ThreadId to) {
+  {
+    std::lock_guard lk(mutex_);
+    writable_once_[fd] = to;
+  }
+  const std::uint8_t kWake = 0;
+  [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
+}
+
+void IoBridge::cancel_fd(int fd) {
+  {
+    std::lock_guard lk(mutex_);
+    fd_targets_.erase(fd);
+    readable_once_.erase(fd);
+    writable_once_.erase(fd);
+  }
+  const std::uint8_t kWake = 0;
+  [[maybe_unused]] ssize_t n = ::write(control_pipe_[1], &kWake, 1);
+}
+
 void IoBridge::watch_signal(int signo, ThreadId to) {
   if (!owns_signal_pipe_) {
     int expected = -1;
@@ -126,15 +155,29 @@ void IoBridge::handle_signal_byte(std::uint8_t signo) {
 }
 
 void IoBridge::poll_loop() {
+  // Parallel to the pollfd array: what kind of watch each entry serves.
+  enum class Kind : std::uint8_t { kControl, kStream, kReadOnce, kWriteOnce };
   std::vector<pollfd> fds;
+  std::vector<Kind> kinds;
   for (;;) {
     fds.clear();
+    kinds.clear();
     fds.push_back(pollfd{control_pipe_[0], POLLIN, 0});
+    kinds.push_back(Kind::kControl);
     {
       std::lock_guard lk(mutex_);
       if (stop_) return;
       for (const auto& [fd, target] : fd_targets_) {
         fds.push_back(pollfd{fd, POLLIN, 0});
+        kinds.push_back(Kind::kStream);
+      }
+      for (const auto& [fd, target] : readable_once_) {
+        fds.push_back(pollfd{fd, POLLIN, 0});
+        kinds.push_back(Kind::kReadOnce);
+      }
+      for (const auto& [fd, target] : writable_once_) {
+        fds.push_back(pollfd{fd, POLLOUT, 0});
+        kinds.push_back(Kind::kWriteOnce);
       }
     }
     // No timeout: every mutation (watch/unwatch/stop/signal) writes a wake
@@ -152,6 +195,34 @@ void IoBridge::poll_loop() {
     }
 
     for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (kinds[i] == Kind::kReadOnce || kinds[i] == Kind::kWriteOnce) {
+        // One-shot readiness: notify (if still armed) and drop the watch.
+        // POLLERR/POLLHUP/POLLNVAL also fire the notification — the
+        // consumer's own read()/write()/getsockopt() sees the error; what
+        // must not happen is a silent hang (or, for a cancelled+closed fd,
+        // a POLLNVAL busy loop — the map erase below guarantees progress).
+        const short want = static_cast<short>(
+            (kinds[i] == Kind::kReadOnce ? POLLIN : POLLOUT) | POLLERR |
+            POLLHUP | POLLNVAL);
+        if ((fds[i].revents & want) == 0) continue;
+        auto& map =
+            kinds[i] == Kind::kReadOnce ? readable_once_ : writable_once_;
+        ThreadId to = kNoThread;
+        {
+          std::lock_guard lk(mutex_);
+          auto it = map.find(fds[i].fd);
+          if (it != map.end()) {
+            to = it->second;
+            map.erase(it);
+          }
+        }
+        if (to == kNoThread) continue;  // cancelled meanwhile
+        Message m{kinds[i] == Kind::kReadOnce ? kMsgIoReadable : kMsgIoWritable,
+                  MsgClass::kData};
+        m.payload = fds[i].fd;
+        rt_->post_external(to, std::move(m));
+        continue;
+      }
       if ((fds[i].revents & (POLLIN | POLLHUP)) == 0) continue;
       ThreadId to = kNoThread;
       {

@@ -31,14 +31,17 @@
 #include <thread>
 #include <vector>
 
+#include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::rt {
 
-/// Message types delivered by the bridge.
-inline constexpr int kMsgIoData = 300;    ///< payload: std::vector<uint8_t>
-inline constexpr int kMsgIoSignal = 301;  ///< payload: int (signal number)
-inline constexpr int kMsgIoEof = 302;     ///< payload: int (the fd)
+/// Message types delivered by the bridge (values in rt/msg_registry.hpp).
+inline constexpr int kMsgIoData = msg::kIoData;      ///< vector<uint8_t>
+inline constexpr int kMsgIoSignal = msg::kIoSignal;  ///< int (signal number)
+inline constexpr int kMsgIoEof = msg::kIoEof;        ///< int (the fd)
+inline constexpr int kMsgIoReadable = msg::kIoReadable;  ///< int (the fd)
+inline constexpr int kMsgIoWritable = msg::kIoWritable;  ///< int (the fd)
 
 class IoBridge {
  public:
@@ -52,6 +55,24 @@ class IoBridge {
   /// kMsgIoData message; a kMsgIoEof message when the peer closes.
   void watch_fd(int fd, ThreadId to);
   void unwatch_fd(int fd);
+
+  /// One-shot READINESS notification: when `fd` becomes readable (POLLIN /
+  /// POLLHUP / POLLERR) a kMsgIoReadable message (payload: int fd) is
+  /// delivered to `to` and the watch is dropped; re-arm after draining.
+  /// Unlike watch_fd(), the bridge never read()s the fd itself — this is
+  /// the registration for fds that are not plain byte streams (listening
+  /// sockets, connect-in-progress sockets) and for consumers that do their
+  /// own nonblocking I/O, like net::SocketTransport's framing loop.
+  void watch_readable_once(int fd, ThreadId to);
+
+  /// One-shot writability notification (POLLOUT / POLLERR / POLLHUP →
+  /// kMsgIoWritable). Used for connect-in-progress completion and for
+  /// resuming a partially written output queue.
+  void watch_writable_once(int fd, ThreadId to);
+
+  /// Drops any pending one-shot watches for `fd` (call before closing it;
+  /// a queued notification that already left the bridge may still arrive).
+  void cancel_fd(int fd);
 
   /// Delivers each occurrence of `signo` to `to` as kMsgIoSignal. Installs
   /// a process-wide handler for that signal (restored on destruction).
@@ -69,6 +90,8 @@ class IoBridge {
   std::thread poller_;
   std::mutex mutex_;
   std::map<int, ThreadId> fd_targets_;
+  std::map<int, ThreadId> readable_once_;  ///< one-shot readiness watches
+  std::map<int, ThreadId> writable_once_;  ///< one-shot writability watches
   std::map<int, ThreadId> signal_targets_;
   std::map<int, struct sigaction> saved_actions_;
   bool stop_ = false;

@@ -1,0 +1,56 @@
+// Central registry of rt message-type constants.
+//
+// Every subsystem that speaks through the Runtime's mailboxes discriminates
+// its messages with a plain `int type`. Those constants used to be scattered
+// across headers (kMsgNetDeliver=100 in net/transport.hpp,
+// kMsgTypespecQuery=101 in net/node.hpp, the IoBridge 300s, the shard 400s),
+// which made a silent collision between two subsystems a matter of time.
+// This header is now the single place where ranges are allotted and values
+// assigned; subsystem headers alias these constants under their traditional
+// names, so call sites did not have to change.
+//
+// Range plan (a new subsystem claims the next free hundred here):
+//   1..99     ipcore realization glue (core/realization.hpp)
+//   100..199  ip_net: netpipe data plane, node protocol, ARQ, sockets
+//   200..299  ip_feedback loops
+//   300..399  rt::IoBridge OS-event mapping
+//   400..499  ip_shard cross-shard doorbells
+#pragma once
+
+namespace infopipe::rt::msg {
+
+// ---- ipcore realization glue (1..99) --------------------------------------
+inline constexpr int kCoreControl = 1;    ///< control event dispatch
+inline constexpr int kCoreCoPull = 2;     ///< request one item from a coroutine
+inline constexpr int kCoreCoItem = 3;     ///< item hand-off (either direction)
+inline constexpr int kCoreCoDone = 4;     ///< coroutine ready for next input
+inline constexpr int kCoreBufNotify = 5;  ///< buffer space/data available
+inline constexpr int kCoreTick = 6;       ///< pump timer tick
+inline constexpr int kCoreLockGrant = 7;  ///< section lock transferred
+
+// ---- ip_net (100..199) ----------------------------------------------------
+inline constexpr int kNetDeliver = 100;          ///< packet to a NetReceiver
+inline constexpr int kNetTypespecQuery = 101;    ///< node agent query
+inline constexpr int kNetCreateComponent = 102;  ///< node agent factory call
+inline constexpr int kNetArqSubmit = 110;        ///< pipeline -> ARQ sender
+inline constexpr int kNetArqTimer = 111;         ///< ARQ retransmission check
+inline constexpr int kNetSocketRetry = 120;      ///< connect backoff expired
+inline constexpr int kNetControlReply = 121;     ///< socket control-link reply
+inline constexpr int kNetControlTimeout = 122;   ///< socket control-call timer
+
+// ---- ip_feedback (200..299) -----------------------------------------------
+inline constexpr int kFeedbackLoopTick = 200;  ///< PeriodicTask step
+
+// ---- rt::IoBridge (300..399) ----------------------------------------------
+inline constexpr int kIoData = 300;      ///< payload: std::vector<uint8_t>
+inline constexpr int kIoSignal = 301;    ///< payload: int (signal number)
+inline constexpr int kIoEof = 302;       ///< payload: int (the fd)
+inline constexpr int kIoReadable = 303;  ///< payload: int (the fd); one-shot
+inline constexpr int kIoWritable = 304;  ///< payload: int (the fd); one-shot
+
+// ---- ip_shard (400..499) --------------------------------------------------
+inline constexpr int kChanData = 400;   ///< ring has data; wakes a consumer
+inline constexpr int kChanSpace = 401;  ///< ring has space; wakes a producer
+inline constexpr int kRunFn = 410;      ///< ShardGroup::run_on payload
+
+}  // namespace infopipe::rt::msg

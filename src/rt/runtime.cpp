@@ -151,6 +151,19 @@ void Runtime::send_at(Time t, ThreadId to, Message m) {
   std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
 }
 
+std::size_t Runtime::cancel_timers(ThreadId to, int type) {
+  const auto dead = [&](const TimerEntry& e) {
+    return e.target == to && e.message.has_value() && e.message->type == type;
+  };
+  const auto it = std::remove_if(timers_.begin(), timers_.end(), dead);
+  const auto n = static_cast<std::size_t>(timers_.end() - it);
+  if (n > 0) {
+    timers_.erase(it, timers_.end());
+    std::make_heap(timers_.begin(), timers_.end(), TimerLater{});
+  }
+  return n;
+}
+
 Message Runtime::call(ThreadId to, Message m) {
   UThread& me = require_current("call");
   UThread* target = thread(to);

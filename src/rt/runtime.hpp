@@ -109,6 +109,13 @@ class Runtime {
   /// Deliver `m` to `to` when the clock reaches `t`.
   void send_at(Time t, ThreadId to, Message m);
 
+  /// Removes pending send_at() timers addressed to `to` whose message type
+  /// is `type`; returns how many were dropped. Protocol code uses this to
+  /// retire a timeout whose operation completed — a pending timer otherwise
+  /// keeps run() from going quiescent, which under a RealClock is a
+  /// real-time stall until the dead timeout fires.
+  std::size_t cancel_timers(ThreadId to, int type);
+
   /// Thread-safe injection from OUTSIDE the scheduler's OS thread (â the
   /// only Runtime entry point with that property). Used by rt::IoBridge to
   /// map OS events onto platform messages (§4); wakes an idle RealClock

@@ -39,17 +39,18 @@
 #include "core/item.hpp"
 #include "core/typespec.hpp"
 #include "mem/numa.hpp"
+#include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::shard {
 
 namespace detail {
 /// rt message types of the cross-shard doorbell path (payload: the
-/// ShardChannel*). Distinct from the ipcore range (1..7).
+/// ShardChannel*). Values allotted in rt/msg_registry.hpp.
 enum ShardMsgType : int {
-  kMsgChanData = 400,   ///< ring has data; wakes a parked consumer
-  kMsgChanSpace = 401,  ///< ring has space; wakes a parked producer
-  kMsgRunFn = 410,      ///< ShardGroup::run_on function payload
+  kMsgChanData = rt::msg::kChanData,    ///< ring has data; wakes a consumer
+  kMsgChanSpace = rt::msg::kChanSpace,  ///< ring has space; wakes a producer
+  kMsgRunFn = rt::msg::kRunFn,          ///< ShardGroup::run_on payload
 };
 }  // namespace detail
 

@@ -2,7 +2,9 @@
 // marshalling, location typing, and the remote node protocol (§2.4).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 
 #include "core/infopipes.hpp"
 #include "net/netpipe.hpp"
@@ -32,7 +34,63 @@ TEST(TypespecWire, EmptySpecRoundTrips) {
 }
 
 TEST(TypespecWire, MalformedInputThrows) {
-  EXPECT_THROW((void)unmarshal_typespec("garbage"), std::invalid_argument);
+  EXPECT_THROW((void)unmarshal_typespec("garbage"), RemoteError);
+}
+
+// With real sockets (ip_netreal) this parser faces untrusted bytes. Every
+// mutilation must surface as RemoteError — never another exception type
+// (std::stoll's invalid_argument/out_of_range leaking through), never a
+// crash or over-read.
+
+TEST(TypespecWire, EveryTruncationFailsCleanlyOrParses) {
+  Typespec t;
+  t.set("rate", 29.97);
+  t.set("count", std::int64_t{1234567});
+  t.set("range", Range{-1.5, 99.25});
+  t.set("formats", StringSet{"mpeg1", "raw"});
+  const std::string wire = marshal_typespec(t);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    try {
+      (void)unmarshal_typespec(wire.substr(0, n));  // prefix
+    } catch (const RemoteError&) {
+    }
+    try {
+      (void)unmarshal_typespec(wire.substr(n));  // suffix
+    } catch (const RemoteError&) {
+    }
+  }
+}
+
+TEST(TypespecWire, OversizedNumbersAreRemoteErrors) {
+  // std::stoll/std::stod would throw std::out_of_range here.
+  EXPECT_THROW((void)unmarshal_typespec("k\x1Fi:999999999999999999999999\x1E"),
+               RemoteError);
+  EXPECT_THROW((void)unmarshal_typespec("k\x1F"
+                                        "d:1e99999999\x1E"),
+               RemoteError);
+  EXPECT_THROW((void)unmarshal_typespec("k\x1Fi:12x\x1E"), RemoteError);
+  EXPECT_THROW((void)unmarshal_typespec("k\x1Fr:1.0;2.0\x1E"), RemoteError);
+  EXPECT_THROW((void)unmarshal_typespec("k\x1Fz:??\x1E"), RemoteError);
+}
+
+TEST(TypespecWire, BitFlippedInputNeverCrashes) {
+  Typespec t;
+  t.set("flag", true);
+  t.set("count", std::int64_t{-42});
+  t.set("rate", 29.97);
+  t.set("name", std::string("video"));
+  t.set("range", Range{0.5, 144.25});
+  const std::string wire = marshal_typespec(t);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = wire;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      try {
+        (void)unmarshal_typespec(bad);  // parse or RemoteError, nothing else
+      } catch (const RemoteError&) {
+      }
+    }
+  }
 }
 
 // ---------- SimLink ---------------------------------------------------------------
@@ -167,6 +225,41 @@ TEST(SimLink, JitterCanReorderAndStatsAddUp) {
   EXPECT_EQ(link.stats().sent, 50u);
   EXPECT_EQ(link.stats().delivered_scheduled, 50u);
   EXPECT_EQ(link.stats().dropped_congestion, 0u);
+}
+
+TEST(SimLink, SetBandwidthIsSafeAgainstConcurrentSend) {
+  // The adaptation experiments mutate the bandwidth live from another
+  // kernel thread while the link's runtime serializes packets. The field
+  // is atomic; under TSan this test is the proof.
+  rt::Runtime rtm;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  SimLink link(cfg);
+  const rt::ThreadId rx = rtm.spawn("rx", rt::kPriorityData,
+                                    [](rt::Runtime&, rt::Message) {
+                                      return rt::CodeResult::kContinue;
+                                    });
+  link.attach_receiver(rx);
+
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    double bw = 1e6;
+    while (!stop.load(std::memory_order_relaxed)) {
+      link.set_bandwidth(bw);
+      bw = bw >= 64e6 ? 1e6 : bw * 2;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    Item p = Item::token();
+    p.size_bytes = 100;
+    link.send(rtm, std::move(p));
+    const double bw = link.bandwidth();
+    EXPECT_GE(bw, 1e6);  // never a torn read
+    EXPECT_LE(bw, 64e6);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  tuner.join();
+  rtm.run();
 }
 
 // ---------- netpipe in a pipeline --------------------------------------------------

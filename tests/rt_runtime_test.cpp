@@ -282,6 +282,36 @@ TEST(Runtime, SendAtDeliversAtTime) {
   EXPECT_EQ(arrivals[1], std::make_pair(2, milliseconds(5)));
 }
 
+TEST(Runtime, CancelTimersDropsOnlyMatchingPending) {
+  Runtime rt;
+  std::vector<std::pair<int, Time>> arrivals;
+  ThreadId t = rt.spawn("timed", kPriorityData,
+                        [&](Runtime& r, Message m) -> CodeResult {
+                          arrivals.emplace_back(m.type, r.now());
+                          return CodeResult::kContinue;
+                        });
+  ThreadId other = rt.spawn("other", kPriorityData,
+                            [&](Runtime& r, Message m) -> CodeResult {
+                              arrivals.emplace_back(m.type, r.now());
+                              return CodeResult::kContinue;
+                            });
+  rt.send_at(milliseconds(5), t, Message{7, MsgClass::kTimer});
+  rt.send_at(milliseconds(9), t, Message{7, MsgClass::kTimer});
+  rt.send_at(milliseconds(3), t, Message{8, MsgClass::kTimer});
+  rt.send_at(milliseconds(4), other, Message{7, MsgClass::kTimer});
+  // Cancellation is target+type scoped: both type-7 timers aimed at `t`
+  // vanish; the other thread's type 7 and t's type 8 still fire. Without
+  // this, a stale timeout timer keeps run() from going quiescent (a real
+  // stall under RealClock).
+  EXPECT_EQ(rt.cancel_timers(t, 7), 2u);
+  EXPECT_EQ(rt.cancel_timers(t, 7), 0u);  // nothing left to cancel
+  rt.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], std::make_pair(8, milliseconds(3)));
+  EXPECT_EQ(arrivals[1], std::make_pair(7, milliseconds(4)));
+  EXPECT_EQ(rt.now(), milliseconds(4));  // nothing pending past the last fire
+}
+
 TEST(Runtime, RunUntilAdvancesClockExactly) {
   Runtime rt;
   rt.run_until(milliseconds(7));
