@@ -43,8 +43,8 @@ int main() {
               player.plan().total_threads(),
               player.plan().total_coroutines());
 
-  // player.start() is the canonical API; the paper's send_event(player,
-  // START) is a one-line shim over it (media/paper_api.hpp).
+  // player.start() is a spelling of player.control(START) — THE lifecycle
+  // entry point on every RealizationHandle (core/realization_handle.hpp).
   player.start();
   rt.run();  // returns when the stream ends and the pipeline is quiescent
 

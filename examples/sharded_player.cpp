@@ -17,12 +17,26 @@
 // section across — mid-playback, without dropping a frame. On this evenly
 // split pipeline it normally just accounts and holds still; force a skew
 // (e.g. raise the decoder cost) to see balance.migration.count move.
+//
+// After the movie ends the program turns the SAME running shard group into
+// a multi-session server (docs/TUTORIAL.md §16): one SharedPlan analyzed
+// once, a SessionTable stamping a few thousand mixed-class flows out of it,
+// a SessionAcceptor admitting them against measured load. Everything that
+// merely drives the playback realization goes through RealizationHandle&,
+// the uniform control surface.
 #include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
+#include "balance/accountant.hpp"
 #include "balance/rebalancer.hpp"
 #include "core/infopipes.hpp"
+#include "core/realization_handle.hpp"
 #include "media/mpeg.hpp"
+#include "session/acceptor.hpp"
+#include "session/plan.hpp"
+#include "session/table.hpp"
 #include "shard/shard_group.hpp"
 #include "shard/sharded_realization.hpp"
 
@@ -52,14 +66,18 @@ int main() {
 
   shard::ShardGroup group(2);
   shard::ShardedRealization real(group, p);
-  std::printf("%s\n", real.describe().c_str());
+  // Everything below that merely drives the realization — lifecycle,
+  // introspection, progress — goes through the abstract control surface;
+  // only wait_finished() and the Rebalancer need the concrete type.
+  RealizationHandle& player = real;
+  std::printf("%s\n", player.describe().c_str());
 
   balance::Rebalancer::Options ropt;
   ropt.period = rt::milliseconds(250);
   balance::Rebalancer rb(real, ropt);
 
   const auto t0 = std::chrono::steady_clock::now();
-  real.start();
+  player.start();  // = control(kEventStart)
   rb.launch();
   if (!real.wait_finished(std::chrono::seconds(120))) {
     std::fprintf(stderr, "player did not finish in time\n");
@@ -76,7 +94,7 @@ int main() {
               static_cast<unsigned long long>(cfg.frames),
               static_cast<unsigned long long>(st.corrupt), ms);
 
-  const StatsSnapshot snap = real.stats_snapshot();
+  const StatsSnapshot snap = player.stats_snapshot();
   for (const ChannelStats& ch : snap.channels) {
     std::printf(
         "channel '%s' shard%d->shard%d: %llu puts, %llu takes, "
@@ -88,7 +106,7 @@ int main() {
         static_cast<unsigned long long>(ch.flow.take_blocks),
         static_cast<unsigned long long>(ch.wakeups));
   }
-  const obs::MetricsSnapshot m = real.metrics_snapshot();
+  const obs::MetricsSnapshot m = player.metrics_snapshot();
   for (const char* row : {"shard0.rt.dispatches", "shard1.rt.dispatches"}) {
     if (const obs::MetricValue* v = m.find(row)) {
       std::printf("%s = %llu\n", row,
@@ -104,5 +122,52 @@ int main() {
     std::printf("rebalancer: %llu steps, 0 migrations\n",
                 static_cast<unsigned long long>(rb.steps()));
   }
+
+  // ---- phase 2: the same group, as a multi-session server -------------------
+  //
+  // The movie needed one realization. A server holds thousands of flows,
+  // and charging each one a full plan+realize is the per-use cost the
+  // plan/realization split exists to avoid. One SharedPlan is analyzed
+  // once; the SessionTable realizes one engine per shard of the STILL
+  // RUNNING group and stamps every open out of that single PlanInfo.
+  std::printf("\n-- session server phase: one plan, many flows --\n");
+  auto plan = session::SharedPlan::analyze(session::EngineSpec{});
+  session::SessionTable table(group, plan);
+  balance::LoadAccountant acct(group);
+  session::SessionAcceptor acceptor(table, acct);
+  table.start_loops();  // gold steals pump rate from bronze under pressure
+
+  constexpr int kFlows = 3000;
+  std::vector<session::SessionId> ids;
+  ids.reserve(kFlows);
+  for (int i = 0; i < kFlows; ++i) {
+    session::SessionParams sp;
+    sp.qos = static_cast<session::QosClass>(i % session::kNumClasses);
+    sp.rate_hz = 5.0 + static_cast<double>(i % 8) * 5.0;
+    const auto r = acceptor.open(sp);
+    if (r.ok) ids.push_back(r.id);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  const session::JitterSnapshot j = table.jitter();
+  std::printf(
+      "sessions: %llu live / %d asked, %llu admitted, %llu rejected\n",
+      static_cast<unsigned long long>(table.live()), kFlows,
+      static_cast<unsigned long long>(acceptor.admitted()),
+      static_cast<unsigned long long>(acceptor.rejected()));
+  std::printf(
+      "realizations: %llu (the whole fleet shares %d engine plans)\n",
+      static_cast<unsigned long long>(table.realizations()), table.shards());
+  std::printf("items emitted: %llu; inter-item jitter p50 %llu ns, "
+              "p99 %llu ns over %llu samples\n",
+              static_cast<unsigned long long>(table.items_total()),
+              static_cast<unsigned long long>(j.p50_ns),
+              static_cast<unsigned long long>(j.p99_ns),
+              static_cast<unsigned long long>(j.samples));
+
+  table.stop_loops();
+  for (const session::SessionId id : ids) acceptor.close(id);
+  std::printf("closed all: %llu live\n",
+              static_cast<unsigned long long>(table.live()));
   return 0;
 }

@@ -31,6 +31,13 @@ echo "== batch=off pass (per-item pump cycles) =="
 # cycles with bit-identical delivery, across the whole suite.
 INFOPIPE_BATCH=off ctest --test-dir build --output-on-failure
 
+echo "== sessions=off pass (per-flow realization fallback) =="
+# The session layer's kill switch (ARCHITECTURE §17): with the shared
+# engines disabled every open falls back to a full per-flow plan+realize,
+# and per-session item streams must stay bit-identical (the session suite
+# asserts the digests; the rest of the suite must simply not care).
+INFOPIPE_SESSIONS=off ctest --test-dir build --output-on-failure
+
 echo "== ASan+UBSan build + tests =="
 cmake -B build-sanitize -G Ninja -DCMAKE_BUILD_TYPE=Sanitize
 cmake --build build-sanitize
@@ -50,13 +57,14 @@ echo "== TSan build + multi-runtime suites =="
 # SPSC indices with a single store each), the net suite (SimLink's
 # set_bandwidth races a kernel-thread tuner against concurrent sends),
 # and the socket suite (SocketTransport runs against the io_bridge poller
-# thread and real kernel sockets). The remaining suites are
-# single-threaded by construction (one ULT scheduler on one kernel
-# thread) and run under ASan above.
+# thread and real kernel sockets), and the session suite (open/close churn
+# from plain std::threads against live shard engines, plus the socket
+# front door). The remaining suites are single-threaded by construction
+# (one ULT scheduler on one kernel thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch|net_test|socket_transport_test' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch|net_test|socket_transport_test|session_test' \
     --output-on-failure
 
 echo "== multi-process smoke: distributed_player over loopback TCP =="

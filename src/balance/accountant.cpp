@@ -35,8 +35,13 @@ double LoadSnapshot::imbalance() const {
 }
 
 LoadAccountant::LoadAccountant(shard::ShardedRealization& sr, Options opts)
-    : sr_(&sr), opts_(opts) {
+    : group_(&sr.group()), sr_(&sr), opts_(opts) {
   shards_.resize(static_cast<std::size_t>(sr.group().size()));
+}
+
+LoadAccountant::LoadAccountant(shard::ShardGroup& group, Options opts)
+    : group_(&group), sr_(nullptr), opts_(opts) {
+  shards_.resize(static_cast<std::size_t>(group.size()));
 }
 
 void LoadAccountant::ewma_update(ShardAcc& acc, double fraction) {
@@ -63,9 +68,9 @@ void LoadAccountant::sample() {
 
   // Shard busy fractions only exist when shards have kernel threads; the
   // first sample after launch just primes the counters.
-  if (sr_->group().running()) {
+  if (group_->running()) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      rt::Runtime& rtm = sr_->group().runtime(static_cast<int>(s));
+      rt::Runtime& rtm = group_->runtime(static_cast<int>(s));
       const std::uint64_t busy = rtm.service_busy_ns();
       const std::uint64_t idle = rtm.service_idle_ns();
       ShardAcc& acc = shards_[s];
@@ -83,7 +88,7 @@ void LoadAccountant::sample() {
     }
   }
 
-  if (epoch_ != sr_->migrations()) rebind_channels_locked();
+  if (sr_ != nullptr && epoch_ != sr_->migrations()) rebind_channels_locked();
   for (ChanAcc& acc : chans_) {
     const std::uint64_t ps = acc.ch->producer_stalls();
     const std::uint64_t cs = acc.ch->consumer_stalls();

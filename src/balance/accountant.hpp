@@ -59,6 +59,13 @@ class LoadAccountant {
   explicit LoadAccountant(shard::ShardedRealization& sr,
                           Options opts = Options());
 
+  /// Busy-share-only accounting over a bare ShardGroup: no realization, so
+  /// no channel readings — snapshot().channels stays empty. This is the
+  /// form the session acceptor uses: admission decisions need per-shard
+  /// busy fractions, and the session layer's engines are plain per-shard
+  /// Realizations with no cross-shard cuts to watch.
+  explicit LoadAccountant(shard::ShardGroup& group, Options opts = Options());
+
   LoadAccountant(const LoadAccountant&) = delete;
   LoadAccountant& operator=(const LoadAccountant&) = delete;
 
@@ -96,7 +103,8 @@ class LoadAccountant {
   void ewma_update(ShardAcc& acc, double fraction);
   void rebind_channels_locked();
 
-  shard::ShardedRealization* sr_;
+  shard::ShardGroup* group_;
+  shard::ShardedRealization* sr_;  ///< nullptr in the group-only form
   Options opts_;
   mutable std::mutex mu_;
   std::vector<ShardAcc> shards_;

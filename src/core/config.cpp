@@ -17,6 +17,7 @@ InfopipeConfig& config() noexcept {
     c.pooling = enabled("INFOPIPE_POOLING", c.pooling);
     c.batching = enabled("INFOPIPE_BATCH", c.batching);
     c.inline_payloads = enabled("INFOPIPE_INLINE", c.inline_payloads);
+    c.sessions = enabled("INFOPIPE_SESSIONS", c.sessions);
     // "sim" reads better than "off" for a transport selector; both work.
     const char* net = std::getenv("INFOPIPE_NET");
     c.real_net = net == nullptr ? c.real_net

@@ -35,6 +35,14 @@ struct InfopipeConfig {
   /// distributed_player foremost — fall back to a single-process SimLink
   /// run that delivers the byte-identical item stream.
   bool real_net = true;
+
+  /// Shared-plan session stamping (session::SessionTable): thousands of
+  /// flows ride a handful of per-shard engine realizations stamped from one
+  /// immutable PlanInfo. INFOPIPE_SESSIONS=off is the kill switch: every
+  /// open() falls back to a full per-use Pipeline realization on the
+  /// session's home shard — the per-session item sequence (payload bytes,
+  /// seq, kind) must stay bit-identical either way.
+  bool sessions = true;
 };
 
 /// The mutable singleton. First use reads the environment.

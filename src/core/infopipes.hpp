@@ -8,7 +8,7 @@
 //   MyDisplay sink;
 //   auto chain = source >> decode >> pump >> sink;
 //   infopipe::Realization real(rt, chain.pipeline());
-//   real.start();                              // send_event(START)
+//   real.start();                              // = real.control(kEventStart)
 //   rt.run();
 #pragma once
 

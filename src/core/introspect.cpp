@@ -2,9 +2,33 @@
 
 #include <cstdio>
 
+#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 #include "obs/metrics.hpp"
 
 namespace infopipe {
+
+PlanInfo plan_info_of(const Pipeline& p, const Plan& plan,
+                      std::size_t threads) {
+  PlanInfo info;
+  info.components = p.components().size();
+  info.threads = threads;
+  info.sections.reserve(plan.sections.size());
+  for (const auto& sec : plan.sections) {
+    PlanInfo::SectionInfo si;
+    si.driver = sec.driver->name();
+    si.driver_style = sec.driver->style();
+    si.thread_count = sec.thread_count();
+    si.members.reserve(sec.members.size());
+    for (const auto& h : sec.members) {
+      si.members.push_back(PlanInfo::Member{h.comp->name(), h.comp->style(),
+                                            h.mode, h.needs_coroutine,
+                                            h.shared});
+    }
+    info.sections.push_back(std::move(si));
+  }
+  return info;
+}
 
 namespace {
 

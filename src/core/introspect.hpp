@@ -30,6 +30,9 @@ namespace obs {
 struct MetricsSnapshot;
 }  // namespace obs
 
+class Pipeline;
+struct Plan;
+
 /// What the planner decided for one realization: the section structure and
 /// the activity style chosen for every hosted component.
 struct PlanInfo {
@@ -109,6 +112,15 @@ struct StatsSnapshot {
   [[nodiscard]] const BufferStats* buffer(std::string_view name) const;
   [[nodiscard]] const ChannelStats* channel(std::string_view name) const;
 };
+
+/// Builds the PlanInfo for a planned pipeline: one SectionInfo per plan
+/// section, `threads` recorded as the spawn total. This is the single
+/// source of the "what the planner decided" data — Realization::plan_info()
+/// calls it with its own thread count, ShardedRealization::plan_info() with
+/// the plan's total across shards, and the session layer's SharedPlan caches
+/// one copy that every stamped session shares instead of re-planning.
+[[nodiscard]] PlanInfo plan_info_of(const Pipeline& p, const Plan& plan,
+                                    std::size_t threads);
 
 // -- renderers -----------------------------------------------------------------
 

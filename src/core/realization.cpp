@@ -896,27 +896,10 @@ Component* Realization::find_component(std::string_view name) const {
 }
 
 PlanInfo Realization::plan_info() const {
-  PlanInfo info;
-  info.components = pipe_->components().size();
-  info.threads = all_threads_.size();
-  info.sections.reserve(plan_.sections.size());
-  for (const auto& sec : plan_.sections) {
-    PlanInfo::SectionInfo si;
-    si.driver = sec.driver->name();
-    si.driver_style = sec.driver->style();
-    si.thread_count = sec.thread_count();
-    si.members.reserve(sec.members.size());
-    for (const auto& h : sec.members) {
-      si.members.push_back(PlanInfo::Member{h.comp->name(), h.comp->style(),
-                                            h.mode, h.needs_coroutine,
-                                            h.shared});
-    }
-    info.sections.push_back(std::move(si));
-  }
-  return info;
+  return plan_info_of(*pipe_, plan_, all_threads_.size());
 }
 
-StatsSnapshot Realization::stats_snapshot() const {
+StatsSnapshot Realization::stats_snapshot() {
   StatsSnapshot snap;
   snap.when = rt_->now();
   for (Component* c : pipe_->components()) {

@@ -28,6 +28,7 @@
 #include "core/pipeline.hpp"
 #include "core/planner.hpp"
 #include "core/pump.hpp"
+#include "core/realization_handle.hpp"
 #include "obs/metrics.hpp"
 #include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
@@ -163,7 +164,7 @@ class SectionLock {
 /// routes control events. Owns nothing of the components themselves — they
 /// stay owned by the application and can be realized again after this
 /// Realization is destroyed.
-class Realization {
+class Realization : public RealizationHandle {
  public:
   Realization(rt::Runtime& rt, const Pipeline& p);
   /// Same, but shares ownership of the pipeline: the realization keeps it
@@ -172,7 +173,7 @@ class Realization {
   /// requires the caller to keep the Pipeline alive — the classic footgun
   /// with `chain.pipeline()` on a discarded Chain.)
   Realization(rt::Runtime& rt, std::shared_ptr<const Pipeline> p);
-  ~Realization();
+  ~Realization() override;
 
   Realization(const Realization&) = delete;
   Realization& operator=(const Realization&) = delete;
@@ -185,26 +186,17 @@ class Realization {
   /// THE lifecycle entry point: broadcasts one control event to every
   /// component, in pipeline order per thread. Everything that starts,
   /// stops or tears down a realized pipeline is a spelling of control():
-  /// the start()/stop()/shutdown() members below forward here, the paper-
-  /// verbatim `send_event(real, START)` shim (media/paper_api.hpp) forwards
-  /// here, and raw post_event(Event{...}) is the same call with the Event
-  /// spelled out. There is exactly one behaviour behind all of them.
-  void control(const Event& e) { post_event(e); }
-  /// Convenience spelling for payload-less lifecycle events
-  /// (kEventStart/kEventStop/kEventShutdown/...).
-  void control(int event_type) { control(Event{event_type}); }
-
-  /// Broadcasts kEventStart: pumps begin moving data. = control(kEventStart)
-  void start() { control(kEventStart); }
-  /// Broadcasts kEventStop: pumps finish the current item and pause.
-  void stop() { control(kEventStop); }
-  /// Broadcasts kEventShutdown: all middleware threads terminate.
-  void shutdown() { control(kEventShutdown); }
+  /// the start()/stop()/shutdown() members (inherited from
+  /// RealizationHandle) forward here, and raw post_event(Event{...}) is the
+  /// same call with the Event spelled out. There is exactly one behaviour
+  /// behind all of them.
+  void control(const Event& e) override { post_event(e); }
+  using RealizationHandle::control;  // the control(int) spelling
 
   // -- control events (§2.2) ---------------------------------------------------
 
   /// Broadcast to every component, in pipeline order per thread.
-  void post_event(const Event& e);
+  void post_event(const Event& e) override;
   /// Thread-safe broadcast from OUTSIDE this realization's runtime thread
   /// (built on rt::Runtime::post_external): the event enqueues onto the
   /// owning runtime and is delivered at its dispatch points, so the
@@ -253,24 +245,19 @@ class Realization {
   /// What the planner decided, as data: sections, drivers, the mode and
   /// activity style of every hosted component, and where coroutines were
   /// allocated. Tests and tools consume this directly.
-  [[nodiscard]] PlanInfo plan_info() const;
+  [[nodiscard]] PlanInfo plan_info() const override;
 
   /// Runtime statistics as data: items pumped per driver, buffer
   /// fill/drops/blocks, timestamped by the runtime clock. Built from pure
   /// reads of counters the middleware only mutates between dispatch points,
   /// so calling it from an event listener while the flow is blocked yields
   /// a consistent picture (fill == puts - takes holds for every buffer).
-  [[nodiscard]] StatsSnapshot stats_snapshot() const;
+  [[nodiscard]] StatsSnapshot stats_snapshot() override;
 
-  /// Human-readable rendering of plan_info() (see
-  /// to_string(const PlanInfo&)). What a developer reads to understand what
-  /// the planner decided.
-  [[nodiscard]] std::string describe() const { return to_string(plan_info()); }
-
-  /// Human-readable rendering of stats_snapshot(). Companion to describe()
-  /// for a running pipeline.
-  [[nodiscard]] std::string stats_report() const {
-    return to_string(stats_snapshot());
+  /// The owning runtime's registry rows (core.*, rt.*, pipe.*; the
+  /// realization's collector folds stats_snapshot() in as pipe.* rows).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() override {
+    return rt_->metrics().snapshot();
   }
 
   /// HostContext of the calling user-level thread. Middleware-internal.

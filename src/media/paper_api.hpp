@@ -5,11 +5,13 @@
 //     clocked_pump pump(30); // 30 Hz
 //     video_display sink;
 //     source >> decode >> pump >> sink;
-//     send_event(real, START);
+//     real.control(START);
 //
 // Thin adapters over the full-featured classes, so the paper's setup code
 // compiles as written (modulo the explicit Realization, which the paper left
-// implicit in its platform global).
+// implicit in its platform global, and the paper's send_event(real, START)
+// free function, which is spelled real.control(START) — THE lifecycle entry
+// point on every RealizationHandle).
 #pragma once
 
 #include <string>
@@ -44,12 +46,5 @@ class video_display : public VideoDisplay {
 
 inline constexpr int START = kEventStart;
 inline constexpr int STOP = kEventStop;
-
-/// Paper-verbatim shim: `send_event(real, START)` forwards to
-/// `Realization::control(START)`, THE documented lifecycle entry point.
-/// `real.start()` / `real.stop()` / `real.shutdown()` are spellings of the
-/// same call; this free function exists only so the paper's setup code
-/// compiles as written.
-inline void send_event(Realization& real, int type) { real.control(type); }
 
 }  // namespace infopipe::media

@@ -139,6 +139,25 @@ std::unique_ptr<SocketTransport> SocketTransport::connect(rt::Runtime& rt,
   return t;
 }
 
+std::unique_ptr<SocketTransport> SocketTransport::adopt(rt::Runtime& rt,
+                                                        rt::IoBridge& io,
+                                                        SocketConfig cfg,
+                                                        int fd) {
+  if (cfg.udp) throw RemoteError("adopt() is TCP-only");
+  auto t = std::unique_ptr<SocketTransport>(
+      new SocketTransport(rt, io, std::move(cfg), /*passive=*/true));
+  sockaddr_in local{};
+  socklen_t llen = sizeof local;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &llen) == 0) {
+    t->port_ = ntohs(local.sin_port);
+  }
+  t->fd_ = fd;
+  t->state_ = State::kConnected;
+  ++t->stats_.accepts;
+  t->io_->watch_readable_once(fd, t->agent_);
+  return t;
+}
+
 void SocketTransport::start_connect() {
   const sockaddr_in a = make_addr(cfg_.host, cfg_.port, /*listen_side=*/false);
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -496,6 +515,78 @@ std::string SocketTransport::call_control(wire::ControlOp op,
   auto r = m.take<ControlReply>();
   if (!r.ok) throw RemoteError(r.text);
   return std::move(r.text);
+}
+
+// ============================ SocketAcceptor ================================
+
+SocketAcceptor::SocketAcceptor(rt::Runtime& rt, rt::IoBridge& io,
+                               SocketConfig cfg, AcceptFn on_accept)
+    : rt_(&rt), io_(&io), cfg_(std::move(cfg)), on_accept_(std::move(on_accept)) {
+  if (cfg_.udp) throw RemoteError("SocketAcceptor is TCP-only");
+  const sockaddr_in a = make_addr(cfg_.host, cfg_.port, /*listen_side=*/true);
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw RemoteError(errno_text("socket()"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&a), sizeof a) < 0) {
+    const std::string why = errno_text("bind()");
+    ::close(fd);
+    throw RemoteError(why + " on " + cfg_.host + ":" +
+                      std::to_string(cfg_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  // Deep backlog: a session server expects connect bursts, and nothing in
+  // the accept path blocks (each adopted fd gets its own agent).
+  if (::listen(fd, 128) < 0) {
+    const std::string why = errno_text("listen()");
+    ::close(fd);
+    throw RemoteError(why);
+  }
+  listen_fd_ = fd;
+  agent_ = rt.spawn("net.accept", rt::kPriorityData,
+                    [this](rt::Runtime&, rt::Message m) {
+                      return agent_code(std::move(m));
+                    });
+  io_->watch_readable_once(listen_fd_, agent_);
+}
+
+SocketAcceptor::~SocketAcceptor() {
+  if (listen_fd_ >= 0) {
+    io_->cancel_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (rt_->alive(agent_)) rt_->kill(agent_);
+}
+
+rt::CodeResult SocketAcceptor::agent_code(rt::Message m) {
+  if (m.type == rt::kMsgIoReadable) {
+    const int* fd = m.get<int>();
+    if (fd != nullptr && *fd == listen_fd_) do_accept();
+  }
+  return rt::CodeResult::kContinue;
+}
+
+void SocketAcceptor::do_accept() {
+  for (;;) {
+    const int c =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (c < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    set_stream_options(c);
+    ++accepted_;
+    // Every peer gets its OWN transport + agent ULT — no shared connection
+    // slot, no turn-away, no re-listen serialization.
+    on_accept_(SocketTransport::adopt(*rt_, *io_, cfg_, c));
+  }
+  io_->watch_readable_once(listen_fd_, agent_);
 }
 
 }  // namespace infopipe::net

@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,6 +76,15 @@ class SocketTransport : public Transport {
   static std::unique_ptr<SocketTransport> connect(rt::Runtime& rt,
                                                   rt::IoBridge& io,
                                                   SocketConfig cfg);
+
+  /// Wraps an already-connected TCP socket (from SocketAcceptor) in a fully
+  /// working transport: own agent ULT, own frame reader, state kConnected.
+  /// Takes ownership of `fd` (must be nonblocking). This is how N peers get
+  /// N independent transports instead of serializing on one listen-side
+  /// transport's single connection slot.
+  static std::unique_ptr<SocketTransport> adopt(rt::Runtime& rt,
+                                                rt::IoBridge& io,
+                                                SocketConfig cfg, int fd);
 
   ~SocketTransport() override;
 
@@ -206,6 +216,51 @@ class SocketTransport : public Transport {
   obs::Counter* obs_frames_tx_ = nullptr;
   obs::Counter* obs_frames_rx_ = nullptr;
   obs::Counter* obs_errors_ = nullptr;
+};
+
+/// Many-connection passive end: owns ONE listening socket and hands every
+/// accepted connection to a fresh SocketTransport (via SocketTransport::
+/// adopt), each with its own agent ULT, frame reader and control plane.
+///
+/// This generalizes SocketTransport::listen()'s one-peer-at-a-time accept
+/// loop: the single-peer transport keeps its semantics (a second connector
+/// is turned away; the slot reopens when the peer leaves) for the
+/// point-to-point netpipes, while servers that must hold N concurrent peers
+/// — the session acceptor foremost — listen here and get one transport per
+/// peer, so slow peer A never serializes peer B's traffic behind one
+/// connection slot. TCP only.
+class SocketAcceptor {
+ public:
+  /// Invoked on the acceptor's agent thread with each freshly adopted
+  /// transport. The callee owns the transport (keep it alive until the
+  /// peer is done; dropping it closes the connection).
+  using AcceptFn = std::function<void(std::unique_ptr<SocketTransport>)>;
+
+  /// Binds + listens on cfg.host:cfg.port (0: kernel-assigned). Throws
+  /// RemoteError when the address cannot be bound or cfg.udp is set.
+  SocketAcceptor(rt::Runtime& rt, rt::IoBridge& io, SocketConfig cfg,
+                 AcceptFn on_accept);
+  ~SocketAcceptor();
+
+  SocketAcceptor(const SocketAcceptor&) = delete;
+  SocketAcceptor& operator=(const SocketAcceptor&) = delete;
+
+  [[nodiscard]] std::uint16_t local_port() const noexcept { return port_; }
+  /// Connections accepted and handed out so far.
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+ private:
+  rt::CodeResult agent_code(rt::Message m);
+  void do_accept();
+
+  rt::Runtime* rt_;
+  rt::IoBridge* io_;
+  SocketConfig cfg_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  rt::ThreadId agent_ = rt::kNoThread;
+  AcceptFn on_accept_;
+  std::uint64_t accepted_ = 0;
 };
 
 }  // namespace infopipe::net

@@ -67,6 +67,11 @@ enum class ControlOp : std::uint8_t {
   kTypespecIn = 2,   ///< dual query (input requirement)
   kCreate = 3,       ///< text: type '\x1F' name '\x1F' args -> created name
   kStart = 4,        ///< start the remote flow (server-defined)
+  /// Session layer (ip_session): open a flow against the shared plan.
+  /// text: qos '\x1F' rate_hz '\x1F' payload_bytes -> "id '\x1F' shard", or
+  /// an error reply carrying the admission-rejection reason.
+  kSessionOpen = 5,
+  kSessionClose = 6,  ///< text: session id (decimal) -> ""
 };
 
 /// One decoded frame.

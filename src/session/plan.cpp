@@ -1,0 +1,43 @@
+#include "session/plan.hpp"
+
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "core/planner.hpp"
+#include "feedback/toolkit.hpp"
+#include "session/engine.hpp"
+
+namespace infopipe::session {
+
+std::shared_ptr<const SharedPlan> SharedPlan::analyze(EngineSpec spec) {
+  // Prototype engine: built, planned, discarded. The table builds the real
+  // engines from the same spec, so the PlanInfo cached here describes every
+  // one of them — and every session stamped onto them.
+  ShardState st;
+  SessionSource src("sess.src", &st, spec.idle_poll_hz, spec.min_mult);
+  ClassGovernor gov("sess.governor", &st, spec.min_mult);
+  fb::LatencySensor lag("sess.lag", 0.2, /*report_every=*/0);
+  SessionSink sink("sess.sink", &st);
+
+  std::vector<std::unique_ptr<Component>> stages;
+  if (spec.stages) stages = spec.stages(-1);
+
+  Pipeline p;
+  Component* prev = &src;
+  p.connect(*prev, gov);
+  prev = &gov;
+  for (auto& stage : stages) {
+    p.connect(*prev, *stage);
+    prev = stage.get();
+  }
+  p.connect(*prev, lag);
+  p.connect(lag, sink);
+
+  const Plan pl = plan(p);
+  PlanInfo info =
+      plan_info_of(p, pl, static_cast<std::size_t>(pl.total_threads()));
+  return std::shared_ptr<const SharedPlan>(
+      new SharedPlan(std::move(spec), std::move(info)));
+}
+
+}  // namespace infopipe::session

@@ -1,0 +1,153 @@
+// ip_session SessionTable: 100k live flows out of one shared plan.
+//
+// The table owns one *engine* per shard — SessionSource (a timing wheel
+// over ONE driver thread) >> ClassGovernor >> application stages >>
+// LatencySensor >> SessionSink — realized exactly once, at construction,
+// from the SharedPlan's spec. Opening a session is then a *stamp*: a
+// counter increment, a queue push onto the home shard's wheel, a session
+// record. No planning, no realization, no thread creation — which is why
+// open_on() is orders of magnitude cheaper than a per-flow Pipeline
+// realize, and why tens of thousands of concurrent sessions fit where the
+// classic path holds dozens (bench/bench_sessions.cpp measures both
+// claims).
+//
+// Per-class QoS: start_loops() binds one feedback loop per shard over the
+// existing endpoint layer — probe_value("sess.lag") → PI →
+// quality_hint("sess.governor") — holding the engine's due-to-arrival lag
+// at the spec's setpoint by degrading bronze (and, half as fast, silver)
+// cadence while gold stays untouched: gold sessions steal pump rate from
+// bronze under pressure, through ordinary control events.
+//
+// INFOPIPE_SESSIONS=off is the kill switch: the table falls back to the
+// classic one-realization-per-flow path (a solo clocked source + sink per
+// session, planned and realized on open_on), emitting bit-identical
+// per-session item streams — digest(id) matches across modes — at the
+// classic cost. The lockstep suites run both ways.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/introspect.hpp"
+#include "session/plan.hpp"
+#include "session/session.hpp"
+#include "shard/shard_group.hpp"
+
+namespace infopipe {
+class Pipeline;
+class Realization;
+}  // namespace infopipe
+namespace infopipe::fb {
+class FeedbackLoop;
+class LatencySensor;
+}  // namespace infopipe::fb
+
+namespace infopipe::session {
+
+class ClassGovernor;
+class SessionSink;
+class SessionSource;
+
+class SessionTable {
+ public:
+  /// Realizes one engine per shard of `group` from the shared plan (routed
+  /// through run_on when the group is running; inline in manual mode) and
+  /// starts them pumping. The group must outlive the table.
+  SessionTable(shard::ShardGroup& group,
+               std::shared_ptr<const SharedPlan> plan);
+  ~SessionTable();
+
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+  [[nodiscard]] const SharedPlan& shared_plan() const noexcept {
+    return *plan_;
+  }
+  /// The ONE plan every session shares (cached at analyze(); never
+  /// recomputed per session).
+  [[nodiscard]] const PlanInfo& plan_info() const noexcept {
+    return plan_->info();
+  }
+  /// False when INFOPIPE_SESSIONS=off selected the per-flow fallback.
+  [[nodiscard]] bool shared_mode() const noexcept { return shared_mode_; }
+  [[nodiscard]] int shards() const noexcept {
+    return static_cast<int>(engines_.size());
+  }
+
+  // ---- the stamp path -------------------------------------------------------
+
+  /// Opens a session on `shard`. Shared mode: thread-safe, constant-time,
+  /// callable from any thread while the engines run. Fallback mode: plans
+  /// and realizes a solo flow for the session (the classic cost, routed
+  /// onto the shard thread). Admission policy lives in SessionAcceptor —
+  /// the table itself never refuses.
+  [[nodiscard]] SessionId open_on(int shard, SessionParams p);
+
+  /// Closes an open session. Each id must be closed at most once.
+  void close(SessionId id);
+
+  // ---- query surface --------------------------------------------------------
+
+  [[nodiscard]] std::size_t live() const noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t live_on(int shard) const;
+  /// Items emitted across all engines (shared mode; 0 in fallback mode —
+  /// use items_of per session there).
+  [[nodiscard]] std::uint64_t items_total() const;
+  /// Items delivered / stream digest of one session (sampled on the home
+  /// shard's thread while running). Digest covers payload+seq+kind per the
+  /// distributed_player convention and is identical in both modes.
+  [[nodiscard]] std::uint64_t items_of(SessionId id);
+  [[nodiscard]] std::uint64_t digest(SessionId id);
+  /// Current cadence multiplier of a class on a shard (1.0 untouched).
+  [[nodiscard]] double mult(int shard, QosClass c) const;
+  /// Merged inter-item jitter across every shard's histogram.
+  [[nodiscard]] JitterSnapshot jitter() const;
+  /// Planner+realize runs so far: n_shards in shared mode, n_shards + one
+  /// per open in fallback mode. The bench's >= 10x stamp-out claim is the
+  /// ratio this exposes.
+  [[nodiscard]] std::uint64_t realizations() const noexcept {
+    return realizations_.load(std::memory_order_relaxed);
+  }
+
+  // ---- per-class QoS --------------------------------------------------------
+
+  /// Binds and starts one lag-holding feedback loop per shard (shared mode;
+  /// no-op in fallback mode). Call while the group is running.
+  void start_loops();
+  void stop_loops();
+  /// Deterministic substitute for the loops: applies one quality hint to a
+  /// shard's governor exactly as an actuation would (lockstep tests drive
+  /// class stealing through this, bit-identically across runs).
+  void inject_hint(int shard, double h);
+
+  /// Posts shutdown to every engine (and solo flow). Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  struct Engine;
+  struct Solo;
+
+  void on_shard(int shard, const std::function<void()>& fn);
+  void build_engine(int shard);
+
+  shard::ShardGroup* group_;
+  std::shared_ptr<const SharedPlan> plan_;
+  bool shared_mode_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::atomic<std::uint64_t> next_counter_{1};
+  std::atomic<std::uint64_t> realizations_{0};
+  std::atomic<std::uint64_t> live_{0};
+  bool stopped_ = false;
+
+  std::mutex solo_mu_;  ///< fallback mode: id -> solo flow
+  std::unordered_map<SessionId, std::unique_ptr<Solo>> solos_;
+};
+
+}  // namespace infopipe::session

@@ -402,6 +402,14 @@ int ShardedRealization::shard_of_section(std::size_t section) {
   return assign_.at(section);
 }
 
+PlanInfo ShardedRealization::plan_info() const {
+  // plan_ is set once in the constructor and never mutated (migrations move
+  // sections between shards without re-planning), so no lock is needed and
+  // the result is the same immutable decision set on every call.
+  return plan_info_of(*pipe_, plan_,
+                      static_cast<std::size_t>(plan_.total_threads()));
+}
+
 StatsSnapshot ShardedRealization::stats_snapshot() {
   const std::lock_guard<std::mutex> lk(op_mu_);
   StatsSnapshot out;

@@ -59,13 +59,13 @@ struct MigrationOutcome {
   std::size_t cuts_rebound = 0;    ///< persisting channels with a moved end
 };
 
-class ShardedRealization {
+class ShardedRealization : public RealizationHandle {
  public:
   /// Plans, partitions and realizes `p` across the group's shards. Launches
   /// the group if it is not running yet. The pipeline (and its components)
   /// must outlive this object, as with Realization.
   ShardedRealization(ShardGroup& group, const Pipeline& p);
-  ~ShardedRealization();
+  ~ShardedRealization() override;
 
   ShardedRealization(const ShardedRealization&) = delete;
   ShardedRealization& operator=(const ShardedRealization&) = delete;
@@ -118,18 +118,23 @@ class ShardedRealization {
 
   // -- lifecycle (thread-safe: events enqueue onto every shard) ---------------
 
+  /// THE lifecycle entry point (RealizationHandle): a broadcast control
+  /// event, delivered to every component on every shard.
+  void control(const Event& e) override { post_event(e); }
+  using RealizationHandle::control;  // the control(int) spelling
+
   /// Broadcasts kEventStart, then barriers on every shard's service thread:
   /// when start() returns, each driver has dispatched the event (FIFO among
   /// equal priorities), so a subsequent finished() cannot mistake
   /// "not started yet" for "done".
-  void start();
-  void stop() { post_event(Event{kEventStop}); }
-  void shutdown() { post_event(Event{kEventShutdown}); }
+  void start() override;
+  void stop() override { post_event(Event{kEventStop}); }
+  void shutdown() override { post_event(Event{kEventShutdown}); }
 
   /// Broadcast to every component on every shard. Events addressed to a
   /// shard that is mid-migration are queued and replayed, in order, when the
   /// shard's realization is rebuilt.
-  void post_event(const Event& e);
+  void post_event(const Event& e) override;
 
   /// Thread-safe targeted delivery that survives migrations: resolves which
   /// shard currently hosts `c` under the event lock, so an actuator can keep
@@ -235,15 +240,21 @@ class ShardedRealization {
   /// Polls finished() until true or the timeout elapses.
   bool wait_finished(std::chrono::milliseconds timeout);
 
+  /// The full plan's decisions as data (RealizationHandle): the global
+  /// section structure before partitioning, with threads counted across all
+  /// shards. Immutable under migration — moves change placement, never the
+  /// plan — so one PlanInfo can be shared by everything stamped from it.
+  [[nodiscard]] PlanInfo plan_info() const override;
+
   /// Merged snapshot: drivers and buffers from every shard plus one
   /// ChannelStats row per live cross-shard channel; `when` is the latest
   /// shard clock. Each shard's counters are read on that shard's kernel
   /// thread.
-  [[nodiscard]] StatsSnapshot stats_snapshot();
+  [[nodiscard]] StatsSnapshot stats_snapshot() override;
 
   /// Every shard's registry rows prefixed `shard<i>.` (the channel rows
   /// appear under their consumer shard as `shard<i>.chan.<name>.*`).
-  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() override;
 
   /// Samples a component's state on whichever shard currently hosts it,
   /// without blocking behind a migration: returns nullopt when a structural
@@ -255,7 +266,7 @@ class ShardedRealization {
       std::string_view name, const std::function<double(Component&)>& fn);
 
   /// Partition summary plus each shard's plan description.
-  [[nodiscard]] std::string describe() const;
+  [[nodiscard]] std::string describe() const override;
 
  private:
   /// One cut: the buffer it replaced, its channel and endpoints, and the

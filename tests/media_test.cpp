@@ -227,9 +227,8 @@ TEST(WireCodec, RejectsGarbage) {
   EXPECT_TRUE(decode_frame(std::vector<std::uint8_t>(100, 7)).is_nil());
 }
 
-// Exercises the paper-verbatim shim on purpose: send_event(real, START) is
-// the documented one-liner over the canonical real.start(). Everything else
-// uses the member API.
+// The paper's send_event(real, START) is spelled real.control(START): one
+// documented lifecycle entry point, no forwarder shim.
 TEST(PaperApi, QuickstartSnippetCompilesAndRuns) {
   rt::Runtime rtm;
   StreamConfig cfg;
@@ -240,7 +239,7 @@ TEST(PaperApi, QuickstartSnippetCompilesAndRuns) {
   video_display sink;
   auto chain = source >> decode >> pump >> sink;
   Realization real(rtm, chain.pipeline());
-  send_event(real, START);
+  real.control(START);
   rtm.run();
   EXPECT_EQ(sink.stats().displayed, 60u);
   EXPECT_TRUE(sink.eos());

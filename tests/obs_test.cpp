@@ -338,7 +338,7 @@ TEST(Introspection, SharedPipelineOverloadKeepsGraphAlive) {
 
 TEST(Introspection, EventListenerStillObservesBroadcasts) {
   // The canonical member API (start/stop/post_event) feeds the listener;
-  // the paper-verbatim send_event() shim is the same call.
+  // control(START) is the same call.
   rt::Runtime rtm;
   CountingSource src("src", 5);
   FreeRunningPump pump("pump");
