@@ -9,13 +9,19 @@
 //
 // Without the flag, capture() is a single predicate test, so normal timing
 // runs are not distorted.
+// The first line of the file is a `{"host":{...}}` object recording where
+// the numbers came from: core count, cpufreq governor, build type, and the
+// kill-switch configuration (core/config.hpp) the process ran under — the
+// four things that most often explain why two BENCH_*.json files disagree.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
+#include "core/config.hpp"
 #include "rt/runtime.hpp"
 
 namespace obsbench {
@@ -56,8 +62,49 @@ inline void capture(infopipe::rt::Runtime& rtm, const char* label) {
   captured()[label] = rtm.metrics().snapshot().to_json();
 }
 
-/// Writes all captured snapshots as JSON lines. Call once at the end of
-/// main.
+/// The cpufreq governor of cpu0 ("performance", "powersave", …), or
+/// "unknown" where sysfs does not expose one (containers, non-Linux).
+inline std::string cpu_governor() {
+  std::string g = "unknown";
+  if (std::FILE* f = std::fopen(
+          "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      g = buf;
+      while (!g.empty() && (g.back() == '\n' || g.back() == ' ')) g.pop_back();
+    }
+    std::fclose(f);
+  }
+  return g;
+}
+
+/// One JSON object describing the machine and process configuration the
+/// numbers were taken under.
+inline std::string host_json() {
+  const infopipe::InfopipeConfig& c = infopipe::config();
+  std::string j = "{";
+  j += "\"num_cpus\":" + std::to_string(std::thread::hardware_concurrency());
+  j += ",\"governor\":\"" + cpu_governor() + "\"";
+#ifdef NDEBUG
+  j += ",\"build_type\":\"release\"";
+#else
+  j += ",\"build_type\":\"debug\"";
+#endif
+  j += ",\"config\":{";
+  j += std::string("\"pooling\":") + (c.pooling ? "true" : "false");
+  j += std::string(",\"batching\":") + (c.batching ? "true" : "false");
+  j += std::string(",\"inline_payloads\":") +
+       (c.inline_payloads ? "true" : "false");
+  j += std::string(",\"real_net\":") + (c.real_net ? "true" : "false");
+  j += std::string(",\"record\":") + (c.record ? "true" : "false");
+  j += std::string(",\"sessions\":") + (c.sessions ? "true" : "false");
+  j += ",\"seed\":" + std::to_string(c.seed);
+  j += "}}";
+  return j;
+}
+
+/// Writes the host object, then all captured snapshots, as JSON lines.
+/// Call once at the end of main.
 inline void write_metrics() {
   if (!enabled()) return;
   std::FILE* f = std::fopen(out_path().c_str(), "w");
@@ -65,6 +112,7 @@ inline void write_metrics() {
     std::fprintf(stderr, "cannot write metrics to %s\n", out_path().c_str());
     return;
   }
+  std::fprintf(f, "{\"host\":%s}\n", host_json().c_str());
   for (const auto& [label, json] : captured()) {
     std::fprintf(f, "{\"bench\":\"%s\",\"metrics\":%s}\n", label.c_str(),
                  json.c_str());

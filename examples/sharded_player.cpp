@@ -24,8 +24,19 @@
 // a SessionAcceptor admitting them against measured load. Everything that
 // merely drives the playback realization goes through RealizationHandle&,
 // the uniform control surface.
+// `sharded_player --record trace.bin` instead runs a record-friendly
+// variant of the same split pipeline (clocked fill, digest probes on both
+// sides of the cut, one FORCED mid-flow migration) with a ScheduleRecorder
+// installed, and writes the schedule trace; `sharded_player --replay
+// trace.bin` re-executes that run deterministically on the manual lockstep
+// substrate and exits nonzero unless the per-flow digests are
+// bit-identical. That pair is the thread-transparency claim as a shell
+// command.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -34,6 +45,10 @@
 #include "core/infopipes.hpp"
 #include "core/realization_handle.hpp"
 #include "media/mpeg.hpp"
+#include "replay/digest.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
+#include "replay/trace.hpp"
 #include "session/acceptor.hpp"
 #include "session/plan.hpp"
 #include "session/table.hpp"
@@ -43,7 +58,143 @@
 using namespace infopipe;
 using namespace infopipe::media;
 
-int main() {
+namespace {
+
+/// The record/replay pipeline: the Figure 1 shape, but the fill pump is
+/// clocked (so the stream provably spans the forced migration) and a
+/// DigestProbe sits on each side of the cross-shard cut. Both the live
+/// recording run and the lockstep replay build THIS same structure — the
+/// builder below is the shared recipe.
+struct ProbedPlayer {
+  StreamConfig cfg;
+  MpegFileSource movie;
+  ClockedPump fill;
+  MpegDecoder decoder;
+  replay::DigestProbe decoded{"decoded"};
+  Buffer frames;
+  FreeRunningPump play;
+  replay::DigestProbe presented{"presented"};
+  VideoDisplay display;
+  Pipeline p;
+  std::optional<shard::ShardedRealization> real;
+
+  explicit ProbedPlayer(shard::ShardGroup& g)
+      : cfg(make_cfg()),
+        movie("movie.mpg", cfg),
+        fill("fill", 300.0),
+        decoder("decoder"),
+        frames("frames", 16),
+        play("play"),
+        display("display", cfg.fps) {
+    p.connect(movie, 0, fill, 0);
+    p.connect(fill, 0, decoder, 0);
+    p.connect(decoder, 0, decoded, 0);
+    p.connect(decoded, 0, frames, 0);
+    p.connect(frames, 0, play, 0);
+    p.connect(play, 0, presented, 0);
+    p.connect(presented, 0, display, 0);
+    real.emplace(g, p);
+  }
+
+  static StreamConfig make_cfg() {
+    StreamConfig c;
+    c.frames = 600;
+    c.fps = 30.0;
+    return c;
+  }
+
+  [[nodiscard]] std::vector<replay::Trace::Flow> flows() const {
+    return {replay::Trace::Flow{"decoded", decoded.digest(), decoded.items()},
+            replay::Trace::Flow{"presented", presented.digest(),
+                                presented.items()}};
+  }
+};
+
+int run_record(const char* path) {
+  replay::ScheduleRecorder rec;
+  replay::Trace trace;
+  {
+    shard::ShardGroup group(2);
+    ProbedPlayer pl(group);
+    rec.attach(group);
+    if (!rec.install()) {
+      std::fprintf(stderr, "recording disabled (INFOPIPE_RECORD=off)\n");
+      return 1;
+    }
+    group.launch();
+    pl.real->start();
+    // The forced mid-flow migration: 600 frames at 300 Hz is a 2 s stream,
+    // so 500 ms in, the presentation half moves shards mid-playback.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    const int home = pl.real->shard_of_section(1);
+    pl.real->migrate_section(1, 1 - home);
+    if (!pl.real->wait_finished(std::chrono::seconds(60))) {
+      std::fprintf(stderr, "recording run did not finish in time\n");
+      return 1;
+    }
+    group.stop();
+    rec.uninstall();
+    for (const replay::Trace::Flow& f : pl.flows()) {
+      rec.note_flow(f.name, f.digest, f.items);
+    }
+    trace = rec.finish();
+    const VideoDisplay::Stats st = pl.display.stats();
+    std::printf("recorded: %llu frames displayed (%llu corrupt)\n",
+                static_cast<unsigned long long>(st.displayed),
+                static_cast<unsigned long long>(st.corrupt));
+    if (st.displayed != pl.cfg.frames) {
+      std::fprintf(stderr, "stream incomplete, not writing trace\n");
+      return 1;
+    }
+  }
+  trace.save(path);
+  std::printf("%s\n", trace.summary().c_str());
+  for (const replay::Trace::Flow& f : trace.flows) {
+    std::printf("flow '%s': digest %016llx over %llu items\n", f.name.c_str(),
+                static_cast<unsigned long long>(f.digest),
+                static_cast<unsigned long long>(f.items));
+  }
+  std::printf("trace written to %s\n", path);
+  return 0;
+}
+
+int run_replay(const char* path) {
+  replay::Trace trace;
+  try {
+    trace = replay::Trace::load(path);
+  } catch (const replay::TraceError& e) {
+    std::fprintf(stderr, "cannot load trace: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s\n", trace.summary().c_str());
+  replay::Replayer rp(trace);
+  const replay::ReplayResult res = rp.run([](shard::ShardGroup& g) {
+    auto st = std::make_shared<ProbedPlayer>(g);
+    st->real->start();
+    replay::Replayer::Build b;
+    b.state = st;
+    b.real = &*st->real;
+    b.flows = [st] { return st->flows(); };
+    return b;
+  });
+  std::printf("%s\n", res.summary.c_str());
+  return res.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--record") == 0) {
+    return run_record(argv[2]);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--replay") == 0) {
+    return run_replay(argv[2]);
+  }
+  if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--record FILE | --replay FILE]\n", argv[0]);
+    return 2;
+  }
   StreamConfig cfg;
   cfg.frames = 600;
   cfg.fps = 30.0;

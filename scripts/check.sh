@@ -3,6 +3,15 @@
 # What CI would run.
 set -e
 
+# One base seed feeds every randomized suite and the schedule fuzzer
+# (core/config.hpp). Print it on ANY failure: re-exporting the same value
+# reproduces the exact sequences and schedules that failed.
+INFOPIPE_SEED="${INFOPIPE_SEED:-1}"
+export INFOPIPE_SEED
+trap 'status=$?; if [ "$status" -ne 0 ]; then
+  echo "== FAILED (exit $status) with INFOPIPE_SEED=$INFOPIPE_SEED — re-export it to reproduce ==" >&2
+fi' EXIT
+
 # Formatting first (cheap): only when clang-format is available.
 if command -v clang-format >/dev/null 2>&1; then
   echo "== clang-format check =="
@@ -13,7 +22,7 @@ else
   echo "== clang-format not installed; skipping format check =="
 fi
 
-echo "== RelWithDebInfo build + tests + benches =="
+echo "== RelWithDebInfo build + tests + benches (INFOPIPE_SEED=$INFOPIPE_SEED) =="
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
@@ -38,6 +47,24 @@ echo "== sessions=off pass (per-flow realization fallback) =="
 # asserts the digests; the rest of the suite must simply not care).
 INFOPIPE_SESSIONS=off ctest --test-dir build --output-on-failure
 
+echo "== record=off pass (dormant replay taps) =="
+# The recorder's kill switch (ARCHITECTURE §18): install() refuses, the
+# taps stay dormant, and the whole suite must behave identically (the
+# recording tests skip themselves; nothing else may notice).
+INFOPIPE_RECORD=off ctest --test-dir build --output-on-failure
+
+echo "== replay stage: record -> replay smoke + schedule fuzz =="
+# The §18 claim end to end: a LIVE two-kernel-thread run of the sharded
+# player (mid-flow migration included) is recorded, then replayed on the
+# manual lockstep substrate — exit is nonzero unless the per-flow digests
+# are bit-identical. Then the fuzzer explores 100 perturbed schedules of
+# the lockstep pipeline, asserting none of them moves a digest.
+replay_trace="build/sharded_player_trace.bin"
+./build/examples/sharded_player --record "$replay_trace"
+./build/examples/sharded_player --replay "$replay_trace"
+INFOPIPE_FUZZ_SEEDS=100 ./build/tests/replay_test \
+  --gtest_filter='ScheduleFuzzer.*'
+
 echo "== ASan+UBSan build + tests =="
 cmake -B build-sanitize -G Ninja -DCMAKE_BUILD_TYPE=Sanitize
 cmake --build build-sanitize
@@ -59,12 +86,14 @@ echo "== TSan build + multi-runtime suites =="
 # and the socket suite (SocketTransport runs against the io_bridge poller
 # thread and real kernel sockets), and the session suite (open/close churn
 # from plain std::threads against live shard engines, plus the socket
-# front door). The remaining suites are single-threaded by construction
+# front door), and the replay suite (the recorder's tap sink is fed from
+# every shard thread at once; the HB checker joins vector clocks across
+# them). The remaining suites are single-threaded by construction
 # (one ULT scheduler on one kernel thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch|net_test|socket_transport_test|session_test' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch|net_test|socket_transport_test|session_test|replay_test' \
     --output-on-failure
 
 echo "== multi-process smoke: distributed_player over loopback TCP =="

@@ -18,6 +18,12 @@ InfopipeConfig& config() noexcept {
     c.batching = enabled("INFOPIPE_BATCH", c.batching);
     c.inline_payloads = enabled("INFOPIPE_INLINE", c.inline_payloads);
     c.sessions = enabled("INFOPIPE_SESSIONS", c.sessions);
+    c.record = enabled("INFOPIPE_RECORD", c.record);
+    if (const char* s = std::getenv("INFOPIPE_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(s, &end, 10);
+      if (end != s) c.seed = static_cast<std::uint64_t>(v);
+    }
     // "sim" reads better than "off" for a transport selector; both work.
     const char* net = std::getenv("INFOPIPE_NET");
     c.real_net = net == nullptr ? c.real_net

@@ -7,6 +7,8 @@
 // the strongest statement we can make that the optimization is transparent.
 #pragma once
 
+#include <cstdint>
+
 namespace infopipe {
 
 struct InfopipeConfig {
@@ -36,6 +38,14 @@ struct InfopipeConfig {
   /// run that delivers the byte-identical item stream.
   bool real_net = true;
 
+  /// Schedule recording (replay::ScheduleRecorder, ARCHITECTURE §18):
+  /// whether installing the replay tap sink is permitted at all. The taps
+  /// themselves cost one relaxed atomic load + branch when no sink is
+  /// installed; INFOPIPE_RECORD=off additionally makes
+  /// ScheduleRecorder::install() a no-op, so a binary built with recording
+  /// support runs with the hot path provably untouched.
+  bool record = true;
+
   /// Shared-plan session stamping (session::SessionTable): thousands of
   /// flows ride a handful of per-shard engine realizations stamped from one
   /// immutable PlanInfo. INFOPIPE_SESSIONS=off is the kill switch: every
@@ -43,6 +53,14 @@ struct InfopipeConfig {
   /// session's home shard — the per-session item sequence (payload bytes,
   /// seq, kind) must stay bit-identical either way.
   bool sessions = true;
+
+  /// Base seed for every randomized test and bench in the tree
+  /// (INFOPIPE_SEED, default 1). Suites that roll their own std::mt19937
+  /// derive their per-case seeds from this one value, and scripts/check.sh
+  /// prints it on failure — so a sanitizer churn failure reproduces with
+  /// one env var instead of an archaeology session. Not a kill switch:
+  /// changing it changes which schedules are explored, never correctness.
+  std::uint64_t seed = 1;
 };
 
 /// The mutable singleton. First use reads the environment.

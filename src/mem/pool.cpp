@@ -21,6 +21,8 @@
 #define IP_MEM_UNPOISON(p, n) ((void)0)
 #endif
 
+#include "replay/hooks.hpp"
+
 namespace infopipe::mem {
 
 namespace {
@@ -198,6 +200,9 @@ void Pool::return_block(BlockHeader* h) noexcept {
         head, h, std::memory_order_release, std::memory_order_relaxed));
     foreign_depth_.fetch_add(1, std::memory_order_relaxed);
     stats_.foreign_returned.fetch_add(1, std::memory_order_relaxed);
+    // HB edge: the releasing thread's history rides the stash until the
+    // owner drains it (replay/hb.hpp).
+    replay::note_stash(this, replay::StashEdge::kReturn, 1);
     return;
   }
   Pool* cur = Pool::current();
@@ -216,18 +221,22 @@ void Pool::adopt_foreign(BlockHeader* h) noexcept {
     park(h);
   }
   stats_.foreign_adopted.fetch_add(1, std::memory_order_relaxed);
+  replay::note_stash(this, replay::StashEdge::kAdopt, 1);
 }
 
 void Pool::drain_foreign() noexcept {
   BlockHeader* h = foreign_head_.exchange(nullptr, std::memory_order_acquire);
   if (h == nullptr) return;
   foreign_depth_.store(0, std::memory_order_relaxed);
+  std::uint64_t n = 0;
   while (h != nullptr) {
     BlockHeader* next = h->next_free;
     h->next_free = free_[h->size_class];
     free_[h->size_class] = h;
     h = next;
+    ++n;
   }
+  replay::note_stash(this, replay::StashEdge::kDrain, n);
 }
 
 Pool::Stats Pool::stats() const noexcept {

@@ -1,0 +1,88 @@
+#include "replay/fuzzer.hpp"
+
+#include <numeric>
+
+namespace infopipe::replay {
+
+std::vector<int> SchedulePlan::order(std::size_t round, int n_shards) const {
+  std::vector<int> o(static_cast<std::size_t>(n_shards));
+  std::iota(o.begin(), o.end(), 0);
+  std::uint64_t d = decision(round);
+  if (d == 0) return o;
+  // Fisher–Yates off the decision word, refreshed through splitmix64 so
+  // even large groups draw independent swap indices.
+  for (std::size_t i = o.size() - 1; i > 0; --i) {
+    d = splitmix64(d);
+    std::swap(o[i], o[d % (i + 1)]);
+  }
+  return o;
+}
+
+rt::Time SchedulePlan::jitter(std::size_t i, rt::Time max_abs) const {
+  const std::uint64_t d = decision(i);
+  if (d == 0 || max_abs <= 0) return 0;
+  const auto span = static_cast<std::uint64_t>(max_abs) * 2 + 1;
+  return static_cast<rt::Time>(d % span) - max_abs;
+}
+
+std::string FuzzReport::summary() const {
+  std::string s = std::to_string(schedules) + " schedules, " +
+                  std::to_string(baseline.size()) + " flows, " +
+                  std::to_string(failing_seeds.size()) + " divergent";
+  if (!failing_seeds.empty()) {
+    s += " (first seed " + std::to_string(failing_seeds.front());
+    if (shrunk_prefix != SchedulePlan::kNoPrefix) {
+      s += ", shrunk to prefix " + std::to_string(shrunk_prefix);
+    }
+    s += ")";
+  }
+  return s;
+}
+
+FuzzReport ScheduleFuzzer::run(std::uint64_t base_seed, int n_seeds,
+                               std::size_t max_decisions) const {
+  FuzzReport r;
+  r.baseline = scenario_(SchedulePlan{});
+  for (int k = 1; k <= n_seeds; ++k) {
+    SchedulePlan plan;
+    plan.seed = splitmix64(base_seed + static_cast<std::uint64_t>(k));
+    if (plan.seed == 0) plan.seed = 1;
+    const DigestMap got = scenario_(plan);
+    ++r.schedules;
+    if (got != r.baseline) r.failing_seeds.push_back(plan.seed);
+  }
+  if (!r.failing_seeds.empty()) {
+    r.shrunk_seed = r.failing_seeds.front();
+    r.shrunk_prefix =
+        shrink(scenario_, r.baseline, r.shrunk_seed, max_decisions);
+  }
+  return r;
+}
+
+std::size_t ScheduleFuzzer::shrink(const Scenario& scenario,
+                                   const DigestMap& baseline,
+                                   std::uint64_t seed,
+                                   std::size_t max_decisions) {
+  const auto fails = [&](std::size_t prefix) {
+    SchedulePlan p;
+    p.seed = seed;
+    p.active_prefix = prefix;
+    return scenario(p) != baseline;
+  };
+  if (!fails(max_decisions)) return SchedulePlan::kNoPrefix;
+  // Invariant: prefix `lo` passes (0 decisions = identity = baseline by
+  // definition), prefix `hi` fails; narrow to the boundary.
+  std::size_t lo = 0;
+  std::size_t hi = max_decisions;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (fails(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace infopipe::replay

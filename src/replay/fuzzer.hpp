@@ -1,0 +1,108 @@
+// ScheduleFuzzer (ip_replay): perturb the schedule, demand the same flow.
+//
+// A SchedulePlan is an infinite pseudo-random decision tape derived from
+// one seed (splitmix64 — deterministic, platform-independent). A scenario
+// — any deterministic lockstep execution the caller can parameterize, e.g.
+// "this pipeline over a manual ShardGroup" — consumes decisions to perturb
+// what the middleware is allowed to vary: the per-round shard step order,
+// migration timing, timer/return-stash delivery shifts. The fuzzer runs
+// the scenario once with the identity plan (seed 0: every decision is 0,
+// i.e. the undisturbed schedule) and then across N seeds, asserting the
+// per-flow digests are lockstep-equivalent every time.
+//
+// When a seed fails, the fuzzer shrinks it: decisions at index >=
+// active_prefix read as 0 (identity), so a binary search over the prefix
+// length finds the minimal number of leading perturbed decisions that
+// still reproduces the divergence — the debugging handle the tentpole
+// promises.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rt/types.hpp"
+
+namespace infopipe::replay {
+
+/// splitmix64: the repo-wide deterministic decision generator.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct SchedulePlan {
+  static constexpr std::size_t kNoPrefix = ~std::size_t{0};
+
+  std::uint64_t seed = 0;                 ///< 0: the identity plan
+  std::size_t active_prefix = kNoPrefix;  ///< decisions beyond read as 0
+
+  /// Decision word i of the tape (0 = identity / no perturbation).
+  [[nodiscard]] std::uint64_t decision(std::size_t i) const noexcept {
+    if (seed == 0 || i >= active_prefix) return 0;
+    const std::uint64_t d = splitmix64(seed ^ splitmix64(i + 1));
+    return d == 0 ? 1 : d;  // a live decision is never the identity word
+  }
+
+  /// Shard visit order for lockstep round `round`: the identity order when
+  /// the decision is 0, otherwise a Fisher–Yates permutation driven by it.
+  [[nodiscard]] std::vector<int> order(std::size_t round,
+                                       int n_shards) const;
+
+  /// Signed time shift in [-max_abs, +max_abs] from decision `i`.
+  [[nodiscard]] rt::Time jitter(std::size_t i, rt::Time max_abs) const;
+
+  /// Boolean perturbation from decision `i`.
+  [[nodiscard]] bool flip(std::size_t i) const noexcept {
+    return (decision(i) & 1u) != 0;
+  }
+};
+
+/// Flow name -> final stream digest; what a scenario must return.
+using DigestMap = std::map<std::string, std::uint64_t>;
+
+/// One deterministic execution under a plan. MUST be a pure function of
+/// the plan — the fuzzer compares runs across calls.
+using Scenario = std::function<DigestMap(const SchedulePlan&)>;
+
+struct FuzzReport {
+  std::uint64_t schedules = 0;  ///< perturbed schedules executed
+  DigestMap baseline;
+  std::vector<std::uint64_t> failing_seeds;
+
+  /// Shrink result for failing_seeds.front(), when any.
+  std::uint64_t shrunk_seed = 0;
+  std::size_t shrunk_prefix = SchedulePlan::kNoPrefix;
+
+  [[nodiscard]] bool ok() const noexcept { return failing_seeds.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+class ScheduleFuzzer {
+ public:
+  explicit ScheduleFuzzer(Scenario scenario)
+      : scenario_(std::move(scenario)) {}
+
+  /// Runs the identity baseline plus `n_seeds` perturbed schedules (seeds
+  /// derived from base_seed), shrinking the first failure found.
+  /// `max_decisions` bounds the shrink search, not the scenarios.
+  [[nodiscard]] FuzzReport run(std::uint64_t base_seed, int n_seeds,
+                               std::size_t max_decisions = 64) const;
+
+  /// Minimal active prefix (1..max_decisions) under which `seed` still
+  /// diverges from `baseline`; kNoPrefix if the full tape no longer fails
+  /// (a flaky scenario). Binary search: O(log max_decisions) runs.
+  [[nodiscard]] static std::size_t shrink(const Scenario& scenario,
+                                          const DigestMap& baseline,
+                                          std::uint64_t seed,
+                                          std::size_t max_decisions);
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace infopipe::replay

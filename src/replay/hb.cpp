@@ -1,0 +1,165 @@
+#include "replay/hb.hpp"
+
+namespace infopipe::replay {
+
+void HBChecker::install() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (installed_) return;
+  installed_ = true;
+  install_tap_sink(this);
+}
+
+void HBChecker::uninstall() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (!installed_) return;
+  installed_ = false;
+  install_tap_sink(nullptr);
+}
+
+HBChecker::~HBChecker() { uninstall(); }
+
+bool HBChecker::leq(const VC& a, const VC& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t bi = i < b.size() ? b[i] : 0;
+    if (a[i] > bi) return false;
+  }
+  return true;
+}
+
+void HBChecker::join(VC& into, const VC& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from[i] > into[i]) into[i] = from[i];
+  }
+}
+
+std::string HBChecker::render(const VC& v) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(v[i]);
+  }
+  return s + "]";
+}
+
+int HBChecker::self_locked() {
+  const std::thread::id me = std::this_thread::get_id();
+  const auto it = thread_index_.find(me);
+  if (it != thread_index_.end()) return it->second;
+  const int idx = static_cast<int>(clocks_.size());
+  thread_index_[me] = idx;
+  clocks_.emplace_back();
+  clocks_.back().resize(static_cast<std::size_t>(idx) + 1, 0);
+  return idx;
+}
+
+void HBChecker::tick(int t) {
+  VC& c = clocks_[static_cast<std::size_t>(t)];
+  if (c.size() <= static_cast<std::size_t>(t)) {
+    c.resize(static_cast<std::size_t>(t) + 1, 0);
+  }
+  ++c[static_cast<std::size_t>(t)];
+}
+
+void HBChecker::on_dispatch(const void*, std::uint64_t, int) {}
+void HBChecker::on_timer(const void*, std::int64_t, std::uint64_t) {}
+void HBChecker::on_migration(std::uint32_t, int, int, MigrationPhase) {}
+
+void HBChecker::on_chan_push(const void* chan, std::uint64_t /*name_hash*/,
+                             std::uint64_t first_seq, std::uint64_t n,
+                             int /*shard*/) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const int t = self_locked();
+  tick(t);
+  chan_pending_[chan].push_back(PendingEdge{
+      first_seq, first_seq + n, clocks_[static_cast<std::size_t>(t)]});
+  ++edges_;
+}
+
+void HBChecker::on_chan_pop(const void* chan, std::uint64_t /*name_hash*/,
+                            std::uint64_t first_seq, std::uint64_t n,
+                            int /*shard*/) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const int t = self_locked();
+  tick(t);
+  auto it = chan_pending_.find(chan);
+  if (it == chan_pending_.end()) return;
+  // SPSC FIFO: every publish wholly at or below the popped range happened
+  // before this consume. Entries straddling the boundary stay pending —
+  // joining them early would invent ordering and mask real races.
+  std::deque<PendingEdge>& q = it->second;
+  const std::uint64_t consumed_to = first_seq + n;
+  while (!q.empty() && q.front().end_seq <= consumed_to) {
+    join(clocks_[static_cast<std::size_t>(t)], q.front().vc);
+    q.pop_front();
+    ++edges_;
+  }
+}
+
+void HBChecker::on_stash(const void* pool, StashEdge edge, std::uint64_t) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const int t = self_locked();
+  tick(t);
+  VC& pc = stash_clock_[pool];
+  switch (edge) {
+    case StashEdge::kReturn:
+      // Foreign release: the releasing thread's history joins the stash.
+      join(pc, clocks_[static_cast<std::size_t>(t)]);
+      break;
+    case StashEdge::kAdopt:
+    case StashEdge::kDrain:
+      // The owner (or adopter) absorbs everything released so far.
+      join(clocks_[static_cast<std::size_t>(t)], pc);
+      break;
+  }
+  ++edges_;
+}
+
+void HBChecker::on_shared_access(const void* obj, bool write) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const int t = self_locked();
+  tick(t);
+  ++accesses_;
+  const VC& mine = clocks_[static_cast<std::size_t>(t)];
+  std::vector<Access>& per_thread = last_access_[obj];
+  if (per_thread.size() < clocks_.size()) per_thread.resize(clocks_.size());
+  for (std::size_t o = 0; o < per_thread.size(); ++o) {
+    if (static_cast<int>(o) == t || !per_thread[o].valid) continue;
+    const Access& prior = per_thread[o];
+    if (!(prior.write || write)) continue;  // read/read never races
+    if (!leq(prior.vc, mine)) {
+      violations_.push_back(Violation{
+          obj, prior.thread, t, prior.write, write,
+          "prior " + render(prior.vc) + " !<= current " + render(mine)});
+    }
+  }
+  Access& slot = per_thread[static_cast<std::size_t>(t)];
+  slot.vc = mine;
+  slot.thread = t;
+  slot.write = write;
+  slot.valid = true;
+}
+
+std::vector<HBChecker::Violation> HBChecker::violations() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+std::uint64_t HBChecker::edges_observed() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return edges_;
+}
+
+std::uint64_t HBChecker::accesses_checked() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return accesses_;
+}
+
+std::string HBChecker::report() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return std::to_string(clocks_.size()) + " threads, " +
+         std::to_string(edges_) + " edges, " + std::to_string(accesses_) +
+         " accesses, " + std::to_string(violations_.size()) + " violations";
+}
+
+}  // namespace infopipe::replay

@@ -1,0 +1,156 @@
+#include "replay/replayer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rt/clock.hpp"
+#include "shard/shard_group.hpp"
+#include "shard/sharded_realization.hpp"
+
+namespace infopipe::replay {
+
+namespace {
+
+/// Grid resolution: enough windows that recorded orderings and migration
+/// times land near their recorded positions, few enough that a replay is
+/// hundreds of step_until calls, not millions.
+constexpr std::int64_t kGridWindows = 256;
+
+struct PlannedMigration {
+  std::int64_t t;
+  std::uint32_t section;
+  int to;
+  bool applied = false;
+};
+
+}  // namespace
+
+ReplayResult Replayer::run(const Builder& build) {
+  const int n_shards = std::max<int>(1, trace_.meta.n_shards);
+
+  shard::ShardGroup::GroupOptions opt;
+  opt.clock_factory = [] { return std::make_unique<rt::VirtualClock>(); };
+  opt.manual = true;
+  shard::ShardGroup group(n_shards, opt);
+
+  // Declared after the group so it is destroyed first (realizations
+  // reference their shard runtimes).
+  Build b = build(group);
+  if (!b.flows) {
+    throw TraceError("replay builder returned no flow reader");
+  }
+
+  // The migration plan: one entry per recorded quiesce frame — the phase
+  // that marks when the decision to move struck the live run.
+  std::vector<PlannedMigration> migrations;
+  for (const Frame& f : trace_.frames) {
+    if (f.frame_kind() == FrameKind::kMigration &&
+        f.aux16 == static_cast<std::uint16_t>(MigrationPhase::kQuiesce)) {
+      migrations.push_back(
+          PlannedMigration{f.t, f.aux32, static_cast<int>(f.b)});
+    }
+  }
+
+  if (!migrations.empty() && b.real == nullptr) {
+    throw TraceError(
+        "trace contains migrations but the builder exposed no realization");
+  }
+
+  ReplayResult r;
+  const std::int64_t end = std::max<std::int64_t>(trace_.meta.end_time_ns,
+                                                  rt::milliseconds(1));
+  const std::int64_t quantum =
+      std::max<std::int64_t>(end / kGridWindows, rt::milliseconds(1));
+
+  // Per-window shard order from the recorded timeline: shards take their
+  // replay turns in the order their first recorded frame of that window
+  // appears; silent shards follow in index order. frame_at walks the trace
+  // once overall (frames are time-sorted up to mutex-acquisition jitter,
+  // which a sort makes exact).
+  std::vector<Frame> timeline = trace_.frames;
+  std::stable_sort(
+      timeline.begin(), timeline.end(),
+      [](const Frame& x, const Frame& y) { return x.t < y.t; });
+  std::size_t cursor = 0;
+
+  rt::Time t = 0;
+  bool done = false;
+  // 4x slack past the recorded end: a virtual re-execution of a clocked
+  // flow needs about the recorded duration, but owes nothing to wall-time
+  // effects (GC-free, no preemption), so the bound is generous.
+  const std::int64_t horizon = end * 4 + rt::seconds(1);
+  while (t < horizon && !done) {
+    t += quantum;
+    for (PlannedMigration& m : migrations) {
+      if (!m.applied && m.t <= t) {
+        b.real->migrate_section(m.section, m.to);
+        m.applied = true;
+        ++r.migrations_applied;
+      }
+    }
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n_shards));
+    for (; cursor < timeline.size() && timeline[cursor].t <= t; ++cursor) {
+      const std::uint8_t s = timeline[cursor].shard;
+      if (s < n_shards &&
+          std::find(order.begin(), order.end(), static_cast<int>(s)) ==
+              order.end()) {
+        order.push_back(static_cast<int>(s));
+      }
+    }
+    for (int s = 0; s < n_shards; ++s) {
+      if (std::find(order.begin(), order.end(), s) == order.end()) {
+        order.push_back(s);
+      }
+    }
+    group.step_until(t, order);
+    ++r.steps;
+    done = b.real != nullptr && b.real->finished() && t >= end;
+  }
+  r.virtual_end = t;
+
+  // Unapplied migrations (recorded after the last frame horizon) would
+  // mean the re-execution diverged structurally; surface that as failure.
+  bool all_migrations = true;
+  for (const PlannedMigration& m : migrations) all_migrations &= m.applied;
+
+  const std::vector<Trace::Flow> got = b.flows();
+  std::map<std::string, const Trace::Flow*> got_by_name;
+  for (const Trace::Flow& f : got) got_by_name[f.name] = &f;
+  for (const Trace::Flow& want : trace_.flows) {
+    const auto it = got_by_name.find(want.name);
+    if (it == got_by_name.end()) {
+      r.mismatches.push_back(ReplayResult::Mismatch{
+          want.name, want.digest, 0, want.items, 0});
+      continue;
+    }
+    const Trace::Flow& have = *it->second;
+    if (have.digest != want.digest || have.items != want.items) {
+      r.mismatches.push_back(ReplayResult::Mismatch{
+          want.name, want.digest, have.digest, want.items, have.items});
+    }
+  }
+
+  r.ok = r.mismatches.empty() && all_migrations && !trace_.flows.empty() &&
+         (b.real == nullptr || b.real->finished());
+  r.summary = std::string(r.ok ? "replay OK" : "replay MISMATCH") + ": " +
+              std::to_string(trace_.flows.size()) + " flows, " +
+              std::to_string(r.migrations_applied) + " migrations, " +
+              std::to_string(r.steps) + " windows to t=" +
+              std::to_string(r.virtual_end / 1000000) + " ms";
+  for (const ReplayResult::Mismatch& m : r.mismatches) {
+    r.summary += "; flow '" + m.name + "' want " +
+                 std::to_string(m.want_digest) + "/" +
+                 std::to_string(m.want_items) + " items, got " +
+                 std::to_string(m.got_digest) + "/" +
+                 std::to_string(m.got_items);
+  }
+
+  // Tear the rebuilt pipeline down before the group leaves scope.
+  b.flows = nullptr;
+  b.real = nullptr;
+  b.state.reset();
+  return r;
+}
+
+}  // namespace infopipe::replay

@@ -1,0 +1,80 @@
+// Replayer (ip_replay): re-executes a recorded run deterministically and
+// checks it produced the same information flow.
+//
+// The replay substrate is the lockstep machinery the suite already trusts:
+// a MANUAL ShardGroup (no kernel threads) over VirtualClocks, stepped on a
+// fixed time grid. The trace drives what the grid cannot know by itself —
+// how many shards, how long the run was, in which ORDER the shards took
+// their turns inside each window (derived from the recorded frame
+// timeline), and when each migration struck. At the end, the per-flow
+// digests of the re-execution are compared against the digests the
+// recorder stored; thread transparency says they must be bit-identical,
+// and ReplayResult says whether they were.
+//
+// The caller supplies a Builder because a trace records decisions, not the
+// pipeline itself: the builder reconstructs the same pipeline over the
+// manual group, starts it, and exposes the per-flow digests (normally from
+// replay::DigestProbe components at the same edges as the recorded run).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replay/trace.hpp"
+#include "rt/types.hpp"
+
+namespace infopipe::shard {
+class ShardGroup;
+class ShardedRealization;
+}  // namespace infopipe::shard
+
+namespace infopipe::replay {
+
+struct ReplayResult {
+  struct Mismatch {
+    std::string name;
+    std::uint64_t want_digest = 0;
+    std::uint64_t got_digest = 0;
+    std::uint64_t want_items = 0;
+    std::uint64_t got_items = 0;
+  };
+
+  bool ok = false;
+  std::vector<Mismatch> mismatches;  ///< includes flows missing on a side
+  int migrations_applied = 0;
+  std::uint64_t steps = 0;         ///< grid windows executed
+  rt::Time virtual_end = 0;        ///< final virtual clock position
+  std::string summary;             ///< one human-readable line
+};
+
+class Replayer {
+ public:
+  /// What a Builder hands back: the reconstructed (started) realization.
+  /// `state` owns the pipeline/probes/realization — the Replayer destroys
+  /// it before the manual group. `real` (optional) lets the Replayer apply
+  /// recorded migrations and detect completion; `flows` reports the
+  /// per-flow digests after the run.
+  struct Build {
+    std::shared_ptr<void> state;
+    shard::ShardedRealization* real = nullptr;
+    std::function<std::vector<Trace::Flow>()> flows;
+  };
+  using Builder = std::function<Build(shard::ShardGroup&)>;
+
+  explicit Replayer(Trace trace) : trace_(std::move(trace)) {}
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Rebuilds, re-executes, compares. Throws only on structural errors
+  /// (builder failure, migration of an unknown section); digest mismatches
+  /// are reported in the result, not thrown.
+  [[nodiscard]] ReplayResult run(const Builder& build);
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace infopipe::replay

@@ -15,6 +15,12 @@
 //   200..299  ip_feedback loops
 //   300..399  rt::IoBridge OS-event mapping
 //   400..499  ip_shard cross-shard doorbells
+//   500..599  ip_replay record/replay control
+//
+// The band bounds below exist so the partitioning is checkable: every
+// constant carries a static_assert in tests/msg_registry_test.cpp pinning
+// it inside its subsystem's band, and a new band must be claimed here
+// before its first constant lands.
 #pragma once
 
 namespace infopipe::rt::msg {
@@ -52,5 +58,17 @@ inline constexpr int kIoWritable = 304;  ///< payload: int (the fd); one-shot
 inline constexpr int kChanData = 400;   ///< ring has data; wakes a consumer
 inline constexpr int kChanSpace = 401;  ///< ring has space; wakes a producer
 inline constexpr int kRunFn = 410;      ///< ShardGroup::run_on payload
+
+// ---- ip_replay (500..599) -------------------------------------------------
+inline constexpr int kReplayStep = 500;  ///< trace-driven step barrier
+inline constexpr int kReplayMark = 501;  ///< timeline marker injection
+
+// ---- band bounds (for the overlap static_asserts) -------------------------
+inline constexpr int kCoreBandFirst = 1, kCoreBandLast = 99;
+inline constexpr int kNetBandFirst = 100, kNetBandLast = 199;
+inline constexpr int kFeedbackBandFirst = 200, kFeedbackBandLast = 299;
+inline constexpr int kIoBandFirst = 300, kIoBandLast = 399;
+inline constexpr int kShardBandFirst = 400, kShardBandLast = 499;
+inline constexpr int kReplayBandFirst = 500, kReplayBandLast = 599;
 
 }  // namespace infopipe::rt::msg

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <utility>
 
+#include "replay/hooks.hpp"
+
 namespace infopipe::rt {
 
 namespace {
@@ -312,6 +314,9 @@ void Runtime::thread_main(UThread& t) {
     }
     Message m = pop_next_message(t);
     ++stats_.dispatches;
+    // The dispatch choice IS the per-runtime schedule (ARCHITECTURE §18);
+    // one relaxed load + branch when no recorder is installed.
+    replay::note_dispatch(this, t.id(), m.type);
     t.active_constraint_ = m.constraint;
     CodeResult r = CodeResult::kTerminate;
     try {
@@ -367,6 +372,7 @@ void Runtime::fire_due_timers() {
     ++stats_.timer_wakeups;
     IP_OBS_TRACE(tracer_, obs::Hop::kTimerFire, "rt",
                  static_cast<std::int64_t>(e.target));
+    replay::note_timer(this, e.when, e.target);
     if (e.message) {
       send(e.target, std::move(*e.message));
     } else if (UThread* t = thread(e.target);

@@ -15,6 +15,7 @@ constexpr std::size_t kOverflowReserve = 4;
 ShardChannel::ShardChannel(std::string name, std::size_t capacity,
                            FullPolicy full, EmptyPolicy empty, int numa_node)
     : name_(std::move(name)),
+      name_hash_(replay::fnv1a(name_.data(), name_.size())),
       capacity_(capacity == 0 ? 1 : capacity),
       full_(full),
       empty_(empty) {
@@ -55,6 +56,11 @@ bool ShardChannel::try_push(Item& x) {
   tail_.store(t + 1, std::memory_order_seq_cst);
   pushes_.fetch_add(1, std::memory_order_relaxed);
   note_depth(t + 1 - h);
+  // Tap after the tail store: position t is published. The sink check is
+  // hoisted so the off path never loads the shard binding.
+  if (replay::tap_sink() != nullptr) {
+    replay::note_chan_push(this, name_hash_, t, 1, from_shard());
+  }
   return true;
 }
 
@@ -66,6 +72,9 @@ bool ShardChannel::force_push(Item& x) {
   tail_.store(t + 1, std::memory_order_seq_cst);
   pushes_.fetch_add(1, std::memory_order_relaxed);
   note_depth(t + 1 - h);
+  if (replay::tap_sink() != nullptr) {
+    replay::note_chan_push(this, name_hash_, t, 1, from_shard());
+  }
   return true;
 }
 
@@ -85,6 +94,9 @@ std::size_t ShardChannel::try_push_span(ItemSpan xs) {
   tail_.store(t + n, std::memory_order_seq_cst);
   pushes_.fetch_add(n, std::memory_order_relaxed);
   note_depth(t + n - h);
+  if (replay::tap_sink() != nullptr) {
+    replay::note_chan_push(this, name_hash_, t, n, from_shard());
+  }
   return n;
 }
 
@@ -99,6 +111,9 @@ std::size_t ShardChannel::try_pop_span(ItemSpan out) {
   }
   head_.store(h + n, std::memory_order_seq_cst);
   pops_.fetch_add(n, std::memory_order_relaxed);
+  if (replay::tap_sink() != nullptr) {
+    replay::note_chan_pop(this, name_hash_, h, n, to_shard());
+  }
   return n;
 }
 
@@ -111,6 +126,9 @@ std::optional<Item> ShardChannel::try_pop() {
   Item x = std::move(slots_[h % n_slots_]);
   head_.store(h + 1, std::memory_order_seq_cst);
   pops_.fetch_add(1, std::memory_order_relaxed);
+  if (replay::tap_sink() != nullptr) {
+    replay::note_chan_pop(this, name_hash_, h, 1, to_shard());
+  }
   return x;
 }
 

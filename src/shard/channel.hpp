@@ -39,6 +39,7 @@
 #include "core/item.hpp"
 #include "core/typespec.hpp"
 #include "mem/numa.hpp"
+#include "replay/hooks.hpp"
 #include "rt/msg_registry.hpp"
 #include "rt/runtime.hpp"
 
@@ -73,6 +74,11 @@ class ShardChannel {
   ShardChannel& operator=(const ShardChannel&) = delete;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// FNV-1a of name(), precomputed at construction: how replay frames
+  /// identify this ring without carrying the string.
+  [[nodiscard]] std::uint64_t name_hash() const noexcept {
+    return name_hash_;
+  }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] FullPolicy full_policy() const noexcept { return full_; }
   [[nodiscard]] EmptyPolicy empty_policy() const noexcept { return empty_; }
@@ -202,6 +208,7 @@ class ShardChannel {
   void free_slots() noexcept;
 
   std::string name_;
+  std::uint64_t name_hash_;
   std::size_t capacity_;
   FullPolicy full_;
   EmptyPolicy empty_;

@@ -160,8 +160,31 @@ void ShardGroup::stop() {
 }
 
 void ShardGroup::step_until(rt::Time t) {
+  std::vector<int> order(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  step_until(t, order);
+}
+
+void ShardGroup::step_until(rt::Time t, const std::vector<int>& order) {
   if (!manual_) {
     throw rt::RuntimeError("ShardGroup::step_until needs manual mode");
+  }
+  // The effective visit order: the caller's sequence (validated), then any
+  // shard it left out, so every runtime still reaches `t` each round.
+  std::vector<int> visit;
+  visit.reserve(shards_.size() + order.size());
+  for (const int s : order) {
+    if (s < 0 || s >= static_cast<int>(shards_.size())) {
+      throw rt::RuntimeError("ShardGroup::step_until: shard out of range");
+    }
+    visit.push_back(s);
+  }
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    bool present = false;
+    for (const int v : visit) present = present || v == s;
+    if (!present) visit.push_back(s);
   }
   // Round-robin until quiescent: a shard's turn may post work into another
   // shard (channel wakeups, forwarded events, run_on payloads), so keep
@@ -169,10 +192,10 @@ void ShardGroup::step_until(rt::Time t) {
   std::uint64_t prev = ~std::uint64_t{0};
   for (;;) {
     std::uint64_t total = 0;
-    for (const auto& s : shards_) {
-      s->rtm->run_until(t);
-      total += s->rtm->stats().dispatches;
+    for (const int v : visit) {
+      shards_[static_cast<std::size_t>(v)]->rtm->run_until(t);
     }
+    for (const auto& s : shards_) total += s->rtm->stats().dispatches;
     if (total == prev) break;
     prev = total;
   }

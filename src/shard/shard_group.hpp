@@ -100,6 +100,14 @@ class ShardGroup {
   /// step returns. All shard clocks end at `t`.
   void step_until(rt::Time t);
 
+  /// Like step_until(t), but each round visits the shards in `order`
+  /// (indices into [0, size()); entries may repeat, shards absent from the
+  /// order are appended in index order so no shard starves). This is the
+  /// trace/fuzz-driven step mode (ip_replay): a Replayer reproduces the
+  /// recorded per-window turn order, a ScheduleFuzzer perturbs it — and
+  /// thread transparency says the flow's output must not care.
+  void step_until(rt::Time t, const std::vector<int>& order);
+
   /// Halts every shard, rings the doorbells, joins the kernel threads.
   /// Idempotent. Rethrows the first exception that escaped a shard's
   /// scheduling loop, if any.

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "replay/hooks.hpp"
+
 namespace infopipe::shard {
 
 ShardedRealization::ShardedRealization(ShardGroup& group, const Pipeline& p)
@@ -587,6 +589,11 @@ ShardedRealization::Migration::~Migration() {
 
 void ShardedRealization::Migration::quiesce(std::chrono::milliseconds timeout) {
   if (phase_ != 0) throw rt::RuntimeError("Migration::quiesce: wrong phase");
+  // Tapped at ENTRY: this is the instant the decision to move struck,
+  // which is where a replay re-applies it. transfer()/resume() tap at
+  // completion, so successive frame timestamps carry the phase timings.
+  replay::note_migration(static_cast<std::uint32_t>(section_), from_, to_,
+                         replay::MigrationPhase::kQuiesce);
   ShardedRealization& sr = *sr_;
   {
     const std::lock_guard<std::mutex> lk(sr.ev_mu_);
@@ -769,6 +776,8 @@ void ShardedRealization::Migration::transfer() {
   // 4. Keep the published partition truthful for introspection.
   sr.part_.shard_of_section = assign;
   sr.part_.cuts = new_cuts;
+  replay::note_migration(static_cast<std::uint32_t>(section_), from_, to_,
+                         replay::MigrationPhase::kTransfer);
   phase_ = 2;
 }
 
@@ -807,6 +816,10 @@ void ShardedRealization::Migration::resume() {
     for (int s : {from_, to_}) sr.group_->run_on(s, [] {});
   }
   sr.migrations_.fetch_add(1, std::memory_order_acq_rel);
+  // Qualified: resume()'s pending-event vector is also named `replay`.
+  infopipe::replay::note_migration(
+      static_cast<std::uint32_t>(section_), from_, to_,
+      infopipe::replay::MigrationPhase::kResume);
   phase_ = 3;
 }
 

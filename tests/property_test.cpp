@@ -16,10 +16,18 @@
 #include <random>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/infopipes.hpp"
 
 namespace infopipe {
 namespace {
+
+/// Mixes the process-wide base seed (INFOPIPE_SEED, core/config.hpp) into a
+/// case-local seed: one env var re-rolls every randomized suite, and the
+/// default base (1) reproduces the historical sequences exactly.
+unsigned test_seed(unsigned k) {
+  return k + static_cast<unsigned>(config().seed) - 1u;
+}
 
 // ---------- the component vocabulary -------------------------------------------
 // Each mid-pipeline element applies one of these integer transformations to
@@ -197,7 +205,7 @@ TEST(PropertyPipelines, RandomChainsMatchReferenceSimulation) {
   std::iota(input.begin(), input.end(), 0);
 
   for (int seed = 0; seed < kCases; ++seed) {
-    std::mt19937 rng(static_cast<unsigned>(seed) * 7919 + 13);
+    std::mt19937 rng(test_seed(static_cast<unsigned>(seed) * 7919 + 13));
     const int n_stages = std::uniform_int_distribution<int>(1, 5)(rng);
 
     // Choose operations and implementations.
@@ -287,7 +295,7 @@ TEST(PropertyPipelines, RandomMulticastTreesDeliverEverywhere) {
   // random chains (possibly with further tees); every leaf sink must see
   // the complete flow, transformed by exactly its path's stages.
   for (int seed = 0; seed < 40; ++seed) {
-    std::mt19937 rng(static_cast<unsigned>(seed) * 131 + 5);
+    std::mt19937 rng(test_seed(static_cast<unsigned>(seed) * 131 + 5));
     rt::Runtime rtm;
     constexpr std::uint64_t kInputs = 32;
     CountingSource src("src", kInputs);
@@ -360,7 +368,7 @@ TEST(PropertyPipelines, StopRestartPreservesStreamContents) {
   // Stopping and restarting a pipeline mid-flow must not lose or duplicate
   // items (buffered/blocked items continue after restart).
   for (int seed = 0; seed < 20; ++seed) {
-    std::mt19937 rng(static_cast<unsigned>(seed) + 99);
+    std::mt19937 rng(test_seed(static_cast<unsigned>(seed) + 99));
     rt::Runtime rtm;
     CountingSource src("src", 200);
     ClockedPump fill("fill", 1000.0);
@@ -413,7 +421,7 @@ TEST(PropertyPipelines, EventsDuringRandomExecutionNeverReenter) {
   };
 
   for (int seed = 0; seed < 10; ++seed) {
-    std::mt19937 rng(static_cast<unsigned>(seed) + 7);
+    std::mt19937 rng(test_seed(static_cast<unsigned>(seed) + 7));
     rt::Runtime rtm;
     CountingSource src("src", 300);
     ClockedPump pump("pump", 1000.0);

@@ -9,13 +9,18 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
 #include "rt/runtime.hpp"
 
 namespace infopipe::rt {
 namespace {
 
 TEST(RtStress, TimersFireInTimeOrderRegardlessOfInsertion) {
-  for (unsigned seed = 0; seed < 20; ++seed) {
+  // The case seed is offset by INFOPIPE_SEED (core/config.hpp) so the whole
+  // randomized sweep re-rolls from one env var; the default base (1)
+  // reproduces the historical sequences exactly.
+  const unsigned base = static_cast<unsigned>(config().seed) - 1u;
+  for (unsigned seed = base; seed < base + 20; ++seed) {
     Runtime rt;
     std::vector<Time> fired;
     const ThreadId sink = rt.spawn("sink", kPriorityData,
