@@ -18,6 +18,14 @@
 //     full sample -> decide -> move_section path, i.e. the cost of one
 //     recovery, and the step count is reported as a counter.
 //
+//  3. What does a whole scale cycle cost while the flow runs?
+//     BM_ElasticScaleCycle grows a live 2-shard group by one shard, moves
+//     the middle section onto it, then drains and retires the section's
+//     old home — all mid-flow, under real kernel threads. The drain_ms
+//     counter is the time from evacuate_shard() to retire_shard()
+//     returning (quiesce + transfer + resume + thread join), and the run
+//     is rejected outright if a single item is lost.
+//
 // Accepts --metrics-out=FILE: dumps the rebalancer's balance.* registry
 // and the merged per-shard registries per scenario.
 #include <benchmark/benchmark.h>
@@ -233,6 +241,59 @@ void BM_SkewRecovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SkewRecovery)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_ElasticScaleCycle(benchmark::State& state) {
+  if (!config().elastic) {
+    state.SkipWithError("INFOPIPE_ELASTIC=off");
+    return;
+  }
+  std::int64_t cycles = 0;
+  std::int64_t drain_ns = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThreeStageChain c;
+    shard::ShardGroup group(2);
+    shard::ShardedRealization real(group, c.pipe);
+    real.start();
+    state.ResumeTiming();
+
+    // Scale up: one more pinned runtime, and the middle section moves
+    // onto it while items stream.
+    const int added = group.add_shard();
+    real.sync_topology();
+    const int victim = real.shard_of_section(1);
+    real.migrate_section(1, added);
+
+    // Scale down: drain whatever still lives on the old home, then join
+    // its kernel thread. This is the latency a deployer pays to shrink.
+    const auto t0 = std::chrono::steady_clock::now();
+    real.evacuate_shard(victim);
+    group.retire_shard(victim);
+    const auto t1 = std::chrono::steady_clock::now();
+    drain_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count();
+    ++cycles;
+
+    real.wait_finished(std::chrono::seconds(120));
+    state.PauseTiming();
+    if (c.sink.count() != kItems) {
+      state.SkipWithError("scale cycle lost items");
+      return;
+    }
+    if (obsbench::enabled()) {
+      obsbench::captured()["BM_ElasticScaleCycle"] =
+          real.metrics_snapshot().to_json();
+    }
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kItems));
+    state.ResumeTiming();
+  }
+  if (cycles > 0) {
+    state.counters["drain_ms"] = static_cast<double>(drain_ns) /
+                                 static_cast<double>(cycles) / 1e6;
+  }
+}
+BENCHMARK(BM_ElasticScaleCycle)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

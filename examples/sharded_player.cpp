@@ -31,7 +31,10 @@
 // trace.bin` re-executes that run deterministically on the manual lockstep
 // substrate and exits nonzero unless the per-flow digests are
 // bit-identical. That pair is the thread-transparency claim as a shell
-// command.
+// command. `--record-elastic trace.bin` goes one further: the mid-flow
+// migration lands on a shard ADDED during playback and the old home shard
+// is retired afterwards, so the trace carries scale events too — and the
+// same `--replay` must still match digest for digest (ARCHITECTURE §19).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -110,7 +113,7 @@ struct ProbedPlayer {
   }
 };
 
-int run_record(const char* path) {
+int run_record(const char* path, bool elastic) {
   replay::ScheduleRecorder rec;
   replay::Trace trace;
   {
@@ -123,11 +126,21 @@ int run_record(const char* path) {
     }
     group.launch();
     pl.real->start();
-    // The forced mid-flow migration: 600 frames at 300 Hz is a 2 s stream,
-    // so 500 ms in, the presentation half moves shards mid-playback.
+    // The forced mid-flow topology event: 600 frames at 300 Hz is a 2 s
+    // stream, so 500 ms in, the presentation half moves shards
+    // mid-playback. In elastic mode the move lands on a shard added right
+    // now, and the old home is retired afterwards — a grow, a migration
+    // and a shrink, all recorded as trace frames.
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
     const int home = pl.real->shard_of_section(1);
-    pl.real->migrate_section(1, 1 - home);
+    if (elastic) {
+      const int added = group.add_shard();
+      pl.real->sync_topology();
+      pl.real->migrate_section(1, added);
+      group.retire_shard(home);
+    } else {
+      pl.real->migrate_section(1, 1 - home);
+    }
     if (!pl.real->wait_finished(std::chrono::seconds(60))) {
       std::fprintf(stderr, "recording run did not finish in time\n");
       return 1;
@@ -185,14 +198,19 @@ int run_replay(const char* path) {
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--record") == 0) {
-    return run_record(argv[2]);
+    return run_record(argv[2], /*elastic=*/false);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--record-elastic") == 0) {
+    return run_record(argv[2], /*elastic=*/true);
   }
   if (argc == 3 && std::strcmp(argv[1], "--replay") == 0) {
     return run_replay(argv[2]);
   }
   if (argc != 1) {
-    std::fprintf(stderr,
-                 "usage: %s [--record FILE | --replay FILE]\n", argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--record FILE | --record-elastic FILE | --replay FILE]\n",
+        argv[0]);
     return 2;
   }
   StreamConfig cfg;

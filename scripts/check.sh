@@ -47,6 +47,14 @@ echo "== sessions=off pass (per-flow realization fallback) =="
 # asserts the digests; the rest of the suite must simply not care).
 INFOPIPE_SESSIONS=off ctest --test-dir build --output-on-failure
 
+echo "== elastic=off pass (topology pinned at construction) =="
+# The elastic topology's kill switch (ARCHITECTURE §19): with
+# INFOPIPE_ELASTIC=off, add_shard/retire_shard refuse and every group keeps
+# its construction-time shard count — the whole suite must behave exactly
+# as it did before the topology learned to move (the elastic tests pin the
+# flag on for their own mechanics, or drive both modes explicitly).
+INFOPIPE_ELASTIC=off ctest --test-dir build --output-on-failure
+
 echo "== record=off pass (dormant replay taps) =="
 # The recorder's kill switch (ARCHITECTURE §18): install() refuses, the
 # taps stay dormant, and the whole suite must behave identically (the
@@ -64,6 +72,15 @@ replay_trace="build/sharded_player_trace.bin"
 ./build/examples/sharded_player --replay "$replay_trace"
 INFOPIPE_FUZZ_SEEDS=100 ./build/tests/replay_test \
   --gtest_filter='ScheduleFuzzer.*'
+
+echo "== elastic replay smoke: record a grow/shrink run -> replay =="
+# The §19 claim end to end: the same player, but the mid-flow migration
+# lands on a shard added DURING playback and the old home is retired after
+# — the trace carries kScale frames and the lockstep replay must re-apply
+# them at their recorded instants and still match every digest.
+elastic_trace="build/sharded_player_elastic_trace.bin"
+./build/examples/sharded_player --record-elastic "$elastic_trace"
+./build/examples/sharded_player --replay "$elastic_trace"
 
 echo "== ASan+UBSan build + tests =="
 cmake -B build-sanitize -G Ninja -DCMAKE_BUILD_TYPE=Sanitize
@@ -88,12 +105,14 @@ echo "== TSan build + multi-runtime suites =="
 # from plain std::threads against live shard engines, plus the socket
 # front door), and the replay suite (the recorder's tap sink is fed from
 # every shard thread at once; the HB checker joins vector clocks across
-# them). The remaining suites are single-threaded by construction
+# them), and the elastic suite (host kernel threads are started and
+# joined mid-run while sibling shards keep streaming items across the
+# channels). The remaining suites are single-threaded by construction
 # (one ULT scheduler on one kernel thread) and run under ASan above.
 cmake -B build-thread -G Ninja -DCMAKE_BUILD_TYPE=Thread
 cmake --build build-thread
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|feedback|balance|mem_test|batch|net_test|socket_transport_test|session_test|replay_test' \
+  ctest --test-dir build-thread -R 'rt_runtime_test|rt_stress_test|io_bridge_test|shard|elastic|feedback|balance|mem_test|batch|net_test|socket_transport_test|session_test|replay_test' \
     --output-on-failure
 
 echo "== multi-process smoke: distributed_player over loopback TCP =="

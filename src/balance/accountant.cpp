@@ -62,8 +62,18 @@ void LoadAccountant::rebind_channels_locked() {
   epoch_ = sr_->migrations();
 }
 
+void LoadAccountant::grow_locked() {
+  // An elastic group may have added shards since construction (or the last
+  // sample). New entries start with no estimate; retired shards keep their
+  // slot — their EWMA freezes at the last live value, and consumers filter
+  // by the live shard set.
+  const auto n = static_cast<std::size_t>(group_->size());
+  if (n > shards_.size()) shards_.resize(n);
+}
+
 void LoadAccountant::sample() {
   const std::lock_guard<std::mutex> lk(mu_);
+  grow_locked();
   const std::uint64_t now = steady_now_ns();
 
   // Shard busy fractions only exist when shards have kernel threads; the
@@ -110,6 +120,7 @@ void LoadAccountant::sample() {
 
 void LoadAccountant::note_busy_sample(int shard, double fraction) {
   const std::lock_guard<std::mutex> lk(mu_);
+  grow_locked();
   if (shard < 0 || static_cast<std::size_t>(shard) >= shards_.size()) return;
   ewma_update(shards_[static_cast<std::size_t>(shard)], fraction);
   last_when_ = std::max(last_when_, steady_now_ns());

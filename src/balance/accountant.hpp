@@ -102,6 +102,8 @@ class LoadAccountant {
 
   void ewma_update(ShardAcc& acc, double fraction);
   void rebind_channels_locked();
+  /// Extends shards_ to the group's current (elastic) size.
+  void grow_locked();
 
   shard::ShardGroup* group_;
   shard::ShardedRealization* sr_;  ///< nullptr in the group-only form

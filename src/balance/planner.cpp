@@ -1,0 +1,240 @@
+#include "balance/planner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace infopipe::balance {
+
+namespace {
+
+double busy_of(const std::vector<double>& busy, int shard) {
+  if (shard < 0 || static_cast<std::size_t>(shard) >= busy.size()) return 0.0;
+  return std::max(0.0, busy[static_cast<std::size_t>(shard)]);
+}
+
+}  // namespace
+
+std::vector<SectionDesc> TargetPlanner::describe(
+    shard::ShardedRealization& sr) {
+  std::vector<SectionDesc> out;
+  out.reserve(sr.section_count());
+  for (std::size_t s = 0; s < sr.section_count(); ++s) {
+    SectionDesc d;
+    d.id = s;
+    d.threads = sr.section_threads(s);
+    d.home = sr.shard_of_section(s);
+    d.migratable = sr.section_migratable(s);
+    out.push_back(d);
+  }
+  return out;
+}
+
+TargetPlan TargetPlanner::plan(shard::ShardedRealization& sr,
+                               const LoadSnapshot& load,
+                               const std::vector<int>& shards) const {
+  return plan(describe(sr), shards, load.busy);
+}
+
+TargetPlan TargetPlanner::plan(const std::vector<SectionDesc>& sections,
+                               const std::vector<int>& shards,
+                               const std::vector<double>& busy) const {
+  TargetPlan out;
+  const std::size_t nb = shards.size();
+  out.assignment.reserve(sections.size());
+  for (const SectionDesc& s : sections) out.assignment.push_back(s.home);
+  if (nb == 0 || sections.empty()) return out;
+
+  // Position of each candidate shard in the caller's vector — every bin
+  // decision below speaks positions, so relabeling the shards (and the busy
+  // readings with them) relabels the plan and nothing else.
+  auto pos_of = [&shards](int shard) -> int {
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      if (shards[k] == shard) return static_cast<int>(k);
+    }
+    return -1;
+  };
+
+  // Weights: each home shard's measured busy fraction, attributed to its
+  // resident sections proportionally to planned threads. Homes with no
+  // measurable load contribute zero-weight sections, which the sticky pass
+  // keeps in place.
+  std::vector<int> threads_on_home;  // parallel to sections, total at home
+  {
+    std::vector<std::pair<int, int>> totals;  // (home, threads) accumulator
+    for (const SectionDesc& s : sections) {
+      bool found = false;
+      for (auto& [home, t] : totals) {
+        if (home == s.home) {
+          t += std::max(1, s.threads);
+          found = true;
+        }
+      }
+      if (!found) totals.emplace_back(s.home, std::max(1, s.threads));
+    }
+    threads_on_home.reserve(sections.size());
+    for (const SectionDesc& s : sections) {
+      int t = 1;
+      for (const auto& [home, tt] : totals) {
+        if (home == s.home) t = tt;
+      }
+      threads_on_home.push_back(t);
+    }
+  }
+  double measured = 0.0;
+  for (const SectionDesc& s : sections) measured += busy_of(busy, s.home);
+  std::vector<double> weight(sections.size(), 0.0);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const SectionDesc& s = sections[i];
+    weight[i] = measured > opts_.eps
+                    ? busy_of(busy, s.home) *
+                          static_cast<double>(std::max(1, s.threads)) /
+                          static_cast<double>(threads_on_home[i])
+                    : static_cast<double>(std::max(1, s.threads));
+  }
+
+  // Current attributed load per candidate shard (for current_makespan).
+  std::vector<double> current(nb, 0.0);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const int p = pos_of(sections[i].home);
+    if (p >= 0) current[static_cast<std::size_t>(p)] += weight[i];
+  }
+  for (double c : current) out.current_makespan = std::max(out.current_makespan, c);
+
+  // Bins preloaded with immobile sections. A pinned section homed outside
+  // the candidate set cannot be placed at all: flag the plan infeasible and
+  // leave it where it is.
+  std::vector<double> bin(nb, 0.0);
+  std::vector<std::size_t> mobile;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const SectionDesc& s = sections[i];
+    const int p = pos_of(s.home);
+    if (!s.migratable) {
+      if (p < 0) {
+        out.feasible = false;
+      } else {
+        bin[static_cast<std::size_t>(p)] += weight[i];
+      }
+      out.assignment[i] = s.home;
+    } else {
+      mobile.push_back(i);
+    }
+  }
+
+  // LPT: heaviest section first onto the lightest bin; all ties by
+  // position, so the order is total and the result deterministic.
+  std::stable_sort(mobile.begin(), mobile.end(),
+                   [&weight](std::size_t a, std::size_t b) {
+                     return weight[a] > weight[b];
+                   });
+  for (std::size_t i : mobile) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < nb; ++k) {
+      if (bin[k] < bin[best] - opts_.eps) best = k;
+    }
+    bin[best] += weight[i];
+    out.assignment[i] = shards[best];
+  }
+  double lpt_makespan = 0.0;
+  for (double b : bin) lpt_makespan = std::max(lpt_makespan, b);
+
+  // Sticky pass: a displaced section returns home whenever home stays
+  // within the LPT makespan — the move would have bought nothing.
+  for (std::size_t i : mobile) {
+    const SectionDesc& s = sections[i];
+    if (out.assignment[i] == s.home) continue;
+    const int hp = pos_of(s.home);
+    if (hp < 0) continue;  // evacuation: home is not a candidate, must move
+    const auto h = static_cast<std::size_t>(hp);
+    if (bin[h] + weight[i] <= lpt_makespan + opts_.eps) {
+      const int ap = pos_of(out.assignment[i]);
+      bin[static_cast<std::size_t>(ap)] -= weight[i];
+      bin[h] += weight[i];
+      out.assignment[i] = s.home;
+    }
+  }
+
+  for (double b : bin) out.makespan = std::max(out.makespan, b);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (out.assignment[i] != sections[i].home) {
+      out.moves.push_back(PlannedMove{sections[i].id, sections[i].home,
+                                      out.assignment[i], weight[i]});
+    }
+  }
+  return out;
+}
+
+ScheduledPlan PlanScheduler::schedule(const std::vector<PlannedMove>& moves,
+                                      const std::vector<double>& busy) const {
+  ScheduledPlan out;
+  if (moves.empty()) return out;
+
+  // Projected load per shard, keyed by absolute id (plans may span shards
+  // beyond the busy vector — freshly added ones read 0).
+  int max_shard = 0;
+  for (const PlannedMove& m : moves) {
+    max_shard = std::max({max_shard, m.from, m.to});
+  }
+  max_shard = std::max(max_shard, static_cast<int>(busy.size()) - 1);
+  std::vector<double> proj(static_cast<std::size_t>(max_shard) + 1, 0.0);
+  for (std::size_t s = 0; s < proj.size(); ++s) {
+    proj[s] = busy_of(busy, static_cast<int>(s));
+  }
+
+  std::vector<PlannedMove> pending = moves;
+  while (!pending.empty()) {
+    // A move is eligible only while its destination, with the move's load
+    // added, stays under the watermark — a shard that is both a past
+    // destination and a future source must drain before it takes more.
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const PlannedMove& m = pending[i];
+      if (proj[static_cast<std::size_t>(m.to)] + m.load <=
+          opts_.hotspot_watermark + opts_.eps) {
+        eligible.push_back(i);
+      }
+    }
+    if (eligible.empty()) {
+      out.complete = false;  // retry after the topology drains
+      break;
+    }
+    // Hottest source first — relieving the worst shard earliest is what
+    // frees up the most follow-on moves. Tie: lowest section id.
+    std::stable_sort(eligible.begin(), eligible.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const double la = proj[static_cast<std::size_t>(
+                           pending[a].from)];
+                       const double lb = proj[static_cast<std::size_t>(
+                           pending[b].from)];
+                       if (la != lb) return la > lb;
+                       return pending[a].section < pending[b].section;
+                     });
+    // Pack a batch of shard-disjoint moves; disjointness keeps every
+    // projection exact whatever order the batch executes in.
+    std::vector<bool> used(proj.size(), false);
+    std::vector<PlannedMove> batch;
+    std::vector<std::size_t> taken;
+    for (std::size_t i : eligible) {
+      const PlannedMove& m = pending[i];
+      const auto f = static_cast<std::size_t>(m.from);
+      const auto d = static_cast<std::size_t>(m.to);
+      if (used[f] || used[d]) continue;
+      used[f] = used[d] = true;
+      batch.push_back(m);
+      taken.push_back(i);
+    }
+    for (const PlannedMove& m : batch) {
+      proj[static_cast<std::size_t>(m.from)] -= m.load;
+      proj[static_cast<std::size_t>(m.to)] += m.load;
+      out.ordered.push_back(m);
+    }
+    std::sort(taken.begin(), taken.end(), std::greater<>());
+    for (std::size_t i : taken) {
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    out.batches.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace infopipe::balance

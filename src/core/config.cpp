@@ -19,6 +19,7 @@ InfopipeConfig& config() noexcept {
     c.inline_payloads = enabled("INFOPIPE_INLINE", c.inline_payloads);
     c.sessions = enabled("INFOPIPE_SESSIONS", c.sessions);
     c.record = enabled("INFOPIPE_RECORD", c.record);
+    c.elastic = enabled("INFOPIPE_ELASTIC", c.elastic);
     if (const char* s = std::getenv("INFOPIPE_SEED")) {
       char* end = nullptr;
       const unsigned long long v = std::strtoull(s, &end, 10);

@@ -54,6 +54,14 @@ struct InfopipeConfig {
   /// seq, kind) must stay bit-identical either way.
   bool sessions = true;
 
+  /// Elastic shard topology (shard::ShardGroup::add_shard / retire_shard,
+  /// ARCHITECTURE §19): whether the group may grow or shrink at runtime and
+  /// whether the Rebalancer's scale triggers may fire. INFOPIPE_ELASTIC=off
+  /// is the kill switch: add_shard/retire_shard refuse, the Rebalancer never
+  /// scales, and the topology is pinned at construction — today's fixed
+  /// behavior, with bit-identical per-flow digests.
+  bool elastic = true;
+
   /// Base seed for every randomized test and bench in the tree
   /// (INFOPIPE_SEED, default 1). Suites that roll their own std::mt19937
   /// derive their per-case seeds from this one value, and scripts/check.sh

@@ -78,6 +78,10 @@ class HBChecker : public TapSink {
                     MigrationPhase phase) override;
   void on_stash(const void* pool, StashEdge edge, std::uint64_t n) override;
   void on_shared_access(const void* obj, bool write) override;
+  /// Scale events are schedule data, not HB edges (thread clocks are
+  /// assigned lazily per kernel thread, so a new shard needs no setup).
+  void on_scale(const void* /*rtm*/, const void* /*pool*/, int /*shard*/,
+                bool /*added*/, int /*live_after*/) override {}
 
  private:
   using VC = std::vector<std::uint64_t>;

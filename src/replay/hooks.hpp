@@ -91,6 +91,13 @@ class TapSink {
   /// for the happens-before checker. Production code never calls this; it
   /// is the hook tests use to seed deliberate cross-shard accesses.
   virtual void on_shared_access(const void* obj, bool write) = 0;
+
+  /// A topology change: shard `shard` joined (`added`) or retired, leaving
+  /// `live_after` live shards. `rtm`/`pool` identify the shard's runtime
+  /// and payload pool so a sink can extend its attribution maps — the one
+  /// tap where object identities arrive AFTER attach time.
+  virtual void on_scale(const void* rtm, const void* pool, int shard,
+                        bool added, int live_after) = 0;
 };
 
 /// The installed sink (nullptr: every tap is the cheap branch). C++17
@@ -161,6 +168,13 @@ inline void note_stash(const void* pool, StashEdge edge,
 inline void note_shared_access(const void* obj, bool write) noexcept {
   if (TapSink* s = g_tap_sink.load(std::memory_order_relaxed)) {
     s->on_shared_access(obj, write);
+  }
+}
+
+inline void note_scale(const void* rtm, const void* pool, int shard,
+                       bool added, int live_after) noexcept {
+  if (TapSink* s = g_tap_sink.load(std::memory_order_relaxed)) {
+    s->on_scale(rtm, pool, shard, added, live_after);
   }
 }
 

@@ -175,6 +175,36 @@ void ScheduleRecorder::on_shared_access(const void* /*obj*/,
   // recorder deliberately does not trace them.
 }
 
+void ScheduleRecorder::on_scale(const void* rtm, const void* pool, int shard,
+                                bool added, int live_after) {
+  Frame f;
+  f.kind = static_cast<std::uint8_t>(FrameKind::kScale);
+  f.shard = shard >= 0 && shard < 0xff ? static_cast<std::uint8_t>(shard)
+                                       : kShardUnknown;
+  f.aux16 = added ? 0 : 1;
+  f.aux32 = static_cast<std::uint32_t>(live_after);
+  f.t = now_ns();
+  f.a = static_cast<std::uint64_t>(shard);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    // A freshly added shard's runtime/pool were unknown at attach() time:
+    // extend the attribution map so its later frames carry the shard id.
+    // meta.n_shards deliberately stays the count at attach() — the replayer
+    // reconstructs growth from the kScale frames themselves.
+    if (added && rtm != nullptr) {
+      shard_of_[rtm] = f.shard;
+      if (pool != nullptr) shard_of_[pool] = f.shard;
+    }
+    if (frames_.size() >= kMaxFrames) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      frames_.push_back(f);
+    }
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[f.kind].fetch_add(1, std::memory_order_relaxed);
+}
+
 void ScheduleRecorder::note_flow(const std::string& name,
                                  std::uint64_t digest, std::uint64_t items) {
   const std::lock_guard<std::mutex> lk(mu_);
@@ -221,7 +251,7 @@ void ScheduleRecorder::publish(obs::MetricsRegistry& reg) {
         "replay.frames.dispatch", "replay.frames.timer",
         "replay.frames.chan_push", "replay.frames.chan_pop",
         "replay.frames.migration", "replay.frames.stash",
-        "replay.frames.mark"};
+        "replay.frames.mark", "replay.frames.scale"};
     for (int k = 0; k < kNumFrameKinds; ++k) {
       s.add_counter(kNames[k], by_kind_[k].load(std::memory_order_relaxed));
     }

@@ -101,6 +101,8 @@ class ScheduleRecorder : public TapSink {
                     MigrationPhase phase) override;
   void on_stash(const void* pool, StashEdge edge, std::uint64_t n) override;
   void on_shared_access(const void* obj, bool write) override;
+  void on_scale(const void* rtm, const void* pool, int shard, bool added,
+                int live_after) override;
 
  private:
   [[nodiscard]] std::int64_t now_ns() const noexcept;

@@ -16,11 +16,19 @@ namespace {
 /// hundreds of step_until calls, not millions.
 constexpr std::int64_t kGridWindows = 256;
 
-struct PlannedMigration {
-  std::int64_t t;
-  std::uint32_t section;
-  int to;
-  bool applied = false;
+/// One structural event to re-apply at its recorded instant: a migration
+/// (from its kQuiesce frame — the phase that marks when the decision struck
+/// the live run) or an elastic topology change (kScale frame). Both kinds
+/// merge into ONE time-sorted list: a retire frame must re-apply after the
+/// migrations that evacuated the shard, and time order is exactly what the
+/// recorder captured.
+struct PlannedEvent {
+  enum class Kind { kMigrate, kAddShard, kRetireShard };
+  std::int64_t t = 0;
+  Kind kind = Kind::kMigrate;
+  std::uint32_t section = 0;  ///< kMigrate
+  int to = -1;                ///< kMigrate
+  int shard = -1;             ///< kAddShard / kRetireShard
 };
 
 }  // namespace
@@ -40,20 +48,36 @@ ReplayResult Replayer::run(const Builder& build) {
     throw TraceError("replay builder returned no flow reader");
   }
 
-  // The migration plan: one entry per recorded quiesce frame — the phase
-  // that marks when the decision to move struck the live run.
-  std::vector<PlannedMigration> migrations;
+  // The structural plan: migrations and scale events, merged and sorted by
+  // recorded time (stable, so same-instant events keep their frame order).
+  std::vector<PlannedEvent> events;
   for (const Frame& f : trace_.frames) {
     if (f.frame_kind() == FrameKind::kMigration &&
         f.aux16 == static_cast<std::uint16_t>(MigrationPhase::kQuiesce)) {
-      migrations.push_back(
-          PlannedMigration{f.t, f.aux32, static_cast<int>(f.b)});
+      PlannedEvent e;
+      e.t = f.t;
+      e.kind = PlannedEvent::Kind::kMigrate;
+      e.section = f.aux32;
+      e.to = static_cast<int>(f.b);
+      events.push_back(e);
+    } else if (f.frame_kind() == FrameKind::kScale) {
+      PlannedEvent e;
+      e.t = f.t;
+      e.kind = f.aux16 == 0 ? PlannedEvent::Kind::kAddShard
+                            : PlannedEvent::Kind::kRetireShard;
+      e.shard = static_cast<int>(f.a);
+      events.push_back(e);
     }
   }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PlannedEvent& x, const PlannedEvent& y) {
+                     return x.t < y.t;
+                   });
 
-  if (!migrations.empty() && b.real == nullptr) {
+  if (!events.empty() && b.real == nullptr) {
     throw TraceError(
-        "trace contains migrations but the builder exposed no realization");
+        "trace contains migrations or scale events but the builder exposed "
+        "no realization");
   }
 
   ReplayResult r;
@@ -75,30 +99,53 @@ ReplayResult Replayer::run(const Builder& build) {
 
   rt::Time t = 0;
   bool done = false;
+  std::size_t ev_cursor = 0;
   // 4x slack past the recorded end: a virtual re-execution of a clocked
   // flow needs about the recorded duration, but owes nothing to wall-time
   // effects (GC-free, no preemption), so the bound is generous.
   const std::int64_t horizon = end * 4 + rt::seconds(1);
   while (t < horizon && !done) {
     t += quantum;
-    for (PlannedMigration& m : migrations) {
-      if (!m.applied && m.t <= t) {
-        b.real->migrate_section(m.section, m.to);
-        m.applied = true;
-        ++r.migrations_applied;
+    // Structural events strictly in recorded order: an add must precede the
+    // frames attributed to the new shard, a retire must follow the
+    // evacuating migrations.
+    for (; ev_cursor < events.size() && events[ev_cursor].t <= t;
+         ++ev_cursor) {
+      const PlannedEvent& e = events[ev_cursor];
+      switch (e.kind) {
+        case PlannedEvent::Kind::kMigrate:
+          b.real->migrate_section(e.section, e.to);
+          ++r.migrations_applied;
+          break;
+        case PlannedEvent::Kind::kAddShard: {
+          const int got = group.add_shard();
+          if (got != e.shard) {
+            throw TraceError("replay add_shard produced shard " +
+                             std::to_string(got) + ", trace recorded " +
+                             std::to_string(e.shard));
+          }
+          b.real->sync_topology();
+          ++r.scales_applied;
+          break;
+        }
+        case PlannedEvent::Kind::kRetireShard:
+          group.retire_shard(e.shard);
+          ++r.scales_applied;
+          break;
       }
     }
     std::vector<int> order;
-    order.reserve(static_cast<std::size_t>(n_shards));
+    order.reserve(static_cast<std::size_t>(group.size()));
     for (; cursor < timeline.size() && timeline[cursor].t <= t; ++cursor) {
       const std::uint8_t s = timeline[cursor].shard;
-      if (s < n_shards &&
+      if (static_cast<int>(s) < group.size() &&
+          group.is_live(static_cast<int>(s)) &&
           std::find(order.begin(), order.end(), static_cast<int>(s)) ==
               order.end()) {
         order.push_back(static_cast<int>(s));
       }
     }
-    for (int s = 0; s < n_shards; ++s) {
+    for (const int s : group.live_shards()) {
       if (std::find(order.begin(), order.end(), s) == order.end()) {
         order.push_back(s);
       }
@@ -109,10 +156,9 @@ ReplayResult Replayer::run(const Builder& build) {
   }
   r.virtual_end = t;
 
-  // Unapplied migrations (recorded after the last frame horizon) would
-  // mean the re-execution diverged structurally; surface that as failure.
-  bool all_migrations = true;
-  for (const PlannedMigration& m : migrations) all_migrations &= m.applied;
+  // Unapplied events (recorded after the last frame horizon) would mean
+  // the re-execution diverged structurally; surface that as failure.
+  const bool all_events = ev_cursor == events.size();
 
   const std::vector<Trace::Flow> got = b.flows();
   std::map<std::string, const Trace::Flow*> got_by_name;
@@ -131,11 +177,12 @@ ReplayResult Replayer::run(const Builder& build) {
     }
   }
 
-  r.ok = r.mismatches.empty() && all_migrations && !trace_.flows.empty() &&
+  r.ok = r.mismatches.empty() && all_events && !trace_.flows.empty() &&
          (b.real == nullptr || b.real->finished());
   r.summary = std::string(r.ok ? "replay OK" : "replay MISMATCH") + ": " +
               std::to_string(trace_.flows.size()) + " flows, " +
               std::to_string(r.migrations_applied) + " migrations, " +
+              std::to_string(r.scales_applied) + " scale events, " +
               std::to_string(r.steps) + " windows to t=" +
               std::to_string(r.virtual_end / 1000000) + " ms";
   for (const ReplayResult::Mismatch& m : r.mismatches) {

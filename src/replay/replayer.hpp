@@ -4,9 +4,11 @@
 // The replay substrate is the lockstep machinery the suite already trusts:
 // a MANUAL ShardGroup (no kernel threads) over VirtualClocks, stepped on a
 // fixed time grid. The trace drives what the grid cannot know by itself —
-// how many shards, how long the run was, in which ORDER the shards took
-// their turns inside each window (derived from the recorded frame
-// timeline), and when each migration struck. At the end, the per-flow
+// how many shards the run started with (meta.n_shards; elastic growth and
+// retirement are re-applied from the kScale frames in recorded time order),
+// how long the run was, in which ORDER the shards took their turns inside
+// each window (derived from the recorded frame timeline), and when each
+// migration struck. At the end, the per-flow
 // digests of the re-execution are compared against the digests the
 // recorder stored; thread transparency says they must be bit-identical,
 // and ReplayResult says whether they were.
@@ -45,6 +47,7 @@ struct ReplayResult {
   bool ok = false;
   std::vector<Mismatch> mismatches;  ///< includes flows missing on a side
   int migrations_applied = 0;
+  int scales_applied = 0;  ///< add_shard/retire_shard events re-applied
   std::uint64_t steps = 0;         ///< grid windows executed
   rt::Time virtual_end = 0;        ///< final virtual clock position
   std::string summary;             ///< one human-readable line

@@ -195,7 +195,8 @@ std::string Trace::summary() const {
                   std::to_string(c[0]) + " dispatch, " + std::to_string(c[1]) +
                   " timer, " + std::to_string(c[2]) + " push, " +
                   std::to_string(c[3]) + " pop, " + std::to_string(c[4]) +
-                  " migration, " + std::to_string(c[5]) + " stash), " +
+                  " migration, " + std::to_string(c[5]) + " stash, " +
+                  std::to_string(c[7]) + " scale), " +
                   std::to_string(flows.size()) + " flows, " +
                   std::to_string(meta.end_time_ns / 1000000) + " ms";
   return s;

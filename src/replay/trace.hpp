@@ -42,8 +42,10 @@ enum class FrameKind : std::uint8_t {
   kMigration = 4,  ///< phase boundary  aux16=phase  a=from      b=to
   kStash = 5,      ///< pool stash edge aux16=edge   a=n blocks
   kMark = 6,       ///< user-defined marker          a=tag
+  kScale = 7,      ///< topology change aux16=0 add/1 retire  a=shard
+                   ///<                 aux32=live shards after the event
 };
-inline constexpr int kNumFrameKinds = 7;
+inline constexpr int kNumFrameKinds = 8;
 
 /// One recorded decision, 32 bytes encoded.
 struct Frame {

@@ -16,6 +16,7 @@
 //   300..399  rt::IoBridge OS-event mapping
 //   400..499  ip_shard cross-shard doorbells
 //   500..599  ip_replay record/replay control
+//   600..699  ip_balance scale/plan control
 //
 // The band bounds below exist so the partitioning is checkable: every
 // constant carries a static_assert in tests/msg_registry_test.cpp pinning
@@ -63,6 +64,11 @@ inline constexpr int kRunFn = 410;      ///< ShardGroup::run_on payload
 inline constexpr int kReplayStep = 500;  ///< trace-driven step barrier
 inline constexpr int kReplayMark = 501;  ///< timeline marker injection
 
+// ---- ip_balance (600..699) ------------------------------------------------
+inline constexpr int kBalanceScaleUp = 600;    ///< scaler ULT: grow the group
+inline constexpr int kBalanceScaleDown = 601;  ///< scaler ULT: drain + retire
+inline constexpr int kBalanceApplyPlan = 602;  ///< run one scheduled move batch
+
 // ---- band bounds (for the overlap static_asserts) -------------------------
 inline constexpr int kCoreBandFirst = 1, kCoreBandLast = 99;
 inline constexpr int kNetBandFirst = 100, kNetBandLast = 199;
@@ -70,5 +76,6 @@ inline constexpr int kFeedbackBandFirst = 200, kFeedbackBandLast = 299;
 inline constexpr int kIoBandFirst = 300, kIoBandLast = 399;
 inline constexpr int kShardBandFirst = 400, kShardBandLast = 499;
 inline constexpr int kReplayBandFirst = 500, kReplayBandLast = 599;
+inline constexpr int kBalanceBandFirst = 600, kBalanceBandLast = 699;
 
 }  // namespace infopipe::rt::msg

@@ -41,17 +41,23 @@ Decision SessionAcceptor::decide(const SessionParams& p) const {
   const std::lock_guard<std::mutex> lk(mu_);
   const balance::LoadSnapshot snap = acct_->snapshot();
 
+  // The candidate set is the LIVE shard set, re-resolved on every decision
+  // — never the count at construction. An elastic group may have grown
+  // (new shards score 0 planned load until the bookkeeping catches up in
+  // open()) or retired shards this acceptor once admitted onto.
   Decision d;
   double best = std::numeric_limits<double>::infinity();
-  for (std::size_t s = 0; s < planned_load_.size(); ++s) {
+  for (const int shard : table_->live_shards()) {
+    const auto s = static_cast<std::size_t>(shard);
     const double measured = s < snap.busy.size() ? snap.busy[s] : 0.0;
     // Effective load: whichever of the measured EWMA and the planned sum
     // is higher — planned covers the admissions the EWMA has not seen
     // yet, measured covers cost the plan under-estimated.
-    const double eff = std::max(measured, planned_load_[s]);
+    const double planned = s < planned_load_.size() ? planned_load_[s] : 0.0;
+    const double eff = std::max(measured, planned);
     if (eff < best) {  // strict: ties break to the lowest shard index
       best = eff;
-      d.shard = static_cast<int>(s);
+      d.shard = shard;
     }
   }
   if (d.shard < 0) {
@@ -63,7 +69,11 @@ Decision SessionAcceptor::decide(const SessionParams& p) const {
   const auto cls = static_cast<std::size_t>(p.qos);
   const double cost = std::max(p.rate_hz, 0.0) * policy_.cost_per_item;
   const double wm = policy_.watermark[cls];
-  if (count_[static_cast<std::size_t>(d.shard)] >= policy_.max_per_shard) {
+  const std::size_t on_shard =
+      static_cast<std::size_t>(d.shard) < count_.size()
+          ? count_[static_cast<std::size_t>(d.shard)]
+          : 0;
+  if (on_shard >= policy_.max_per_shard) {
     d.reason = "shard " + std::to_string(d.shard) + " at session cap (" +
                std::to_string(policy_.max_per_shard) + ")";
     return d;
@@ -93,9 +103,14 @@ SessionAcceptor::OpenResult SessionAcceptor::open(const SessionParams& p) {
   const double cost = std::max(p.rate_hz, 0.0) * policy_.cost_per_item;
   {
     const std::lock_guard<std::mutex> lk(mu_);
+    const auto s = static_cast<std::size_t>(d.shard);
+    if (s >= planned_load_.size()) {  // first admission onto a grown shard
+      planned_load_.resize(s + 1, 0.0);
+      count_.resize(s + 1, 0);
+    }
     planned_.emplace(r.id, Planned{d.shard, cost});
-    planned_load_[static_cast<std::size_t>(d.shard)] += cost;
-    ++count_[static_cast<std::size_t>(d.shard)];
+    planned_load_[s] += cost;
+    ++count_[s];
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
   return r;
@@ -116,7 +131,10 @@ void SessionAcceptor::close(SessionId id) {
 
 double SessionAcceptor::planned_load(int shard) const {
   const std::lock_guard<std::mutex> lk(mu_);
-  return planned_load_.at(static_cast<std::size_t>(shard));
+  if (shard < 0 || static_cast<std::size_t>(shard) >= planned_load_.size()) {
+    return 0.0;  // a grown shard nothing was admitted onto yet
+  }
+  return planned_load_[static_cast<std::size_t>(shard)];
 }
 
 // ---- network front door -----------------------------------------------------

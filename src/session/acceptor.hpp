@@ -68,7 +68,10 @@ class SessionAcceptor {
   SessionAcceptor& operator=(const SessionAcceptor&) = delete;
 
   /// Pure admission check — no side effects, deterministic for a given
-  /// accountant snapshot and planned-load state.
+  /// accountant snapshot, planned-load state and live shard set. The
+  /// candidate shards are re-resolved from the table's group on EVERY call
+  /// (elastic topology: shards added after this acceptor was built are
+  /// candidates immediately, retired ones never are).
   [[nodiscard]] Decision decide(const SessionParams& p) const;
 
   struct OpenResult {

@@ -54,6 +54,8 @@ struct SessionTable::Engine {
   std::shared_ptr<Pipeline> pipe;
   std::unique_ptr<Realization> real;
   std::unique_ptr<fb::FeedbackLoop> loop;
+  /// Torn down ahead of the shard's retirement; counters stay readable.
+  bool retired = false;
 };
 
 /// One fallback-mode session: its own pipeline, its own realization — the
@@ -87,8 +89,70 @@ SessionTable::SessionTable(shard::ShardGroup& group,
   }
 }
 
+int SessionTable::shards() const {
+  return static_cast<int>(engine_count());
+}
+
+std::vector<int> SessionTable::live_shards() const {
+  return group_->live_shards();
+}
+
+SessionTable::Engine& SessionTable::engine_at(int shard) const {
+  const std::lock_guard<std::mutex> lk(engines_mu_);
+  if (shard < 0 || static_cast<std::size_t>(shard) >= engines_.size()) {
+    throw std::out_of_range("session: shard " + std::to_string(shard) +
+                            " out of range");
+  }
+  return *engines_[static_cast<std::size_t>(shard)];
+}
+
+std::size_t SessionTable::engine_count() const {
+  const std::lock_guard<std::mutex> lk(engines_mu_);
+  return engines_.size();
+}
+
+void SessionTable::sync_topology() {
+  // Grow the slot vector under the lock, then realize the new engines
+  // outside it (realization routes through run_on — never hold a lock
+  // across that).
+  std::vector<int> fresh;
+  {
+    const std::lock_guard<std::mutex> lk(engines_mu_);
+    const auto n = static_cast<std::size_t>(group_->size());
+    while (engines_.size() < n) {
+      fresh.push_back(static_cast<int>(engines_.size()));
+      engines_.push_back(std::make_unique<Engine>());
+    }
+  }
+  for (const int s : fresh) {
+    if (shared_mode_ && group_->is_live(s)) build_engine(s);
+  }
+}
+
+void SessionTable::retire_shard(int shard) {
+  Engine& e = engine_at(shard);
+  if (e.retired) return;
+  e.retired = true;
+  if (e.loop) {
+    on_shard(shard, [&e] {
+      e.loop->stop();
+      e.loop.reset();
+    });
+  }
+  if (e.real) {
+    on_shard(shard, [&e] {
+      e.real->post_event(Event{kEventShutdown});
+      e.real.reset();
+    });
+  }
+  // Sessions that were still open here die with the engine; the aggregate
+  // live count must not keep counting them.
+  const auto orphaned = e.state.live.exchange(0, std::memory_order_relaxed);
+  live_.fetch_sub(orphaned, std::memory_order_relaxed);
+}
+
 void SessionTable::build_engine(int shard) {
-  Engine& e = *engines_[static_cast<std::size_t>(shard)];
+  Engine& e = engine_at(shard);
   const EngineSpec& sp = plan_->spec();
   e.src = std::make_unique<SessionSource>("sess.src", &e.state,
                                           sp.idle_poll_hz, sp.min_mult);
@@ -121,8 +185,8 @@ void SessionTable::build_engine(int shard) {
 
 SessionTable::~SessionTable() {
   stop();
-  for (std::size_t s = 0; s < engines_.size(); ++s) {
-    Engine& e = *engines_[s];
+  for (std::size_t s = 0; s < engine_count(); ++s) {
+    Engine& e = engine_at(static_cast<int>(s));
     if (e.real) {
       on_shard(static_cast<int>(s), [&e] { e.real.reset(); });
     }
@@ -138,13 +202,13 @@ SessionTable::~SessionTable() {
 }
 
 SessionId SessionTable::open_on(int shard, SessionParams p) {
-  if (shard < 0 || static_cast<std::size_t>(shard) >= engines_.size()) {
+  Engine& e = engine_at(shard);
+  if (e.retired || !group_->is_live(shard)) {
     throw std::out_of_range("session: shard " + std::to_string(shard) +
-                            " out of range");
+                            " is retired");
   }
   const std::uint64_t c = next_counter_.fetch_add(1, std::memory_order_relaxed);
   const SessionId id = make_session_id(c, shard);
-  Engine& e = *engines_[static_cast<std::size_t>(shard)];
 
   if (shared_mode_) {
     // The stamp: one queue push. The wheel picks it up at the engine's
@@ -181,8 +245,9 @@ SessionId SessionTable::open_on(int shard, SessionParams p) {
 
 void SessionTable::close(SessionId id) {
   const int shard = shard_of_session(id);
-  if (shard < 0 || static_cast<std::size_t>(shard) >= engines_.size()) return;
-  Engine& e = *engines_[static_cast<std::size_t>(shard)];
+  if (shard < 0 || static_cast<std::size_t>(shard) >= engine_count()) return;
+  Engine& e = engine_at(shard);
+  if (e.retired) return;  // force-closed with its shard already
 
   if (shared_mode_) {
     e.src->enqueue_close(id);
@@ -207,14 +272,14 @@ void SessionTable::close(SessionId id) {
 }
 
 std::size_t SessionTable::live_on(int shard) const {
-  return engines_.at(static_cast<std::size_t>(shard))
-      ->state.live.load(std::memory_order_relaxed);
+  return engine_at(shard).state.live.load(std::memory_order_relaxed);
 }
 
 std::uint64_t SessionTable::items_total() const {
   std::uint64_t n = 0;
-  for (const auto& e : engines_) {
-    n += e->state.emitted.load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < engine_count(); ++s) {
+    n += engine_at(static_cast<int>(s))
+             .state.emitted.load(std::memory_order_relaxed);
   }
   return n;
 }
@@ -223,7 +288,8 @@ std::uint64_t SessionTable::items_of(SessionId id) {
   const int shard = shard_of_session(id);
   std::uint64_t out = 0;
   if (shared_mode_) {
-    Engine& e = *engines_.at(static_cast<std::size_t>(shard));
+    Engine& e = engine_at(shard);
+    if (e.retired) return 0;
     on_shard(shard, [&out, &e, id] { out = e.sink->items_of(id); });
   } else {
     const std::lock_guard<std::mutex> lk(solo_mu_);
@@ -239,7 +305,8 @@ std::uint64_t SessionTable::digest(SessionId id) {
   const int shard = shard_of_session(id);
   std::uint64_t out = 0;
   if (shared_mode_) {
-    Engine& e = *engines_.at(static_cast<std::size_t>(shard));
+    Engine& e = engine_at(shard);
+    if (e.retired) return 0;
     on_shard(shard, [&out, &e, id] { out = e.sink->digest_of(id); });
   } else {
     const std::lock_guard<std::mutex> lk(solo_mu_);
@@ -252,14 +319,16 @@ std::uint64_t SessionTable::digest(SessionId id) {
 }
 
 double SessionTable::mult(int shard, QosClass c) const {
-  return engines_.at(static_cast<std::size_t>(shard))
-      ->state.mult[static_cast<std::size_t>(c)]
+  return engine_at(shard)
+      .state.mult[static_cast<std::size_t>(c)]
       .load(std::memory_order_relaxed);
 }
 
 JitterSnapshot SessionTable::jitter() const {
   std::array<std::uint64_t, JitterHistogram::kBuckets> counts{};
-  for (const auto& e : engines_) e->state.jitter.merge_into(counts);
+  for (std::size_t s = 0; s < engine_count(); ++s) {
+    engine_at(static_cast<int>(s)).state.jitter.merge_into(counts);
+  }
   JitterSnapshot snap;
   for (int b = 0; b < JitterHistogram::kBuckets; ++b) {
     const std::uint64_t n = counts[static_cast<std::size_t>(b)];
@@ -276,8 +345,9 @@ JitterSnapshot SessionTable::jitter() const {
 void SessionTable::start_loops() {
   if (!shared_mode_) return;
   const EngineSpec& sp = plan_->spec();
-  for (std::size_t s = 0; s < engines_.size(); ++s) {
-    Engine& e = *engines_[s];
+  for (std::size_t s = 0; s < engine_count(); ++s) {
+    Engine& e = engine_at(static_cast<int>(s));
+    if (e.retired || !e.real) continue;
     on_shard(static_cast<int>(s), [&e, &sp, s] {
       fb::LoopSpec spec;
       spec.name = "sess.gov" + std::to_string(s);
@@ -294,8 +364,8 @@ void SessionTable::start_loops() {
 }
 
 void SessionTable::stop_loops() {
-  for (std::size_t s = 0; s < engines_.size(); ++s) {
-    Engine& e = *engines_[s];
+  for (std::size_t s = 0; s < engine_count(); ++s) {
+    Engine& e = engine_at(static_cast<int>(s));
     if (!e.loop) continue;
     on_shard(static_cast<int>(s), [&e] {
       e.loop->stop();
@@ -306,7 +376,8 @@ void SessionTable::stop_loops() {
 
 void SessionTable::inject_hint(int shard, double h) {
   if (!shared_mode_) return;
-  Engine& e = *engines_.at(static_cast<std::size_t>(shard));
+  Engine& e = engine_at(shard);
+  if (e.retired || !e.real) return;
   const Event hint{kEventQualityHint, h};
   if (group_->running() && !group_->on_shard_thread(shard)) {
     e.real->post_event_to_external(*e.gov, hint);
@@ -319,8 +390,8 @@ void SessionTable::stop() {
   if (stopped_) return;
   stopped_ = true;
   stop_loops();
-  for (std::size_t s = 0; s < engines_.size(); ++s) {
-    Engine& e = *engines_[s];
+  for (std::size_t s = 0; s < engine_count(); ++s) {
+    Engine& e = engine_at(static_cast<int>(s));
     if (!e.real) continue;
     on_shard(static_cast<int>(s),
              [&e] { e.real->post_event(Event{kEventShutdown}); });

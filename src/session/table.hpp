@@ -74,9 +74,29 @@ class SessionTable {
   }
   /// False when INFOPIPE_SESSIONS=off selected the per-flow fallback.
   [[nodiscard]] bool shared_mode() const noexcept { return shared_mode_; }
-  [[nodiscard]] int shards() const noexcept {
-    return static_cast<int>(engines_.size());
-  }
+  /// Engines ever built (grows with the elastic topology, never shrinks —
+  /// a retired shard keeps its engine slot and final counters).
+  [[nodiscard]] int shards() const;
+  /// The group this table realizes over (for live-topology queries).
+  [[nodiscard]] shard::ShardGroup& group() const noexcept { return *group_; }
+  /// Ids of shards currently accepting sessions: the group's live set.
+  [[nodiscard]] std::vector<int> live_shards() const;
+
+  // ---- elastic topology -----------------------------------------------------
+
+  /// Adopts shards the group grew after this table was built: realizes one
+  /// engine per new live shard (shared mode; fallback mode just grows the
+  /// bookkeeping). Idempotent. Call after ShardGroup::add_shard().
+  void sync_topology();
+
+  /// Tears down a shard's engine ahead of ShardGroup::retire_shard():
+  /// stops its loop, posts shutdown and destroys the realization ON the
+  /// shard's still-live kernel thread. Sessions still open there are
+  /// force-closed (their planned load is the acceptor's business; its
+  /// close() path tolerates already-gone ids). open_on() refuses the shard
+  /// afterwards. Must run BEFORE the group retires the shard — run_on
+  /// needs the host thread alive.
+  void retire_shard(int shard);
 
   // ---- the stamp path -------------------------------------------------------
 
@@ -136,10 +156,17 @@ class SessionTable {
 
   void on_shard(int shard, const std::function<void()>& fn);
   void build_engine(int shard);
+  /// Bounds-checked engine lookup; the Engine objects are heap-stable, so
+  /// the returned reference survives concurrent growth of engines_.
+  [[nodiscard]] Engine& engine_at(int shard) const;
+  [[nodiscard]] std::size_t engine_count() const;
 
   shard::ShardGroup* group_;
   std::shared_ptr<const SharedPlan> plan_;
   bool shared_mode_;
+  /// Guards the engines_ vector's SHAPE (elastic growth); the Engines
+  /// themselves are reached through stable unique_ptrs.
+  mutable std::mutex engines_mu_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::atomic<std::uint64_t> next_counter_{1};
   std::atomic<std::uint64_t> realizations_{0};

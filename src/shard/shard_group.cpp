@@ -3,6 +3,8 @@
 #include <chrono>
 #include <string>
 
+#include "core/config.hpp"
+#include "replay/hooks.hpp"
 #include "shard/channel.hpp"  // detail::kMsgRunFn
 
 #ifdef __linux__
@@ -57,45 +59,124 @@ ShardGroup::ShardGroup(int n_shards, rt::RuntimeOptions options)
 ShardGroup::ShardGroup(int n_shards, GroupOptions options)
     : manual_(options.manual),
       topo_(options.topology ? std::move(*options.topology)
-                             : Topology::detect()) {
+                             : Topology::detect()),
+      clock_factory_(std::move(options.clock_factory)),
+      runtime_opts_(options.runtime) {
   if (n_shards < 1) throw rt::RuntimeError("ShardGroup needs >= 1 shard");
-  shards_.reserve(static_cast<std::size_t>(n_shards));
-  for (int i = 0; i < n_shards; ++i) {
-    auto s = std::make_unique<Shard>();
-    std::unique_ptr<rt::Clock> clock =
-        options.clock_factory ? options.clock_factory()
-                              : std::make_unique<rt::RealClock>();
-    s->rtm = std::make_unique<rt::Runtime>(std::move(clock), options.runtime);
-    // Ring the shard's doorbell after every post_external, so work injected
-    // into a parked run_service() loop resumes it.
-    rt::Doorbell* bell = &s->bell;
-    s->rtm->set_external_notifier([bell] { bell->ring(); });
-    // The service thread: executes run_on() payloads on this shard.
-    s->service_tid = s->rtm->spawn(
-        "shard.service", rt::kPriorityControl,
-        [](rt::Runtime&, rt::Message m) {
-          if (m.type == detail::kMsgRunFn) {
-            if (auto* p = m.get<std::shared_ptr<RunOnReq>>()) {
-              const std::shared_ptr<RunOnReq> req = *p;
-              try {
-                req->fn();
-              } catch (...) {
-                req->error = std::current_exception();
-              }
-              {
-                const std::lock_guard<std::mutex> lk(req->m);
-                req->done = true;
-              }
-              req->cv.notify_all();
-            }
-          }
-          return rt::CodeResult::kContinue;
-        });
-    // Slabs this shard's payload pool carves land on the node its kernel
-    // thread is pinned to; items created on the shard are then node-local.
-    s->rtm->pool().set_numa_node(node_of_shard(i));
-    shards_.push_back(std::move(s));
+  if (n_shards > kMaxShards) {
+    throw rt::RuntimeError("ShardGroup: more than kMaxShards shards");
   }
+  slots_ = std::make_unique<std::unique_ptr<Shard>[]>(
+      static_cast<std::size_t>(kMaxShards));
+  for (int i = 0; i < n_shards; ++i) make_shard(i);
+  n_shards_.store(n_shards, std::memory_order_release);
+  live_.store(n_shards, std::memory_order_release);
+}
+
+ShardGroup::Shard& ShardGroup::make_shard(int i) {
+  auto s = std::make_unique<Shard>();
+  std::unique_ptr<rt::Clock> clock = clock_factory_
+                                         ? clock_factory_()
+                                         : std::make_unique<rt::RealClock>();
+  s->rtm = std::make_unique<rt::Runtime>(std::move(clock), runtime_opts_);
+  // Ring the shard's doorbell after every post_external, so work injected
+  // into a parked run_service() loop resumes it.
+  rt::Doorbell* bell = &s->bell;
+  s->rtm->set_external_notifier([bell] { bell->ring(); });
+  // The service thread: executes run_on() payloads on this shard.
+  s->service_tid = s->rtm->spawn(
+      "shard.service", rt::kPriorityControl,
+      [](rt::Runtime&, rt::Message m) {
+        if (m.type == detail::kMsgRunFn) {
+          if (auto* p = m.get<std::shared_ptr<RunOnReq>>()) {
+            const std::shared_ptr<RunOnReq> req = *p;
+            try {
+              req->fn();
+            } catch (...) {
+              req->error = std::current_exception();
+            }
+            {
+              const std::lock_guard<std::mutex> lk(req->m);
+              req->done = true;
+            }
+            req->cv.notify_all();
+          }
+        }
+        return rt::CodeResult::kContinue;
+      });
+  // Slabs this shard's payload pool carves land on the node its kernel
+  // thread is pinned to; items created on the shard are then node-local.
+  s->rtm->pool().set_numa_node(node_of_shard(i));
+  slots_[static_cast<std::size_t>(i)] = std::move(s);
+  return *slots_[static_cast<std::size_t>(i)];
+}
+
+int ShardGroup::add_shard() {
+  if (!config().elastic) {
+    throw rt::RuntimeError(
+        "ShardGroup::add_shard: INFOPIPE_ELASTIC=off pins the topology");
+  }
+  const std::lock_guard<std::mutex> lk(topo_mu_);
+  const int id = n_shards_.load(std::memory_order_acquire);
+  if (id >= kMaxShards) {
+    throw rt::RuntimeError("ShardGroup::add_shard: kMaxShards reached");
+  }
+  Shard& s = make_shard(id);
+  if (running_.load(std::memory_order_acquire)) {
+    s.dead.store(false, std::memory_order_release);
+    s.rtm->clear_halt();
+    s.host = std::thread(&ShardGroup::host_loop, this, id);
+  }
+  // Publish AFTER the slot (and its host thread) is fully set up: a reader
+  // that observes the new size finds a working shard behind it.
+  n_shards_.store(id + 1, std::memory_order_release);
+  const int live = live_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  replay::note_scale(s.rtm.get(), &s.rtm->pool(), id, /*added=*/true, live);
+  return id;
+}
+
+void ShardGroup::retire_shard(int shard) {
+  if (!config().elastic) {
+    throw rt::RuntimeError(
+        "ShardGroup::retire_shard: INFOPIPE_ELASTIC=off pins the topology");
+  }
+  const std::lock_guard<std::mutex> lk(topo_mu_);
+  Shard& s = shard_at(shard);
+  if (s.retired.load(std::memory_order_acquire)) {
+    throw rt::RuntimeError("ShardGroup::retire_shard: shard " +
+                           std::to_string(shard) + " already retired");
+  }
+  if (live_.load(std::memory_order_acquire) <= 1) {
+    throw rt::RuntimeError(
+        "ShardGroup::retire_shard: cannot retire the last live shard");
+  }
+  // Mark first: run_on() and admission stop routing here immediately; then
+  // drain the host. The runtime object and its counters are retained (the
+  // retired-channel rule extended to shards), so indices and any channels
+  // still bound to it stay valid.
+  s.retired.store(true, std::memory_order_release);
+  live_.fetch_sub(1, std::memory_order_acq_rel);
+  s.rtm->request_halt();
+  s.bell.ring();
+  if (s.host.joinable()) s.host.join();
+  replay::note_scale(nullptr, nullptr, shard, /*added=*/false,
+                     live_.load(std::memory_order_acquire));
+}
+
+bool ShardGroup::is_live(int shard) const noexcept {
+  if (shard < 0 || shard >= size()) return false;
+  return !slots_[static_cast<std::size_t>(shard)]->retired.load(
+      std::memory_order_acquire);
+}
+
+std::vector<int> ShardGroup::live_shards() const {
+  std::vector<int> out;
+  const int n = size();
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (is_live(i)) out.push_back(i);
+  }
+  return out;
 }
 
 int ShardGroup::node_of_shard(int shard) const noexcept {
@@ -116,17 +197,20 @@ ShardGroup::~ShardGroup() {
 
 void ShardGroup::launch() {
   if (manual_) return;
+  const std::lock_guard<std::mutex> lk(topo_mu_);
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    Shard& s = *shards_[i];
+  const int n = size();
+  for (int i = 0; i < n; ++i) {
+    Shard& s = *slots_[static_cast<std::size_t>(i)];
+    if (s.retired.load(std::memory_order_acquire)) continue;
     s.dead.store(false, std::memory_order_release);
     s.rtm->clear_halt();
-    s.host = std::thread(&ShardGroup::host_loop, this, static_cast<int>(i));
+    s.host = std::thread(&ShardGroup::host_loop, this, i);
   }
 }
 
 void ShardGroup::host_loop(int shard) {
-  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  Shard& s = *slots_[static_cast<std::size_t>(shard)];
   pin_to_core(shard);
   g_host_group = this;
   g_host_shard = shard;
@@ -141,68 +225,82 @@ void ShardGroup::host_loop(int shard) {
 
 void ShardGroup::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
-  for (const auto& s : shards_) {
-    s->rtm->request_halt();
-    s->bell.ring();
+  const std::lock_guard<std::mutex> lk(topo_mu_);
+  const int n = size();
+  for (int i = 0; i < n; ++i) {
+    Shard& s = *slots_[static_cast<std::size_t>(i)];
+    s.rtm->request_halt();
+    s.bell.ring();
   }
-  for (const auto& s : shards_) {
-    if (s->host.joinable()) s->host.join();
+  for (int i = 0; i < n; ++i) {
+    Shard& s = *slots_[static_cast<std::size_t>(i)];
+    if (s.host.joinable()) s.host.join();
   }
   running_.store(false, std::memory_order_release);
-  const std::lock_guard<std::mutex> lk(err_mutex_);
-  for (const auto& s : shards_) {
-    if (s->error) {
-      const std::exception_ptr e = s->error;
-      s->error = nullptr;
+  const std::lock_guard<std::mutex> elk(err_mutex_);
+  for (int i = 0; i < n; ++i) {
+    Shard& s = *slots_[static_cast<std::size_t>(i)];
+    if (s.error) {
+      const std::exception_ptr e = s.error;
+      s.error = nullptr;
       std::rethrow_exception(e);
     }
   }
 }
 
 void ShardGroup::step_until(rt::Time t) {
-  std::vector<int> order(shards_.size());
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    order[i] = static_cast<int>(i);
-  }
-  step_until(t, order);
+  step_until(t, live_shards());
 }
 
 void ShardGroup::step_until(rt::Time t, const std::vector<int>& order) {
   if (!manual_) {
     throw rt::RuntimeError("ShardGroup::step_until needs manual mode");
   }
-  // The effective visit order: the caller's sequence (validated), then any
-  // shard it left out, so every runtime still reaches `t` each round.
+  const int n = size();
+  // The effective visit order: the caller's sequence (validated; retired
+  // shards are silently skipped — a recorded order may predate their
+  // retirement), then any live shard it left out, so every live runtime
+  // still reaches `t` each round.
   std::vector<int> visit;
-  visit.reserve(shards_.size() + order.size());
+  visit.reserve(static_cast<std::size_t>(n) + order.size());
   for (const int s : order) {
-    if (s < 0 || s >= static_cast<int>(shards_.size())) {
+    if (s < 0 || s >= n) {
       throw rt::RuntimeError("ShardGroup::step_until: shard out of range");
     }
+    if (!is_live(s)) continue;
     visit.push_back(s);
   }
-  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+  for (int s = 0; s < n; ++s) {
+    if (!is_live(s)) continue;
     bool present = false;
     for (const int v : visit) present = present || v == s;
     if (!present) visit.push_back(s);
   }
   // Round-robin until quiescent: a shard's turn may post work into another
   // shard (channel wakeups, forwarded events, run_on payloads), so keep
-  // cycling until one full round moves no code function anywhere.
+  // cycling until one full round moves no code function anywhere. Retired
+  // shards are skipped; their dispatch counters are frozen, so including
+  // them in the sum is harmless.
   std::uint64_t prev = ~std::uint64_t{0};
   for (;;) {
     std::uint64_t total = 0;
     for (const int v : visit) {
-      shards_[static_cast<std::size_t>(v)]->rtm->run_until(t);
+      slots_[static_cast<std::size_t>(v)]->rtm->run_until(t);
     }
-    for (const auto& s : shards_) total += s->rtm->stats().dispatches;
+    for (int s = 0; s < n; ++s) {
+      total += slots_[static_cast<std::size_t>(s)]->rtm->stats().dispatches;
+    }
     if (total == prev) break;
     prev = total;
   }
 }
 
 void ShardGroup::run_on(int shard, std::function<void()> fn) {
-  Shard& s = *shards_.at(static_cast<std::size_t>(shard));
+  Shard& s = shard_at(shard);
+  if (s.retired.load(std::memory_order_acquire)) {
+    throw rt::RuntimeError("ShardGroup::run_on: shard " +
+                           std::to_string(shard) + " is retired");
+  }
   if (manual_) {
     // One kernel thread by design: the caller IS the shard's host.
     fn();
@@ -229,15 +327,17 @@ void ShardGroup::run_on(int shard, std::function<void()> fn) {
 
 obs::MetricsSnapshot ShardGroup::metrics_snapshot() {
   obs::MetricsSnapshot out;
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    Shard& s = *shards_[i];
+  const int n = size();
+  for (int i = 0; i < n; ++i) {
+    Shard& s = *slots_[static_cast<std::size_t>(i)];
     obs::MetricsSnapshot part;
     if (running_.load(std::memory_order_acquire) &&
+        !s.retired.load(std::memory_order_acquire) &&
         !s.dead.load(std::memory_order_acquire)) {
-      part = call_on(static_cast<int>(i),
-                     [&s] { return s.rtm->metrics().snapshot(); });
+      part = call_on(i, [&s] { return s.rtm->metrics().snapshot(); });
     } else {
-      // Host thread parked/joined: direct read is race-free.
+      // Host thread parked/joined (including retired shards, whose final
+      // counters remain readable): direct read is race-free.
       part = s.rtm->metrics().snapshot();
     }
     if (part.when > out.when) out.when = part.when;

@@ -334,6 +334,9 @@ bool ShardedRealization::shard_finished(int shard) {
   Realization* r = nullptr;
   {
     const std::lock_guard<std::mutex> lk(ev_mu_);
+    // A shard the group grew after realize time (sync_topology not yet
+    // called) hosts nothing and is trivially done.
+    if (static_cast<std::size_t>(shard) >= reals_.size()) return true;
     r = reals_[static_cast<std::size_t>(shard)].get();
   }
   if (r == nullptr) return true;
@@ -493,6 +496,77 @@ std::string ShardedRealization::describe() const {
   return out;
 }
 
+// ============================ elastic topology ==============================
+
+void ShardedRealization::adopt_new_shards_locked() {
+  // Caller holds op_mu_. Growth only: a retired shard's slot (and whatever
+  // realization state it last held) is retained like a retired channel.
+  const auto n = static_cast<std::size_t>(group_->size());
+  if (sub_pipes_.size() < n) sub_pipes_.resize(n);
+  const std::lock_guard<std::mutex> lk(ev_mu_);
+  if (reals_.size() < n) reals_.resize(n);
+}
+
+void ShardedRealization::sync_topology() {
+  const std::lock_guard<std::mutex> op_lk(op_mu_);
+  adopt_new_shards_locked();
+}
+
+std::vector<MigrationOutcome> ShardedRealization::evacuate_shard(
+    int shard, std::chrono::milliseconds quiesce_timeout) {
+  // Snapshot what lives there, and check every section can leave before
+  // moving the first one — a half-evacuated shard cannot retire.
+  std::vector<std::size_t> leaving;
+  {
+    const std::lock_guard<std::mutex> lk(ev_mu_);
+    for (std::size_t s = 0; s < assign_.size(); ++s) {
+      if (assign_[s] == shard) leaving.push_back(s);
+    }
+  }
+  std::vector<int> targets;
+  for (const int s : group_->live_shards()) {
+    if (s != shard) targets.push_back(s);
+  }
+  if (targets.empty()) {
+    throw CompositionError("evacuate: no other live shard to move to");
+  }
+  for (const std::size_t s : leaving) {
+    if (!part_.migratable(s)) {
+      throw CompositionError("evacuate: section '" + section_name(s) +
+                             "' on shard " + std::to_string(shard) +
+                             " is pinned");
+    }
+  }
+  // Greedy LPT over the targets' existing per-thread load (heaviest section
+  // first onto the lightest shard) — good enough for a drain; the balance
+  // layer's TargetPlanner owns placement quality afterwards.
+  std::map<int, int> weight;
+  {
+    const std::lock_guard<std::mutex> lk(ev_mu_);
+    for (const int t : targets) weight[t] = 0;
+    for (std::size_t s = 0; s < assign_.size(); ++s) {
+      if (weight.count(assign_[s]) != 0) {
+        weight[assign_[s]] += section_threads(s);
+      }
+    }
+  }
+  std::stable_sort(leaving.begin(), leaving.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return section_threads(a) > section_threads(b);
+                   });
+  std::vector<MigrationOutcome> out;
+  out.reserve(leaving.size());
+  for (const std::size_t s : leaving) {
+    int best = targets.front();
+    for (const int t : targets) {
+      if (weight[t] < weight[best]) best = t;
+    }
+    out.push_back(migrate_section(s, best, quiesce_timeout));
+    weight[best] += section_threads(s);
+  }
+  return out;
+}
+
 // ============================ migration =====================================
 
 ShardedRealization::Migration ShardedRealization::begin_migration(
@@ -518,6 +592,14 @@ ShardedRealization::Migration::Migration(ShardedRealization& sr,
   if (to < 0 || to >= sr.group_->size()) {
     throw CompositionError("migrate: target shard out of range");
   }
+  if (!sr.group_->is_live(to)) {
+    throw CompositionError("migrate: target shard " + std::to_string(to) +
+                           " is retired");
+  }
+  // The target may postdate realize time (ShardGroup::add_shard): size the
+  // per-shard tables up before transfer() indexes them. op_mu_ is already
+  // held (lock_ above).
+  sr.adopt_new_shards_locked();
   if (!sr.part_.migratable(section)) {
     throw CompositionError("migrate: section '" + sr.section_name(section) +
                            "' is pinned (clustered or hosts a non-migratable "

@@ -209,6 +209,27 @@ class ShardedRealization : public RealizationHandle {
       std::chrono::milliseconds quiesce_timeout =
           std::chrono::milliseconds(5000));
 
+  // -- elastic topology (ARCHITECTURE §19) ------------------------------------
+
+  /// Adopts shards the group grew AFTER this realization was built: sizes
+  /// the per-shard realization/sub-pipeline tables up to group().size() so
+  /// migrations can splice sections onto the new shards. Call after
+  /// ShardGroup::add_shard(); migrate_section()/begin_migration() also
+  /// self-adopt, so this is only needed when code indexes the new shard
+  /// before any move lands on it. Never shrinks — retired shards keep their
+  /// slots (and any final realization state) like retired channels do.
+  void sync_topology();
+
+  /// Moves every section off `shard` (greedy LPT by section thread count
+  /// over the other live shards), leaving it empty so the group can retire
+  /// it. Throws CompositionError when a section on the shard is pinned, or
+  /// when no other live shard exists. Returns one outcome per move, in
+  /// order. The flow keeps running throughout, exactly as for single
+  /// migrations.
+  std::vector<MigrationOutcome> evacuate_shard(
+      int shard, std::chrono::milliseconds quiesce_timeout =
+                     std::chrono::milliseconds(5000));
+
   /// Completed migrations. Bumps exactly once per successful resume();
   /// samplers holding per-shard bindings re-resolve when this changes.
   [[nodiscard]] std::uint64_t migrations() const noexcept {
@@ -315,6 +336,9 @@ class ShardedRealization : public RealizationHandle {
   void remove_cut_collector(CutLink& link) noexcept;
   [[nodiscard]] bool shard_finished(int shard);
   void record_started(const Event& e);
+  /// Grows reals_/sub_pipes_ to group_->size(). Requires op_mu_ held
+  /// (takes ev_mu_ internally for the reals_ resize).
+  void adopt_new_shards_locked();
 
   ShardGroup* group_;
   const Pipeline* pipe_;

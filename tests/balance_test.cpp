@@ -20,6 +20,7 @@
 #include "balance/migration.hpp"
 #include "balance/policy.hpp"
 #include "balance/rebalancer.hpp"
+#include "core/config.hpp"
 #include "core/infopipes.hpp"
 #include "shard/sharded_realization.hpp"
 #include "shard/topology.hpp"
@@ -35,6 +36,19 @@ shard::ShardGroup::GroupOptions manual_opts() {
   opt.manual = true;
   return opt;
 }
+
+/// Pins config().elastic for the autoscaling tests (see elastic_test.cpp
+/// for the kill switch itself).
+class ElasticGuard {
+ public:
+  explicit ElasticGuard(bool on) : prev_(config().elastic) {
+    config().elastic = on;
+  }
+  ~ElasticGuard() { config().elastic = prev_; }
+
+ private:
+  bool prev_;
+};
 
 /// Function stage whose section may never migrate (stands in for a
 /// device-bound component).
@@ -329,8 +343,13 @@ TEST(Rebalancer, SkewedLoadMigratesTowardTheIdleShard) {
     group.step_until(t);
   }
 
-  // The shard hosting section 1 reads hot, the other idle.
-  const int hot = sr.shard_of_section(1);
+  // Load the shard hosting TWO sections (the construction partitioner put
+  // sections 0 and 2 together): the target planner offloads exactly one of
+  // them toward the idle shard. (The one-section shard reading hot is the
+  // placement the planner correctly refuses to churn — no single move can
+  // improve a shard whose whole load is one section.)
+  const int hot = sr.shard_of_section(0);
+  ASSERT_EQ(sr.shard_of_section(2), hot);
   const int cold = 1 - hot;
   Rebalancer rb(sr);
   rb.accountant().note_busy_sample(hot, 0.9);
@@ -380,6 +399,85 @@ TEST(Rebalancer, BalancedLoadHoldsStill) {
   EXPECT_FALSE(rb.step().has_value());  // inside the hysteresis band
   EXPECT_EQ(rb.migrations_attempted(), 0u);
   EXPECT_EQ(sr.migrations(), 0u);
+}
+
+TEST(Rebalancer, ElasticScaleUpAndDownWithHysteresis) {
+  const ElasticGuard elastic_on(true);
+  shard::ShardGroup group(2, manual_opts());
+
+  constexpr std::uint64_t kN = 1000;
+  CountingSource src("src", kN);
+  ClockedPump p1("p1", 200.0);
+  Buffer b1("b1", 32);
+  ClockedPump p2("p2", 200.0);
+  Buffer b2("b2", 32);
+  ClockedPump p3("p3", 200.0);
+  CollectorSink sink("sink");
+  auto ch = src >> p1 >> b1 >> p2 >> b2 >> p3 >> sink;
+
+  shard::ShardedRealization sr(group, ch.pipeline());
+  sr.start();
+
+  Rebalancer::Options o;
+  o.policy.min_imbalance = 2.0;  // unreachable: isolate the scaling triggers
+  o.elastic.enabled = true;
+  o.elastic.scale_up_steps = 3;
+  o.elastic.scale_down_steps = 4;
+  o.elastic.cooldown_steps = 2;
+  o.elastic.min_shards = 2;
+  o.elastic.max_shards = 3;
+  Rebalancer rb(sr, o);
+
+  rt::Time t = 0;
+  const auto tick = [&] {
+    t += rt::milliseconds(100);
+    group.step_until(t);
+  };
+
+  // Saturation held for scale_up_steps consecutive samples grows the group.
+  rb.accountant().note_busy_sample(0, 0.9);
+  rb.accountant().note_busy_sample(1, 0.9);
+  for (int i = 0; i < 3; ++i) {
+    (void)rb.step();
+    tick();
+  }
+  EXPECT_EQ(rb.scale_ups(), 1u);
+  EXPECT_EQ(group.size(), 3);
+  EXPECT_EQ(group.live_count(), 3);
+
+  // The unmeasured new shard drags the live mean below the watermark: no
+  // further growth (hysteresis, cooldown and max_shards all agree).
+  for (int i = 0; i < 3; ++i) {
+    (void)rb.step();
+    tick();
+  }
+  EXPECT_EQ(rb.scale_ups(), 1u);
+
+  // Sustained idleness drains and retires the emptiest shard — exactly
+  // once: min_shards floors the topology at two.
+  for (int i = 0; i < 14; ++i) {
+    for (int s = 0; s < 3; ++s) rb.accountant().note_busy_sample(s, 0.0);
+    (void)rb.step();
+    tick();
+  }
+  EXPECT_EQ(rb.scale_downs(), 1u);
+  EXPECT_EQ(group.live_count(), 2);
+  EXPECT_EQ(group.size(), 3);  // the retired slot is retained
+
+  const obs::MetricsSnapshot ms = rb.metrics_snapshot();
+  const obs::MetricValue* ups = ms.find("balance.scale.up");
+  ASSERT_NE(ups, nullptr);
+  EXPECT_EQ(ups->count, 1u);
+  const obs::MetricValue* downs = ms.find("balance.scale.down");
+  ASSERT_NE(downs, nullptr);
+  EXPECT_EQ(downs->count, 1u);
+
+  // The flow rode through one grow and one shrink untouched.
+  while (t < rt::seconds(8)) tick();
+  EXPECT_TRUE(sr.finished());
+  const std::vector<std::uint64_t> seqs = sink.seqs();
+  ASSERT_EQ(seqs.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) ASSERT_EQ(seqs[i], i);
 }
 
 TEST(Policy, CooldownSuppressesBackToBackDecisions) {

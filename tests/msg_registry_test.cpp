@@ -20,6 +20,9 @@ static_assert(kFeedbackBandLast < kIoBandFirst,
 static_assert(kIoBandLast < kShardBandFirst, "io and shard bands overlap");
 static_assert(kShardBandLast < kReplayBandFirst,
               "shard and replay bands overlap");
+static_assert(kReplayBandLast < kBalanceBandFirst,
+              "replay and balance bands overlap");
+static_assert(kBalanceBandFirst <= kBalanceBandLast);
 
 // ---- every constant inside its owner's band --------------------------------
 constexpr bool in_band(int v, int first, int last) {
@@ -58,6 +61,10 @@ static_assert(in_band(kRunFn, kShardBandFirst, kShardBandLast));
 static_assert(in_band(kReplayStep, kReplayBandFirst, kReplayBandLast));
 static_assert(in_band(kReplayMark, kReplayBandFirst, kReplayBandLast));
 
+static_assert(in_band(kBalanceScaleUp, kBalanceBandFirst, kBalanceBandLast));
+static_assert(in_band(kBalanceScaleDown, kBalanceBandFirst, kBalanceBandLast));
+static_assert(in_band(kBalanceApplyPlan, kBalanceBandFirst, kBalanceBandLast));
+
 // ---- uniqueness across the whole registry ----------------------------------
 TEST(MsgRegistry, AllConstantsAreDistinct) {
   const int all[] = {
@@ -69,7 +76,8 @@ TEST(MsgRegistry, AllConstantsAreDistinct) {
       kFeedbackLoopTick, kIoData,          kIoSignal,
       kIoEof,           kIoReadable,       kIoWritable,
       kChanData,        kChanSpace,        kRunFn,
-      kReplayStep,      kReplayMark,
+      kReplayStep,      kReplayMark,       kBalanceScaleUp,
+      kBalanceScaleDown, kBalanceApplyPlan,
   };
   const std::size_t n = sizeof(all) / sizeof(all[0]);
   for (std::size_t i = 0; i < n; ++i) {
@@ -87,6 +95,14 @@ TEST(MsgRegistry, ReplayBandStaysAt500) {
   EXPECT_EQ(kReplayBandLast, 599);
   EXPECT_EQ(kReplayStep, 500);
   EXPECT_EQ(kReplayMark, 501);
+}
+
+TEST(MsgRegistry, BalanceBandStaysAt600) {
+  EXPECT_EQ(kBalanceBandFirst, 600);
+  EXPECT_EQ(kBalanceBandLast, 699);
+  EXPECT_EQ(kBalanceScaleUp, 600);
+  EXPECT_EQ(kBalanceScaleDown, 601);
+  EXPECT_EQ(kBalanceApplyPlan, 602);
 }
 
 }  // namespace

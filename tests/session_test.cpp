@@ -59,6 +59,19 @@ class SessionsGuard {
   bool prev_;
 };
 
+/// Pins config().elastic for the topology-change tests (the
+/// INFOPIPE_ELASTIC kill switch has its own suite in elastic_test.cpp).
+class ElasticGuard {
+ public:
+  explicit ElasticGuard(bool on) : prev_(config().elastic) {
+    config().elastic = on;
+  }
+  ~ElasticGuard() { config().elastic = prev_; }
+
+ private:
+  bool prev_;
+};
+
 // ---------- the shared plan --------------------------------------------------------
 
 TEST(SharedPlan, AnalyzedOnceAndStampedManyTimes) {
@@ -244,6 +257,46 @@ TEST(SessionTableManual, CloseStopsEmissionExactly) {
   EXPECT_EQ(table.items_of(id), before);
 }
 
+// ---------- elastic topology -------------------------------------------------------
+
+TEST(SessionTableElastic, GrowsAndRetiresEnginesMidRun) {
+  const SessionsGuard shared_on(true);
+  const ElasticGuard elastic_on(true);
+  shard::ShardGroup group(2, manual_opts());
+  const auto plan = SharedPlan::analyze(EngineSpec{});
+  SessionTable table(group, plan);
+  EXPECT_EQ(table.realizations(), 2u);
+
+  // Growth: one engine realized for the new shard, exactly once.
+  const int added = group.add_shard();
+  table.sync_topology();
+  EXPECT_EQ(table.shards(), 3);
+  EXPECT_EQ(table.realizations(), 3u);
+  table.sync_topology();  // idempotent
+  EXPECT_EQ(table.realizations(), 3u);
+
+  // The new engine pumps like its siblings.
+  const SessionId id =
+      table.open_on(added, SessionParams{QosClass::kBronze, 100.0, 8});
+  group.step_until(rt::seconds(1));
+  EXPECT_GE(table.items_of(id), 100u);
+
+  // Retirement force-closes what was open there and refuses new stamps.
+  table.retire_shard(added);
+  EXPECT_EQ(table.live_on(added), 0u);
+  EXPECT_EQ(table.live(), 0u);
+  EXPECT_THROW((void)table.open_on(added, SessionParams{}), std::out_of_range);
+  group.retire_shard(added);
+  EXPECT_EQ(table.live_shards(), (std::vector<int>{0, 1}));
+
+  // Survivors keep stamping and pumping.
+  const SessionId id2 =
+      table.open_on(0, SessionParams{QosClass::kBronze, 100.0, 8});
+  group.step_until(rt::seconds(2));
+  EXPECT_GT(table.items_of(id2), 0u);
+  table.close(id2);
+}
+
 // ---------- admission --------------------------------------------------------------
 
 TEST(SessionAcceptorTest, DecidesDeterministicallyAgainstMeasuredLoad) {
@@ -324,6 +377,43 @@ TEST(SessionAcceptorTest, PlannedLoadSpreadsAdmissionsBeforeTheEwmaSees) {
   EXPECT_EQ(shards.size(), 10u);
   // Bronze is full; gold still fits under its higher watermark.
   EXPECT_TRUE(acc.open(SessionParams{QosClass::kGold, 1.0, 8}).ok);
+}
+
+TEST(SessionAcceptorTest, SeesShardsAddedAfterConstruction) {
+  const SessionsGuard shared_on(true);
+  const ElasticGuard elastic_on(true);
+  shard::ShardGroup group(2, manual_opts());
+  const auto plan = SharedPlan::analyze(EngineSpec{});
+  SessionTable table(group, plan);
+  balance::LoadAccountant acct(group);
+  acct.note_busy_sample(0, 0.60);
+  acct.note_busy_sample(1, 0.55);
+
+  AdmissionPolicy pol;
+  pol.cost_per_item = 0.01;
+  SessionAcceptor acc(table, acct, pol);
+
+  const SessionParams p{QosClass::kBronze, 5.0, 8};
+  EXPECT_EQ(acc.decide(p).shard, 1);  // least loaded of the original pair
+
+  // The group grows mid-churn. The regression this pins: the acceptor used
+  // to snapshot the shard count at construction and would never consider
+  // the new shard; decide() must re-resolve the live set on every call.
+  const int added = group.add_shard();
+  table.sync_topology();
+  const Decision d = acc.decide(p);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.shard, added);  // unmeasured and unplanned: effective load 0
+  const SessionAcceptor::OpenResult r = acc.open(p);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.shard, added);
+  EXPECT_DOUBLE_EQ(acc.planned_load(added), 0.05);
+
+  // Retirement drops it from the candidate set just as promptly.
+  table.retire_shard(added);
+  group.retire_shard(added);
+  EXPECT_EQ(acc.decide(p).shard, 1);
+  EXPECT_EQ(table.live(), 0u);  // the force-close took the session with it
 }
 
 // ---------- the unified control surface --------------------------------------------
